@@ -1,0 +1,68 @@
+// E10 — is the border LB layer a throughput bottleneck? (§III-B)
+//
+// The paper's argument: LB switches only carry traffic entering/leaving
+// the data center, which is ~20% of total traffic (VL2 measurement [8]);
+// 150+ switches provide >= 600 Gbps, so the layer holds.  We sweep the
+// external-traffic fraction analytically at the paper's scale, then
+// validate with a simulated medium-scale DC in which we dial the offered
+// external load through the switch layer.
+#include <iostream>
+
+#include "mdc/core/provisioning.hpp"
+#include "mdc/metrics/table.hpp"
+#include "mdc/scenario/megadc.hpp"
+
+int main() {
+  using namespace mdc;
+  const SwitchLimits catalyst;
+
+  Table a{"E10a: LB-layer headroom at paper scale (3 Tbps total traffic)",
+          {"external fraction", "external Gbps", "switches",
+           "aggregate Gbps", "bottleneck?"}};
+  for (double f : {0.1, 0.2, 0.3, 0.4, 0.8}) {
+    for (std::uint64_t switches : {150ull, 375ull}) {
+      const auto check = lbLayerBottleneck(3000.0, f, switches, catalyst);
+      a.addRow({f, check.externalGbps, static_cast<long long>(switches),
+                check.aggregateGbps,
+                std::string{check.bottleneck ? "YES" : "no"}});
+    }
+  }
+  a.print(std::cout);
+  std::cout << "paper anchor: at 20% external traffic the layer is exactly"
+               " sufficient with 150 switches and comfortable with 375\n\n";
+
+  // Simulated validation: drive a medium DC at three demand levels and
+  // observe the switch layer's measured utilization and satisfaction.
+  Table b{"E10b: simulated switch-layer load vs offered external traffic",
+          {"external demand (Gbps)", "layer capacity (Gbps)",
+           "max switch util", "mean switch util", "served/demand"}};
+  for (double totalRps : {25'000.0, 50'000.0, 100'000.0}) {
+    MegaDcConfig cfg = testScaleConfig();
+    cfg.numApps = 12;
+    cfg.topology.numServers = 96;
+    cfg.numPods = 4;
+    cfg.topology.numSwitches = 4;
+    cfg.topology.switchTrunkGbps = 1.0;
+    cfg.topology.accessLinkGbps = 4.0;
+    cfg.totalDemandRps = totalRps;  // 0.04 Gbps per krps
+    MegaDc dc{cfg};
+    dc.bootstrap();
+    dc.runUntil(dc.sim.now() + 240.0);
+    const EpochReport& r = dc.engine->latest();
+    double maxU = 0.0, sumU = 0.0;
+    for (double u : r.switchUtil) {
+      maxU = std::max(maxU, u);
+      sumU += u;
+    }
+    const double demand = r.totalDemandRps();
+    b.addRow({totalRps * 0.04 / 1000.0,
+              static_cast<double>(cfg.topology.numSwitches) *
+                  cfg.topology.switchTrunkGbps,
+              maxU, sumU / static_cast<double>(r.switchUtil.size()),
+              demand > 0 ? r.totalServedRps() / demand : 1.0});
+  }
+  b.print(std::cout);
+  std::cout << "expected shape: satisfaction holds until offered external"
+               " traffic approaches the layer's aggregate capacity\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E11 — how many VIPs per application? (§IV-A end, §V-A)
+//
+// "The more VIPs are allocated to each application, the more flexibility
+// the system would have for load balancing over the access links.
+// However, too many VIPs per application increase the number of LB
+// switches ... The tradeoff ... will be evaluated quantitatively in our
+// ongoing work."  This bench is that evaluation.
+//
+// For k = 1..6 VIPs per app we (a) compute the required switch count at
+// the paper's 300k-app scale, and (b) run a DC with four access links —
+// one degraded mid-run — and measure the steady link imbalance the
+// selective-exposure balancer can reach with k-way freedom.
+#include <iostream>
+
+#include "mdc/core/provisioning.hpp"
+#include "mdc/metrics/table.hpp"
+#include "mdc/scenario/megadc.hpp"
+
+namespace {
+
+using namespace mdc;
+
+struct Outcome {
+  double endImbalance = 0.0;
+  double endMaxUtil = 0.0;
+  double satisfaction = 0.0;
+};
+
+Outcome run(std::uint32_t k) {
+  MegaDcConfig cfg = testScaleConfig();
+  cfg.numApps = 12;
+  cfg.totalDemandRps = 60'000.0;
+  cfg.topology.numServers = 64;
+  cfg.topology.numIsps = 4;
+  cfg.topology.accessLinkGbps = 1.0;
+  cfg.topology.numSwitches = 6;
+  cfg.numPods = 4;
+  cfg.manager.vipsPerApp = k;
+  cfg.manager.link.period = 10.0;
+
+  MegaDc dc{cfg};
+  dc.bootstrap();
+  dc.runUntil(150.0);
+  dc.topo.network().setCapacity(dc.topo.accessLink(0).link, 0.4);
+  dc.runUntil(900.0);
+
+  Outcome out;
+  out.endImbalance = dc.engine->linkImbalance().last();
+  out.endMaxUtil = dc.engine->maxLinkUtil().last();
+  out.satisfaction = dc.engine->satisfaction().last();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const SwitchLimits catalyst;
+  Table t{"E11: VIPs per app — balancing flexibility vs switch cost "
+          "(4 access links, link 0 degraded to 40% at t=150 s)",
+          {"vips/app", "switches @300k apps (20 rips)", "end link imbalance",
+           "end max link util", "served/demand"}};
+  for (std::uint32_t k = 1; k <= 6; ++k) {
+    ProvisioningDemand d;
+    d.vipsPerApp = k;
+    const Outcome o = run(k);
+    t.addRow({static_cast<long long>(k),
+              static_cast<long long>(minSwitches(d, catalyst)),
+              o.endImbalance, o.endMaxUtil, o.satisfaction});
+  }
+  t.print(std::cout);
+  std::cout << "expected shape: k=1 cannot steer at all (imbalance stays"
+               " high); k=2..3 captures most of the benefit; beyond the"
+               " RIP-bound knee (k > 5 at 20 RIPs/app) extra VIPs start"
+               " costing switches for little gain — supporting the paper's"
+               " default of 3\n";
+  return 0;
+}

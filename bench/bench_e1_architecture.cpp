@@ -1,0 +1,111 @@
+// E1 — "Figure 1": the assembled architecture, end to end.
+//
+// Prints the component inventory the paper targets (§II: 300k servers,
+// 300k apps, 20 VMs/app, 3 VIPs/app, 375+ Catalyst-class switches, pods
+// of 5,000 servers), then builds a 1:100-scale instance of the same
+// architecture, runs it, and verifies the full data path — DNS -> access
+// link -> border -> LB switch -> fabric -> VM — carries the demand, with
+// all control loops live.
+#include <chrono>
+#include <iostream>
+
+#include "mdc/core/provisioning.hpp"
+#include "mdc/metrics/table.hpp"
+#include "mdc/scenario/megadc.hpp"
+
+int main() {
+  using namespace mdc;
+
+  // --- the paper-scale inventory (configuration + arithmetic) ----------
+  const MegaDcConfig paper = paperScaleConfig();
+  ProvisioningDemand d;
+  d.applications = paper.numApps;
+  d.vipsPerApp = paper.manager.vipsPerApp;
+  d.ripsPerApp = 20.0;
+  Table inv{"E1a: target inventory (Figure 1 at §II scale)",
+            {"component", "count / value"}};
+  inv.addRow({std::string{"servers"},
+              static_cast<long long>(paper.topology.numServers)});
+  inv.addRow({std::string{"applications"},
+              static_cast<long long>(paper.numApps)});
+  inv.addRow({std::string{"logical pods (5,000 servers each)"},
+              static_cast<long long>(paper.numPods)});
+  inv.addRow({std::string{"VIPs (3 per app)"},
+              static_cast<long long>(paper.numApps * 3)});
+  inv.addRow({std::string{"RIPs (20 per app)"},
+              static_cast<long long>(paper.numApps * 20)});
+  inv.addRow({std::string{"min LB switches (Catalyst limits)"},
+              static_cast<long long>(minSwitches(d, SwitchLimits{}))});
+  inv.addRow({std::string{"provisioned LB switches"},
+              static_cast<long long>(paper.topology.numSwitches)});
+  inv.addRow({std::string{"ISPs x access links"},
+              static_cast<long long>(paper.topology.numIsps *
+                                     paper.topology.accessLinksPerIsp)});
+  inv.print(std::cout);
+  std::cout << "\n";
+
+  // --- a 1:100 structural replica, built and driven ----------------------
+  MegaDcConfig cfg;
+  cfg.topology.numServers = 3000;
+  cfg.topology.serverCapacity = CapacityVec{16.0, 64.0, 1.0};
+  cfg.topology.numIsps = 4;
+  cfg.topology.accessLinksPerIsp = 1;
+  cfg.topology.accessLinkGbps = 10.0;
+  cfg.topology.numSwitches = 8;
+  cfg.topology.switchTrunkGbps = 4.0;
+  cfg.numApps = 3000;
+  cfg.totalDemandRps = 500'000.0;
+  cfg.instancesPerApp = 2;
+  cfg.numPods = 6;  // 500 servers per pod
+  cfg.manager.vipsPerApp = 3;
+  cfg.hostCosts.vmCloneSeconds = 2.0;
+  cfg.engine.epoch = 5.0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  MegaDc dc{cfg};
+  dc.bootstrap(15.0);
+  const auto t1 = std::chrono::steady_clock::now();
+  dc.runUntil(dc.sim.now() + 300.0);
+  const auto t2 = std::chrono::steady_clock::now();
+
+  const EpochReport& r = dc.engine->latest();
+  Table run{"E1b: 1:100-scale replica after 300 simulated seconds",
+            {"metric", "value"}};
+  run.addRow({std::string{"servers / apps / pods"},
+              std::to_string(cfg.topology.numServers) + " / " +
+                  std::to_string(cfg.numApps) + " / " +
+                  std::to_string(cfg.numPods)});
+  run.addRow({std::string{"VIPs configured"},
+              static_cast<long long>(dc.fleet.totalVips())});
+  run.addRow({std::string{"RIPs configured"},
+              static_cast<long long>(dc.fleet.totalRips())});
+  run.addRow({std::string{"active VMs"},
+              static_cast<long long>(dc.hosts.activeVmCount())});
+  run.addRow({std::string{"demand (rps)"}, r.totalDemandRps()});
+  run.addRow({std::string{"served / demand"},
+              r.totalDemandRps() > 0
+                  ? r.totalServedRps() / r.totalDemandRps()
+                  : 1.0});
+  run.addRow({std::string{"unrouted rps"}, r.unroutedRps});
+  run.addRow({std::string{"external offered (Gbps)"},
+              r.externalOfferedGbps});
+  run.addRow({std::string{"max access-link util"},
+              dc.engine->maxLinkUtil().last()});
+  run.addRow({std::string{"max switch util"},
+              dc.engine->maxSwitchUtil().last()});
+  run.addRow({std::string{"VIP/RIP requests processed"},
+              static_cast<long long>(
+                  dc.manager->viprip().processedRequests())});
+  run.addRow({std::string{"events executed"},
+              static_cast<long long>(dc.sim.eventsExecuted())});
+  run.addRow({std::string{"wall s: build+bootstrap"},
+              std::chrono::duration<double>(t1 - t0).count()});
+  run.addRow({std::string{"wall s: 300 sim-seconds"},
+              std::chrono::duration<double>(t2 - t1).count()});
+  run.print(std::cout);
+
+  std::cout << "\nexpected shape: every layer carries load (non-zero link"
+               " and switch utilization), demand is served, nothing is"
+               " unrouted — the Figure 1 wiring works end to end\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E8 — statistical multiplexing: shared mega-DC vs partitioned DC (§I).
+//
+// The paper's economic argument: a mega data center managed as one shared
+// pool rides out per-application demand swings by statistical
+// multiplexing, while partitioning apps into silos (the consequence of
+// pinning apps to per-silo LB switches) strands capacity.  Same hardware,
+// same demand — apps peak at different times (phased diurnal) — compared
+// under three managements:
+//   * partitioned: apps pinned to their pod, no cross-pod knobs;
+//   * hierarchical (the paper): pinned start, all knobs enabled;
+//   * spread: instances deployed across pods from the start.
+#include <iostream>
+#include <memory>
+
+#include "mdc/metrics/table.hpp"
+#include "mdc/scenario/megadc.hpp"
+
+namespace {
+
+using namespace mdc;
+
+struct Outcome {
+  double meanSatisfaction = 0.0;
+  double worstSatisfaction = 1.0;
+  double overloadedEpochFraction = 0.0;
+};
+
+Outcome run(bool pinned, bool knobs) {
+  MegaDcConfig cfg = testScaleConfig();
+  cfg.numApps = 16;
+  cfg.totalDemandRps = 80'000.0;
+  cfg.topology.numServers = 32;  // deliberately tight: 8 cores each
+  cfg.topology.accessLinkGbps = 8.0;
+  cfg.topology.numSwitches = 6;
+  cfg.numPods = 8;  // 4 servers per silo: app peaks exceed a silo
+  cfg.manager.pinAppsToPods = pinned;
+  cfg.manager.interPod.enableRipWeight = false;  // see E6: thrashes under fast walks
+  cfg.manager.interPod.enableAppDeploy = knobs;
+  cfg.manager.interPod.enableServerTransfer = knobs;
+  cfg.manager.interPod.enableElephantAvoidance = false;
+  cfg.manager.interPod.period = 20.0;
+
+  MegaDc dc{cfg};
+  // Independent mean-reverting demand walks: individual apps wander up to
+  // several times their base while the *total* stays far smoother — the
+  // statistical-multiplexing setting.
+  const auto rates =
+      zipfBaseRates(cfg.numApps, cfg.zipfAlpha, cfg.totalDemandRps);
+  dc.setDemandModel(
+      std::make_unique<RandomWalkDemand>(rates, 0.45, 300.0, 99));
+  dc.bootstrap();
+  dc.runUntil(3600.0);
+
+  Outcome out;
+  const auto& sat = dc.engine->satisfaction();
+  out.meanSatisfaction = sat.timeWeightedMean();
+  out.worstSatisfaction = sat.minValue();
+  std::size_t overloaded = 0;
+  for (const auto& s : sat.samples()) {
+    if (s.value < 0.95) ++overloaded;
+  }
+  out.overloadedEpochFraction =
+      static_cast<double>(overloaded) /
+      static_cast<double>(sat.samples().size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Table t{"E8: same hardware + independent demand walks under three"
+          " managements",
+          {"management", "mean served/demand", "worst epoch",
+           "epochs under 0.95"}};
+  struct Case {
+    const char* name;
+    bool pinned, knobs;
+  };
+  for (const Case& c :
+       {Case{"partitioned silos (no sharing)", true, false},
+        Case{"silo start + inter-pod knobs", true, true},
+        Case{"location-independent pods (the paper)", false, true}}) {
+    const Outcome o = run(c.pinned, c.knobs);
+    t.addRow({std::string{c.name}, o.meanSatisfaction, o.worstSatisfaction,
+              o.overloadedEpochFraction});
+  }
+  t.print(std::cout);
+  std::cout << "expected shape: partitioned silos strand capacity at app"
+               " peaks; the paper's architecture — location-independent"
+               " logical pods with cross-pod knobs — serves the same demand"
+               " on the same hardware with an order of magnitude fewer"
+               " overloaded epochs (the statistical-multiplexing dividend);"
+               " retrofitting knobs onto a silo layout recovers the worst"
+               " case but pays adaptation churn\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Access-link degradation: one of the data center's ISP access links
+// loses 70% of its capacity mid-run.  Selective VIP exposure (§IV-A)
+// steers client demand toward VIPs advertised on the healthy links within
+// a few DNS TTLs — no BGP churn.
+//
+//   $ ./example_link_failover
+#include <iostream>
+
+#include "mdc/metrics/table.hpp"
+#include "mdc/scenario/megadc.hpp"
+
+int main() {
+  using namespace mdc;
+
+  MegaDcConfig cfg = testScaleConfig();
+  cfg.numApps = 8;
+  cfg.totalDemandRps = 35'000.0;
+  cfg.topology.numServers = 48;
+  cfg.topology.numIsps = 3;  // three access links
+  cfg.topology.accessLinkGbps = 1.0;
+  cfg.numPods = 3;
+  cfg.manager.vipsPerApp = 3;  // one VIP per access link
+  cfg.manager.link.period = 10.0;
+
+  MegaDc dc{cfg};
+  dc.bootstrap();
+  dc.runUntil(200.0);
+
+  const LinkId degraded = dc.topo.accessLink(0).link;
+  const std::uint64_t updatesBefore = dc.routes.routeUpdates();
+  std::cout << "t=200s: degrading access link 0 from 1.0 to 0.3 Gbps\n\n";
+  dc.topo.network().setCapacity(degraded, 0.3);
+
+  Table timeline{"Access-link utilization after degradation",
+                 {"t (s)", "link0 util", "link1 util", "link2 util",
+                  "max/mean imbalance", "dns updates"}};
+  for (int checkpoint = 0; checkpoint <= 10; ++checkpoint) {
+    const double t = 200.0 + 40.0 * checkpoint;
+    dc.runUntil(t);
+    const EpochReport& r = dc.engine->latest();
+    timeline.addRow({t, r.accessLinkUtil[0], r.accessLinkUtil[1],
+                     r.accessLinkUtil[2], dc.engine->linkImbalance().last(),
+                     static_cast<long long>(dc.dns.recordUpdates())});
+  }
+  timeline.print(std::cout);
+
+  std::cout << "\nBGP route updates during recovery: "
+            << dc.routes.routeUpdates() - updatesBefore
+            << " (selective exposure steers via DNS, not routing)\n";
+  std::cout << "served/demand at end: "
+            << dc.engine->satisfaction().last() << "\n";
+  return 0;
+}

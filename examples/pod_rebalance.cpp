@@ -1,0 +1,69 @@
+// Server transfer between pods (§IV-C): one pod's applications outgrow
+// its capacity; the global manager asks an underloaded donor pod to
+// vacate servers (migrating their VMs within the donor) and hands the
+// empty servers to the overloaded pod.  Because pods are *logical*, the
+// hand-off itself is pure bookkeeping.
+//
+//   $ ./example_pod_rebalance
+#include <iostream>
+#include <memory>
+
+#include "mdc/metrics/table.hpp"
+#include "mdc/scenario/megadc.hpp"
+
+int main() {
+  using namespace mdc;
+
+  MegaDcConfig cfg = testScaleConfig();
+  cfg.numApps = 9;
+  cfg.totalDemandRps = 36'000.0;
+  cfg.topology.numServers = 30;  // 10 per pod
+  cfg.topology.accessLinkGbps = 4.0;
+  cfg.topology.numSwitches = 4;
+  cfg.numPods = 3;
+  cfg.manager.pinAppsToPods = true;  // demand skew stays in pod 0
+  cfg.manager.interPod.period = 15.0;
+  cfg.manager.interPod.enableRipWeight = false;
+  cfg.manager.interPod.enableAppDeploy = false;
+  cfg.manager.interPod.enableServerTransfer = true;  // the knob on stage
+  cfg.manager.interPod.enableElephantAvoidance = false;
+
+  MegaDc dc{cfg};
+  const auto rates =
+      zipfBaseRates(cfg.numApps, cfg.zipfAlpha, cfg.totalDemandRps);
+  std::vector<FlashCrowdDemand::Spike> spikes;
+  for (std::uint32_t a : {0u, 3u, 6u}) {  // pod 0's applications
+    FlashCrowdDemand::Spike s;
+    s.app = AppId{a};
+    s.start = 120.0;
+    s.end = 1200.0;
+    s.multiplier = 5.0;
+    s.rampSeconds = 30.0;
+    spikes.push_back(s);
+  }
+  dc.setDemandModel(std::make_unique<FlashCrowdDemand>(
+      std::make_unique<StaticDemand>(rates), spikes));
+  dc.bootstrap();
+
+  Table timeline{"Server transfer under a 5x pod-0 spike (t=120 s)",
+                 {"t (s)", "pod0 servers", "pod1 servers", "pod2 servers",
+                  "served/demand", "transfers", "migrated GB"}};
+  for (int cp = 0; cp <= 10; ++cp) {
+    const double t = 60.0 + 90.0 * cp;
+    dc.runUntil(t);
+    auto& pods = dc.manager->pods();
+    timeline.addRow({t,
+                     static_cast<long long>(pods[0]->servers().size()),
+                     static_cast<long long>(pods[1]->servers().size()),
+                     static_cast<long long>(pods[2]->servers().size()),
+                     dc.engine->satisfaction().last(),
+                     static_cast<long long>(
+                         dc.manager->interPodBalancer().serverTransfers()),
+                     dc.hosts.migratedGb()});
+  }
+  timeline.print(std::cout);
+  std::cout << "\nNote: donor-side VM migrations happen *within* the donor"
+               " pod to empty the servers; the hand-off to pod 0 is a pure"
+               " logical-membership change (§IV-C).\n";
+  return 0;
+}

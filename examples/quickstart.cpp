@@ -1,0 +1,68 @@
+// Quickstart: build a small mega-DC, run it for ten simulated minutes,
+// and print what the platform did.
+//
+//   $ ./example_quickstart
+//
+// Walks through the public API end to end: configuration, construction,
+// bootstrap (VIP/RIP setup + initial instance placement), running the
+// simulation, and reading results back out.
+#include <iostream>
+
+#include "mdc/metrics/table.hpp"
+#include "mdc/scenario/megadc.hpp"
+
+int main() {
+  using namespace mdc;
+
+  // 1. Configure the data center.  testScaleConfig() is a small, fast
+  //    profile; paperScaleConfig() is the 300k-server target (§II).
+  MegaDcConfig cfg = testScaleConfig();
+  cfg.numApps = 10;
+  cfg.totalDemandRps = 40'000.0;
+  cfg.topology.numServers = 48;
+  cfg.numPods = 3;
+
+  // 2. Build the world: topology, LB switch fleet, DNS, routes, hosts,
+  //    pods, global manager, fluid engine.
+  MegaDc dc{cfg};
+
+  // 3. Bootstrap: create VIPs, advertise routes, clone initial instances,
+  //    bind RIPs — then start every control loop.
+  dc.bootstrap();
+
+  // 4. Run ten simulated minutes.
+  dc.runUntil(dc.sim.now() + 600.0);
+
+  // 5. Read results.
+  const EpochReport& r = dc.engine->latest();
+  Table apps{"Applications", {"app", "demand rps", "served rps",
+                              "instances", "vips"}};
+  for (const Application& a : dc.apps.all()) {
+    apps.addRow({a.name, r.appDemandRps.at(a.id),
+                 r.appServedRps.contains(a.id) ? r.appServedRps.at(a.id)
+                                               : 0.0,
+                 static_cast<long long>(a.instances.size()),
+                 static_cast<long long>(a.vips.size())});
+  }
+  apps.print(std::cout);
+
+  Table infra{"Infrastructure", {"metric", "value"}};
+  infra.addRow({std::string{"simulated seconds"}, dc.sim.now()});
+  infra.addRow({std::string{"events executed"},
+                static_cast<long long>(dc.sim.eventsExecuted())});
+  infra.addRow({std::string{"active VMs"},
+                static_cast<long long>(dc.hosts.activeVmCount())});
+  infra.addRow({std::string{"served/demand"},
+                dc.engine->satisfaction().last()});
+  infra.addRow({std::string{"max access-link util"},
+                dc.engine->maxLinkUtil().last()});
+  infra.addRow({std::string{"max switch util"},
+                dc.engine->maxSwitchUtil().last()});
+  infra.addRow({std::string{"VIP/RIP requests processed"},
+                static_cast<long long>(
+                    dc.manager->viprip().processedRequests())});
+  infra.addRow({std::string{"BGP route updates"},
+                static_cast<long long>(dc.routes.routeUpdates())});
+  infra.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The per-epoch observation snapshot produced by the fluid engine and
+// consumed by every balancer: utilization of access links, LB switches,
+// and servers, plus per-app and per-VIP demand.  This is the monitoring
+// plane of Figure 1 (the dashed arrows).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mdc/util/ids.hpp"
+#include "mdc/util/units.hpp"
+
+namespace mdc {
+
+struct EpochReport {
+  SimTime time = 0.0;
+
+  /// Offered utilization per access link (index as in Topology).
+  std::vector<double> accessLinkUtil;
+  /// Offered utilization per LB switch.
+  std::vector<double> switchUtil;
+
+  /// Demand and service, aggregated per application.
+  std::unordered_map<AppId, double> appDemandRps;
+  std::unordered_map<AppId, double> appServedRps;
+
+  /// Offered demand per VIP (Gbps) — what the switch balancer reasons on.
+  std::unordered_map<VipId, double> vipDemandGbps;
+
+  double externalOfferedGbps = 0.0;
+  double externalServedGbps = 0.0;
+  /// Demand dropped because no active VIP/RIP path existed for it.
+  double unroutedRps = 0.0;
+  /// Why it was dropped: "no_dns", "no_shares", "no_route", "no_owner",
+  /// "no_rips", "depth", "dead_vm".
+  std::unordered_map<std::string, double> unroutedByCause;
+
+  [[nodiscard]] double totalDemandRps() const {
+    double d = 0.0;
+    for (const auto& [app, rps] : appDemandRps) d += rps;
+    return d;
+  }
+  [[nodiscard]] double totalServedRps() const {
+    double d = 0.0;
+    for (const auto& [app, rps] : appServedRps) d += rps;
+    return d;
+  }
+};
+
+}  // namespace mdc

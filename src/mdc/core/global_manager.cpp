@@ -1,0 +1,194 @@
+#include "mdc/core/global_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mdc {
+
+GlobalManager::GlobalManager(
+    Simulation& sim, const Topology& topo, HostFleet& hosts,
+    AppRegistry& apps, SwitchFleet& fleet, AuthoritativeDns& dns,
+    RouteRegistry& routes, PodRegistry& podRegistry,
+    std::shared_ptr<const PlacementAlgorithm> algorithm, Options options)
+    : sim_(sim),
+      topo_(topo),
+      hosts_(hosts),
+      apps_(apps),
+      fleet_(fleet),
+      podRegistry_(podRegistry),
+      algorithm_(std::move(algorithm)),
+      options_(options) {
+  MDC_EXPECT(options.vipsPerApp >= 1, "apps need at least one VIP");
+  viprip_ = std::make_unique<VipRipManager>(sim, fleet, dns, routes, apps,
+                                            topo, options.viprip);
+  viprip_->setVmLivenessCheck(
+      [this](VmId vm) { return hosts_.vmExists(vm); });
+  linkBalancer_ = std::make_unique<AccessLinkBalancer>(
+      sim, dns, *viprip_, apps, fleet, topo, options.link);
+  switchBalancer_ = std::make_unique<SwitchBalancer>(
+      sim, fleet, dns, apps, *viprip_, options.switchBalancer);
+}
+
+PodManager& GlobalManager::createPod(const std::vector<ServerId>& servers) {
+  MDC_EXPECT(!started_, "createPod after start()");
+  const PodId id{static_cast<PodId::value_type>(pods_.size())};
+  auto pod = std::make_unique<PodManager>(id, sim_, hosts_, apps_, topo_,
+                                          podRegistry_, algorithm_, *this,
+                                          options_.pod);
+  for (ServerId s : servers) pod->adoptServer(s);
+  pods_.push_back(std::move(pod));
+  return *pods_.back();
+}
+
+Status GlobalManager::deployApp(AppId app, std::uint32_t instances,
+                                double perInstanceRps) {
+  MDC_EXPECT(!pods_.empty(), "deployApp before any pod exists");
+  MDC_EXPECT(instances > 0, "deployApp needs at least one instance");
+
+  for (std::uint32_t v = 0; v < options_.vipsPerApp; ++v) {
+    const auto vip = viprip_->createVipNow(app);
+    if (!vip.ok()) return Status::fail(vip.error().code, vip.error().detail);
+  }
+
+  const AppSla& sla = apps_.app(app).sla;
+  const CapacityVec slice = sla.sliceFor(perInstanceRps, options_.pod.headroom);
+  for (std::uint32_t i = 0; i < instances; ++i) {
+    // Round-robin over pods, emptiest feasible server within the pod.
+    bool placed = false;
+    const std::size_t attempts = options_.pinAppsToPods ? 1 : pods_.size();
+    for (std::size_t attempt = 0; attempt < attempts && !placed; ++attempt) {
+      PodManager& pod = options_.pinAppsToPods
+                            ? *pods_[app.index() % pods_.size()]
+                            : *pods_[nextDeployPod_ % pods_.size()];
+      ++nextDeployPod_;
+      ServerId best;
+      double bestUtil = std::numeric_limits<double>::infinity();
+      for (ServerId s : pod.servers()) {
+        if (!slice.fitsWithin(hosts_.freeCapacity(s))) continue;
+        const double u = hosts_.serverUtilization(s);
+        if (u < bestUtil) {
+          bestUtil = u;
+          best = s;
+        }
+      }
+      if (!best.valid()) continue;
+      auto created = hosts_.createVm(
+          app, best, slice, /*clone=*/true,
+          [this, app, perInstanceRps](VmId vm) {
+            // Bootstrap path: bind the RIP synchronously on activation.
+            (void)viprip_->createRipNow(app, vm, perInstanceRps);
+          });
+      if (created.ok()) {
+        apps_.addInstance(app, created.value());
+        placed = true;
+      }
+    }
+    if (!placed) return Status::fail("insufficient_capacity");
+  }
+  return Status::okStatus();
+}
+
+void GlobalManager::start() {
+  MDC_EXPECT(!started_, "start() called twice");
+  started_ = true;
+  if (options_.enableInterPodBalancer && !pods_.empty()) {
+    std::vector<PodManager*> raw;
+    raw.reserve(pods_.size());
+    for (auto& p : pods_) raw.push_back(p.get());
+    interPod_ = std::make_unique<InterPodBalancer>(
+        sim_, hosts_, apps_, fleet_, *viprip_, podRegistry_,
+        std::move(raw), options_.interPod);
+    interPod_->start(options_.interPod.period * 0.5);
+  }
+  if (options_.enablePodLoops) {
+    double phase = 0.0;
+    for (auto& p : pods_) {
+      p->start(phase);
+      phase += options_.pod.controlPeriod / (static_cast<double>(pods_.size()) + 1.0);
+    }
+  }
+  if (options_.enableLinkBalancer) linkBalancer_->start(options_.link.period * 0.25);
+  if (options_.enableSwitchBalancer) {
+    switchBalancer_->start(options_.switchBalancer.period * 0.75);
+  }
+}
+
+void GlobalManager::observe(const EpochReport& report) {
+  linkBalancer_->observe(report);
+  switchBalancer_->observe(report);
+  if (interPod_ != nullptr) interPod_->observe(report);
+
+  // Push per-pod demand into pod managers: each app's demand is split by
+  // where its offered load actually landed (the VMs' offeredRps gauges).
+  for (auto& pod : pods_) {
+    pod->clearAppDemand();
+  }
+  for (const Application& a : apps_.all()) {
+    std::unordered_map<PodId, double> perPod;
+    double routed = 0.0;
+    for (VmId vm : a.instances) {
+      if (!hosts_.vmExists(vm)) continue;
+      const VmRecord& rec = hosts_.vm(vm);
+      const PodId pod = podRegistry_.podOf(rec.server);
+      if (!pod.valid()) continue;
+      perPod[pod] += rec.offeredRps;
+      routed += rec.offeredRps;
+    }
+    // Demand that found no RIP path yet is assigned proportionally (or to
+    // the app's first instance's pod) so someone scales it up.
+    const auto it = report.appDemandRps.find(a.id);
+    const double demand = it == report.appDemandRps.end() ? 0.0 : it->second;
+    const double missing = std::max(0.0, demand - routed);
+    if (missing > 0.0 && !perPod.empty()) {
+      const double bump = missing / static_cast<double>(perPod.size());
+      for (auto& [pod, rps] : perPod) rps += bump;
+    } else if (demand > 0.0 && perPod.empty()) {
+      // The app has demand but no live instance anywhere (e.g. scaled
+      // fully in, or lost its pod): credit its demand to the least-loaded
+      // pod so that pod's manager re-seeds it.
+      PodManager* coldest = nullptr;
+      for (auto& pod : pods_) {
+        if (coldest == nullptr || pod->stats().meanUtilization <
+                                      coldest->stats().meanUtilization) {
+          coldest = pod.get();
+        }
+      }
+      if (coldest != nullptr) perPod[coldest->id()] = demand;
+    }
+    for (const auto& [pod, rps] : perPod) {
+      if (pod.index() < pods_.size()) {
+        pods_[pod.index()]->setAppDemand(a.id, rps);
+      }
+    }
+  }
+}
+
+void GlobalManager::requestNewRip(AppId app, VmId vm, double weight) {
+  VipRipRequest req;
+  req.op = VipRipOp::NewRip;
+  req.app = app;
+  req.vm = vm;
+  req.weight = weight;
+  req.priority = 1;  // capacity-bringing requests go first
+  viprip_->submit(std::move(req));
+}
+
+void GlobalManager::requestRipRemoval(VmId vm, std::function<void()> onDone) {
+  VipRipRequest req;
+  req.op = VipRipOp::DeleteRip;
+  req.vm = vm;
+  if (onDone) {
+    req.done = [onDone = std::move(onDone)](Status) { onDone(); };
+  }
+  viprip_->submit(std::move(req));
+}
+
+void GlobalManager::requestRipWeight(VmId vm, double weight) {
+  VipRipRequest req;
+  req.op = VipRipOp::SetWeight;
+  req.vm = vm;
+  req.weight = weight;
+  viprip_->submit(std::move(req));
+}
+
+}  // namespace mdc

@@ -1,0 +1,110 @@
+// The datacenter-scale global manager (§III-A, Figure 1).
+//
+// Composes the three roles the paper assigns it:
+//  1. top level of the hierarchical resource management (the inter-pod
+//     balancer and elephant-pod avoidance),
+//  2. management of datacenter-scale resources (access-link balancer and
+//     LB switch balancer),
+//  3. the VIP/RIP manager that serializes all switch reconfiguration.
+//
+// It also implements RipRequestSink, the interface through which pod
+// managers submit their VIP/RIP needs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mdc/core/interpod_balancer.hpp"
+#include "mdc/core/link_balancer.hpp"
+#include "mdc/core/pod.hpp"
+#include "mdc/core/switch_balancer.hpp"
+#include "mdc/core/viprip_manager.hpp"
+
+namespace mdc {
+
+class GlobalManager final : public RipRequestSink {
+ public:
+  struct Options {
+    PodManager::Options pod;
+    VipRipManager::Options viprip;
+    AccessLinkBalancer::Options link;
+    SwitchBalancer::Options switchBalancer;
+    InterPodBalancer::Options interPod;
+    bool enableLinkBalancer = true;
+    bool enableSwitchBalancer = true;
+    bool enableInterPodBalancer = true;
+    bool enablePodLoops = true;
+    std::uint32_t vipsPerApp = 3;
+    /// Partitioned-baseline mode (E8): every instance of an app deploys
+    /// into pod (app id % pod count), compartmentalizing resources the
+    /// way traditional per-silo data centers do.
+    bool pinAppsToPods = false;
+  };
+
+  GlobalManager(Simulation& sim, const Topology& topo, HostFleet& hosts,
+                AppRegistry& apps, SwitchFleet& fleet, AuthoritativeDns& dns,
+                RouteRegistry& routes, PodRegistry& podRegistry,
+                std::shared_ptr<const PlacementAlgorithm> algorithm,
+                Options options);
+
+  /// Creates a pod manager owning `servers`.  Call before start().
+  PodManager& createPod(const std::vector<ServerId>& servers);
+
+  /// Deploys an application synchronously (bootstrap path): creates its
+  /// VIPs immediately, spreads `instances` VMs across pods (fast-clone
+  /// boot), and binds a RIP to each VM as it activates.
+  /// `perInstanceRps` sizes each VM's slice and initial RIP weight.
+  Status deployApp(AppId app, std::uint32_t instances,
+                   double perInstanceRps);
+
+  /// Registers every periodic control loop on the simulation.
+  void start();
+
+  /// Fan out the latest fluid-engine observation to all components, and
+  /// push per-pod demand into the pod managers.
+  void observe(const EpochReport& report);
+
+  // --- RipRequestSink ------------------------------------------------------
+
+  void requestNewRip(AppId app, VmId vm, double weight) override;
+  void requestRipRemoval(VmId vm, std::function<void()> onDone) override;
+  void requestRipWeight(VmId vm, double weight) override;
+
+  // --- component access ----------------------------------------------------
+
+  [[nodiscard]] VipRipManager& viprip() noexcept { return *viprip_; }
+  [[nodiscard]] AccessLinkBalancer& linkBalancer() noexcept {
+    return *linkBalancer_;
+  }
+  [[nodiscard]] SwitchBalancer& switchBalancer() noexcept {
+    return *switchBalancer_;
+  }
+  [[nodiscard]] InterPodBalancer& interPodBalancer() noexcept {
+    MDC_EXPECT(interPod_ != nullptr, "start() not yet called");
+    return *interPod_;
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<PodManager>>& pods() noexcept {
+    return pods_;
+  }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  Simulation& sim_;
+  const Topology& topo_;
+  HostFleet& hosts_;
+  AppRegistry& apps_;
+  SwitchFleet& fleet_;
+  PodRegistry& podRegistry_;
+  std::shared_ptr<const PlacementAlgorithm> algorithm_;
+  Options options_;
+
+  std::unique_ptr<VipRipManager> viprip_;
+  std::unique_ptr<AccessLinkBalancer> linkBalancer_;
+  std::unique_ptr<SwitchBalancer> switchBalancer_;
+  std::unique_ptr<InterPodBalancer> interPod_;  // built in start()
+  std::vector<std::unique_ptr<PodManager>> pods_;
+  std::uint32_t nextDeployPod_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace mdc

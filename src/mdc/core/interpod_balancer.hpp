@@ -1,0 +1,121 @@
+// The global manager's inter-pod balancing (§III-A, §IV-C/D/F).
+//
+// Watches every pod's stats and relieves overloaded pods using the
+// paper's knobs, cheapest first:
+//
+//  1. RIP weight adjustment (§IV-F) — when an overloaded pod shares a VIP
+//     with a cooler pod, shift traffic by reweighting RIPs.  Takes effect
+//     in seconds; reach limited to co-covered applications.
+//  2. Dynamic application deployment (§IV-D) — replicate the pod's
+//     hottest application into an underloaded pod (VM clone + new RIP);
+//     also removes redundant instances of underutilized applications.
+//  3. Server transfer (§IV-C) — ask an underloaded donor pod to vacate
+//     servers (migrating their VMs within the donor) and hand the empty
+//     servers to the overloaded pod.
+//
+// Elephant-pod avoidance: a pod whose manager's *decision time* exceeds
+// its budget (or whose VM count exceeds the cap) sheds servers *together
+// with their VMs* to the smallest pod — a pure membership change, since
+// pods are logical.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mdc/app/app_registry.hpp"
+#include "mdc/core/epoch_report.hpp"
+#include "mdc/core/pod.hpp"
+#include "mdc/core/viprip_manager.hpp"
+#include "mdc/host/host_fleet.hpp"
+#include "mdc/lb/switch_fleet.hpp"
+#include "mdc/sim/simulation.hpp"
+
+namespace mdc {
+
+class InterPodBalancer {
+ public:
+  struct Options {
+    SimTime period = 30.0;
+    double overloadUtilization = 0.8;
+    double underloadUtilization = 0.5;
+    double satisfactionFloor = 0.98;
+    std::uint32_t serversPerTransfer = 2;
+    /// Elephant-pod caps.
+    double decisionBudgetSeconds = 1.0;
+    std::size_t maxVmsPerPod = 10000;
+    std::size_t maxServersPerPod = 5000;
+    std::uint32_t elephantSheddingBatch = 4;
+    /// Knob enables (E6 isolates them).
+    bool enableRipWeight = true;
+    bool enableAppDeploy = true;
+    bool enableServerTransfer = true;
+    bool enableElephantAvoidance = true;
+    /// RIP weight shift factor per round.
+    double weightShift = 0.3;
+    /// Minimum spacing between dynamic deployments of the same app.
+    SimTime deployCooldown = 60.0;
+    /// Minimum spacing between RIP-weight shifts for the same app; shifted
+    /// weights need a TTL-scale interval to show up in traffic before the
+    /// next correction, or the knob oscillates against the pod managers.
+    SimTime ripWeightCooldown = 120.0;
+    /// Over-provisioned app cleanup threshold (served capacity / demand).
+    double scaleInFactor = 2.5;
+  };
+
+  InterPodBalancer(Simulation& sim, HostFleet& hosts, AppRegistry& apps,
+                   SwitchFleet& fleet, VipRipManager& viprip,
+                   PodRegistry& registry,
+                   std::vector<PodManager*> pods, Options options);
+
+  void observe(const EpochReport& report);
+  void runOnce();
+  void start(SimTime phase = 0.0);
+
+  // --- knob usage counters (E6) ------------------------------------------
+
+  [[nodiscard]] std::uint64_t ripWeightActions() const noexcept {
+    return ripWeightActions_;
+  }
+  [[nodiscard]] std::uint64_t deployActions() const noexcept {
+    return deployActions_;
+  }
+  [[nodiscard]] std::uint64_t scaleInActions() const noexcept {
+    return scaleInActions_;
+  }
+  [[nodiscard]] std::uint64_t serverTransfers() const noexcept {
+    return serverTransfers_;
+  }
+  [[nodiscard]] std::uint64_t elephantSheds() const noexcept {
+    return elephantSheds_;
+  }
+
+ private:
+  [[nodiscard]] PodManager* coldestPod(PodId excluding) const;
+  void relieveByRipWeights(PodManager& hot);
+  void relieveByDeployment(PodManager& hot);
+  void relieveByServerTransfer(PodManager& hot);
+  void avoidElephant(PodManager& pod);
+  void scaleInOverprovisioned();
+
+  Simulation& sim_;
+  HostFleet& hosts_;
+  AppRegistry& apps_;
+  SwitchFleet& fleet_;
+  VipRipManager& viprip_;
+  PodRegistry& registry_;
+  std::vector<PodManager*> pods_;
+  Options options_;
+  EpochReport latest_;
+  bool haveReport_ = false;
+
+  std::unordered_map<AppId, SimTime> lastDeploy_;
+  std::unordered_map<AppId, SimTime> lastWeightShift_;
+  std::uint64_t ripWeightActions_ = 0;
+  std::uint64_t deployActions_ = 0;
+  std::uint64_t scaleInActions_ = 0;
+  std::uint64_t serverTransfers_ = 0;
+  std::uint64_t elephantSheds_ = 0;
+};
+
+}  // namespace mdc

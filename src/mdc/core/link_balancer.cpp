@@ -1,0 +1,125 @@
+#include "mdc/core/link_balancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+AccessLinkBalancer::AccessLinkBalancer(Simulation& sim, AuthoritativeDns& dns,
+                                       VipRipManager& viprip,
+                                       AppRegistry& apps,
+                                       const SwitchFleet& fleet,
+                                       const Topology& topo, Options options)
+    : sim_(sim),
+      dns_(dns),
+      viprip_(viprip),
+      apps_(apps),
+      fleet_(fleet),
+      topo_(topo),
+      options_(options) {
+  MDC_EXPECT(options.period > 0.0, "period must be positive");
+  MDC_EXPECT(options.weightFloor >= 0.0, "negative weight floor");
+}
+
+void AccessLinkBalancer::observe(const EpochReport& report) {
+  latest_ = report;
+  haveReport_ = true;
+}
+
+void AccessLinkBalancer::runOnce() {
+  if (!haveReport_) return;
+  switch (options_.policy) {
+    case LinkBalancePolicy::SelectiveExposure:
+      runSelectiveExposure();
+      break;
+    case LinkBalancePolicy::Readvertisement:
+      runReadvertisement();
+      break;
+  }
+}
+
+void AccessLinkBalancer::runSelectiveExposure() {
+  // For every multi-VIP app, expose VIPs proportionally to the spare
+  // bandwidth of the access link each VIP is advertised on.  The factor
+  // multiplies the VIP's capacity term inside the VIP/RIP manager, so it
+  // composes with capacity tracking instead of overwriting it.
+  for (const Application& app : apps_.all()) {
+    if (app.vips.size() < 2) continue;
+    for (VipId vip : app.vips) {
+      const double current = viprip_.vipExposureFactor(vip);
+      if (current == 0.0) continue;  // drain in progress elsewhere
+      const AccessRouterId ar = viprip_.routerOf(vip);
+      const double util = ar.index() < latest_.accessLinkUtil.size()
+                              ? latest_.accessLinkUtil[ar.index()]
+                              : 0.0;
+      const double linkGbps =
+          topo_.network().link(topo_.accessLinkFor(ar).link).capacityGbps;
+      const double spare =
+          std::max(options_.weightFloor, 1.0 - util) * linkGbps;
+      const double factor = std::pow(spare, options_.exponent);
+      if (std::abs(factor - current) > 0.02 * std::max(current, 1e-9)) {
+        viprip_.setVipExposureFactor(vip, factor);
+        ++weightUpdates_;
+      }
+    }
+  }
+}
+
+void AccessLinkBalancer::runReadvertisement() {
+  // Find the most overloaded link; move its highest-demand VIPs to the
+  // least loaded link until the projection balances.
+  const auto& util = latest_.accessLinkUtil;
+  if (util.empty()) return;
+  std::size_t hot = 0, cold = 0;
+  for (std::size_t i = 1; i < util.size(); ++i) {
+    if (util[i] > util[hot]) hot = i;
+    if (util[i] < util[cold]) cold = i;
+  }
+  if (util[hot] <= options_.highWatermark || hot == cold) return;
+
+  // VIPs currently advertised on the hot link, by descending demand.
+  struct Candidate {
+    VipId vip;
+    double gbps;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [vip, gbps] : latest_.vipDemandGbps) {
+    if (viprip_.routerOf(vip).index() == hot) {
+      candidates.push_back(Candidate{vip, gbps});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.gbps > b.gbps;
+                   });
+
+  const double hotCap =
+      topo_.network().link(topo_.accessLink(hot).link).capacityGbps;
+  const double coldCap =
+      topo_.network().link(topo_.accessLink(cold).link).capacityGbps;
+  double hotLoad = util[hot] * hotCap;
+  double coldLoad = util[cold] * coldCap;
+  std::uint32_t moves = 0;
+  for (const Candidate& c : candidates) {
+    if (moves >= options_.maxMovesPerRound) break;
+    if (hotLoad <= options_.highWatermark * hotCap) break;
+    // Do not just swap the hotspot to the other link.
+    if ((coldLoad + c.gbps) / coldCap >= (hotLoad - c.gbps) / hotCap) {
+      continue;
+    }
+    viprip_.moveVipRoute(c.vip, topo_.accessLink(cold).router);
+    hotLoad -= c.gbps;
+    coldLoad += c.gbps;
+    ++moves;
+    ++vipMoves_;
+  }
+}
+
+void AccessLinkBalancer::start(SimTime phase) {
+  sim_.every(options_.period, [this] { runOnce(); }, phase);
+}
+
+}  // namespace mdc

@@ -1,0 +1,373 @@
+#include "mdc/core/pod.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "mdc/util/expect.hpp"
+#include "mdc/util/stats.hpp"
+
+namespace mdc {
+
+const std::vector<ServerId> PodRegistry::kEmpty;
+
+PodRegistry::PodRegistry(std::size_t numServers) {
+  podOf_.assign(numServers, PodId{});
+}
+
+void PodRegistry::assign(ServerId server, PodId pod) {
+  MDC_EXPECT(server.valid() && server.index() < podOf_.size(),
+             "unknown server");
+  MDC_EXPECT(pod.valid(), "invalid pod");
+  const PodId old = podOf_[server.index()];
+  if (old == pod) return;
+  if (old.valid()) {
+    auto& vec = pods_[old.index()];
+    const auto it = std::find(vec.begin(), vec.end(), server);
+    MDC_ENSURE(it != vec.end(), "pod registry out of sync");
+    vec.erase(it);
+  }
+  if (pod.index() >= pods_.size()) pods_.resize(pod.index() + 1);
+  pods_[pod.index()].push_back(server);
+  podOf_[server.index()] = pod;
+}
+
+PodId PodRegistry::podOf(ServerId server) const {
+  MDC_EXPECT(server.valid() && server.index() < podOf_.size(),
+             "unknown server");
+  return podOf_[server.index()];
+}
+
+const std::vector<ServerId>& PodRegistry::serversOf(PodId pod) const {
+  MDC_EXPECT(pod.valid(), "invalid pod");
+  if (pod.index() >= pods_.size()) return kEmpty;
+  return pods_[pod.index()];
+}
+
+PodManager::PodManager(PodId id, Simulation& sim, HostFleet& hosts,
+                       AppRegistry& apps, const Topology& topo,
+                       PodRegistry& registry,
+                       std::shared_ptr<const PlacementAlgorithm> algorithm,
+                       RipRequestSink& rips, Options options)
+    : id_(id),
+      sim_(sim),
+      hosts_(hosts),
+      apps_(apps),
+      topo_(topo),
+      registry_(registry),
+      algorithm_(std::move(algorithm)),
+      rips_(rips),
+      options_(options) {
+  MDC_EXPECT(id.valid(), "invalid pod id");
+  MDC_EXPECT(algorithm_ != nullptr, "pod manager needs an algorithm");
+  MDC_EXPECT(options.controlPeriod > 0.0, "control period must be positive");
+  stats_.pod = id;
+}
+
+const std::vector<ServerId>& PodManager::servers() const {
+  return registry_.serversOf(id_);
+}
+
+void PodManager::adoptServer(ServerId server) {
+  registry_.assign(server, id_);
+}
+
+void PodManager::releaseServer(ServerId server) {
+  MDC_EXPECT(registry_.podOf(server) == id_, "server not in this pod");
+  for (VmId vm : hosts_.vmsOn(server)) {
+    MDC_EXPECT(!hosts_.vmExists(vm), "releaseServer: server not empty");
+  }
+  vacating_.erase(server);
+}
+
+bool PodManager::vacateServer(ServerId server,
+                              std::function<void(ServerId)> onEmpty) {
+  MDC_EXPECT(registry_.podOf(server) == id_, "server not in this pod");
+  if (vacating_.contains(server)) return false;
+
+  // Collect live VMs; all must be Active to migrate.
+  std::vector<VmId> toMove;
+  for (VmId vm : hosts_.vmsOn(server)) {
+    if (!hosts_.vmExists(vm)) continue;
+    if (hosts_.vm(vm).state != VmState::Active) return false;
+    toMove.push_back(vm);
+  }
+
+  // Feasibility: greedy-fit every slice into the pod's other servers.
+  std::vector<std::pair<ServerId, CapacityVec>> free;
+  for (ServerId s : servers()) {
+    if (s == server || vacating_.contains(s)) continue;
+    free.emplace_back(s, hosts_.freeCapacity(s));
+  }
+  std::vector<std::pair<VmId, ServerId>> plan;
+  for (VmId vm : toMove) {
+    const CapacityVec slice = hosts_.vm(vm).slice;
+    auto best = free.end();
+    for (auto it = free.begin(); it != free.end(); ++it) {
+      if (slice.fitsWithin(it->second) &&
+          (best == free.end() ||
+           it->second.maxRatio(topo_.server(it->first).capacity) <
+               best->second.maxRatio(topo_.server(best->first).capacity))) {
+        best = it;
+      }
+    }
+    if (best == free.end()) return false;
+    best->second -= slice;
+    plan.emplace_back(vm, best->first);
+  }
+
+  vacating_.insert(server);
+  if (plan.empty()) {
+    vacating_.erase(server);
+    if (onEmpty) onEmpty(server);
+    return true;
+  }
+
+  const auto remaining = std::make_shared<std::size_t>(plan.size());
+  for (const auto& [vm, dst] : plan) {
+    const Status s = hosts_.migrateVm(
+        vm, dst,
+        [this, server, remaining, onEmpty](VmId) {
+          if (--*remaining == 0) {
+            vacating_.erase(server);
+            if (onEmpty) onEmpty(server);
+          }
+        });
+    MDC_ENSURE(s.ok(), "planned migration failed: " + s.error().code);
+  }
+  return true;
+}
+
+std::vector<ServerId> PodManager::pickDonorServers(std::size_t n) const {
+  std::vector<ServerId> candidates;
+  for (ServerId s : servers()) {
+    if (!vacating_.contains(s)) candidates.push_back(s);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](ServerId a, ServerId b) {
+                     return hosts_.serverUtilization(a) <
+                            hosts_.serverUtilization(b);
+                   });
+  if (candidates.size() > n) candidates.resize(n);
+  return candidates;
+}
+
+void PodManager::setAppDemand(AppId app, double rps) {
+  MDC_EXPECT(rps >= 0.0, "negative demand");
+  demand_[app] = rps;
+}
+
+void PodManager::clearAppDemand() { demand_.clear(); }
+
+std::vector<AppId> PodManager::coveredApps() const {
+  std::unordered_set<AppId> seen;
+  std::vector<AppId> out;
+  for (ServerId s : servers()) {
+    for (VmId vm : hosts_.vmsOn(s)) {
+      if (!hosts_.vmExists(vm)) continue;
+      const AppId app = hosts_.vm(vm).app;
+      if (seen.insert(app).second) out.push_back(app);
+    }
+  }
+  return out;
+}
+
+void PodManager::runControlLoop() {
+  // No demand signal yet (the engine has not reported an epoch): deciding
+  // now would mistake "unknown" for "zero" and tear everything down.
+  if (demand_.empty()) return;
+
+  // --- build the placement problem over this pod ------------------------
+  std::vector<ServerId> serverIds;
+  for (ServerId s : servers()) {
+    if (!vacating_.contains(s)) serverIds.push_back(s);
+  }
+  if (serverIds.empty()) return;
+
+  std::unordered_map<AppId, std::uint32_t> appIndex;
+  std::vector<AppId> appIds;
+  auto internApp = [&](AppId app) {
+    const auto [it, inserted] =
+        appIndex.emplace(app, static_cast<std::uint32_t>(appIds.size()));
+    if (inserted) appIds.push_back(app);
+    return it->second;
+  };
+
+  PlacementInput input;
+  input.servers.reserve(serverIds.size());
+  for (ServerId s : serverIds) {
+    input.servers.push_back(PlacementServer{topo_.server(s).capacity});
+  }
+
+  // Current assignments from live VMs; also interns their apps.
+  std::unordered_map<ServerId, std::uint32_t> serverIndex;
+  for (std::uint32_t i = 0; i < serverIds.size(); ++i) {
+    serverIndex.emplace(serverIds[i], i);
+  }
+  std::map<std::pair<std::uint32_t, std::uint32_t>, VmId> existingVm;
+  for (std::uint32_t si = 0; si < serverIds.size(); ++si) {
+    for (VmId vm : hosts_.vmsOn(serverIds[si])) {
+      if (!hosts_.vmExists(vm)) continue;
+      const VmRecord& rec = hosts_.vm(vm);
+      if (rec.server != serverIds[si]) continue;  // migration target copy
+      if (!isManagedInstance(rec.app, vm)) continue;  // being retired
+      const std::uint32_t ai = internApp(rec.app);
+      const double rps = apps_.app(rec.app).sla.servableRps(rec.slice) /
+                         options_.headroom;
+      input.current.push_back(Assignment{ai, si, rps});
+      existingVm[{ai, si}] = vm;
+    }
+  }
+  for (const auto& [app, rps] : demand_) {
+    internApp(app);
+  }
+
+  input.apps.resize(appIds.size());
+  for (std::uint32_t ai = 0; ai < appIds.size(); ++ai) {
+    const auto it = demand_.find(appIds[ai]);
+    input.apps[ai] = PlacementApp{apps_.app(appIds[ai]).sla,
+                                  it == demand_.end() ? 0.0 : it->second};
+  }
+
+  // --- decide (measuring real decision time) ----------------------------
+  const auto t0 = std::chrono::steady_clock::now();
+  const PlacementResult result = algorithm_->place(input);
+  const auto t1 = std::chrono::steady_clock::now();
+  stats_.decisionSeconds =
+      std::chrono::duration<double>(t1 - t0).count();
+
+  applyAssignment(input, result, appIds, serverIds);
+  updateStats(result);
+
+  // Keep the map bounded: stale VMs were handled, fresh demand arrives
+  // next epoch.
+  (void)existingVm;
+}
+
+void PodManager::applyAssignment(const PlacementInput& input,
+                                 const PlacementResult& result,
+                                 const std::vector<AppId>& appIds,
+                                 const std::vector<ServerId>& serverIds) {
+  // Desired (app, server) -> rps.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> desired;
+  for (const Assignment& a : result.assignment) {
+    if (a.rps > 1e-9) desired[{a.app, a.server}] = a.rps;
+  }
+  // Existing (app, server) -> vm.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, VmId> existing;
+  std::unordered_map<ServerId, std::uint32_t> serverIndex;
+  for (std::uint32_t i = 0; i < serverIds.size(); ++i) {
+    serverIndex.emplace(serverIds[i], i);
+  }
+  std::unordered_map<AppId, std::uint32_t> appIndex;
+  for (std::uint32_t i = 0; i < appIds.size(); ++i) {
+    appIndex.emplace(appIds[i], i);
+  }
+  for (std::uint32_t si = 0; si < serverIds.size(); ++si) {
+    for (VmId vm : hosts_.vmsOn(serverIds[si])) {
+      if (!hosts_.vmExists(vm)) continue;
+      const VmRecord& rec = hosts_.vm(vm);
+      if (rec.server != serverIds[si]) continue;
+      if (!isManagedInstance(rec.app, vm)) continue;
+      const auto ai = appIndex.find(rec.app);
+      if (ai == appIndex.end()) continue;
+      existing[{ai->second, si}] = vm;
+    }
+  }
+
+  // Create or resize.
+  for (const auto& [key, rps] : desired) {
+    const AppId app = appIds[key.first];
+    const ServerId server = serverIds[key.second];
+    const AppSla& sla = input.apps[key.first].sla;
+    const CapacityVec slice = sla.sliceFor(rps, options_.headroom);
+    const auto ex = existing.find(key);
+    if (ex == existing.end()) {
+      const double weight = rps;
+      auto created = hosts_.createVm(
+          app, server, slice, options_.useFastClone,
+          [this, app, weight](VmId vm) {
+            rips_.requestNewRip(app, vm, weight);
+          });
+      if (created.ok()) {
+        apps_.addInstance(app, created.value());
+      }
+      // insufficient_capacity can happen when the placement's model lags
+      // physical reservations (e.g. in-flight adjustments); skipped this
+      // round, retried next.
+    } else {
+      const VmId vm = ex->second;
+      const VmRecord& rec = hosts_.vm(vm);
+      if (rec.state != VmState::Active) continue;
+      const double curRps = apps_.app(app).sla.servableRps(rec.slice) /
+                            options_.headroom;
+      if (std::abs(curRps - rps) > options_.resizeDeadband *
+                                       std::max(curRps, 1.0)) {
+        (void)hosts_.adjustVmCapacity(vm, slice);
+      }
+      // Only submit a weight update when it moved meaningfully; the
+      // VIP/RIP manager is a serialized shared resource (§III-C) and
+      // chasing every demand wiggle floods its queue.
+      const auto lw = lastWeight_.find(vm);
+      if (lw == lastWeight_.end() ||
+          std::abs(lw->second - rps) >
+              options_.weightDeadband * std::max(lw->second, 1.0)) {
+        rips_.requestRipWeight(vm, rps);
+        lastWeight_[vm] = rps;
+      }
+    }
+  }
+
+  // Destroy what placement no longer wants.
+  for (const auto& [key, vm] : existing) {
+    if (desired.contains(key)) continue;
+    if (!hosts_.vmExists(vm)) continue;
+    if (hosts_.vm(vm).state == VmState::Migrating) continue;
+    // Freshly created instances (e.g. a cross-pod deployment, §IV-D)
+    // have not attracted traffic yet; give them a grace period.
+    if (sim_.now() - hosts_.vm(vm).createdAt <
+        options_.youngVmGraceSeconds) {
+      continue;
+    }
+    const AppId app = appIds[key.first];
+    apps_.removeInstance(app, vm);
+    lastWeight_.erase(vm);
+    // Destroy only after the switch tables stop referencing the VM;
+    // destroying earlier would black-hole the traffic still arriving.
+    rips_.requestRipRemoval(vm, [this, vm] {
+      if (hosts_.vmExists(vm) && hosts_.vm(vm).state != VmState::Migrating) {
+        hosts_.destroyVm(vm);
+      }
+    });
+  }
+}
+
+bool PodManager::isManagedInstance(AppId app, VmId vm) const {
+  const auto& inst = apps_.app(app).instances;
+  return std::find(inst.begin(), inst.end(), vm) != inst.end();
+}
+
+void PodManager::updateStats(const PlacementResult& result) {
+  stats_.servers = servers().size();
+  std::vector<double> utils;
+  std::size_t vms = 0;
+  for (ServerId s : servers()) {
+    utils.push_back(hosts_.serverUtilization(s));
+    for (VmId vm : hosts_.vmsOn(s)) {
+      if (hosts_.vmExists(vm)) ++vms;
+    }
+  }
+  stats_.vms = vms;
+  stats_.demandRps = result.demandRps;
+  stats_.satisfiedRatio = result.satisfactionRatio();
+  stats_.meanUtilization = mean(utils);
+  stats_.maxUtilization =
+      utils.empty() ? 0.0 : *std::max_element(utils.begin(), utils.end());
+  stats_.placementChanges = result.instancesStarted + result.instancesStopped;
+}
+
+void PodManager::start(SimTime phase) {
+  sim_.every(options_.controlPeriod, [this] { runControlLoop(); }, phase);
+}
+
+}  // namespace mdc

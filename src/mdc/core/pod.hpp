@@ -1,0 +1,171 @@
+// Logical server pods and the per-pod resource manager (§III-A).
+//
+// Pods are *logical* groups of servers — decoupled from racks and physical
+// pods — formed purely by management-plane configuration.  That is what
+// makes "server transfer between pods" (§IV-C) a bookkeeping operation:
+// membership changes, no hardware moves.  A pod manager only knows the
+// servers and applications of its own pod and provisions resources within
+// it using a pluggable placement algorithm; the global manager handles
+// everything that crosses pod boundaries.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mdc/app/app_registry.hpp"
+#include "mdc/core/placement.hpp"
+#include "mdc/host/host_fleet.hpp"
+#include "mdc/sim/simulation.hpp"
+#include "mdc/topo/topology.hpp"
+#include "mdc/util/ids.hpp"
+
+namespace mdc {
+
+/// Server -> pod membership; the single source of truth.
+class PodRegistry {
+ public:
+  explicit PodRegistry(std::size_t numServers);
+
+  void assign(ServerId server, PodId pod);
+  [[nodiscard]] PodId podOf(ServerId server) const;
+  [[nodiscard]] const std::vector<ServerId>& serversOf(PodId pod) const;
+  [[nodiscard]] std::size_t podCount() const noexcept {
+    return pods_.size();
+  }
+
+ private:
+  std::vector<PodId> podOf_;
+  std::vector<std::vector<ServerId>> pods_;
+  static const std::vector<ServerId> kEmpty;
+};
+
+/// What a pod reports to the global manager every control period.
+struct PodStats {
+  PodId pod;
+  std::size_t servers = 0;
+  std::size_t vms = 0;
+  double demandRps = 0.0;
+  double satisfiedRatio = 1.0;
+  double meanUtilization = 0.0;
+  double maxUtilization = 0.0;
+  /// Wall-clock seconds the last placement decision took (measured, not
+  /// simulated) — the signal behind elephant-pod avoidance (§IV-C).
+  double decisionSeconds = 0.0;
+  std::uint32_t placementChanges = 0;
+};
+
+/// Sink through which a pod manager asks the global manager for VIP/RIP
+/// work; "any component that needs to update the VIP/RIP configuration at
+/// any switch sends a request to the global manager" (§III-C).
+class RipRequestSink {
+ public:
+  virtual ~RipRequestSink() = default;
+  /// Requests a RIP binding `vm` to one of `app`'s VIPs.
+  virtual void requestNewRip(AppId app, VmId vm, double weight) = 0;
+  /// Requests removal of every RIP bound to `vm`; `onDone` fires once the
+  /// switch tables no longer reference the VM (only then is it safe to
+  /// destroy it — traffic keeps arriving until the RIPs are gone).
+  virtual void requestRipRemoval(VmId vm, std::function<void()> onDone) = 0;
+  /// Requests a RIP weight change for `vm` (sum-preserving updates are the
+  /// pod manager's responsibility, §IV-F).
+  virtual void requestRipWeight(VmId vm, double weight) = 0;
+};
+
+class PodManager {
+ public:
+  struct Options {
+    SimTime controlPeriod = 10.0;
+    double headroom = 1.2;          // slice sizing slack over demand
+    double overloadUtilization = 0.85;
+    bool useFastClone = true;
+    /// Decision-time budget; beyond it the pod manager reports itself
+    /// overloaded (the "more subtle issue" of §III-A).
+    double decisionBudgetSeconds = 1.0;
+    /// Relative change below which VM slices / RIP weights are left
+    /// alone, to keep control-plane churn bounded.
+    double resizeDeadband = 0.15;
+    double weightDeadband = 0.20;
+    /// VMs younger than this are never torn down: a freshly deployed
+    /// instance has not had a chance to attract traffic yet.
+    SimTime youngVmGraceSeconds = 20.0;
+  };
+
+  PodManager(PodId id, Simulation& sim, HostFleet& hosts, AppRegistry& apps,
+             const Topology& topo, PodRegistry& registry,
+             std::shared_ptr<const PlacementAlgorithm> algorithm,
+             RipRequestSink& rips, Options options);
+
+  [[nodiscard]] PodId id() const noexcept { return id_; }
+  [[nodiscard]] const std::vector<ServerId>& servers() const;
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  // --- membership (driven by the global manager) ------------------------
+
+  /// Adopts a server (empty or carrying VMs — the elephant-pod path moves
+  /// servers *with* their instances, §IV-C).
+  void adoptServer(ServerId server);
+
+  /// Gives up an *empty* server.  Precondition: server is in this pod and
+  /// hosts no live VM.
+  void releaseServer(ServerId server);
+
+  /// Begins vacating a server: its VMs are migrated to other servers of
+  /// this pod; when empty, `onEmpty` fires (the donor side of §IV-C).
+  /// Returns false if the pod lacks capacity to absorb the VMs.
+  bool vacateServer(ServerId server, std::function<void(ServerId)> onEmpty);
+
+  /// Least-utilized servers, preferred donors.  Never returns servers
+  /// already being vacated.
+  [[nodiscard]] std::vector<ServerId> pickDonorServers(std::size_t n) const;
+
+  // --- demand + control loop --------------------------------------------
+
+  /// The engine reports each app's demand routed into this pod for the
+  /// current epoch (aggregated over the pod's RIP weights).
+  void setAppDemand(AppId app, double rps);
+  void clearAppDemand();
+
+  /// One decision round: run the placement algorithm over the pod and
+  /// enact the diff (create/resize/destroy VMs, RIP requests).
+  void runControlLoop();
+
+  /// Registers the periodic control loop on the simulation.
+  void start(SimTime phase = 0.0);
+
+  [[nodiscard]] const PodStats& stats() const noexcept { return stats_; }
+
+  /// Apps currently covering this pod (instance resident here).
+  [[nodiscard]] std::vector<AppId> coveredApps() const;
+
+ private:
+  void applyAssignment(const PlacementInput& input,
+                       const PlacementResult& result,
+                       const std::vector<AppId>& appIds,
+                       const std::vector<ServerId>& serverIds);
+  void updateStats(const PlacementResult& result);
+  /// True when `vm` is still listed as an instance of `app` (VMs pending
+  /// retirement are detached first and must not be re-managed).
+  [[nodiscard]] bool isManagedInstance(AppId app, VmId vm) const;
+
+  PodId id_;
+  Simulation& sim_;
+  HostFleet& hosts_;
+  AppRegistry& apps_;
+  const Topology& topo_;
+  PodRegistry& registry_;
+  std::shared_ptr<const PlacementAlgorithm> algorithm_;
+  RipRequestSink& rips_;
+  Options options_;
+
+  std::unordered_map<AppId, double> demand_;
+  std::unordered_map<VmId, double> lastWeight_;
+  std::unordered_set<ServerId> vacating_;
+  PodStats stats_;
+};
+
+}  // namespace mdc

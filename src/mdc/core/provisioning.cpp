@@ -1,0 +1,67 @@
+#include "mdc/core/provisioning.hpp"
+
+#include <cmath>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+namespace {
+std::uint64_t ceilDiv(double num, double den) {
+  MDC_EXPECT(den > 0.0, "division by non-positive capacity");
+  return static_cast<std::uint64_t>(std::ceil(num / den));
+}
+}  // namespace
+
+std::uint64_t minSwitchesForVips(const ProvisioningDemand& d,
+                                 const SwitchLimits& limits) {
+  return ceilDiv(static_cast<double>(d.applications) * d.vipsPerApp,
+                 static_cast<double>(limits.maxVips));
+}
+
+std::uint64_t minSwitchesForRips(const ProvisioningDemand& d,
+                                 const SwitchLimits& limits) {
+  return ceilDiv(static_cast<double>(d.applications) * d.ripsPerApp,
+                 static_cast<double>(limits.maxRips));
+}
+
+std::uint64_t minSwitches(const ProvisioningDemand& d,
+                          const SwitchLimits& limits) {
+  return std::max(minSwitchesForVips(d, limits),
+                  minSwitchesForRips(d, limits));
+}
+
+double aggregateGbps(std::uint64_t switches, const SwitchLimits& limits) {
+  return static_cast<double>(switches) * limits.capacityGbps;
+}
+
+double log10PlacementStatesLiteral(const ProvisioningDemand& d,
+                                   std::uint64_t switches) {
+  MDC_EXPECT(switches > 0, "no switches");
+  // L^(A*k): each of the A*k VIPs picks one of L switches.
+  return static_cast<double>(d.applications) * d.vipsPerApp *
+         std::log10(static_cast<double>(switches));
+}
+
+double log10PlacementStatesPaper(const ProvisioningDemand& d,
+                                 std::uint64_t switches) {
+  MDC_EXPECT(d.applications > 0, "no applications");
+  // The paper's A^(L*k) expression.
+  return static_cast<double>(switches) * d.vipsPerApp *
+         std::log10(static_cast<double>(d.applications));
+}
+
+LbLayerCheck lbLayerBottleneck(double totalTrafficGbps,
+                               double externalFraction,
+                               std::uint64_t switches,
+                               const SwitchLimits& limits) {
+  MDC_EXPECT(externalFraction >= 0.0 && externalFraction <= 1.0,
+             "externalFraction out of [0,1]");
+  LbLayerCheck out;
+  out.externalGbps = totalTrafficGbps * externalFraction;
+  out.aggregateGbps = aggregateGbps(switches, limits);
+  out.bottleneck = out.externalGbps > out.aggregateGbps;
+  return out;
+}
+
+}  // namespace mdc

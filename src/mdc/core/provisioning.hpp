@@ -1,0 +1,60 @@
+// The paper's capacity-planning arithmetic (§III-B, §V-A), as checkable
+// functions.  E2 evaluates these at the paper's parameter points and must
+// reproduce its numbers exactly:
+//   * >= 150 switches and ~600 Gbps aggregate at 300k apps x 2 VIPs;
+//   * 375 switches at 300k apps x 3 VIPs / 20 RIPs;
+//   * VIP-placement state-space of A^(L*k) ~ 10^... states.
+#pragma once
+
+#include <cstdint>
+
+#include "mdc/lb/lb_switch.hpp"
+
+namespace mdc {
+
+struct ProvisioningDemand {
+  std::uint64_t applications = 300'000;
+  double vipsPerApp = 3.0;
+  double ripsPerApp = 20.0;
+};
+
+/// Minimum switches to hold all VIPs: ceil(A * k / maxVips).
+[[nodiscard]] std::uint64_t minSwitchesForVips(const ProvisioningDemand& d,
+                                               const SwitchLimits& limits);
+
+/// Minimum switches to hold all RIPs: ceil(A * r / maxRips).
+[[nodiscard]] std::uint64_t minSwitchesForRips(const ProvisioningDemand& d,
+                                               const SwitchLimits& limits);
+
+/// The binding minimum: max of the two (§V-A's formula).
+[[nodiscard]] std::uint64_t minSwitches(const ProvisioningDemand& d,
+                                        const SwitchLimits& limits);
+
+/// Aggregate external bandwidth of `switches` units.
+[[nodiscard]] double aggregateGbps(std::uint64_t switches,
+                                   const SwitchLimits& limits);
+
+/// log10 of the VIP-placement state-space size.  Two forms are reported:
+/// the literal count of functions from VIPs to switches, L^(A*k), and the
+/// paper's own A^(L*k) expression (§V-A).  Either way the space is
+/// astronomically large, which is the paper's point; the bench prints
+/// both.
+[[nodiscard]] double log10PlacementStatesLiteral(
+    const ProvisioningDemand& d, std::uint64_t switches);
+[[nodiscard]] double log10PlacementStatesPaper(const ProvisioningDemand& d,
+                                               std::uint64_t switches);
+
+/// Whether the LB layer is a bottleneck: demand entering/leaving the DC
+/// (externalFraction of totalTrafficGbps) vs the layer's aggregate
+/// capacity (§III-B's 20% argument).
+struct LbLayerCheck {
+  double externalGbps = 0.0;
+  double aggregateGbps = 0.0;
+  bool bottleneck = false;
+};
+[[nodiscard]] LbLayerCheck lbLayerBottleneck(double totalTrafficGbps,
+                                             double externalFraction,
+                                             std::uint64_t switches,
+                                             const SwitchLimits& limits);
+
+}  // namespace mdc

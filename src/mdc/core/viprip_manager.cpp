@@ -1,0 +1,373 @@
+#include "mdc/core/viprip_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+VipRipManager::VipRipManager(Simulation& sim, SwitchFleet& fleet,
+                             AuthoritativeDns& dns, RouteRegistry& routes,
+                             AppRegistry& apps, const Topology& topo,
+                             Options options)
+    : sim_(sim),
+      fleet_(fleet),
+      dns_(dns),
+      routes_(routes),
+      apps_(apps),
+      topo_(topo),
+      options_(options) {
+  MDC_EXPECT(options.processSeconds >= 0.0, "negative process time");
+  routerVipCount_.assign(topo.accessLinkCount(), 0);
+}
+
+void VipRipManager::submit(VipRipRequest request) {
+  // Coalesce weight updates: a newer SetWeight for the same VM supersedes
+  // a queued one — pods re-decide every period and only the latest weight
+  // matters, so this keeps the serialized queue from ballooning.
+  if (request.op == VipRipOp::SetWeight) {
+    for (Pending& other : queue_) {
+      if (other.req.op == VipRipOp::SetWeight && other.req.vm == request.vm) {
+        other.req.weight = request.weight;
+        if (request.done) request.done(Status::okStatus());
+        return;
+      }
+    }
+  }
+  Pending p;
+  p.req = std::move(request);
+  p.submitted = sim_.now();
+  p.seq = nextSeq_++;
+  // Insert keeping the queue sorted by (priority desc, seq asc): a stable
+  // priority queue that processes equal priorities FIFO.
+  const auto pos = std::find_if(
+      queue_.begin(), queue_.end(), [&](const Pending& other) {
+        return other.req.priority < p.req.priority;
+      });
+  queue_.insert(pos, std::move(p));
+  if (!pumping_) {
+    pumping_ = true;
+    sim_.after(0.0, [this] { pump(); });
+  }
+}
+
+void VipRipManager::pump() {
+  if (queue_.empty()) {
+    pumping_ = false;
+    return;
+  }
+  Pending p = std::move(queue_.front());
+  queue_.pop_front();
+
+  // Only the manager's *decision* is serialized (§III-C); the switch-side
+  // programmatic reconfiguration then proceeds on the target switch while
+  // the manager moves on to the next request.
+  sim_.after(options_.processSeconds, [this, p = std::move(p)]() mutable {
+    SimTime reconfig = options_.reconfigSeconds;
+    if (reconfig < 0.0) {
+      // Every switch in the fleet shares one limits profile in practice;
+      // use the first switch's value (3 s by default).
+      reconfig =
+          fleet_.size() > 0 ? fleet_.at(SwitchId{0}).limits().reconfigSeconds
+                            : 0.0;
+    }
+    sim_.after(reconfig, [this, p = std::move(p)]() mutable {
+      const Status s = apply(p.req);
+      ++processed_;
+      if (!s.ok()) ++rejected_;
+      latency_.record(std::max(1e-3, sim_.now() - p.submitted));
+      if (p.req.done) p.req.done(s);
+    });
+    pump();
+  });
+}
+
+Status VipRipManager::apply(const VipRipRequest& req) {
+  switch (req.op) {
+    case VipRipOp::NewVip:
+      return applyNewVip(req);
+    case VipRipOp::NewRip:
+      return applyNewRip(req);
+    case VipRipOp::DeleteVip:
+      return applyDeleteVip(req);
+    case VipRipOp::DeleteRip:
+      return applyDeleteRip(req);
+    case VipRipOp::SetWeight:
+      return applySetWeight(req);
+  }
+  return Status::fail("bad_op");
+}
+
+SwitchId VipRipManager::pickSwitchForVip() const {
+  MDC_EXPECT(fleet_.size() > 0, "no switches");
+  SwitchId best{0};
+  double bestScore = std::numeric_limits<double>::infinity();
+  for (std::uint32_t i = 0; i < fleet_.size(); ++i) {
+    const LbSwitch& sw = fleet_.at(SwitchId{i});
+    if (sw.spareVips() == 0) continue;
+    // Primary: VIP occupancy; secondary: offered throughput.
+    const double score =
+        static_cast<double>(sw.vipCount()) /
+            static_cast<double>(sw.limits().maxVips) +
+        sw.utilization();
+    if (score < bestScore) {
+      bestScore = score;
+      best = SwitchId{i};
+    }
+  }
+  MDC_EXPECT(std::isfinite(bestScore), "all switches' VIP tables are full");
+  return best;
+}
+
+AccessRouterId VipRipManager::pickAccessRouter() const {
+  MDC_EXPECT(!routerVipCount_.empty(), "no access routers");
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 1; i < routerVipCount_.size(); ++i) {
+    if (routerVipCount_[i] < routerVipCount_[best]) best = i;
+  }
+  return AccessRouterId{best};
+}
+
+Status VipRipManager::applyNewVip(const VipRipRequest& req) {
+  MDC_EXPECT(req.app.valid(), "NewVip needs an app");
+  const SwitchId sw = pickSwitchForVip();
+  const VipId vip = vipIds_.next();
+  const Status s = fleet_.configureVip(sw, vip, req.app);
+  if (!s.ok()) return s;
+
+  apps_.addVip(req.app, vip);
+  if (!dns_.hasApp(req.app)) dns_.registerApp(req.app);
+  // A VIP is not exposed until it has at least one RIP behind it —
+  // answering queries with it would black-hole clients.
+  dns_.addVip(req.app, vip, 0.0);
+
+  // Selective exposure: advertise at (typically) exactly one router.
+  const AccessRouterId ar = pickAccessRouter();
+  routes_.advertise(vip, ar, sim_.now());
+  vipRouter_.emplace(vip, ar);
+  ++routerVipCount_[ar.index()];
+  return Status::okStatus();
+}
+
+Status VipRipManager::applyNewRip(const VipRipRequest& req) {
+  MDC_EXPECT(req.app.valid() && req.vm.valid(), "NewRip needs app and vm");
+  if (vmAlive_ && !vmAlive_(req.vm)) {
+    return Status::fail("vm_dead");
+  }
+  const Application& app = apps_.app(req.app);
+  if (app.vips.empty()) return Status::fail("app_has_no_vips");
+
+  // Choose among switches hosting one of the app's VIPs.  A VIP with no
+  // RIPs at all is strongly preferred: every exposed VIP must stay backed
+  // or TTL-lingering clients black-hole (§IV-A/B).
+  VipId bestVip;
+  double bestScore = std::numeric_limits<double>::infinity();
+  for (VipId vip : app.vips) {
+    const auto owner = fleet_.ownerOf(vip);
+    if (!owner.has_value()) continue;
+    const LbSwitch& sw = fleet_.at(*owner);
+    if (sw.spareRips() == 0) continue;
+    const VipEntry* entry = sw.findVip(vip);
+    double score =
+        static_cast<double>(sw.ripCount()) /
+            static_cast<double>(sw.limits().maxRips) +
+        sw.utilization();
+    if (entry != nullptr && entry->rips.empty()) score -= 1000.0;
+    if (score < bestScore) {
+      bestScore = score;
+      bestVip = vip;
+    }
+  }
+  if (!bestVip.valid()) return Status::fail("no_rip_capacity");
+
+  RipEntry entry;
+  entry.rip = ripIds_.next();
+  entry.vm = req.vm;
+  entry.weight = req.weight;
+  const Status s = fleet_.addRip(bestVip, entry);
+  if (!s.ok()) return s;
+  vmRips_[req.vm].push_back(RipRef{bestVip, entry.rip});
+  syncVipDnsWeight(bestVip);
+  return Status::okStatus();
+}
+
+void VipRipManager::syncVipDnsWeight(VipId vip) {
+  const VipEntry* entry = fleet_.findVip(vip);
+  if (entry == nullptr) return;
+  bool exposed = false;
+  for (const VipWeight& vw : dns_.vips(entry->app)) {
+    if (vw.vip == vip) exposed = true;
+  }
+  if (!exposed) return;
+  const auto f = exposureFactor_.find(vip);
+  const double factor = f == exposureFactor_.end() ? 1.0 : f->second;
+  dns_.setWeight(entry->app, vip, entry->totalWeight() * factor);
+}
+
+void VipRipManager::setVipExposureFactor(VipId vip, double factor) {
+  MDC_EXPECT(factor >= 0.0, "negative exposure factor");
+  exposureFactor_[vip] = factor;
+  syncVipDnsWeight(vip);
+}
+
+double VipRipManager::vipExposureFactor(VipId vip) const {
+  const auto f = exposureFactor_.find(vip);
+  return f == exposureFactor_.end() ? 1.0 : f->second;
+}
+
+Status VipRipManager::applyDeleteVip(const VipRipRequest& req) {
+  MDC_EXPECT(req.vip.valid(), "DeleteVip needs a vip");
+  const auto owner = fleet_.ownerOf(req.vip);
+  if (!owner.has_value()) return Status::fail("vip_unowned");
+  const VipEntry* entry = fleet_.at(*owner).findVip(req.vip);
+  MDC_ENSURE(entry != nullptr, "fleet index out of sync");
+  const AppId app = entry->app;
+
+  // Detach RIP bookkeeping.
+  for (const RipEntry& r : entry->rips) {
+    if (!r.vm.valid()) continue;
+    auto& refs = vmRips_[r.vm];
+    std::erase_if(refs, [&](const RipRef& ref) { return ref.vip == req.vip; });
+  }
+  // RIPs vanish with the VIP entry.
+  const Status s = fleet_.removeVip(req.vip);
+  if (!s.ok()) return s;
+
+  apps_.removeVip(app, req.vip);
+  dns_.removeVip(app, req.vip);
+  exposureFactor_.erase(req.vip);
+  const auto ar = vipRouter_.find(req.vip);
+  if (ar != vipRouter_.end()) {
+    routes_.withdraw(req.vip, ar->second, sim_.now());
+    --routerVipCount_[ar->second.index()];
+    vipRouter_.erase(ar);
+  }
+  return Status::okStatus();
+}
+
+Status VipRipManager::applyDeleteRip(const VipRipRequest& req) {
+  MDC_EXPECT(req.vm.valid(), "DeleteRip needs a vm");
+  const auto it = vmRips_.find(req.vm);
+  if (it == vmRips_.end() || it->second.empty()) {
+    return Status::okStatus();  // idempotent: nothing bound (any more)
+  }
+  const std::vector<RipRef> refs = it->second;
+  vmRips_.erase(it);
+  for (const RipRef& ref : refs) {
+    // Best effort per ref: a VIP deleted or transferred meanwhile must
+    // not leak the remaining refs.
+    if (!fleet_.removeRip(ref.vip, ref.rip).ok()) continue;
+    const VipEntry* entry = fleet_.findVip(ref.vip);
+    if (entry != nullptr && entry->rips.empty()) {
+      // The VIP just lost its last RIP.  Clients may keep resolving to it
+      // for a TTL (or much longer, [18]), so try to re-back it with
+      // another live instance of the application; with no backing its
+      // capacity term — and hence its DNS weight — drops to zero.
+      (void)refillVip(ref.vip, entry->app, req.vm);
+    }
+    syncVipDnsWeight(ref.vip);
+  }
+  return Status::okStatus();
+}
+
+bool VipRipManager::refillVip(VipId vip, AppId app, VmId excluding) {
+  const auto owner = fleet_.ownerOf(vip);
+  if (!owner.has_value()) return false;
+  if (fleet_.at(*owner).spareRips() == 0) return false;
+  for (VmId vm : apps_.app(app).instances) {
+    if (vm == excluding) continue;
+    if (vmAlive_ && !vmAlive_(vm)) continue;
+    const auto existing = vmRips_.find(vm);
+    // Reuse the VM's current weight so traffic shares stay consistent.
+    double weight = 1.0;
+    if (existing != vmRips_.end() && !existing->second.empty()) {
+      const VipEntry* e = fleet_.findVip(existing->second.front().vip);
+      if (e != nullptr) {
+        const RipEntry* r = e->findRip(existing->second.front().rip);
+        if (r != nullptr) weight = r->weight;
+      }
+    }
+    RipEntry entry;
+    entry.rip = ripIds_.next();
+    entry.vm = vm;
+    entry.weight = weight;
+    if (fleet_.addRip(vip, entry).ok()) {
+      vmRips_[vm].push_back(RipRef{vip, entry.rip});
+      syncVipDnsWeight(vip);
+      return true;
+    }
+  }
+  return false;
+}
+
+Status VipRipManager::applySetWeight(const VipRipRequest& req) {
+  MDC_EXPECT(req.vm.valid(), "SetWeight needs a vm");
+  const auto it = vmRips_.find(req.vm);
+  if (it == vmRips_.end() || it->second.empty()) {
+    return Status::fail("vm_has_no_rips");
+  }
+  // `weight` is the VM's total serving weight; split it across the VM's
+  // RIPs so a VM reachable through k VIPs is not handed k shares.
+  const double perRip =
+      req.weight / static_cast<double>(it->second.size());
+  for (const RipRef& ref : it->second) {
+    const Status s = fleet_.setRipWeight(ref.vip, ref.rip, perRip);
+    if (!s.ok()) return s;
+    syncVipDnsWeight(ref.vip);
+  }
+  return Status::okStatus();
+}
+
+Result<VipId> VipRipManager::createVipNow(AppId app) {
+  VipRipRequest req;
+  req.op = VipRipOp::NewVip;
+  req.app = app;
+  const Status s = applyNewVip(req);
+  if (!s.ok()) return s.error();
+  return apps_.app(app).vips.back();
+}
+
+Status VipRipManager::createRipNow(AppId app, VmId vm, double weight) {
+  VipRipRequest req;
+  req.op = VipRipOp::NewRip;
+  req.app = app;
+  req.vm = vm;
+  req.weight = weight;
+  return applyNewRip(req);
+}
+
+void VipRipManager::moveVipRoute(VipId vip, AccessRouterId to) {
+  const auto it = vipRouter_.find(vip);
+  MDC_EXPECT(it != vipRouter_.end(), "vip has no advertised router");
+  const AccessRouterId from = it->second;
+  if (from == to) return;
+  // Pad the old route (drains but stays reachable), announce the new one,
+  // and withdraw the old once the padded path has had time to drain.
+  routes_.pad(vip, from, sim_.now());
+  routes_.advertise(vip, to, sim_.now());
+  const SimTime drain = 2.0 * routes_.propagationDelay() + 60.0;
+  sim_.after(drain, [this, vip, from] {
+    if (routes_.isReachable(vip, from) && !routes_.isActive(vip, from)) {
+      routes_.withdraw(vip, from, sim_.now());
+    }
+  });
+  --routerVipCount_[from.index()];
+  ++routerVipCount_[to.index()];
+  it->second = to;
+}
+
+AccessRouterId VipRipManager::routerOf(VipId vip) const {
+  const auto it = vipRouter_.find(vip);
+  MDC_EXPECT(it != vipRouter_.end(), "vip has no advertised router");
+  return it->second;
+}
+
+std::vector<VipRipManager::RipRef> VipRipManager::ripsOf(VmId vm) const {
+  const auto it = vmRips_.find(vm);
+  if (it == vmRips_.end()) return {};
+  return it->second;
+}
+
+}  // namespace mdc

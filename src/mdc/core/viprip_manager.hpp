@@ -1,0 +1,174 @@
+// The VIP/RIP manager inside the global manager (§III-C).
+//
+// All LB switches are a globally shared resource; every component that
+// wants to (re)configure a VIP or RIP on any switch submits a request
+// here.  Requests are processed strictly serially in priority order (ties
+// by submission time), at a bounded processing rate, and each applied
+// operation additionally pays the switch's multi-second programmatic
+// reconfiguration latency.  Placement policy:
+//
+//  * new VIP  -> the most underloaded switch (fewest VIPs, then lowest
+//    offered throughput), plus a DNS record and a route advertisement at
+//    the least-loaded access router;
+//  * new RIP  -> among switches already hosting one of the application's
+//    VIPs, the one with spare RIP capacity and the lowest throughput.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mdc/app/app_registry.hpp"
+#include "mdc/dns/dns.hpp"
+#include "mdc/lb/switch_fleet.hpp"
+#include "mdc/metrics/histogram.hpp"
+#include "mdc/route/route_registry.hpp"
+#include "mdc/sim/simulation.hpp"
+#include "mdc/topo/topology.hpp"
+#include "mdc/util/ids.hpp"
+
+namespace mdc {
+
+enum class VipRipOp : std::uint8_t {
+  NewVip,     // allocate + place a new VIP for app
+  DeleteVip,  // remove a VIP everywhere
+  NewRip,     // bind vm to one of app's VIPs
+  DeleteRip,  // remove all RIPs of vm
+  SetWeight   // change the weight of vm's RIPs
+};
+
+struct VipRipRequest {
+  VipRipOp op = VipRipOp::NewVip;
+  int priority = 0;  // higher first
+  AppId app;
+  VmId vm;
+  VipId vip;
+  double weight = 1.0;
+  /// Optional completion callback with the outcome.
+  std::function<void(Status)> done;
+};
+
+class VipRipManager {
+ public:
+  struct Options {
+    /// Decision time the global manager spends per request (serialization
+    /// cost, E12).
+    SimTime processSeconds = 0.05;
+    /// Extra latency of the switch-side programmatic reconfiguration; if
+    /// negative, the target switch's own limits().reconfigSeconds is used.
+    SimTime reconfigSeconds = -1.0;
+    /// Initial DNS weight for newly created VIPs.
+    double newVipDnsWeight = 1.0;
+  };
+
+  VipRipManager(Simulation& sim, SwitchFleet& fleet, AuthoritativeDns& dns,
+                RouteRegistry& routes, AppRegistry& apps,
+                const Topology& topo, Options options);
+
+  /// Enqueues a request; processing is asynchronous and serialized.
+  void submit(VipRipRequest request);
+
+  /// Installs a VM-liveness predicate.  Requests can sit in the serialized
+  /// queue for a long time; a NewRip applied after its VM died would
+  /// black-hole traffic forever, so liveness is re-checked at apply time.
+  void setVmLivenessCheck(std::function<bool(VmId)> check) {
+    vmAlive_ = std::move(check);
+  }
+
+  /// Convenience synchronous-decision API used at deployment time, before
+  /// the simulation starts (bypasses the queue, still applies policy).
+  Result<VipId> createVipNow(AppId app);
+  Status createRipNow(AppId app, VmId vm, double weight);
+
+  // --- directory ---------------------------------------------------------
+
+  /// The access router at which a VIP is (or will be) advertised.
+  [[nodiscard]] AccessRouterId routerOf(VipId vip) const;
+
+  /// Selective-exposure knob: scales the VIP's DNS weight relative to its
+  /// serving capacity.  0 fully unexposes it (drains); 1 is neutral.
+  void setVipExposureFactor(VipId vip, double factor);
+  [[nodiscard]] double vipExposureFactor(VipId vip) const;
+
+  /// Naive VIP transfer between access links (§IV-A's strawman): pad the
+  /// old route, advertise at `to`, withdraw the old route after a drain
+  /// window.  Used by the re-advertisement baseline in E4.
+  void moveVipRoute(VipId vip, AccessRouterId to);
+  /// RIPs currently bound to a VM: (vip, rip) pairs.
+  struct RipRef {
+    VipId vip;
+    RipId rip;
+  };
+  [[nodiscard]] std::vector<RipRef> ripsOf(VmId vm) const;
+
+  // --- introspection (E12) -----------------------------------------------
+
+  [[nodiscard]] std::size_t queueLength() const noexcept {
+    return queue_.size();
+  }
+  [[nodiscard]] std::uint64_t processedRequests() const noexcept {
+    return processed_;
+  }
+  [[nodiscard]] std::uint64_t rejectedRequests() const noexcept {
+    return rejected_;
+  }
+  [[nodiscard]] const Histogram& requestLatency() const noexcept {
+    return latency_;
+  }
+
+ private:
+  struct Pending {
+    VipRipRequest req;
+    SimTime submitted = 0.0;
+    std::uint64_t seq = 0;
+  };
+
+  void pump();
+  Status apply(const VipRipRequest& req);
+  Status applyNewVip(const VipRipRequest& req);
+  Status applyNewRip(const VipRipRequest& req);
+  Status applyDeleteVip(const VipRipRequest& req);
+  Status applyDeleteRip(const VipRipRequest& req);
+  Status applySetWeight(const VipRipRequest& req);
+
+  [[nodiscard]] SwitchId pickSwitchForVip() const;
+  [[nodiscard]] AccessRouterId pickAccessRouter() const;
+  /// Re-backs a VIP that lost its last RIP with another live instance of
+  /// `app` (excluding the VM being retired).  Returns false if no
+  /// instance or no table space was available.
+  bool refillVip(VipId vip, AppId app, VmId excluding);
+  /// Recomputes the VIP's DNS weight as
+  ///   (serving capacity behind it, i.e. sum of RIP weights) x
+  ///   (its exposure factor).
+  /// The factor is the balancers' knob (selective exposure, drains); the
+  /// capacity term tracks RIP configuration automatically, so the two
+  /// policies compose instead of overwriting each other (§V-B).
+  void syncVipDnsWeight(VipId vip);
+
+  Simulation& sim_;
+  SwitchFleet& fleet_;
+  AuthoritativeDns& dns_;
+  RouteRegistry& routes_;
+  AppRegistry& apps_;
+  const Topology& topo_;
+  Options options_;
+
+  std::function<bool(VmId)> vmAlive_;
+  std::unordered_map<VipId, double> exposureFactor_;
+  std::deque<Pending> queue_;
+  bool pumping_ = false;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t rejected_ = 0;
+  Histogram latency_{0.001, 3600.0, 96};
+
+  IdAllocator<VipId> vipIds_;
+  IdAllocator<RipId> ripIds_;
+  std::unordered_map<VipId, AccessRouterId> vipRouter_;
+  std::unordered_map<VmId, std::vector<RipRef>> vmRips_;
+  std::vector<std::uint32_t> routerVipCount_;
+};
+
+}  // namespace mdc

@@ -1,0 +1,201 @@
+#include "mdc/dns/dns.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdc {
+
+// ---------------------------------------------------------------- DNS --
+
+void AuthoritativeDns::registerApp(AppId app) {
+  MDC_EXPECT(app.valid(), "registerApp: invalid app");
+  MDC_EXPECT(!apps_.contains(app), "registerApp: app already registered");
+  apps_.emplace(app, AppRecord{});
+}
+
+bool AuthoritativeDns::hasApp(AppId app) const { return apps_.contains(app); }
+
+AuthoritativeDns::AppRecord& AuthoritativeDns::record(AppId app) {
+  const auto it = apps_.find(app);
+  MDC_EXPECT(it != apps_.end(), "unknown app in DNS");
+  return it->second;
+}
+
+const AuthoritativeDns::AppRecord& AuthoritativeDns::record(AppId app) const {
+  const auto it = apps_.find(app);
+  MDC_EXPECT(it != apps_.end(), "unknown app in DNS");
+  return it->second;
+}
+
+void AuthoritativeDns::addVip(AppId app, VipId vip, double weight) {
+  MDC_EXPECT(vip.valid(), "addVip: invalid vip");
+  MDC_EXPECT(weight >= 0.0, "addVip: negative weight");
+  AppRecord& r = record(app);
+  const bool present =
+      std::any_of(r.vips.begin(), r.vips.end(),
+                  [vip](const VipWeight& vw) { return vw.vip == vip; });
+  MDC_EXPECT(!present, "addVip: vip already exposed for app");
+  r.vips.push_back(VipWeight{vip, weight});
+  ++r.generation;
+  ++updates_;
+}
+
+void AuthoritativeDns::removeVip(AppId app, VipId vip) {
+  AppRecord& r = record(app);
+  const auto it =
+      std::find_if(r.vips.begin(), r.vips.end(),
+                   [vip](const VipWeight& vw) { return vw.vip == vip; });
+  MDC_EXPECT(it != r.vips.end(), "removeVip: vip not present");
+  r.vips.erase(it);
+  ++r.generation;
+  ++updates_;
+}
+
+void AuthoritativeDns::setWeight(AppId app, VipId vip, double weight) {
+  MDC_EXPECT(weight >= 0.0, "setWeight: negative weight");
+  AppRecord& r = record(app);
+  const auto it =
+      std::find_if(r.vips.begin(), r.vips.end(),
+                   [vip](const VipWeight& vw) { return vw.vip == vip; });
+  MDC_EXPECT(it != r.vips.end(), "setWeight: vip not present");
+  if (it->weight != weight) {
+    it->weight = weight;
+    ++r.generation;
+    ++updates_;
+  }
+}
+
+void AuthoritativeDns::setWeights(AppId app,
+                                  std::span<const VipWeight> weights) {
+  AppRecord& r = record(app);
+  for (const VipWeight& vw : weights) {
+    const auto it =
+        std::find_if(r.vips.begin(), r.vips.end(), [&](const VipWeight& x) {
+          return x.vip == vw.vip;
+        });
+    MDC_EXPECT(it != r.vips.end(), "setWeights: vip not present");
+    MDC_EXPECT(vw.weight >= 0.0, "setWeights: negative weight");
+    it->weight = vw.weight;
+  }
+  ++r.generation;
+  ++updates_;
+}
+
+std::span<const VipWeight> AuthoritativeDns::vips(AppId app) const {
+  return record(app).vips;
+}
+
+VipId AuthoritativeDns::resolve(AppId app, Rng& rng) const {
+  const AppRecord& r = record(app);
+  MDC_EXPECT(!r.vips.empty(), "resolve: app has no VIPs");
+  std::vector<double> w;
+  w.reserve(r.vips.size());
+  for (const VipWeight& vw : r.vips) w.push_back(vw.weight);
+  return r.vips[rng.weightedIndex(w)].vip;
+}
+
+std::uint64_t AuthoritativeDns::generation(AppId app) const {
+  return record(app).generation;
+}
+
+// ------------------------------------------------- ResolverPopulation --
+
+ResolverPopulation::ResolverPopulation(const AuthoritativeDns& dns,
+                                       ResolverConfig config)
+    : dns_(dns), config_(config) {
+  MDC_EXPECT(config.ttlSeconds > 0.0, "ttl must be positive");
+  MDC_EXPECT(config.lingerFraction >= 0.0 && config.lingerFraction <= 1.0,
+             "lingerFraction out of [0,1]");
+  MDC_EXPECT(config.lingerSeconds > 0.0, "lingerSeconds must be positive");
+}
+
+void ResolverPopulation::refreshTargets(AppId app, PoolShares& p) const {
+  const auto gen = dns_.generation(app);
+  auto& target = targets_[app];
+  if (p.seenGeneration == gen && p.initialised) {
+    return;
+  }
+
+  // Make sure every DNS-exposed VIP is tracked.
+  const auto exposed = dns_.vips(app);
+  for (const VipWeight& vw : exposed) {
+    if (std::find(p.vips.begin(), p.vips.end(), vw.vip) == p.vips.end()) {
+      p.vips.push_back(vw.vip);
+      p.fast.push_back(0.0);
+      p.linger.push_back(0.0);
+    }
+  }
+
+  // Recompute normalized targets; VIPs no longer exposed get target 0.
+  target.assign(p.vips.size(), 0.0);
+  double total = 0.0;
+  for (const VipWeight& vw : exposed) total += vw.weight;
+  if (total > 0.0) {
+    for (const VipWeight& vw : exposed) {
+      const auto idx = static_cast<std::size_t>(
+          std::find(p.vips.begin(), p.vips.end(), vw.vip) - p.vips.begin());
+      target[idx] = vw.weight / total;
+    }
+  }
+
+  if (!p.initialised) {
+    // A new population starts in steady state at the current targets.
+    p.fast = target;
+    p.linger = target;
+    p.initialised = true;
+  }
+  p.seenGeneration = gen;
+}
+
+void ResolverPopulation::relax(std::vector<double>& shares,
+                               std::span<const double> target, double alpha) {
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    shares[i] += alpha * (target[i] - shares[i]);
+  }
+}
+
+void ResolverPopulation::advance(SimTime now) {
+  MDC_EXPECT(now >= lastAdvance_, "ResolverPopulation going back in time");
+  const SimTime dt = now - lastAdvance_;
+  lastAdvance_ = now;
+  if (dt <= 0.0) return;
+  const double alphaFast = 1.0 - std::exp(-dt / config_.ttlSeconds);
+  const double alphaLinger = 1.0 - std::exp(-dt / config_.lingerSeconds);
+  for (auto& [app, p] : pools_) {
+    refreshTargets(app, p);
+    const auto& target = targets_[app];
+    relax(p.fast, target, alphaFast);
+    relax(p.linger, target, alphaLinger);
+  }
+}
+
+std::vector<VipWeight> ResolverPopulation::shares(AppId app) const {
+  auto& p = pools_[app];
+  refreshTargets(app, p);
+  std::vector<VipWeight> out;
+  out.reserve(p.vips.size());
+  const double lf = config_.lingerFraction;
+  for (std::size_t i = 0; i < p.vips.size(); ++i) {
+    const double combined = (1.0 - lf) * p.fast[i] + lf * p.linger[i];
+    out.push_back(VipWeight{p.vips[i], combined});
+  }
+  return out;
+}
+
+double ResolverPopulation::share(AppId app, VipId vip) const {
+  for (const VipWeight& vw : shares(app)) {
+    if (vw.vip == vip) return vw.weight;
+  }
+  return 0.0;
+}
+
+VipId ResolverPopulation::pickVip(AppId app, Rng& rng) const {
+  const auto sh = shares(app);
+  MDC_EXPECT(!sh.empty(), "pickVip: app has no VIP shares");
+  std::vector<double> w;
+  w.reserve(sh.size());
+  for (const VipWeight& vw : sh) w.push_back(vw.weight);
+  return sh[rng.weightedIndex(w)].vip;
+}
+
+}  // namespace mdc

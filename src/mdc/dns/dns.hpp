@@ -1,0 +1,134 @@
+// The platform's authoritative DNS and a client-resolver population model.
+//
+// Selective VIP exposure (§IV-A) works by answering DNS queries with
+// different members of an application's VIP set at controlled frequencies.
+// Its effectiveness is limited by client-side DNS behaviour: resolvers
+// cache answers for a TTL, and a fraction of clients keeps using old
+// answers well past the TTL (Pang et al. [18], Callahan et al. [4]).  The
+// ResolverPopulation models both effects as exponentially relaxing demand
+// shares, so managers observe realistic lag between changing a weight and
+// traffic actually moving.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mdc/sim/rng.hpp"
+#include "mdc/util/expect.hpp"
+#include "mdc/util/ids.hpp"
+#include "mdc/util/units.hpp"
+
+namespace mdc {
+
+struct VipWeight {
+  VipId vip;
+  double weight = 1.0;
+};
+
+/// Authoritative DNS: per application, the exposed VIPs and their answer
+/// weights.  Weight 0 means the VIP is configured but not exposed.
+class AuthoritativeDns {
+ public:
+  void registerApp(AppId app);
+  [[nodiscard]] bool hasApp(AppId app) const;
+
+  /// Adds a VIP to the app's exposed set.  Precondition: app registered,
+  /// vip not already present, weight >= 0.
+  void addVip(AppId app, VipId vip, double weight = 1.0);
+
+  /// Removes a VIP from the set entirely (after, e.g., VIP deletion).
+  void removeVip(AppId app, VipId vip);
+
+  /// Sets one VIP's answer weight.  Precondition: the VIP is present.
+  void setWeight(AppId app, VipId vip, double weight);
+
+  /// Replaces all weights at once (selective-exposure decisions).
+  void setWeights(AppId app, std::span<const VipWeight> weights);
+
+  [[nodiscard]] std::span<const VipWeight> vips(AppId app) const;
+
+  /// Resolves one query: weighted pick among VIPs with positive weight.
+  /// Precondition: at least one positive weight.
+  [[nodiscard]] VipId resolve(AppId app, Rng& rng) const;
+
+  /// Monotone counter bumped on every mutation of the app's record; lets
+  /// caches detect change cheaply.
+  [[nodiscard]] std::uint64_t generation(AppId app) const;
+
+  /// Total weight-change/record-change operations issued (control-plane
+  /// cost metric; compare against RouteRegistry::routeUpdates()).
+  [[nodiscard]] std::uint64_t recordUpdates() const noexcept {
+    return updates_;
+  }
+
+ private:
+  struct AppRecord {
+    std::vector<VipWeight> vips;
+    std::uint64_t generation = 0;
+  };
+  [[nodiscard]] AppRecord& record(AppId app);
+  [[nodiscard]] const AppRecord& record(AppId app) const;
+
+  std::unordered_map<AppId, AppRecord> apps_;
+  std::uint64_t updates_ = 0;
+};
+
+struct ResolverConfig {
+  /// DNS TTL — time constant with which the compliant population's demand
+  /// shares relax toward the authoritative weights.
+  SimTime ttlSeconds = 60.0;
+  /// Fraction of demand from clients that violate TTLs ([18], [4]).
+  double lingerFraction = 0.05;
+  /// Time constant of the lingering population.
+  SimTime lingerSeconds = 1800.0;
+};
+
+/// Fluid model of the client population's *effective* demand split across
+/// an application's VIPs.  Shares always sum to 1 per app (once the app
+/// has any exposed VIP) and relax toward the authoritative weights.
+class ResolverPopulation {
+ public:
+  ResolverPopulation(const AuthoritativeDns& dns, ResolverConfig config);
+
+  /// Advance the relaxation to absolute time `now` (>= previous now).
+  void advance(SimTime now);
+
+  /// Effective demand share per VIP for the app at the last advance().
+  /// Includes VIPs recently removed from DNS while clients still hold
+  /// them; shares sum to 1.  Empty if the app never had an exposed VIP.
+  [[nodiscard]] std::vector<VipWeight> shares(AppId app) const;
+
+  /// Share of a single VIP (0 if unknown).
+  [[nodiscard]] double share(AppId app, VipId vip) const;
+
+  /// Session-engine hook: sample the VIP a *new* session connects to.
+  [[nodiscard]] VipId pickVip(AppId app, Rng& rng) const;
+
+  [[nodiscard]] const ResolverConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct PoolShares {
+    // Parallel arrays keyed by position; vip -> index in `index`.
+    std::vector<VipId> vips;
+    std::vector<double> fast;    // TTL-compliant population
+    std::vector<double> linger;  // TTL-violating population
+    std::uint64_t seenGeneration = ~0ULL;
+    bool initialised = false;
+  };
+
+  void refreshTargets(AppId app, PoolShares& p) const;
+  static void relax(std::vector<double>& shares,
+                    std::span<const double> target, double alpha);
+
+  const AuthoritativeDns& dns_;
+  ResolverConfig config_;
+  SimTime lastAdvance_ = 0.0;
+  mutable std::unordered_map<AppId, PoolShares> pools_;
+  mutable std::unordered_map<AppId, std::vector<double>> targets_;
+};
+
+}  // namespace mdc

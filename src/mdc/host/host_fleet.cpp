@@ -1,0 +1,218 @@
+#include "mdc/host/host_fleet.hpp"
+
+#include <algorithm>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+HostFleet::HostFleet(const Topology& topo, Simulation& sim,
+                     HostCostModel costs)
+    : topo_(topo), sim_(sim), costs_(costs) {
+  MDC_EXPECT(costs.vmBootSeconds >= 0.0 && costs.vmCloneSeconds >= 0.0 &&
+                 costs.capacityAdjustSeconds >= 0.0,
+             "negative latency in host cost model");
+  MDC_EXPECT(costs.migrationGbps > 0.0, "migration bandwidth must be > 0");
+  servers_.resize(topo.serverCount());
+}
+
+HostFleet::ServerState& HostFleet::serverState(ServerId id) {
+  MDC_EXPECT(id.valid() && id.index() < servers_.size(), "unknown server");
+  return servers_[id.index()];
+}
+
+const HostFleet::ServerState& HostFleet::serverState(ServerId id) const {
+  MDC_EXPECT(id.valid() && id.index() < servers_.size(), "unknown server");
+  return servers_[id.index()];
+}
+
+Result<VmId> HostFleet::createVm(AppId app, ServerId server, CapacityVec slice,
+                                 bool clone, VmCallback onActive) {
+  MDC_EXPECT(app.valid(), "createVm: invalid app");
+  MDC_EXPECT(slice.nonNegative(), "createVm: negative slice");
+  ServerState& st = serverState(server);
+  const CapacityVec cap = topo_.server(server).capacity;
+  if (!(st.used + slice).fitsWithin(cap)) {
+    return Error{"insufficient_capacity", ""};
+  }
+
+  const VmId id = vmIds_.next();
+  st.used += slice;
+  st.vms.push_back(id);
+  VmRecord rec;
+  rec.id = id;
+  rec.app = app;
+  rec.server = server;
+  rec.slice = slice;
+  rec.effectiveSlice = CapacityVec{};  // serves nothing until active
+  rec.state = VmState::Booting;
+  rec.createdAt = sim_.now();
+  vms_.emplace(id, rec);
+  ++liveVms_;
+  ++created_;
+
+  const SimTime latency =
+      clone ? costs_.vmCloneSeconds : costs_.vmBootSeconds;
+  sim_.after(latency, [this, id, cb = std::move(onActive)] {
+    const auto it = vms_.find(id);
+    if (it == vms_.end() || it->second.state == VmState::Destroyed) {
+      return;  // destroyed while booting
+    }
+    it->second.state = VmState::Active;
+    it->second.effectiveSlice = it->second.slice;
+    if (cb) cb(id);
+  });
+  return id;
+}
+
+Status HostFleet::adjustVmCapacity(VmId vmId, CapacityVec newSlice,
+                                   VmCallback onDone) {
+  MDC_EXPECT(newSlice.nonNegative(), "adjust: negative slice");
+  const auto it = vms_.find(vmId);
+  MDC_EXPECT(it != vms_.end(), "adjust: unknown vm");
+  VmRecord& rec = it->second;
+  if (rec.state != VmState::Active) return Status::fail("vm_not_active");
+
+  ServerState& st = serverState(rec.server);
+  const CapacityVec cap = topo_.server(rec.server).capacity;
+  // Reserve the pointwise max of old and new during the transition.
+  CapacityVec peak = rec.slice;
+  for (auto r : {Resource::Cpu, Resource::Memory, Resource::Network}) {
+    peak[r] = std::max(peak[r], newSlice[r]);
+  }
+  const CapacityVec delta = peak - rec.slice;
+  if (!(st.used + delta).fitsWithin(cap)) {
+    return Status::fail("insufficient_capacity");
+  }
+  st.used += delta;
+  rec.slice = peak;
+  ++adjustments_;
+
+  sim_.after(costs_.capacityAdjustSeconds,
+             [this, vmId, newSlice, cb = std::move(onDone)] {
+               const auto vit = vms_.find(vmId);
+               if (vit == vms_.end() ||
+                   vit->second.state == VmState::Destroyed) {
+                 return;
+               }
+               VmRecord& r = vit->second;
+               ServerState& s = serverState(r.server);
+               s.used -= r.slice - newSlice;
+               r.slice = newSlice;
+               r.effectiveSlice = newSlice;
+               if (cb) cb(vmId);
+             });
+  return Status::okStatus();
+}
+
+Status HostFleet::migrateVm(VmId vmId, ServerId dst, VmCallback onDone) {
+  const auto it = vms_.find(vmId);
+  MDC_EXPECT(it != vms_.end(), "migrate: unknown vm");
+  VmRecord& rec = it->second;
+  if (rec.state != VmState::Active) return Status::fail("vm_not_active");
+  if (rec.server == dst) return Status::fail("same_server");
+
+  ServerState& dstState = serverState(dst);
+  const CapacityVec dstCap = topo_.server(dst).capacity;
+  if (!(dstState.used + rec.slice).fitsWithin(dstCap)) {
+    return Status::fail("insufficient_capacity");
+  }
+  dstState.used += rec.slice;
+  dstState.vms.push_back(vmId);
+  rec.state = VmState::Migrating;
+  ++migrations_;
+
+  const double memGb = rec.slice.memory() * costs_.migrationMemoryFactor;
+  migratedGb_ += memGb;
+  const SimTime duration = memGb * 8.0 / costs_.migrationGbps;
+  const ServerId src = rec.server;
+  sim_.after(duration, [this, vmId, src, dst, cb = std::move(onDone)] {
+    const auto vit = vms_.find(vmId);
+    if (vit == vms_.end() || vit->second.state == VmState::Destroyed) {
+      return;
+    }
+    VmRecord& r = vit->second;
+    ServerState& srcState = serverState(src);
+    srcState.used -= r.slice;
+    detachFromServer(vmId, src);
+    r.server = dst;
+    r.state = VmState::Active;
+    if (cb) cb(vmId);
+  });
+  return Status::okStatus();
+}
+
+void HostFleet::destroyVm(VmId vmId) {
+  const auto it = vms_.find(vmId);
+  MDC_EXPECT(it != vms_.end(), "destroy: unknown vm");
+  VmRecord& rec = it->second;
+  MDC_EXPECT(rec.state != VmState::Destroyed, "destroy: vm already destroyed");
+
+  // Free the current server's reservation; a mid-migration VM also holds a
+  // reservation at the destination that the completion callback would have
+  // moved to — it is released here by scanning both attachment lists.
+  ServerState& st = serverState(rec.server);
+  st.used -= rec.slice;
+  detachFromServer(vmId, rec.server);
+  if (rec.state == VmState::Migrating) {
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      auto& vms = servers_[i].vms;
+      const auto pos = std::find(vms.begin(), vms.end(), vmId);
+      if (pos != vms.end()) {
+        servers_[i].used -= rec.slice;
+        vms.erase(pos);
+        break;
+      }
+    }
+  }
+  rec.state = VmState::Destroyed;
+  --liveVms_;
+}
+
+void HostFleet::detachFromServer(VmId vmId, ServerId server) {
+  auto& vms = serverState(server).vms;
+  const auto pos = std::find(vms.begin(), vms.end(), vmId);
+  MDC_ENSURE(pos != vms.end(), "vm not attached to its server");
+  vms.erase(pos);
+}
+
+void HostFleet::forEachVm(const std::function<void(VmRecord&)>& fn) {
+  for (auto& [id, rec] : vms_) {
+    if (rec.state != VmState::Destroyed) fn(rec);
+  }
+}
+
+const VmRecord& HostFleet::vm(VmId id) const {
+  const auto it = vms_.find(id);
+  MDC_EXPECT(it != vms_.end(), "unknown vm");
+  return it->second;
+}
+
+VmRecord& HostFleet::vmMutable(VmId id) {
+  const auto it = vms_.find(id);
+  MDC_EXPECT(it != vms_.end(), "unknown vm");
+  return it->second;
+}
+
+bool HostFleet::vmExists(VmId id) const {
+  const auto it = vms_.find(id);
+  return it != vms_.end() && it->second.state != VmState::Destroyed;
+}
+
+const std::vector<VmId>& HostFleet::vmsOn(ServerId server) const {
+  return serverState(server).vms;
+}
+
+CapacityVec HostFleet::usedCapacity(ServerId server) const {
+  return serverState(server).used;
+}
+
+CapacityVec HostFleet::freeCapacity(ServerId server) const {
+  return topo_.server(server).capacity - serverState(server).used;
+}
+
+double HostFleet::serverUtilization(ServerId server) const {
+  return serverState(server).used.maxRatio(topo_.server(server).capacity);
+}
+
+}  // namespace mdc

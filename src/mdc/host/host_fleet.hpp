@@ -1,0 +1,140 @@
+// Physical servers and the VMs they host, with the hypervisor operations
+// the paper's knobs rely on:
+//
+//  * VM creation (fresh boot) and fast cloning (SnowFlock [14]),
+//  * live migration (black-box/gray-box [25]) with a bandwidth cost,
+//  * hot VM capacity adjustment without reboot (VMware ESX-style [5]).
+//
+// Every operation has a latency drawn from the cited systems' magnitudes
+// (configurable via HostCostModel) so the knob-comparison experiments can
+// weigh speed against reach.  Capacity is reserved pessimistically at
+// operation start so concurrent decisions never oversubscribe a server.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mdc/sim/simulation.hpp"
+#include "mdc/topo/topology.hpp"
+#include "mdc/util/ids.hpp"
+#include "mdc/util/result.hpp"
+#include "mdc/util/units.hpp"
+
+namespace mdc {
+
+enum class VmState : std::uint8_t { Booting, Active, Migrating, Destroyed };
+
+struct VmRecord {
+  VmId id;
+  AppId app;
+  ServerId server;
+  CapacityVec slice;           // reserved share of the server
+  CapacityVec effectiveSlice;  // share actually serving load (lags slice)
+  VmState state = VmState::Booting;
+  SimTime createdAt = 0.0;
+
+  // Fluid-engine gauges (requests/s offered to and served by this VM).
+  double offeredRps = 0.0;
+  double servedRps = 0.0;
+};
+
+struct HostCostModel {
+  SimTime vmBootSeconds = 60.0;
+  SimTime vmCloneSeconds = 5.0;
+  SimTime capacityAdjustSeconds = 2.0;
+  double migrationGbps = 1.0;  // dedicated migration bandwidth
+  /// Memory actually copied for a migration, as a fraction of the slice.
+  double migrationMemoryFactor = 1.0;
+};
+
+/// Runtime state of the server fleet plus all VM lifecycle operations.
+class HostFleet {
+ public:
+  using VmCallback = std::function<void(VmId)>;
+
+  HostFleet(const Topology& topo, Simulation& sim, HostCostModel costs);
+
+  // --- VM lifecycle -----------------------------------------------------
+
+  /// Creates a VM for `app` on `server` with the given slice.  `clone`
+  /// selects the fast-clone latency instead of a cold boot.  `onActive`
+  /// (optional) fires when the VM starts serving.
+  /// Errors: "insufficient_capacity".
+  Result<VmId> createVm(AppId app, ServerId server, CapacityVec slice,
+                        bool clone = false, VmCallback onActive = {});
+
+  /// Hot-resizes the VM's slice.  The reservation moves to
+  /// max(old, new) during the transition and settles at `newSlice`.
+  /// Errors: "vm_not_active", "insufficient_capacity".
+  Status adjustVmCapacity(VmId vm, CapacityVec newSlice,
+                          VmCallback onDone = {});
+
+  /// Live-migrates the VM; it keeps serving on the source until the
+  /// migration completes.  Duration = sliceMemory * 8 / migrationGbps.
+  /// Errors: "vm_not_active", "same_server", "insufficient_capacity".
+  Status migrateVm(VmId vm, ServerId dst, VmCallback onDone = {});
+
+  /// Destroys the VM and frees its reservation immediately.
+  /// Precondition: VM exists and is not already destroyed.
+  void destroyVm(VmId vm);
+
+  // --- queries ------------------------------------------------------------
+
+  [[nodiscard]] const VmRecord& vm(VmId id) const;
+  [[nodiscard]] VmRecord& vmMutable(VmId id);
+  [[nodiscard]] bool vmExists(VmId id) const;
+
+  [[nodiscard]] const std::vector<VmId>& vmsOn(ServerId server) const;
+  [[nodiscard]] CapacityVec usedCapacity(ServerId server) const;
+  [[nodiscard]] CapacityVec freeCapacity(ServerId server) const;
+
+  /// Binding-resource utilization of a server in [0, inf).
+  [[nodiscard]] double serverUtilization(ServerId server) const;
+
+  [[nodiscard]] std::size_t activeVmCount() const noexcept {
+    return liveVms_;
+  }
+
+  /// Visits every non-destroyed VM (mutable; used by the fluid engine to
+  /// reset per-epoch gauges).
+  void forEachVm(const std::function<void(VmRecord&)>& fn);
+
+  // --- operation counters (disruption accounting for E6) -----------------
+
+  [[nodiscard]] std::uint64_t vmsCreated() const noexcept { return created_; }
+  [[nodiscard]] std::uint64_t migrationsStarted() const noexcept {
+    return migrations_;
+  }
+  [[nodiscard]] std::uint64_t capacityAdjustments() const noexcept {
+    return adjustments_;
+  }
+  [[nodiscard]] double migratedGb() const noexcept { return migratedGb_; }
+
+  [[nodiscard]] const HostCostModel& costs() const noexcept { return costs_; }
+
+ private:
+  struct ServerState {
+    CapacityVec used;
+    std::vector<VmId> vms;
+  };
+
+  ServerState& serverState(ServerId id);
+  const ServerState& serverState(ServerId id) const;
+  void detachFromServer(VmId vm, ServerId server);
+
+  const Topology& topo_;
+  Simulation& sim_;
+  HostCostModel costs_;
+  std::vector<ServerState> servers_;
+  std::unordered_map<VmId, VmRecord> vms_;
+  IdAllocator<VmId> vmIds_;
+  std::size_t liveVms_ = 0;
+  std::uint64_t created_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t adjustments_ = 0;
+  double migratedGb_ = 0.0;
+};
+
+}  // namespace mdc

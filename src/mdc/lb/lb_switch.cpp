@@ -1,0 +1,180 @@
+#include "mdc/lb/lb_switch.hpp"
+
+#include <algorithm>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+const RipEntry* VipEntry::findRip(RipId r) const {
+  const auto it = std::find_if(rips.begin(), rips.end(),
+                               [r](const RipEntry& e) { return e.rip == r; });
+  return it == rips.end() ? nullptr : &*it;
+}
+
+double VipEntry::totalWeight() const {
+  double w = 0.0;
+  for (const RipEntry& e : rips) w += e.weight;
+  return w;
+}
+
+LbSwitch::LbSwitch(SwitchId id, SwitchLimits limits)
+    : id_(id), limits_(limits) {
+  MDC_EXPECT(id.valid(), "switch id invalid");
+  MDC_EXPECT(limits.maxVips > 0 && limits.maxRips > 0,
+             "switch limits must be positive");
+  MDC_EXPECT(limits.capacityGbps > 0.0, "switch capacity must be positive");
+}
+
+VipEntry* LbSwitch::findVipMutable(VipId vip) {
+  const auto it = vipIndex_.find(vip);
+  return it == vipIndex_.end() ? nullptr : &vips_[it->second];
+}
+
+const VipEntry* LbSwitch::findVip(VipId vip) const {
+  const auto it = vipIndex_.find(vip);
+  return it == vipIndex_.end() ? nullptr : &vips_[it->second];
+}
+
+std::vector<VipId> LbSwitch::vipIds() const {
+  std::vector<VipId> out;
+  out.reserve(vips_.size());
+  for (const VipEntry& e : vips_) out.push_back(e.vip);
+  return out;
+}
+
+Status LbSwitch::configureVip(VipId vip, AppId app) {
+  MDC_EXPECT(vip.valid() && app.valid(), "configureVip: invalid ids");
+  if (vipCount() >= limits_.maxVips) {
+    return Status::fail("vip_table_full");
+  }
+  if (hasVip(vip)) {
+    return Status::fail("vip_exists");
+  }
+  vipIndex_.emplace(vip, vips_.size());
+  vips_.push_back(VipEntry{vip, app, {}});
+  ++reconfigOps_;
+  return Status::okStatus();
+}
+
+Status LbSwitch::removeVip(VipId vip) {
+  const auto it = vipIndex_.find(vip);
+  if (it == vipIndex_.end()) {
+    return Status::fail("vip_unknown");
+  }
+  if (activeConnections(vip) > 0) {
+    return Status::fail("vip_has_connections");
+  }
+  const std::size_t idx = it->second;
+  ripCount_ -= static_cast<std::uint32_t>(vips_[idx].rips.size());
+  // Swap-and-pop, fixing the displaced entry's index.
+  if (idx + 1 != vips_.size()) {
+    vips_[idx] = std::move(vips_.back());
+    vipIndex_[vips_[idx].vip] = idx;
+  }
+  vips_.pop_back();
+  vipIndex_.erase(it);
+  connsPerVip_.erase(vip);
+  ++reconfigOps_;
+  return Status::okStatus();
+}
+
+Status LbSwitch::addRip(VipId vip, RipEntry entry) {
+  MDC_EXPECT(entry.rip.valid(), "addRip: invalid rip id");
+  MDC_EXPECT(entry.vm.valid() != entry.mvip.valid(),
+             "addRip: exactly one of vm/mvip must be set");
+  VipEntry* e = findVipMutable(vip);
+  if (e == nullptr) return Status::fail("vip_unknown");
+  if (ripCount_ >= limits_.maxRips) return Status::fail("rip_table_full");
+  if (e->findRip(entry.rip) != nullptr) return Status::fail("rip_exists");
+  if (entry.weight < 0.0) return Status::fail("bad_weight");
+  e->rips.push_back(entry);
+  ++ripCount_;
+  ++reconfigOps_;
+  return Status::okStatus();
+}
+
+Status LbSwitch::removeRip(VipId vip, RipId rip) {
+  VipEntry* e = findVipMutable(vip);
+  if (e == nullptr) return Status::fail("vip_unknown");
+  const auto it =
+      std::find_if(e->rips.begin(), e->rips.end(),
+                   [rip](const RipEntry& r) { return r.rip == rip; });
+  if (it == e->rips.end()) return Status::fail("rip_unknown");
+  e->rips.erase(it);
+  --ripCount_;
+  ++reconfigOps_;
+  return Status::okStatus();
+}
+
+Status LbSwitch::setRipWeight(VipId vip, RipId rip, double weight) {
+  VipEntry* e = findVipMutable(vip);
+  if (e == nullptr) return Status::fail("vip_unknown");
+  if (weight < 0.0) return Status::fail("bad_weight");
+  const auto it =
+      std::find_if(e->rips.begin(), e->rips.end(),
+                   [rip](const RipEntry& r) { return r.rip == rip; });
+  if (it == e->rips.end()) return Status::fail("rip_unknown");
+  if (it->weight != weight) {
+    it->weight = weight;
+    ++reconfigOps_;
+  }
+  return Status::okStatus();
+}
+
+Result<RipId> LbSwitch::openConnection(ConnId conn, VipId vip, Rng& rng) {
+  MDC_EXPECT(conn.valid(), "openConnection: invalid conn id");
+  MDC_EXPECT(!conns_.contains(conn), "openConnection: conn already open");
+  const VipEntry* e = findVip(vip);
+  if (e == nullptr) return Error{"vip_unknown", ""};
+  if (e->rips.empty() || e->totalWeight() <= 0.0) {
+    return Error{"no_rips", ""};
+  }
+  if (conns_.size() >= limits_.maxConnections) {
+    return Error{"conn_table_full", ""};
+  }
+  std::vector<double> w;
+  w.reserve(e->rips.size());
+  for (const RipEntry& r : e->rips) w.push_back(r.weight);
+  const RipId rip = e->rips[rng.weightedIndex(w)].rip;
+  conns_.emplace(conn, ConnRecord{vip, rip});
+  ++connsPerVip_[vip];
+  return rip;
+}
+
+std::optional<RipId> LbSwitch::connectionRip(ConnId conn) const {
+  const auto it = conns_.find(conn);
+  if (it == conns_.end()) return std::nullopt;
+  return it->second.rip;
+}
+
+void LbSwitch::closeConnection(ConnId conn) {
+  const auto it = conns_.find(conn);
+  MDC_EXPECT(it != conns_.end(), "closeConnection: unknown connection");
+  const auto pv = connsPerVip_.find(it->second.vip);
+  MDC_ENSURE(pv != connsPerVip_.end() && pv->second > 0,
+             "per-vip connection count corrupt");
+  if (--pv->second == 0) connsPerVip_.erase(pv);
+  conns_.erase(it);
+}
+
+std::uint64_t LbSwitch::activeConnections(VipId vip) const {
+  const auto it = connsPerVip_.find(vip);
+  return it == connsPerVip_.end() ? 0 : it->second;
+}
+
+std::uint64_t LbSwitch::dropConnections(VipId vip) {
+  std::uint64_t dropped = 0;
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->second.vip == vip) {
+      it = conns_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  connsPerVip_.erase(vip);
+  return dropped;
+}
+
+}  // namespace mdc

@@ -1,0 +1,157 @@
+// L4 load-balancing switch model.
+//
+// Parameters follow the paper's reference hardware (Cisco Catalyst CSM,
+// [12]): 4,000 VIPs, 16,000 RIPs, 4 Gbps layer-4 throughput, 1M concurrent
+// TCP connections, 1.25 Mpps.  The table limits — not the silicon — drive
+// every architectural argument in the paper, so they are enforced here as
+// hard, branchable errors (Result/Status), never as contract violations.
+//
+// A switch entry maps a VIP to a weighted set of RIPs.  Each RIP targets
+// either a VM (ordinary load balancing) or another VIP (an m-VIP on the
+// load-balancing layer, used by the two-LB-layer architecture of §V-B).
+//
+// Connection tracking: packets of one TCP session must keep hitting the
+// same RIP, and only the owning switch knows the mapping (§IV-B).  The
+// session engine registers connections here; VIP transfer is only safe
+// when a VIP has no registered connections.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mdc/sim/rng.hpp"
+#include "mdc/util/ids.hpp"
+#include "mdc/util/result.hpp"
+#include "mdc/util/units.hpp"
+
+namespace mdc {
+
+/// Hardware limits of one LB switch; defaults are the paper's reference.
+struct SwitchLimits {
+  std::uint32_t maxVips = 4000;
+  std::uint32_t maxRips = 16000;
+  double capacityGbps = 4.0;
+  std::uint64_t maxConnections = 1'000'000;
+  /// Seconds one programmatic (re)configuration operation takes ([20],
+  /// [28] report "several seconds"); ops on one switch serialize.
+  SimTime reconfigSeconds = 3.0;
+};
+
+/// A RIP: one weighted backend of a VIP.  Exactly one of `vm` / `mvip`
+/// is valid.
+struct RipEntry {
+  RipId rip;
+  VmId vm;
+  VipId mvip;
+  double weight = 1.0;
+
+  [[nodiscard]] bool targetsVm() const noexcept { return vm.valid(); }
+};
+
+struct VipEntry {
+  VipId vip;
+  AppId app;
+  std::vector<RipEntry> rips;
+
+  [[nodiscard]] const RipEntry* findRip(RipId rip) const;
+  [[nodiscard]] double totalWeight() const;
+};
+
+class LbSwitch {
+ public:
+  LbSwitch(SwitchId id, SwitchLimits limits);
+
+  [[nodiscard]] SwitchId id() const noexcept { return id_; }
+  [[nodiscard]] const SwitchLimits& limits() const noexcept { return limits_; }
+
+  // --- table management (all O(#rips of one vip) or better) ------------
+
+  /// Errors: "vip_table_full", "vip_exists".
+  Status configureVip(VipId vip, AppId app);
+
+  /// Errors: "vip_unknown", "vip_has_connections".
+  Status removeVip(VipId vip);
+
+  /// Errors: "vip_unknown", "rip_table_full", "rip_exists", "bad_weight".
+  Status addRip(VipId vip, RipEntry entry);
+
+  /// Errors: "vip_unknown", "rip_unknown".
+  Status removeRip(VipId vip, RipId rip);
+
+  /// Errors: "vip_unknown", "rip_unknown", "bad_weight".
+  Status setRipWeight(VipId vip, RipId rip, double weight);
+
+  [[nodiscard]] const VipEntry* findVip(VipId vip) const;
+  [[nodiscard]] bool hasVip(VipId vip) const { return findVip(vip) != nullptr; }
+  [[nodiscard]] std::uint32_t vipCount() const noexcept {
+    return static_cast<std::uint32_t>(vips_.size());
+  }
+  [[nodiscard]] std::uint32_t ripCount() const noexcept { return ripCount_; }
+  [[nodiscard]] std::vector<VipId> vipIds() const;
+
+  [[nodiscard]] std::uint32_t spareVips() const noexcept {
+    return limits_.maxVips - vipCount();
+  }
+  [[nodiscard]] std::uint32_t spareRips() const noexcept {
+    return limits_.maxRips - ripCount();
+  }
+
+  // --- connection tracking (session engine) ----------------------------
+
+  /// Opens a connection on `vip`, choosing a RIP by weight.
+  /// Errors: "vip_unknown", "no_rips", "conn_table_full".
+  Result<RipId> openConnection(ConnId conn, VipId vip, Rng& rng);
+
+  /// The RIP a tracked connection is pinned to (affinity lookup).
+  [[nodiscard]] std::optional<RipId> connectionRip(ConnId conn) const;
+
+  /// Closes a tracked connection.  Precondition: the connection exists.
+  void closeConnection(ConnId conn);
+
+  [[nodiscard]] std::uint64_t activeConnections() const noexcept {
+    return conns_.size();
+  }
+  [[nodiscard]] std::uint64_t activeConnections(VipId vip) const;
+
+  /// Drops every connection of `vip` (what a forced VIP transfer does to
+  /// in-flight sessions).  Returns how many were dropped.
+  std::uint64_t dropConnections(VipId vip);
+
+  // --- fluid-engine gauges ---------------------------------------------
+
+  /// Offered L4 demand through this switch in the last fluid epoch.
+  void setOfferedGbps(double gbps) noexcept { offeredGbps_ = gbps; }
+  [[nodiscard]] double offeredGbps() const noexcept { return offeredGbps_; }
+  [[nodiscard]] double utilization() const noexcept {
+    return limits_.capacityGbps > 0.0 ? offeredGbps_ / limits_.capacityGbps
+                                      : 0.0;
+  }
+
+  /// Total reconfiguration operations applied (control-plane cost).
+  [[nodiscard]] std::uint64_t reconfigOps() const noexcept {
+    return reconfigOps_;
+  }
+
+ private:
+  struct ConnRecord {
+    VipId vip;
+    RipId rip;
+  };
+
+  VipEntry* findVipMutable(VipId vip);
+
+  SwitchId id_;
+  SwitchLimits limits_;
+  std::vector<VipEntry> vips_;
+  std::unordered_map<VipId, std::size_t> vipIndex_;
+  std::uint32_t ripCount_ = 0;
+  std::unordered_map<ConnId, ConnRecord> conns_;
+  std::unordered_map<VipId, std::uint64_t> connsPerVip_;
+  double offeredGbps_ = 0.0;
+  std::uint64_t reconfigOps_ = 0;
+};
+
+}  // namespace mdc

@@ -1,0 +1,132 @@
+#include "mdc/lb/switch_fleet.hpp"
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+SwitchId SwitchFleet::addSwitch(const SwitchLimits& limits) {
+  const SwitchId id{static_cast<SwitchId::value_type>(switches_.size())};
+  switches_.emplace_back(id, limits);
+  return id;
+}
+
+LbSwitch& SwitchFleet::at(SwitchId sw) {
+  MDC_EXPECT(sw.valid() && sw.index() < switches_.size(), "unknown switch");
+  return switches_[sw.index()];
+}
+
+const LbSwitch& SwitchFleet::at(SwitchId sw) const {
+  MDC_EXPECT(sw.valid() && sw.index() < switches_.size(), "unknown switch");
+  return switches_[sw.index()];
+}
+
+std::optional<SwitchId> SwitchFleet::ownerOf(VipId vip) const {
+  const auto it = owner_.find(vip);
+  if (it == owner_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status SwitchFleet::configureVip(SwitchId sw, VipId vip, AppId app) {
+  if (owner_.contains(vip)) return Status::fail("vip_owned_elsewhere");
+  const Status s = at(sw).configureVip(vip, app);
+  if (s.ok()) owner_.emplace(vip, sw);
+  return s;
+}
+
+Status SwitchFleet::removeVip(VipId vip) {
+  const auto it = owner_.find(vip);
+  if (it == owner_.end()) return Status::fail("vip_unowned");
+  const Status s = at(it->second).removeVip(vip);
+  if (s.ok()) owner_.erase(it);
+  return s;
+}
+
+Status SwitchFleet::transferVip(VipId vip, SwitchId to, bool force) {
+  const auto it = owner_.find(vip);
+  if (it == owner_.end()) return Status::fail("vip_unowned");
+  if (it->second == to) return Status::fail("same_switch");
+  LbSwitch& src = at(it->second);
+  LbSwitch& dst = at(to);
+
+  const std::uint64_t inFlight = src.activeConnections(vip);
+  if (inFlight > 0 && !force) {
+    return Status::fail("vip_in_use",
+                        std::to_string(inFlight) + " tracked connections");
+  }
+
+  const VipEntry* entry = src.findVip(vip);
+  MDC_ENSURE(entry != nullptr, "ownership index out of sync");
+
+  // Check destination capacity before mutating anything.
+  if (dst.spareVips() == 0) return Status::fail("vip_table_full");
+  if (dst.spareRips() < entry->rips.size()) {
+    return Status::fail("rip_table_full");
+  }
+
+  const std::vector<RipEntry> rips = entry->rips;  // copy before removal
+  const AppId app = entry->app;
+  if (inFlight > 0) {
+    droppedConns_ += src.dropConnections(vip);
+  }
+  Status s = src.removeVip(vip);
+  MDC_ENSURE(s.ok(), "source removeVip must succeed after drop");
+  s = dst.configureVip(vip, app);
+  MDC_ENSURE(s.ok(), "destination configureVip must succeed after check");
+  for (const RipEntry& r : rips) {
+    s = dst.addRip(vip, r);
+    MDC_ENSURE(s.ok(), "destination addRip must succeed after check");
+  }
+  it->second = to;
+  ++transfers_;
+  return Status::okStatus();
+}
+
+Status SwitchFleet::addRip(VipId vip, RipEntry entry) {
+  const auto it = owner_.find(vip);
+  if (it == owner_.end()) return Status::fail("vip_unowned");
+  return at(it->second).addRip(vip, entry);
+}
+
+Status SwitchFleet::removeRip(VipId vip, RipId rip) {
+  const auto it = owner_.find(vip);
+  if (it == owner_.end()) return Status::fail("vip_unowned");
+  return at(it->second).removeRip(vip, rip);
+}
+
+Status SwitchFleet::setRipWeight(VipId vip, RipId rip, double weight) {
+  const auto it = owner_.find(vip);
+  if (it == owner_.end()) return Status::fail("vip_unowned");
+  return at(it->second).setRipWeight(vip, rip, weight);
+}
+
+const VipEntry* SwitchFleet::findVip(VipId vip) const {
+  const auto it = owner_.find(vip);
+  if (it == owner_.end()) return nullptr;
+  return at(it->second).findVip(vip);
+}
+
+std::uint32_t SwitchFleet::totalVips() const {
+  std::uint32_t n = 0;
+  for (const LbSwitch& sw : switches_) n += sw.vipCount();
+  return n;
+}
+
+std::uint32_t SwitchFleet::totalRips() const {
+  std::uint32_t n = 0;
+  for (const LbSwitch& sw : switches_) n += sw.ripCount();
+  return n;
+}
+
+std::vector<double> SwitchFleet::offeredGbps() const {
+  std::vector<double> out;
+  out.reserve(switches_.size());
+  for (const LbSwitch& sw : switches_) out.push_back(sw.offeredGbps());
+  return out;
+}
+
+void SwitchFleet::forEach(
+    const std::function<void(const LbSwitch&)>& fn) const {
+  for (const LbSwitch& sw : switches_) fn(sw);
+}
+
+}  // namespace mdc

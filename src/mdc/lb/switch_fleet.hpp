@@ -1,0 +1,87 @@
+// The data center's fleet of LB switches, with a coherent VIP-ownership
+// index.
+//
+// The paper makes all LB switches "globally shared resources for all
+// applications" (§III-C): any switch can host any VIP, because every
+// switch connects to every border router and can reach every server.  The
+// fleet maintains the single source of truth for "which switch owns this
+// VIP" and implements dynamic VIP transfer (§IV-B): an internal move that
+// notifies border routers but involves no external route updates.
+//
+// All VIP placement mutations should go through the fleet so the index
+// stays coherent; per-switch RIP/weight/connection operations are
+// forwarded for convenience.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mdc/lb/lb_switch.hpp"
+
+namespace mdc {
+
+class SwitchFleet {
+ public:
+  /// Adds a switch with the given limits; ids are dense from 0.
+  SwitchId addSwitch(const SwitchLimits& limits);
+
+  [[nodiscard]] std::size_t size() const noexcept { return switches_.size(); }
+  [[nodiscard]] LbSwitch& at(SwitchId sw);
+  [[nodiscard]] const LbSwitch& at(SwitchId sw) const;
+
+  /// The switch currently owning `vip`, if any.
+  [[nodiscard]] std::optional<SwitchId> ownerOf(VipId vip) const;
+
+  // --- placement operations (keep the ownership index coherent) --------
+
+  /// Errors: those of LbSwitch::configureVip plus "vip_owned_elsewhere".
+  Status configureVip(SwitchId sw, VipId vip, AppId app);
+
+  /// Removes the VIP from its owning switch.
+  /// Errors: "vip_unowned" plus those of LbSwitch::removeVip.
+  Status removeVip(VipId vip);
+
+  /// Dynamic VIP transfer (§IV-B): moves the VIP — with its whole RIP set
+  /// and weights — from its current switch to `to`.  Refuses with
+  /// "vip_in_use" if the VIP still has tracked connections and `force` is
+  /// false; with force, in-flight connections are dropped and counted as
+  /// affinity violations.  Errors also: "vip_unowned", "same_switch",
+  /// "vip_table_full", "rip_table_full" (destination capacity).
+  Status transferVip(VipId vip, SwitchId to, bool force = false);
+
+  // --- forwarded per-VIP operations -------------------------------------
+
+  Status addRip(VipId vip, RipEntry entry);
+  Status removeRip(VipId vip, RipId rip);
+  Status setRipWeight(VipId vip, RipId rip, double weight);
+  [[nodiscard]] const VipEntry* findVip(VipId vip) const;
+
+  // --- fleet-wide accounting --------------------------------------------
+
+  [[nodiscard]] std::uint32_t totalVips() const;
+  [[nodiscard]] std::uint32_t totalRips() const;
+  [[nodiscard]] std::uint64_t vipTransfers() const noexcept {
+    return transfers_;
+  }
+  [[nodiscard]] std::uint64_t droppedConnections() const noexcept {
+    return droppedConns_;
+  }
+
+  /// Offered-throughput of every switch (fluid gauges), for imbalance
+  /// metrics.
+  [[nodiscard]] std::vector<double> offeredGbps() const;
+
+  /// Iterate switches (for balancers).
+  void forEach(const std::function<void(const LbSwitch&)>& fn) const;
+
+ private:
+  std::vector<LbSwitch> switches_;
+  std::unordered_map<VipId, SwitchId> owner_;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t droppedConns_ = 0;
+};
+
+}  // namespace mdc

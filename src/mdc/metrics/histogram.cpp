@@ -1,0 +1,74 @@
+#include "mdc/metrics/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+Histogram::Histogram(double minValue, double maxValue, std::size_t buckets) {
+  MDC_EXPECT(minValue > 0.0 && maxValue > minValue,
+             "Histogram needs 0 < min < max");
+  MDC_EXPECT(buckets >= 2, "Histogram needs >= 2 buckets");
+  lo_ = minValue;
+  ratio_ = std::pow(maxValue / minValue,
+                    1.0 / static_cast<double>(buckets));
+  counts_.assign(buckets, 0);
+}
+
+std::size_t Histogram::bucketFor(double v) const {
+  if (v <= lo_) return 0;
+  const auto idx = static_cast<std::size_t>(
+      std::log(v / lo_) / std::log(ratio_));
+  return std::min(idx, counts_.size() - 1);
+}
+
+double Histogram::bucketLow(std::size_t i) const {
+  return lo_ * std::pow(ratio_, static_cast<double>(i));
+}
+
+double Histogram::bucketHigh(std::size_t i) const {
+  return lo_ * std::pow(ratio_, static_cast<double>(i + 1));
+}
+
+void Histogram::record(double v) { record(v, 1); }
+
+void Histogram::record(double v, std::uint64_t count) {
+  MDC_EXPECT(v >= 0.0, "Histogram::record negative value");
+  if (count == 0) return;
+  counts_[bucketFor(v)] += count;
+  if (total_ == 0) {
+    minSeen_ = maxSeen_ = v;
+  } else {
+    minSeen_ = std::min(minSeen_, v);
+    maxSeen_ = std::max(maxSeen_, v);
+  }
+  total_ += count;
+  sum_ += v * static_cast<double>(count);
+}
+
+double Histogram::quantile(double q) const {
+  MDC_EXPECT(total_ > 0, "quantile of empty histogram");
+  MDC_EXPECT(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+  if (q == 0.0) return minSeen_;
+  if (q == 1.0) return maxSeen_;
+  const double target = q * static_cast<double>(total_);
+  double running = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = running + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      // Interpolate within the bucket.
+      const double frac =
+          counts_[i] == 0
+              ? 0.0
+              : (target - running) / static_cast<double>(counts_[i]);
+      return std::clamp(bucketLow(i) + frac * (bucketHigh(i) - bucketLow(i)),
+                        minSeen_, maxSeen_);
+    }
+    running = next;
+  }
+  return maxSeen_;
+}
+
+}  // namespace mdc

@@ -1,0 +1,47 @@
+// Log-bucketed histogram for latency-like quantities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mdc {
+
+/// Histogram with geometrically growing buckets covering [min, max].
+/// Records outside the range clamp into the edge buckets.
+class Histogram {
+ public:
+  /// Buckets span [minValue, maxValue] geometrically.
+  /// Preconditions: 0 < minValue < maxValue, buckets >= 2.
+  Histogram(double minValue, double maxValue, std::size_t buckets = 64);
+
+  void record(double v);
+  void record(double v, std::uint64_t count);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double meanValue() const noexcept {
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+  }
+
+  /// Approximate quantile (q in [0,1]) by bucket interpolation.
+  /// Precondition: at least one recorded value.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double maxRecorded() const noexcept { return maxSeen_; }
+  [[nodiscard]] double minRecorded() const noexcept { return minSeen_; }
+
+ private:
+  [[nodiscard]] std::size_t bucketFor(double v) const;
+  [[nodiscard]] double bucketLow(std::size_t i) const;
+  [[nodiscard]] double bucketHigh(std::size_t i) const;
+
+  double lo_;
+  double ratio_;  // per-bucket geometric growth factor
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double minSeen_ = 0.0;
+  double maxSeen_ = 0.0;
+};
+
+}  // namespace mdc

@@ -1,0 +1,93 @@
+#include "mdc/metrics/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  MDC_EXPECT(!columns_.empty(), "table needs columns");
+}
+
+void Table::addRow(std::vector<Cell> cells) {
+  MDC_EXPECT(cells.size() == columns_.size(),
+             "row width mismatch in table " + title_);
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::formatCell(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  const double d = std::get<double>(c);
+  std::ostringstream os;
+  if (d != 0.0 && (std::abs(d) >= 1e6 || std::abs(d) < 1e-3)) {
+    os << std::scientific << std::setprecision(3) << d;
+  } else {
+    os << std::fixed << std::setprecision(3) << d;
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(formatCell(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+         << cells[c];
+    }
+    os << '\n';
+  };
+  line(columns_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rendered) line(r);
+}
+
+void Table::printCsv(std::ostream& os) const {
+  auto csvEscape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << csvEscape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csvEscape(formatCell(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace mdc

@@ -1,0 +1,40 @@
+// Table rendering used by the bench harnesses to print paper-style rows.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mdc {
+
+/// A printable cell: string, integer, or double (rendered with precision).
+using Cell = std::variant<std::string, long long, double>;
+
+/// Column-aligned text table with optional CSV output.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void addRow(std::vector<Cell> cells);
+
+  /// Render as aligned text (what the bench binaries print).
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no title line).
+  void printCsv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+  /// Format a double the way the table does (for tests).
+  [[nodiscard]] static std::string formatCell(const Cell& c);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace mdc

@@ -1,0 +1,74 @@
+#include "mdc/metrics/timeseries.hpp"
+
+#include <algorithm>
+
+#include "mdc/util/stats.hpp"
+
+namespace mdc {
+
+void TimeSeries::record(SimTime t, double v) {
+  MDC_EXPECT(samples_.empty() || t >= samples_.back().time,
+             "TimeSeries must be recorded in time order: " + name_);
+  samples_.push_back(Sample{t, v});
+}
+
+double TimeSeries::last() const {
+  MDC_EXPECT(!samples_.empty(), "last() on empty series " + name_);
+  return samples_.back().value;
+}
+
+double TimeSeries::maxValue() const {
+  MDC_EXPECT(!samples_.empty(), "maxValue() on empty series " + name_);
+  return std::max_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.value < b.value;
+                          })
+      ->value;
+}
+
+double TimeSeries::minValue() const {
+  MDC_EXPECT(!samples_.empty(), "minValue() on empty series " + name_);
+  return std::min_element(samples_.begin(), samples_.end(),
+                          [](const Sample& a, const Sample& b) {
+                            return a.value < b.value;
+                          })
+      ->value;
+}
+
+double TimeSeries::meanValue() const {
+  const auto vs = values();
+  return mean(vs);
+}
+
+double TimeSeries::timeWeightedMean() const {
+  MDC_EXPECT(!samples_.empty(), "timeWeightedMean() on empty series " + name_);
+  if (samples_.size() == 1) return samples_.front().value;
+  double area = 0.0;
+  for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+    area += samples_[i].value * (samples_[i + 1].time - samples_[i].time);
+  }
+  const double span = samples_.back().time - samples_.front().time;
+  if (span <= 0.0) return samples_.back().value;
+  return area / span;
+}
+
+SimTime TimeSeries::settleTime(double threshold) const {
+  SimTime settled = -1.0;
+  for (const Sample& s : samples_) {
+    if (s.value <= threshold) {
+      if (settled < 0.0) settled = s.time;
+    } else {
+      settled = -1.0;
+    }
+  }
+  return settled;
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> vs;
+  vs.reserve(samples_.size());
+  for (const Sample& s : samples_) vs.push_back(s.value);
+  return vs;
+}
+
+}  // namespace mdc

@@ -1,0 +1,54 @@
+// Time-series recording for experiment output.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mdc/util/expect.hpp"
+#include "mdc/util/units.hpp"
+
+namespace mdc {
+
+/// An append-only (time, value) series with summary queries.
+class TimeSeries {
+ public:
+  struct Sample {
+    SimTime time;
+    double value;
+  };
+
+  explicit TimeSeries(std::string name = "") : name_(std::move(name)) {}
+
+  void record(SimTime t, double v);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::span<const Sample> samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+
+  [[nodiscard]] double last() const;
+  [[nodiscard]] double maxValue() const;
+  [[nodiscard]] double minValue() const;
+  [[nodiscard]] double meanValue() const;
+
+  /// Time-weighted average over the recorded span (treats each sample as
+  /// holding until the next).  Precondition: at least one sample.
+  [[nodiscard]] double timeWeightedMean() const;
+
+  /// First time at which value <= threshold and stays <= threshold for the
+  /// remainder of the series; returns -1 if never.  Used for convergence
+  /// ("when did imbalance settle below X").
+  [[nodiscard]] SimTime settleTime(double threshold) const;
+
+  /// Values only, for feeding the stats helpers.
+  [[nodiscard]] std::vector<double> values() const;
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace mdc

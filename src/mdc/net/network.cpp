@@ -1,0 +1,140 @@
+#include "mdc/net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace mdc {
+
+double FlowAllocation::totalServed() const {
+  return std::accumulate(flowRate.begin(), flowRate.end(), 0.0);
+}
+
+double FlowAllocation::totalDemand(std::span<const Flow> flows) const {
+  double d = 0.0;
+  for (const Flow& f : flows) d += f.demandGbps;
+  return d;
+}
+
+LinkId Network::addLink(std::string name, double capacityGbps) {
+  MDC_EXPECT(capacityGbps >= 0.0, "negative link capacity: " + name);
+  const LinkId id{static_cast<LinkId::value_type>(links_.size())};
+  links_.push_back(Link{id, std::move(name), capacityGbps});
+  return id;
+}
+
+const Link& Network::link(LinkId id) const {
+  MDC_EXPECT(id.valid() && id.index() < links_.size(), "unknown link");
+  return links_[id.index()];
+}
+
+void Network::setCapacity(LinkId id, double capacityGbps) {
+  MDC_EXPECT(id.valid() && id.index() < links_.size(), "unknown link");
+  MDC_EXPECT(capacityGbps >= 0.0, "negative link capacity");
+  links_[id.index()].capacityGbps = capacityGbps;
+}
+
+std::vector<double> Network::offeredLoad(std::span<const Flow> flows) const {
+  std::vector<double> offered(links_.size(), 0.0);
+  for (const Flow& f : flows) {
+    MDC_EXPECT(f.demandGbps >= 0.0, "negative flow demand");
+    for (LinkId l : f.path) {
+      MDC_EXPECT(l.valid() && l.index() < links_.size(), "flow on unknown link");
+      offered[l.index()] += f.demandGbps;
+    }
+  }
+  return offered;
+}
+
+std::vector<double> Network::utilization(std::span<const double> offered) const {
+  MDC_EXPECT(offered.size() == links_.size(), "offered size mismatch");
+  std::vector<double> util(links_.size(), 0.0);
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].capacityGbps > 0.0) {
+      util[i] = offered[i] / links_[i].capacityGbps;
+    } else if (offered[i] > 0.0) {
+      util[i] = std::numeric_limits<double>::infinity();
+    }
+  }
+  return util;
+}
+
+FlowAllocation Network::allocate(std::span<const Flow> flows) const {
+  FlowAllocation out;
+  out.flowRate.assign(flows.size(), 0.0);
+  out.linkOffered = offeredLoad(flows);
+  out.linkServed.assign(links_.size(), 0.0);
+
+  // Progressive filling with demand-bounded flows.
+  std::vector<double> remCap(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    remCap[i] = links_[i].capacityGbps;
+  }
+  std::vector<std::size_t> activeOnLink(links_.size(), 0);
+  std::vector<bool> frozen(flows.size(), false);
+
+  std::size_t activeFlows = 0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    if (flows[f].demandGbps <= 0.0) {
+      frozen[f] = true;
+      continue;
+    }
+    ++activeFlows;
+    for (LinkId l : flows[f].path) ++activeOnLink[l.index()];
+  }
+
+  constexpr double kEps = 1e-12;
+  while (activeFlows > 0) {
+    // The common fair increment this round: the smallest of (a) each
+    // active link's equal share of remaining capacity and (b) each active
+    // flow's remaining demand.
+    double inc = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      if (activeOnLink[i] > 0) {
+        inc = std::min(inc, remCap[i] / static_cast<double>(activeOnLink[i]));
+      }
+    }
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (!frozen[f]) {
+        inc = std::min(inc, flows[f].demandGbps - out.flowRate[f]);
+      }
+    }
+    MDC_ENSURE(inc >= 0.0 && std::isfinite(inc),
+               "max-min increment must be finite and non-negative");
+
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (frozen[f]) continue;
+      out.flowRate[f] += inc;
+      for (LinkId l : flows[f].path) remCap[l.index()] -= inc;
+    }
+
+    // Freeze flows that met their demand or cross a saturated link.
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (frozen[f]) continue;
+      bool freeze = out.flowRate[f] >= flows[f].demandGbps - kEps;
+      if (!freeze) {
+        for (LinkId l : flows[f].path) {
+          if (remCap[l.index()] <= kEps) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        frozen[f] = true;
+        --activeFlows;
+        for (LinkId l : flows[f].path) --activeOnLink[l.index()];
+      }
+    }
+  }
+
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    for (LinkId l : flows[f].path) {
+      out.linkServed[l.index()] += out.flowRate[f];
+    }
+  }
+  return out;
+}
+
+}  // namespace mdc

@@ -1,0 +1,82 @@
+// Flow-level network engine.
+//
+// The simulator models traffic as fluid flows over capacitated links.
+// Each evaluation takes a set of flows (demand + path) and produces a
+// max-min fair bandwidth allocation plus per-link offered/served load —
+// the quantities every load-balancing knob in the paper reasons about.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mdc/util/expect.hpp"
+#include "mdc/util/ids.hpp"
+#include "mdc/util/units.hpp"
+
+namespace mdc {
+
+/// A unidirectional capacitated link.
+struct Link {
+  LinkId id;
+  std::string name;
+  double capacityGbps = 0.0;
+};
+
+/// A fluid flow: `demandGbps` offered over the ordered `path` of links.
+/// An empty path means the flow never touches a modelled link (e.g. pure
+/// intra-host) and is always fully served.
+struct Flow {
+  double demandGbps = 0.0;
+  std::vector<LinkId> path;
+};
+
+/// Result of one allocation round.
+struct FlowAllocation {
+  /// Served rate per flow, same order as the input; rate <= demand.
+  std::vector<double> flowRate;
+  /// Sum of demand routed across each link (may exceed capacity).
+  std::vector<double> linkOffered;
+  /// Sum of served rate across each link (never exceeds capacity modulo
+  /// floating-point epsilon).
+  std::vector<double> linkServed;
+
+  [[nodiscard]] double totalServed() const;
+  [[nodiscard]] double totalDemand(std::span<const Flow> flows) const;
+};
+
+/// Registry of links plus the max-min fair allocator.
+class Network {
+ public:
+  /// Adds a link.  Precondition: capacityGbps >= 0 (0 = always saturated).
+  LinkId addLink(std::string name, double capacityGbps);
+
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] std::size_t linkCount() const noexcept {
+    return links_.size();
+  }
+
+  /// Change a link's capacity (models access-link upgrades/failures;
+  /// capacity 0 = link down).
+  void setCapacity(LinkId id, double capacityGbps);
+
+  /// Max-min fair allocation with demand-bounded flows (progressive
+  /// filling).  Each flow's rate grows at the same pace until either its
+  /// demand is met or a link on its path saturates.
+  [[nodiscard]] FlowAllocation allocate(std::span<const Flow> flows) const;
+
+  /// Offered-load-only accounting: per-link sum of demand, no capacity
+  /// enforcement.  Cheaper when only utilization is needed.
+  [[nodiscard]] std::vector<double> offeredLoad(
+      std::span<const Flow> flows) const;
+
+  /// Utilization (offered / capacity) per link; infinity for zero-capacity
+  /// links with demand.
+  [[nodiscard]] std::vector<double> utilization(
+      std::span<const double> offered) const;
+
+ private:
+  std::vector<Link> links_;
+};
+
+}  // namespace mdc

@@ -1,0 +1,96 @@
+#include "mdc/route/route_registry.hpp"
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+RouteRegistry::RouteRegistry(SimTime propagationDelay)
+    : delay_(propagationDelay) {
+  MDC_EXPECT(propagationDelay >= 0.0, "negative propagation delay");
+}
+
+void RouteRegistry::advertise(VipId vip, AccessRouterId router, SimTime now) {
+  MDC_EXPECT(vip.valid() && router.valid(), "invalid advertise target");
+  RouteEntry& e = routes_[Key{vip, router}];
+  e.vip = vip;
+  e.router = router;
+  e.state = RouteState::Announcing;
+  e.transitionDone = now + delay_;
+  ++updates_;
+}
+
+void RouteRegistry::pad(VipId vip, AccessRouterId router, SimTime now) {
+  const auto it = routes_.find(Key{vip, router});
+  MDC_EXPECT(it != routes_.end(), "pad: route does not exist");
+  MDC_EXPECT(it->second.state != RouteState::Withdrawing,
+             "pad: route already withdrawing");
+  it->second.state = RouteState::Padded;
+  // Padding takes effect once the longer path propagates; until then we
+  // conservatively treat it as already padded (no new traffic), which is
+  // the safe direction for drain correctness.
+  it->second.transitionDone = now + delay_;
+  ++updates_;
+}
+
+void RouteRegistry::withdraw(VipId vip, AccessRouterId router, SimTime now) {
+  const auto it = routes_.find(Key{vip, router});
+  MDC_EXPECT(it != routes_.end(), "withdraw: route does not exist");
+  it->second.state = RouteState::Withdrawing;
+  it->second.transitionDone = now + delay_;
+  ++updates_;
+}
+
+void RouteRegistry::settle(SimTime now) {
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    RouteEntry& e = it->second;
+    if (e.transitionDone <= now) {
+      if (e.state == RouteState::Announcing) {
+        e.state = RouteState::Active;
+      } else if (e.state == RouteState::Withdrawing) {
+        it = routes_.erase(it);
+        continue;
+      }
+      // Padded stays padded after convergence.
+    }
+    ++it;
+  }
+}
+
+const RouteEntry* RouteRegistry::find(VipId vip, AccessRouterId router) const {
+  const auto it = routes_.find(Key{vip, router});
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+std::vector<AccessRouterId> RouteRegistry::activeRouters(VipId vip) const {
+  std::vector<AccessRouterId> out;
+  for (const auto& [key, e] : routes_) {
+    if (key.first == vip && e.state == RouteState::Active) {
+      out.push_back(e.router);
+    }
+  }
+  return out;
+}
+
+std::vector<AccessRouterId> RouteRegistry::reachableRouters(VipId vip) const {
+  std::vector<AccessRouterId> out;
+  for (const auto& [key, e] : routes_) {
+    if (key.first == vip && (e.state == RouteState::Active ||
+                             e.state == RouteState::Padded)) {
+      out.push_back(e.router);
+    }
+  }
+  return out;
+}
+
+bool RouteRegistry::isActive(VipId vip, AccessRouterId router) const {
+  const RouteEntry* e = find(vip, router);
+  return e != nullptr && e->state == RouteState::Active;
+}
+
+bool RouteRegistry::isReachable(VipId vip, AccessRouterId router) const {
+  const RouteEntry* e = find(vip, router);
+  return e != nullptr &&
+         (e->state == RouteState::Active || e->state == RouteState::Padded);
+}
+
+}  // namespace mdc

@@ -1,0 +1,90 @@
+// BGP-style VIP advertisement state at the ISPs' access routers.
+//
+// The paper contrasts two ways of steering traffic across access links:
+//   * naive "VIP transfer between access links": withdraw a VIP's route at
+//     one access router and re-advertise it at another — slow (routes must
+//     propagate, old connections must drain behind a padded AS path) and
+//     costly in route updates; and
+//   * "selective VIP exposure": routes stay put; the authoritative DNS
+//     steers demand among a VIP set (see mdc/dns).  Route updates then
+//     happen at most once per period for *unused* VIPs.
+//
+// This registry models advertisement state, propagation delay, AS-path
+// padding (a padded route keeps existing sessions reachable but attracts
+// no new traffic), and counts every route update so both strategies can be
+// compared quantitatively (experiment E4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mdc/util/ids.hpp"
+#include "mdc/util/result.hpp"
+#include "mdc/util/units.hpp"
+
+namespace mdc {
+
+enum class RouteState : std::uint8_t {
+  Announcing,  // advertised, still propagating; not yet usable
+  Active,      // advertised and converged; attracts new traffic
+  Padded,      // advertised with padded AS path; drains, no new traffic
+  Withdrawing  // withdrawal propagating; unusable once converged
+};
+
+struct RouteEntry {
+  VipId vip;
+  AccessRouterId router;
+  RouteState state = RouteState::Announcing;
+  SimTime transitionDone = 0.0;  // when the in-flight transition converges
+};
+
+class RouteRegistry {
+ public:
+  /// `propagationDelay`: seconds for an announcement/withdrawal to
+  /// converge across the ISPs (BGP convergence scale).
+  explicit RouteRegistry(SimTime propagationDelay = 30.0);
+
+  /// Advertise `vip` at `router` starting at `now`.  Re-advertising a
+  /// padded route un-pads it (fresh announcement).  Counts one update.
+  void advertise(VipId vip, AccessRouterId router, SimTime now);
+
+  /// Replace the advertisement with a padded-AS-path one: existing
+  /// sessions still route, no new sessions arrive.  Counts one update.
+  /// Precondition: the route exists and is not withdrawing.
+  void pad(VipId vip, AccessRouterId router, SimTime now);
+
+  /// Withdraw the route.  Counts one update.  Precondition: route exists.
+  void withdraw(VipId vip, AccessRouterId router, SimTime now);
+
+  /// Advance in-flight transitions up to `now` (Announcing -> Active,
+  /// Withdrawing -> gone).  Called by the owner before queries.
+  void settle(SimTime now);
+
+  /// Routers from which *new* sessions can reach the VIP at `now`.
+  [[nodiscard]] std::vector<AccessRouterId> activeRouters(VipId vip) const;
+
+  /// Routers from which *existing* sessions can still reach the VIP
+  /// (includes padded routes).
+  [[nodiscard]] std::vector<AccessRouterId> reachableRouters(VipId vip) const;
+
+  [[nodiscard]] bool isActive(VipId vip, AccessRouterId router) const;
+  [[nodiscard]] bool isReachable(VipId vip, AccessRouterId router) const;
+
+  /// Total BGP updates issued so far — the cost metric of E4.
+  [[nodiscard]] std::uint64_t routeUpdates() const noexcept {
+    return updates_;
+  }
+
+  [[nodiscard]] SimTime propagationDelay() const noexcept { return delay_; }
+
+ private:
+  using Key = std::pair<VipId, AccessRouterId>;
+  [[nodiscard]] const RouteEntry* find(VipId vip, AccessRouterId router) const;
+
+  SimTime delay_;
+  std::map<Key, RouteEntry> routes_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace mdc

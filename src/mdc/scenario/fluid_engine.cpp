@@ -1,0 +1,240 @@
+#include "mdc/scenario/fluid_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "mdc/core/viprip_manager.hpp"
+#include "mdc/util/expect.hpp"
+#include "mdc/util/stats.hpp"
+
+namespace mdc {
+
+namespace {
+constexpr double kEpsRps = 1e-9;
+constexpr int kMaxVipDepth = 3;  // external VIP -> m-VIP -> VM at most
+
+struct VmFlowRecord {
+  VmId vm;
+  AppId app;
+  double rps = 0.0;
+  std::vector<LinkId> path;
+};
+}  // namespace
+
+FluidEngine::FluidEngine(Simulation& sim, const Topology& topo,
+                         AppRegistry& apps, AuthoritativeDns& dns,
+                         ResolverPopulation& resolvers, RouteRegistry& routes,
+                         SwitchFleet& fleet, HostFleet& hosts,
+                         const DemandModel& demand,
+                         const VipRipManager& viprip, Options options)
+    : sim_(sim),
+      topo_(topo),
+      apps_(apps),
+      dns_(dns),
+      resolvers_(resolvers),
+      routes_(routes),
+      fleet_(fleet),
+      hosts_(hosts),
+      demand_(demand),
+      viprip_(viprip),
+      options_(options) {
+  MDC_EXPECT(options.epoch > 0.0, "epoch must be positive");
+  (void)viprip_;
+}
+
+EpochReport FluidEngine::step() {
+  const SimTime now = sim_.now();
+  resolvers_.advance(now);
+  routes_.settle(now);
+
+  EpochReport report;
+  report.time = now;
+
+  std::vector<double> linkOffered(topo_.network().linkCount(), 0.0);
+  std::vector<VmFlowRecord> vmFlows;
+
+  // Recursive descent from a VIP to VMs, following m-VIP indirection for
+  // the two-LB-layer architecture (§V-B).  `prefix` carries the links
+  // already on the path (access link + upstream switch trunks).
+  std::function<void(VipId, double, AppId, std::vector<LinkId>, int)>
+      descend = [&](VipId vip, double rps, AppId app,
+                    std::vector<LinkId> prefix, int depth) {
+        if (rps <= kEpsRps) return;
+        if (depth >= kMaxVipDepth) {
+          report.unroutedRps += rps;
+          report.unroutedByCause["depth"] += rps;
+          return;
+        }
+        const auto owner = fleet_.ownerOf(vip);
+        if (!owner.has_value()) {
+          report.unroutedRps += rps;
+          report.unroutedByCause["no_owner"] += rps;
+          return;
+        }
+        const VipEntry* entry = fleet_.at(*owner).findVip(vip);
+        MDC_ENSURE(entry != nullptr, "fleet ownership index out of sync");
+        const double totalWeight = entry->totalWeight();
+        if (entry->rips.empty() || totalWeight <= 0.0) {
+          report.unroutedRps += rps;
+          report.unroutedByCause["no_rips"] += rps;
+          return;
+        }
+        report.vipDemandGbps[vip] +=
+            rps * apps_.app(app).sla.gbpsPerKrps / 1000.0;
+        prefix.push_back(topo_.switchTrunk(*owner));
+        for (const RipEntry& rip : entry->rips) {
+          const double ripRps = rps * rip.weight / totalWeight;
+          if (ripRps <= kEpsRps) continue;
+          if (rip.targetsVm()) {
+            if (!hosts_.vmExists(rip.vm)) {
+              report.unroutedRps += ripRps;
+              report.unroutedByCause["dead_vm"] += ripRps;
+              continue;
+            }
+            const ServerInfo& srv =
+                topo_.server(hosts_.vm(rip.vm).server);
+            VmFlowRecord rec;
+            rec.vm = rip.vm;
+            rec.app = app;
+            rec.rps = ripRps;
+            rec.path = prefix;
+            if (topo_.config().fabric == FabricKind::TraditionalTree) {
+              rec.path.push_back(topo_.siloUplink(srv.silo));
+            }
+            rec.path.push_back(srv.nic);
+            vmFlows.push_back(std::move(rec));
+          } else {
+            descend(rip.mvip, ripRps, app, prefix, depth + 1);
+          }
+        }
+      };
+
+  // Route every application's demand down the data path.
+  for (const Application& app : apps_.all()) {
+    const double demandRps = demand_.rps(app.id, now);
+    report.appDemandRps[app.id] = demandRps;
+    if (demandRps <= kEpsRps) continue;
+    if (!dns_.hasApp(app.id)) {
+      report.unroutedRps += demandRps;
+      report.unroutedByCause["no_dns"] += demandRps;
+      continue;
+    }
+    const auto shares = resolvers_.shares(app.id);
+    double shareSum = 0.0;
+    for (const VipWeight& sh : shares) shareSum += sh.weight;
+    if (shares.empty() || shareSum <= kEpsRps) {
+      // No VIP of the app is exposed (all weights zero, e.g. every RIP
+      // lost); clients cannot reach it at all.
+      report.unroutedRps += demandRps;
+      report.unroutedByCause["no_shares"] += demandRps;
+      continue;
+    }
+    for (const VipWeight& sh : shares) {
+      const double vipRps = demandRps * sh.weight;
+      if (vipRps <= kEpsRps) continue;
+
+      auto routers = routes_.activeRouters(sh.vip);
+      if (routers.empty()) routers = routes_.reachableRouters(sh.vip);
+      if (routers.empty()) {
+        report.unroutedRps += vipRps;
+        report.unroutedByCause["no_route"] += vipRps;
+        continue;
+      }
+      const double perRouter = vipRps / static_cast<double>(routers.size());
+      for (AccessRouterId ar : routers) {
+        descend(sh.vip, perRouter, app.id,
+                {topo_.accessLinkFor(ar).link}, 0);
+      }
+    }
+  }
+
+  // Offered load per link, from every VM flow.
+  for (const VmFlowRecord& f : vmFlows) {
+    const AppSla& sla = apps_.app(f.app).sla;
+    const double gbps = f.rps * sla.gbpsPerKrps / 1000.0;
+    for (LinkId l : f.path) linkOffered[l.index()] += gbps;
+  }
+
+  // Serving: network fraction first, then VM capacity.
+  hosts_.forEachVm([](VmRecord& vm) {
+    vm.offeredRps = 0.0;
+    vm.servedRps = 0.0;
+  });
+  std::unordered_map<VmId, double> netServedRps;
+  for (const VmFlowRecord& f : vmFlows) {
+    double fraction = 1.0;
+    for (LinkId l : f.path) {
+      const double cap = topo_.network().link(l).capacityGbps;
+      const double off = linkOffered[l.index()];
+      if (off > cap) {
+        fraction = std::min(fraction, cap > 0.0 ? cap / off : 0.0);
+      }
+    }
+    VmRecord& vm = hosts_.vmMutable(f.vm);
+    vm.offeredRps += f.rps;
+    netServedRps[f.vm] += f.rps * fraction;
+  }
+  for (const auto& [vmId, rps] : netServedRps) {
+    VmRecord& vm = hosts_.vmMutable(vmId);
+    const AppSla& sla = apps_.app(vm.app).sla;
+    const double capRps = sla.servableRps(vm.effectiveSlice);
+    vm.servedRps = std::min(rps, capRps);
+    report.appServedRps[vm.app] += vm.servedRps;
+  }
+
+  // Link and switch utilization.
+  report.accessLinkUtil.resize(topo_.accessLinkCount());
+  for (std::size_t i = 0; i < topo_.accessLinkCount(); ++i) {
+    const Link& l = topo_.network().link(topo_.accessLink(i).link);
+    const double off = linkOffered[l.id.index()];
+    report.accessLinkUtil[i] = l.capacityGbps > 0.0
+                                   ? off / l.capacityGbps
+                                   : (off > 0.0 ? 1e9 : 0.0);
+    report.externalOfferedGbps += off;
+    report.externalServedGbps += std::min(off, l.capacityGbps);
+  }
+  report.switchUtil.resize(topo_.switchCount());
+  for (std::size_t i = 0; i < topo_.switchCount(); ++i) {
+    const SwitchId sw{static_cast<SwitchId::value_type>(i)};
+    const Link& trunk = topo_.network().link(topo_.switchTrunk(sw));
+    const double off = linkOffered[trunk.id.index()];
+    report.switchUtil[i] =
+        trunk.capacityGbps > 0.0 ? off / trunk.capacityGbps : 0.0;
+    if (i < fleet_.size()) fleet_.at(sw).setOfferedGbps(off);
+  }
+
+  // Recorded series.
+  const bool room =
+      options_.maxSamples == 0 || satisfaction_.size() < options_.maxSamples;
+  if (room) {
+    linkImbalance_.record(now, maxOverMean(report.accessLinkUtil));
+    switchImbalance_.record(now, maxOverMean(report.switchUtil));
+    maxLinkUtil_.record(
+        now, report.accessLinkUtil.empty()
+                 ? 0.0
+                 : *std::max_element(report.accessLinkUtil.begin(),
+                                     report.accessLinkUtil.end()));
+    maxSwitchUtil_.record(
+        now, report.switchUtil.empty()
+                 ? 0.0
+                 : *std::max_element(report.switchUtil.begin(),
+                                     report.switchUtil.end()));
+    const double demandTotal = report.totalDemandRps();
+    satisfaction_.record(
+        now, demandTotal > 0.0 ? report.totalServedRps() / demandTotal : 1.0);
+    unrouted_.record(now, report.unroutedRps);
+  }
+
+  latest_ = report;
+  return report;
+}
+
+void FluidEngine::start(std::function<void(const EpochReport&)> sink) {
+  MDC_EXPECT(static_cast<bool>(sink), "engine needs a sink");
+  sim_.every(options_.epoch, [this, sink = std::move(sink)] {
+    sink(step());
+  });
+}
+
+}  // namespace mdc

@@ -1,0 +1,102 @@
+// The fluid traffic engine.
+//
+// Every epoch it routes each application's demand along the paper's data
+// path — DNS shares -> VIP -> advertised access link -> owning LB switch
+// (-> m-VIP -> second-layer switch, in two-LB-layer mode) -> weighted RIPs
+// -> VMs — converts request rates to bandwidth, accounts link and switch
+// load, applies serving limits, and publishes an EpochReport to the global
+// manager.
+//
+// Bandwidth contention is approximated per flow as
+//   served = demand * min over links on the path of min(1, cap/offered),
+// which is monotone, cheap (O(flows)) at the 300k-server scale, and exact
+// whenever a flow crosses at most one saturated link (the dominant case
+// here: the access link or the switch trunk).  The exact max-min allocator
+// in mdc/net remains available for finer analyses.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mdc/app/app_registry.hpp"
+#include "mdc/core/epoch_report.hpp"
+#include "mdc/dns/dns.hpp"
+#include "mdc/host/host_fleet.hpp"
+#include "mdc/lb/switch_fleet.hpp"
+#include "mdc/metrics/timeseries.hpp"
+#include "mdc/route/route_registry.hpp"
+#include "mdc/sim/simulation.hpp"
+#include "mdc/topo/topology.hpp"
+#include "mdc/workload/demand.hpp"
+
+namespace mdc {
+
+class VipRipManager;
+
+class FluidEngine {
+ public:
+  struct Options {
+    SimTime epoch = 5.0;
+    /// Stop recording time series after this many samples (0 = unlimited).
+    std::size_t maxSamples = 0;
+  };
+
+  FluidEngine(Simulation& sim, const Topology& topo, AppRegistry& apps,
+              AuthoritativeDns& dns, ResolverPopulation& resolvers,
+              RouteRegistry& routes, SwitchFleet& fleet, HostFleet& hosts,
+              const DemandModel& demand,
+              const VipRipManager& viprip, Options options);
+
+  /// Evaluate one epoch at the current simulation time.
+  EpochReport step();
+
+  /// Register the periodic epoch loop; each report is forwarded to `sink`.
+  void start(std::function<void(const EpochReport&)> sink);
+
+  [[nodiscard]] const EpochReport& latest() const noexcept { return latest_; }
+
+  // --- recorded series (inputs to the benches) ---------------------------
+
+  [[nodiscard]] const TimeSeries& linkImbalance() const noexcept {
+    return linkImbalance_;
+  }
+  [[nodiscard]] const TimeSeries& switchImbalance() const noexcept {
+    return switchImbalance_;
+  }
+  [[nodiscard]] const TimeSeries& maxLinkUtil() const noexcept {
+    return maxLinkUtil_;
+  }
+  [[nodiscard]] const TimeSeries& maxSwitchUtil() const noexcept {
+    return maxSwitchUtil_;
+  }
+  [[nodiscard]] const TimeSeries& satisfaction() const noexcept {
+    return satisfaction_;
+  }
+  [[nodiscard]] const TimeSeries& unroutedRps() const noexcept {
+    return unrouted_;
+  }
+
+ private:
+  Simulation& sim_;
+  const Topology& topo_;
+  AppRegistry& apps_;
+  AuthoritativeDns& dns_;
+  ResolverPopulation& resolvers_;
+  RouteRegistry& routes_;
+  SwitchFleet& fleet_;
+  HostFleet& hosts_;
+  const DemandModel& demand_;
+  const VipRipManager& viprip_;
+  Options options_;
+
+  EpochReport latest_;
+  TimeSeries linkImbalance_{"link-imbalance(max/mean)"};
+  TimeSeries switchImbalance_{"switch-imbalance(max/mean)"};
+  TimeSeries maxLinkUtil_{"max-link-util"};
+  TimeSeries maxSwitchUtil_{"max-switch-util"};
+  TimeSeries satisfaction_{"served/demand"};
+  TimeSeries unrouted_{"unrouted-rps"};
+};
+
+}  // namespace mdc

@@ -1,0 +1,152 @@
+#include "mdc/scenario/megadc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+MegaDc::MegaDc(MegaDcConfig config)
+    : topo(config.topology),
+      routes(config.routePropagationDelay),
+      hosts(topo, sim, config.hostCosts),
+      podRegistry(config.topology.numServers),
+      config_(std::move(config)) {
+  MDC_EXPECT(config_.numApps > 0, "need at least one app");
+  MDC_EXPECT(config_.numPods > 0, "need at least one pod");
+
+  // LB switches matching the topology's trunk count.
+  for (std::uint32_t i = 0; i < config_.topology.numSwitches; ++i) {
+    SwitchLimits limits = config_.switchLimits;
+    limits.capacityGbps = config_.topology.switchTrunkGbps;
+    fleet.addSwitch(limits);
+  }
+
+  // Applications with Zipf-distributed base demand.
+  const auto rates =
+      zipfBaseRates(config_.numApps, config_.zipfAlpha, config_.totalDemandRps);
+  for (std::uint32_t a = 0; a < config_.numApps; ++a) {
+    apps.create("app-" + std::to_string(a), config_.sla, rates[a]);
+  }
+  demand = std::make_unique<StaticDemand>(rates);
+
+  resolvers = std::make_unique<ResolverPopulation>(dns, config_.resolver);
+
+  manager = std::make_unique<GlobalManager>(
+      sim, topo, hosts, apps, fleet, dns, routes, podRegistry,
+      std::make_shared<PlacementController>(), config_.manager);
+
+  // Pods: servers striped round-robin.
+  std::vector<std::vector<ServerId>> podServers(config_.numPods);
+  for (std::uint32_t s = 0; s < config_.topology.numServers; ++s) {
+    podServers[s % config_.numPods].push_back(ServerId{s});
+  }
+  for (auto& servers : podServers) {
+    manager->createPod(servers);
+  }
+
+  engine = std::make_unique<FluidEngine>(sim, topo, apps, dns, *resolvers,
+                                         routes, fleet, hosts, *demand,
+                                         manager->viprip(), config_.engine);
+}
+
+void MegaDc::setDemandModel(std::unique_ptr<DemandModel> model) {
+  MDC_EXPECT(model != nullptr, "null demand model");
+  MDC_EXPECT(!started_, "cannot swap demand model after start()");
+  demand = std::move(model);
+  // Rebuild the engine against the new model (it holds a reference).
+  engine = std::make_unique<FluidEngine>(sim, topo, apps, dns, *resolvers,
+                                         routes, fleet, hosts, *demand,
+                                         manager->viprip(), config_.engine);
+}
+
+void MegaDc::deployAllApps() {
+  for (const Application& a : apps.all()) {
+    // Enough instances that each initial slice fits comfortably within
+    // one server (at most ~half a server per instance).
+    const double perServerRps =
+        a.sla.servableRps(config_.topology.serverCapacity);
+    std::uint32_t instances = config_.instancesPerApp;
+    if (perServerRps > 0.0) {
+      const auto needed = static_cast<std::uint32_t>(
+          std::ceil(a.baseRps * config_.manager.pod.headroom /
+                    (0.5 * perServerRps)));
+      instances = std::max(instances, needed);
+    }
+    const Status s =
+        manager->deployApp(a.id, instances, a.baseRps / instances);
+    MDC_ENSURE(s.ok(), "deployApp failed: " + s.error().code);
+  }
+}
+
+void MegaDc::start() {
+  MDC_EXPECT(!started_, "start() called twice");
+  started_ = true;
+  manager->start();
+  engine->start([this](const EpochReport& r) { manager->observe(r); });
+}
+
+void MegaDc::bootstrap(SimTime warmupSeconds) {
+  deployAllApps();
+  // Let route advertisements converge and cloned VMs come up before the
+  // control loops begin.
+  const SimTime warmup =
+      std::max({warmupSeconds, config_.hostCosts.vmCloneSeconds + 1.0,
+                config_.routePropagationDelay + 1.0});
+  sim.runUntil(sim.now() + warmup);
+  start();
+}
+
+void MegaDc::runUntil(SimTime until) { sim.runUntil(until); }
+
+MegaDcConfig paperScaleConfig() {
+  MegaDcConfig cfg;
+  cfg.topology.numServers = 300'000;
+  cfg.topology.serverCapacity = CapacityVec{16.0, 64.0, 1.0};
+  cfg.topology.numIsps = 4;
+  cfg.topology.accessLinksPerIsp = 4;
+  cfg.topology.accessLinkGbps = 100.0;
+  cfg.topology.numSwitches = 400;  // >= the paper's 375 minimum
+  cfg.topology.switchTrunkGbps = 4.0;
+  cfg.numApps = 300'000;
+  cfg.totalDemandRps = 60.0e6;
+  cfg.instancesPerApp = 2;  // grown toward ~20 by the managers
+  cfg.numPods = 60;         // 5,000 servers per pod (§III-A)
+  cfg.manager.vipsPerApp = 3;
+  return cfg;
+}
+
+MegaDcConfig testScaleConfig() {
+  MegaDcConfig cfg;
+  cfg.seed = 7;
+  cfg.topology.numServers = 32;
+  cfg.topology.serverCapacity = CapacityVec{8.0, 32.0, 1.0};
+  cfg.topology.numIsps = 2;
+  cfg.topology.accessLinksPerIsp = 1;
+  cfg.topology.accessLinkGbps = 2.0;
+  cfg.topology.numSwitches = 3;
+  cfg.topology.switchTrunkGbps = 4.0;
+  cfg.numApps = 6;
+  cfg.totalDemandRps = 30'000.0;
+  cfg.numPods = 2;
+  cfg.instancesPerApp = 2;
+  cfg.hostCosts.vmBootSeconds = 5.0;
+  cfg.hostCosts.vmCloneSeconds = 1.0;
+  cfg.hostCosts.capacityAdjustSeconds = 0.5;
+  cfg.hostCosts.migrationGbps = 8.0;
+  cfg.routePropagationDelay = 2.0;
+  cfg.resolver.ttlSeconds = 20.0;
+  cfg.resolver.lingerFraction = 0.02;
+  cfg.switchLimits.reconfigSeconds = 0.5;
+  cfg.manager.vipsPerApp = 2;
+  cfg.manager.viprip.processSeconds = 0.01;
+  cfg.manager.pod.controlPeriod = 5.0;
+  cfg.manager.link.period = 10.0;
+  cfg.manager.switchBalancer.period = 10.0;
+  cfg.manager.interPod.period = 10.0;
+  cfg.engine.epoch = 2.0;
+  return cfg;
+}
+
+}  // namespace mdc

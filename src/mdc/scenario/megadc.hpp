@@ -1,0 +1,96 @@
+// One-call construction of a fully wired (scaled-down or full-scale) mega
+// data center: topology, switches, DNS, routes, hosts, applications, pods,
+// global manager, and the fluid traffic engine.
+//
+// Every experiment and example builds its world through this header so
+// component wiring lives in exactly one place.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mdc/core/global_manager.hpp"
+#include "mdc/scenario/fluid_engine.hpp"
+#include "mdc/workload/demand.hpp"
+
+namespace mdc {
+
+struct MegaDcConfig {
+  std::uint64_t seed = 1;
+
+  TopologyConfig topology;
+
+  // Applications.
+  std::uint32_t numApps = 50;
+  double totalDemandRps = 200'000.0;
+  double zipfAlpha = 0.9;
+  AppSla sla;
+  std::uint32_t instancesPerApp = 2;
+
+  // Pods: servers striped round-robin over this many pods.
+  std::uint32_t numPods = 4;
+
+  HostCostModel hostCosts;
+  ResolverConfig resolver;
+  SimTime routePropagationDelay = 30.0;
+  SwitchLimits switchLimits;
+
+  GlobalManager::Options manager;
+  FluidEngine::Options engine;
+};
+
+/// The assembled world.  Construction wires everything; call
+/// `deployAllApps()` + `start()` (or just `bootstrap()`) before running.
+class MegaDc {
+ public:
+  explicit MegaDc(MegaDcConfig config);
+
+  /// Registers every app with DNS/VIPs and spreads initial instances.
+  void deployAllApps();
+
+  /// Installs a demand model (defaults to StaticDemand over Zipf rates).
+  void setDemandModel(std::unique_ptr<DemandModel> model);
+
+  /// Starts all periodic control loops and the fluid engine.
+  void start();
+
+  /// deployAllApps + a warmup run (VM boot + RIP binding) + start().
+  void bootstrap(SimTime warmupSeconds = 10.0);
+
+  /// Run the simulation until `until` (absolute sim time).
+  void runUntil(SimTime until);
+
+  [[nodiscard]] const MegaDcConfig& config() const noexcept {
+    return config_;
+  }
+
+  // Component access, in dependency order.
+  Simulation sim;
+  Topology topo;
+  AppRegistry apps;
+  AuthoritativeDns dns;
+  RouteRegistry routes;
+  SwitchFleet fleet;
+  HostFleet hosts;
+  PodRegistry podRegistry;
+  std::unique_ptr<DemandModel> demand;
+  std::unique_ptr<GlobalManager> manager;
+  std::unique_ptr<ResolverPopulation> resolvers;
+  std::unique_ptr<FluidEngine> engine;
+
+ private:
+  MegaDcConfig config_;
+  bool started_ = false;
+};
+
+/// A config pre-filled with the paper's full-scale targets (§II): 300k
+/// servers, 300k applications, 20 VMs/app, 3 VIPs/app, 375+ Catalyst-class
+/// switches.  Building this allocates millions of objects — use in E1/E10
+/// style structural benches, not in tests.
+[[nodiscard]] MegaDcConfig paperScaleConfig();
+
+/// A small config suitable for unit/integration tests (fast boot, short
+/// latencies, a few dozen servers).
+[[nodiscard]] MegaDcConfig testScaleConfig();
+
+}  // namespace mdc

@@ -1,0 +1,99 @@
+#include "mdc/scenario/session_engine.hpp"
+
+#include <cmath>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+SessionEngine::SessionEngine(Simulation& sim, const AppRegistry& apps,
+                             const DemandModel& demand,
+                             ResolverPopulation& resolvers,
+                             SwitchFleet& fleet, Options options)
+    : sim_(sim),
+      apps_(apps),
+      demand_(demand),
+      resolvers_(resolvers),
+      fleet_(fleet),
+      options_(options),
+      rng_(options.seed) {
+  MDC_EXPECT(options.sessionsPerSecondPerKrps >= 0.0, "negative arrival rate");
+  MDC_EXPECT(options.meanSessionSeconds > 0.0, "session duration <= 0");
+  MDC_EXPECT(options.tick > 0.0, "tick <= 0");
+}
+
+void SessionEngine::start() {
+  sim_.every(options_.tick, [this] { tick(); });
+}
+
+void SessionEngine::tick() {
+  const SimTime now = sim_.now();
+  // Keep client DNS caches moving even when no fluid engine is running
+  // alongside (advance is idempotent at equal timestamps).
+  resolvers_.advance(now);
+  for (const Application& app : apps_.all()) {
+    const double rps = demand_.rps(app.id, now);
+    const double lambda =
+        rps / 1000.0 * options_.sessionsPerSecondPerKrps * options_.tick;
+    if (lambda <= 0.0) continue;
+    // Poisson arrivals via inversion for small lambda, normal
+    // approximation above.
+    std::uint64_t count = 0;
+    if (lambda < 30.0) {
+      double p = std::exp(-lambda);
+      double cdf = p;
+      const double u = rng_.uniform();
+      while (u > cdf && count < 1000) {
+        ++count;
+        p *= lambda / static_cast<double>(count);
+        cdf += p;
+      }
+    } else {
+      count = static_cast<std::uint64_t>(std::max(
+          0.0, std::round(rng_.normal(lambda, std::sqrt(lambda)))));
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (active_ >= options_.maxActiveSessions) return;
+      openSession(app.id);
+    }
+  }
+}
+
+void SessionEngine::openSession(AppId app) {
+  ++arrivals_;
+  const auto shares = resolvers_.shares(app);
+  if (shares.empty()) {
+    ++rejected_;
+    return;
+  }
+  const VipId vip = resolvers_.pickVip(app, rng_);
+  const auto owner = fleet_.ownerOf(vip);
+  if (!owner.has_value()) {
+    ++rejected_;
+    return;
+  }
+  const ConnId conn = connIds_.next();
+  const auto rip = fleet_.at(*owner).openConnection(conn, vip, rng_);
+  if (!rip.ok()) {
+    ++rejected_;
+    return;
+  }
+  ++active_;
+  const SimTime duration = rng_.exponential(options_.meanSessionSeconds);
+  const SwitchId sw = *owner;
+  sim_.after(duration, [this, conn, sw] { closeSession(conn, sw); });
+}
+
+void SessionEngine::closeSession(ConnId conn, SwitchId sw) {
+  --active_;
+  // The connection may have been dropped by a forced VIP transfer; the
+  // switch no longer knows it, which is exactly an affinity violation.
+  if (fleet_.at(sw).connectionRip(conn).has_value()) {
+    fleet_.at(sw).closeConnection(conn);
+    ++completed_;
+  } else {
+    ++broken_;
+  }
+}
+
+}  // namespace mdc

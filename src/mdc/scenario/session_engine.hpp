@@ -1,0 +1,82 @@
+// Session-level engine: individual client TCP sessions with per-switch
+// connection tracking.
+//
+// The fluid engine moves demand; this engine models the thing fluid flows
+// cannot: *connection affinity*.  Packets of one TCP session must keep
+// arriving at the RIP chosen at connection setup, and only the owning
+// switch knows that mapping (§IV-B).  Dynamic VIP transfer is therefore
+// gated on quiescence, and a forced transfer visibly breaks sessions.
+// E5 runs this engine alongside the fluid engine to quantify drain times
+// and affinity violations.
+#pragma once
+
+#include <cstdint>
+
+#include "mdc/app/app_registry.hpp"
+#include "mdc/dns/dns.hpp"
+#include "mdc/lb/switch_fleet.hpp"
+#include "mdc/sim/simulation.hpp"
+#include "mdc/workload/demand.hpp"
+
+namespace mdc {
+
+class SessionEngine {
+ public:
+  struct Options {
+    /// New sessions per second per 1000 req/s of demand.
+    double sessionsPerSecondPerKrps = 2.0;
+    double meanSessionSeconds = 30.0;
+    std::uint64_t seed = 42;
+    SimTime tick = 1.0;
+    /// Safety valve against runaway arrival configurations.
+    std::uint64_t maxActiveSessions = 1'000'000;
+  };
+
+  SessionEngine(Simulation& sim, const AppRegistry& apps,
+                const DemandModel& demand, ResolverPopulation& resolvers,
+                SwitchFleet& fleet, Options options);
+
+  /// Registers the periodic arrival process.
+  void start();
+
+  /// One arrival tick (exposed for tests).
+  void tick();
+
+  [[nodiscard]] std::uint64_t totalArrivals() const noexcept {
+    return arrivals_;
+  }
+  [[nodiscard]] std::uint64_t completedSessions() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] std::uint64_t rejectedSessions() const noexcept {
+    return rejected_;
+  }
+  [[nodiscard]] std::uint64_t activeSessions() const noexcept {
+    return active_;
+  }
+  /// Sessions whose connection vanished under them (forced VIP transfer).
+  [[nodiscard]] std::uint64_t brokenSessions() const noexcept {
+    return broken_;
+  }
+
+ private:
+  void openSession(AppId app);
+  void closeSession(ConnId conn, SwitchId sw);
+
+  Simulation& sim_;
+  const AppRegistry& apps_;
+  const DemandModel& demand_;
+  ResolverPopulation& resolvers_;
+  SwitchFleet& fleet_;
+  Options options_;
+  Rng rng_;
+
+  IdAllocator<ConnId> connIds_;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t active_ = 0;
+  std::uint64_t broken_ = 0;
+};
+
+}  // namespace mdc

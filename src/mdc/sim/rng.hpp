@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// xoshiro256** seeded via splitmix64: fast, high quality, and — unlike
+// std::mt19937 with std::*_distribution — bit-identical across platforms,
+// which keeps every experiment reproducible from its seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Raw 64 random bits.
+  [[nodiscard]] std::uint64_t nextU64() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).  Precondition: lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  Precondition: n > 0.
+  [[nodiscard]] std::uint64_t uniformInt(std::uint64_t n);
+
+  /// Bernoulli trial with probability p in [0, 1].
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Exponential with given mean.  Precondition: mean > 0.
+  [[nodiscard]] double exponential(double mean);
+
+  /// Normal via Box–Muller (deterministic, no cached spare).
+  [[nodiscard]] double normal(double mu, double sigma);
+
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  [[nodiscard]] double pareto(double xm, double alpha);
+
+  /// Index sampled from arbitrary non-negative weights (not all zero).
+  [[nodiscard]] std::size_t weightedIndex(std::span<const double> weights);
+
+  /// Derive an independent child stream (for per-component RNGs).
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Precomputed Zipf(alpha) sampler over ranks 1..n.  Used for application
+/// popularity: a few very popular applications, a long unpopular tail.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Rank in [0, n), rank 0 most popular.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of rank i.
+  [[nodiscard]] double probability(std::size_t rank) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace mdc

@@ -1,0 +1,79 @@
+#include "mdc/sim/simulation.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace mdc {
+
+EventHandle Simulation::push(SimTime when, std::function<void()> fn,
+                             SimTime period) {
+  MDC_EXPECT(when >= now_, "event scheduled in the past");
+  MDC_EXPECT(static_cast<bool>(fn), "null event callback");
+  const std::uint64_t seq = nextSeq_++;
+  queue_.push(Event{when, seq, std::move(fn), period});
+  return EventHandle{seq};
+}
+
+EventHandle Simulation::at(SimTime when, std::function<void()> fn) {
+  return push(when, std::move(fn), 0.0);
+}
+
+EventHandle Simulation::after(SimTime delay, std::function<void()> fn) {
+  MDC_EXPECT(delay >= 0.0, "negative delay");
+  return push(now_ + delay, std::move(fn), 0.0);
+}
+
+EventHandle Simulation::every(SimTime interval, std::function<void()> fn,
+                              SimTime phase) {
+  MDC_EXPECT(interval > 0.0, "non-positive period");
+  MDC_EXPECT(phase >= 0.0, "negative phase");
+  ++periodicCount_;
+  return push(now_ + phase, std::move(fn), interval);
+}
+
+void Simulation::cancel(EventHandle h) {
+  if (h.seq_ == 0) return;
+  cancelled_.insert(h.seq_);
+}
+
+bool Simulation::stepOne(SimTime until) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > until) return false;
+    if (cancelled_.erase(top.seq) > 0) {
+      if (top.period > 0.0) --periodicCount_;
+      queue_.pop();
+      continue;
+    }
+    // Copy out before pop so the callback can schedule freely.
+    Event ev{top.when, top.seq, std::move(const_cast<Event&>(top).fn),
+             top.period};
+    queue_.pop();
+    now_ = ev.when;
+    ++executed_;
+    if (ev.period > 0.0) {
+      // Re-arm under the same handle so cancel() keeps working.
+      queue_.push(
+          Event{now_ + ev.period, ev.seq, ev.fn, ev.period});
+    }
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::runUntil(SimTime until) {
+  MDC_EXPECT(until >= now_, "runUntil into the past");
+  while (stepOne(until)) {
+  }
+  now_ = until;
+}
+
+void Simulation::runAll() {
+  MDC_EXPECT(periodicCount_ == 0,
+             "runAll with periodic events would not terminate");
+  while (stepOne(std::numeric_limits<SimTime>::infinity())) {
+  }
+}
+
+}  // namespace mdc

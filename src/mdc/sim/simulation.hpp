@@ -1,0 +1,95 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded virtual-time event loop: components schedule callbacks
+// at absolute or relative times; ties break by insertion order so runs are
+// fully deterministic.  Periodic processes (manager control loops, metric
+// sampling) are first-class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "mdc/util/expect.hpp"
+#include "mdc/util/units.hpp"
+
+namespace mdc {
+
+/// Handle for cancelling a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;  // 0 = null handle
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (>= now).
+  EventHandle at(SimTime when, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  EventHandle after(SimTime delay, std::function<void()> fn);
+
+  /// Schedule `fn` every `interval` seconds, first firing at now + phase.
+  /// The callback may call stopPeriodic on the returned handle's id.
+  EventHandle every(SimTime interval, std::function<void()> fn,
+                    SimTime phase = 0.0);
+
+  /// Cancel a pending (or periodic) event.  Cancelling an already-fired
+  /// one-shot or a null handle is a no-op.
+  void cancel(EventHandle h);
+
+  /// Run until the event queue is empty or `until` is reached.  Advances
+  /// the clock to `until` when events run out first.
+  void runUntil(SimTime until);
+
+  /// Run until the queue is empty.  Precondition: no periodic events are
+  /// registered (they would run forever).
+  void runAll();
+
+  /// Number of events executed so far (diagnostic).
+  [[nodiscard]] std::uint64_t eventsExecuted() const noexcept {
+    return executed_;
+  }
+  [[nodiscard]] std::size_t pendingEvents() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    SimTime period;  // > 0 for periodic events
+
+    // Min-heap: earliest time first, then lowest sequence number.
+    friend bool operator<(const Event& a, const Event& b) {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  EventHandle push(SimTime when, std::function<void()> fn, SimTime period);
+  bool stepOne(SimTime until);
+
+  SimTime now_ = 0.0;
+  std::uint64_t nextSeq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t periodicCount_ = 0;
+  std::priority_queue<Event> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace mdc

@@ -1,0 +1,107 @@
+#include "mdc/topo/topology.hpp"
+
+namespace mdc {
+
+Topology::Topology(const TopologyConfig& config) : config_(config) {
+  MDC_EXPECT(config.numServers > 0, "topology needs servers");
+  MDC_EXPECT(config.numIsps > 0 && config.accessLinksPerIsp > 0,
+             "topology needs access links");
+  MDC_EXPECT(config.numSwitches > 0, "topology needs LB switches");
+  MDC_EXPECT(config.fabric != FabricKind::TraditionalTree ||
+                 config.siloCount > 0,
+             "traditional fabric needs silos");
+
+  // Access links: one access router per link, routers striped over ISPs.
+  const std::uint32_t numAccessLinks =
+      config.numIsps * config.accessLinksPerIsp;
+  accessLinks_.reserve(numAccessLinks);
+  for (std::uint32_t i = 0; i < numAccessLinks; ++i) {
+    const LinkId link = net_.addLink("access-" + std::to_string(i),
+                                     config.accessLinkGbps);
+    accessLinks_.push_back(AccessLinkInfo{
+        AccessRouterId{i}, IspId{i % config.numIsps}, link});
+  }
+
+  // LB switch trunks: the switch's L4 throughput capacity.
+  switchTrunks_.reserve(config.numSwitches);
+  for (std::uint32_t i = 0; i < config.numSwitches; ++i) {
+    switchTrunks_.push_back(
+        net_.addLink("lbswitch-" + std::to_string(i), config.switchTrunkGbps));
+  }
+
+  // Silo uplinks for the traditional baseline.
+  if (config.fabric == FabricKind::TraditionalTree) {
+    siloUplinks_.reserve(config.siloCount);
+    for (std::uint32_t i = 0; i < config.siloCount; ++i) {
+      siloUplinks_.push_back(
+          net_.addLink("silo-" + std::to_string(i), config.siloUplinkGbps));
+    }
+  }
+
+  // Servers with their NICs, striped over silos.
+  const std::uint32_t silos =
+      config.fabric == FabricKind::TraditionalTree ? config.siloCount : 1;
+  servers_.reserve(config.numServers);
+  for (std::uint32_t i = 0; i < config.numServers; ++i) {
+    const LinkId nic = net_.addLink("nic-" + std::to_string(i),
+                                    config.serverCapacity.network());
+    servers_.push_back(ServerInfo{ServerId{i}, config.serverCapacity, nic,
+                                  i % silos});
+  }
+}
+
+const ServerInfo& Topology::server(ServerId id) const {
+  MDC_EXPECT(id.valid() && id.index() < servers_.size(), "unknown server");
+  return servers_[id.index()];
+}
+
+const AccessLinkInfo& Topology::accessLink(std::size_t i) const {
+  MDC_EXPECT(i < accessLinks_.size(), "unknown access link");
+  return accessLinks_[i];
+}
+
+const AccessLinkInfo& Topology::accessLinkFor(AccessRouterId ar) const {
+  MDC_EXPECT(ar.valid() && ar.index() < accessLinks_.size(),
+             "unknown access router");
+  // Routers are created one per access link, in order.
+  return accessLinks_[ar.index()];
+}
+
+LinkId Topology::switchTrunk(SwitchId sw) const {
+  MDC_EXPECT(sw.valid() && sw.index() < switchTrunks_.size(),
+             "unknown switch");
+  return switchTrunks_[sw.index()];
+}
+
+LinkId Topology::siloUplink(std::uint32_t silo) const {
+  MDC_EXPECT(silo < siloUplinks_.size(),
+             "silo uplinks only exist on the traditional fabric");
+  return siloUplinks_[silo];
+}
+
+std::vector<LinkId> Topology::externalPath(std::size_t accessLinkIdx,
+                                           SwitchId sw,
+                                           ServerId server) const {
+  const AccessLinkInfo& al = accessLink(accessLinkIdx);
+  const ServerInfo& srv = this->server(server);
+  std::vector<LinkId> path{al.link, switchTrunk(sw)};
+  if (config_.fabric == FabricKind::TraditionalTree) {
+    path.push_back(siloUplink(srv.silo));
+  }
+  path.push_back(srv.nic);
+  return path;
+}
+
+std::vector<LinkId> Topology::internalPath(ServerId from, ServerId to) const {
+  const ServerInfo& a = server(from);
+  const ServerInfo& b = server(to);
+  std::vector<LinkId> path{a.nic};
+  if (config_.fabric == FabricKind::TraditionalTree && a.silo != b.silo) {
+    path.push_back(siloUplink(a.silo));
+    path.push_back(siloUplink(b.silo));
+  }
+  path.push_back(b.nic);
+  return path;
+}
+
+}  // namespace mdc

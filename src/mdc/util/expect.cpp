@@ -1,0 +1,25 @@
+#include "mdc/util/expect.hpp"
+
+namespace mdc::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void throwPrecondition(const char* expr, const char* file, int line,
+                       const std::string& msg) {
+  throw PreconditionError(format("precondition", expr, file, line, msg));
+}
+
+void throwInvariant(const char* expr, const char* file, int line,
+                    const std::string& msg) {
+  throw InvariantError(format("invariant", expr, file, line, msg));
+}
+
+}  // namespace mdc::detail

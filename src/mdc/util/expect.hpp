@@ -1,0 +1,48 @@
+// Contract checking macros (C++ Core Guidelines I.6/I.8: prefer Expects()
+// and Ensures() for preconditions and postconditions).
+//
+// Violations throw rather than abort so tests can assert on them and a
+// long-running simulation surfaces a usable diagnostic.  The checks stay on
+// in release builds: the simulator's correctness arguments depend on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mdc {
+
+/// Thrown when a precondition (MDC_EXPECT) is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a postcondition or invariant (MDC_ENSURE) is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void throwPrecondition(const char* expr, const char* file,
+                                    int line, const std::string& msg);
+[[noreturn]] void throwInvariant(const char* expr, const char* file, int line,
+                                 const std::string& msg);
+}  // namespace detail
+
+}  // namespace mdc
+
+#define MDC_EXPECT(cond, msg)                                           \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::mdc::detail::throwPrecondition(#cond, __FILE__, __LINE__, msg); \
+    }                                                                   \
+  } while (false)
+
+#define MDC_ENSURE(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::mdc::detail::throwInvariant(#cond, __FILE__, __LINE__, msg); \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,72 @@
+// A minimal expected-like result for operations that fail for ordinary,
+// recoverable reasons (e.g. an LB switch rejecting a VIP because its table
+// is full).  Contract violations use MDC_EXPECT instead; Result is for
+// outcomes callers are expected to branch on.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+/// Error payload: a stable machine-checkable code plus human detail.
+struct Error {
+  std::string code;
+  std::string detail;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const {
+    MDC_EXPECT(ok(), "Result::value() on error: " + error_->code);
+    return *value_;
+  }
+  [[nodiscard]] T& value() {
+    MDC_EXPECT(ok(), "Result::value() on error: " + error_->code);
+    return *value_;
+  }
+
+  [[nodiscard]] const Error& error() const {
+    MDC_EXPECT(!ok(), "Result::error() on success");
+    return *error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Result for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT
+
+  [[nodiscard]] static Status okStatus() { return Status{}; }
+  [[nodiscard]] static Status fail(std::string code, std::string detail = "") {
+    return Status{Error{std::move(code), std::move(detail)}};
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    MDC_EXPECT(!ok(), "Status::error() on success");
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace mdc

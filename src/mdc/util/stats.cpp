@@ -1,0 +1,67 @@
+#include "mdc/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  return std::sqrt(variance(xs));
+}
+
+double coefficientOfVariation(std::span<const double> xs) noexcept {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return stddev(xs) / m;
+}
+
+double jainFairness(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sumSq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sumSq += x * x;
+  }
+  if (sumSq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sumSq);
+}
+
+double maxOverMean(std::span<const double> xs) noexcept {
+  const double m = mean(xs);
+  if (xs.empty() || m == 0.0) return 1.0;
+  return *std::max_element(xs.begin(), xs.end()) / m;
+}
+
+double percentile(std::span<const double> xs, double pct) {
+  MDC_EXPECT(!xs.empty(), "percentile of empty data");
+  MDC_EXPECT(pct >= 0.0 && pct <= 100.0, "percentile out of range");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank =
+      pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace mdc

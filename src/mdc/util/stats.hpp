@@ -1,0 +1,30 @@
+// Small statistics helpers used by managers (imbalance metrics) and by the
+// metrics/reporting layer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mdc {
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double variance(std::span<const double> xs) noexcept;
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Coefficient of variation: stddev / mean.  Zero for empty or zero-mean
+/// input.  A standard load-imbalance metric.
+[[nodiscard]] double coefficientOfVariation(std::span<const double> xs) noexcept;
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2) in (0, 1]; 1 means
+/// perfectly balanced.  Returns 1 for empty input.
+[[nodiscard]] double jainFairness(std::span<const double> xs) noexcept;
+
+/// max / mean, the paper-style "hottest element vs average" imbalance.
+/// Returns 1 for empty or zero-mean input.
+[[nodiscard]] double maxOverMean(std::span<const double> xs) noexcept;
+
+/// Percentile in [0, 100] by linear interpolation over a copy of the data.
+/// Precondition: xs non-empty.
+[[nodiscard]] double percentile(std::span<const double> xs, double pct);
+
+}  // namespace mdc

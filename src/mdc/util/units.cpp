@@ -1,0 +1,24 @@
+#include "mdc/util/units.hpp"
+
+#include <limits>
+
+namespace mdc {
+
+double CapacityVec::maxRatio(const CapacityVec& denom) const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < kNumResources; ++i) {
+    if (denom.v_[i] > 0.0) {
+      worst = std::max(worst, v_[i] / denom.v_[i]);
+    } else if (v_[i] > 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  return worst;
+}
+
+std::ostream& operator<<(std::ostream& os, const CapacityVec& c) {
+  return os << "{cpu=" << c.cpu() << ", mem=" << c.memory()
+            << "GB, net=" << c.network() << "Gbps}";
+}
+
+}  // namespace mdc

@@ -1,0 +1,108 @@
+// Resource and unit vocabulary shared across the simulator.
+//
+// Resources are modelled as a small fixed vector (CPU, memory, network):
+// the dimensions the paper's VM-capacity-adjustment knob manipulates
+// ("CPU cores and capacity share, memory, and bandwidth share", §IV-E).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <ostream>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+/// Simulated time, in seconds from simulation start.
+using SimTime = double;
+
+/// Resource dimensions tracked per server and per VM slice.
+enum class Resource : std::size_t { Cpu = 0, Memory = 1, Network = 2 };
+
+inline constexpr std::size_t kNumResources = 3;
+
+/// A quantity per resource dimension.  Units: CPU in abstract cores,
+/// memory in GB, network in Gbps.
+class CapacityVec {
+ public:
+  constexpr CapacityVec() noexcept = default;
+  constexpr CapacityVec(double cpu, double memGb, double netGbps) noexcept
+      : v_{cpu, memGb, netGbps} {}
+
+  [[nodiscard]] constexpr double cpu() const noexcept { return v_[0]; }
+  [[nodiscard]] constexpr double memory() const noexcept { return v_[1]; }
+  [[nodiscard]] constexpr double network() const noexcept { return v_[2]; }
+
+  [[nodiscard]] constexpr double operator[](Resource r) const noexcept {
+    return v_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] constexpr double& operator[](Resource r) noexcept {
+    return v_[static_cast<std::size_t>(r)];
+  }
+
+  constexpr CapacityVec& operator+=(const CapacityVec& o) noexcept {
+    for (std::size_t i = 0; i < kNumResources; ++i) v_[i] += o.v_[i];
+    return *this;
+  }
+  constexpr CapacityVec& operator-=(const CapacityVec& o) noexcept {
+    for (std::size_t i = 0; i < kNumResources; ++i) v_[i] -= o.v_[i];
+    return *this;
+  }
+  constexpr CapacityVec& operator*=(double s) noexcept {
+    for (auto& x : v_) x *= s;
+    return *this;
+  }
+
+  friend constexpr CapacityVec operator+(CapacityVec a, const CapacityVec& b) {
+    return a += b;
+  }
+  friend constexpr CapacityVec operator-(CapacityVec a, const CapacityVec& b) {
+    return a -= b;
+  }
+  friend constexpr CapacityVec operator*(CapacityVec a, double s) {
+    return a *= s;
+  }
+  friend constexpr CapacityVec operator*(double s, CapacityVec a) {
+    return a *= s;
+  }
+
+  friend constexpr bool operator==(const CapacityVec&,
+                                   const CapacityVec&) = default;
+
+  /// True when every dimension of this fits within `limit`.
+  [[nodiscard]] constexpr bool fitsWithin(const CapacityVec& limit) const {
+    for (std::size_t i = 0; i < kNumResources; ++i) {
+      if (v_[i] > limit.v_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True when every dimension is >= 0.
+  [[nodiscard]] constexpr bool nonNegative() const noexcept {
+    for (auto x : v_) {
+      if (x < 0.0) return false;
+    }
+    return true;
+  }
+
+  /// Largest ratio v[i]/denom[i] across dimensions — the binding resource.
+  /// Dimensions where denom is zero are skipped unless v is positive there,
+  /// in which case the ratio is infinite.
+  [[nodiscard]] double maxRatio(const CapacityVec& denom) const;
+
+  friend std::ostream& operator<<(std::ostream& os, const CapacityVec& c);
+
+ private:
+  std::array<double, kNumResources> v_{0.0, 0.0, 0.0};
+};
+
+/// Bits-per-second helpers, to keep magnitudes readable at call sites.
+[[nodiscard]] constexpr double gbps(double x) noexcept { return x; }
+[[nodiscard]] constexpr double mbps(double x) noexcept { return x / 1000.0; }
+
+/// Time helpers.
+[[nodiscard]] constexpr SimTime seconds(double x) noexcept { return x; }
+[[nodiscard]] constexpr SimTime minutes(double x) noexcept { return 60.0 * x; }
+[[nodiscard]] constexpr SimTime hours(double x) noexcept { return 3600.0 * x; }
+
+}  // namespace mdc

@@ -1,0 +1,117 @@
+#include "mdc/workload/demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+namespace {
+double baseFor(const std::vector<double>& base, AppId app) {
+  MDC_EXPECT(app.valid() && app.index() < base.size(),
+             "demand model: unknown app");
+  return base[app.index()];
+}
+}  // namespace
+
+StaticDemand::StaticDemand(std::vector<double> baseRps, double factor)
+    : base_(std::move(baseRps)), factor_(factor) {
+  MDC_EXPECT(factor >= 0.0, "negative demand factor");
+}
+
+double StaticDemand::rps(AppId app, SimTime) const {
+  return baseFor(base_, app) * factor_;
+}
+
+DiurnalDemand::DiurnalDemand(std::vector<double> baseRps, double depth,
+                             SimTime period, std::uint64_t seed)
+    : base_(std::move(baseRps)), depth_(depth), period_(period) {
+  MDC_EXPECT(depth >= 0.0 && depth <= 1.0, "diurnal depth out of [0,1]");
+  MDC_EXPECT(period > 0.0, "diurnal period must be positive");
+  Rng rng{seed};
+  phase_.resize(base_.size());
+  for (auto& p : phase_) p = rng.uniform(0.0, 2.0 * std::numbers::pi);
+}
+
+double DiurnalDemand::rps(AppId app, SimTime t) const {
+  const double b = baseFor(base_, app);
+  const double phase = phase_[app.index()];
+  const double s =
+      std::sin(2.0 * std::numbers::pi * t / period_ + phase);
+  return b * (1.0 - depth_ / 2.0 + depth_ / 2.0 * s);
+}
+
+FlashCrowdDemand::FlashCrowdDemand(std::unique_ptr<DemandModel> base,
+                                   std::vector<Spike> spikes)
+    : base_(std::move(base)), spikes_(std::move(spikes)) {
+  MDC_EXPECT(base_ != nullptr, "flash crowd needs a base model");
+  for (const Spike& s : spikes_) {
+    MDC_EXPECT(s.end > s.start, "spike must end after it starts");
+    MDC_EXPECT(s.multiplier >= 1.0, "spike multiplier < 1");
+    MDC_EXPECT(s.rampSeconds >= 0.0, "negative ramp");
+  }
+}
+
+double FlashCrowdDemand::rps(AppId app, SimTime t) const {
+  double factor = 1.0;
+  for (const Spike& s : spikes_) {
+    if (s.app != app) continue;
+    double f = 1.0;
+    if (t >= s.start && t <= s.end) {
+      const double ramp =
+          s.rampSeconds <= 0.0
+              ? 1.0
+              : std::min(1.0, (t - s.start) / s.rampSeconds);
+      f = 1.0 + (s.multiplier - 1.0) * ramp;
+    } else if (t > s.end) {
+      // Exponential decay back to baseline after the spike ends.
+      const double tau = std::max(s.rampSeconds, 1.0);
+      f = 1.0 + (s.multiplier - 1.0) * std::exp(-(t - s.end) / tau);
+    }
+    factor = std::max(factor, f);
+  }
+  return base_->rps(app, t) * factor;
+}
+
+RandomWalkDemand::RandomWalkDemand(std::vector<double> baseRps,
+                                   double volatility, SimTime stepSeconds,
+                                   std::uint64_t seed)
+    : base_(std::move(baseRps)),
+      volatility_(volatility),
+      step_(stepSeconds),
+      seed_(seed) {
+  MDC_EXPECT(volatility >= 0.0, "negative volatility");
+  MDC_EXPECT(stepSeconds > 0.0, "step must be positive");
+}
+
+double RandomWalkDemand::rps(AppId app, SimTime t) const {
+  const double b = baseFor(base_, app);
+  if (t < 0.0) return b;
+  const auto epoch = static_cast<std::uint64_t>(t / step_);
+  // Deterministic multiplier per (app, epoch): a bounded mean-reverting
+  // walk built by hashing the epoch index, so any epoch is addressable
+  // without replaying history.
+  double m = 1.0;
+  // Sum a few hashed shocks for temporal smoothness across epochs.
+  for (std::uint64_t back = 0; back < 4 && back <= epoch; ++back) {
+    Rng r{seed_ ^ (static_cast<std::uint64_t>(app.value()) << 32) ^
+          (epoch - back)};
+    const double shock = (r.uniform() - 0.5) * 2.0 * volatility_;
+    m += shock / static_cast<double>(back + 1);
+  }
+  return b * std::clamp(m, 0.1, 4.0);
+}
+
+std::vector<double> zipfBaseRates(std::size_t n, double alpha,
+                                  double totalRps) {
+  MDC_EXPECT(n > 0, "zipfBaseRates: n == 0");
+  MDC_EXPECT(totalRps >= 0.0, "negative total rps");
+  ZipfSampler z{n, alpha};
+  std::vector<double> rates(n);
+  for (std::size_t i = 0; i < n; ++i) rates[i] = z.probability(i) * totalRps;
+  return rates;
+}
+
+}  // namespace mdc

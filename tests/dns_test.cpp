@@ -1,0 +1,187 @@
+// Unit tests for the authoritative DNS and resolver-population model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mdc/dns/dns.hpp"
+
+namespace mdc {
+namespace {
+
+constexpr AppId kApp{0};
+constexpr VipId kV0{0};
+constexpr VipId kV1{1};
+constexpr VipId kV2{2};
+
+AuthoritativeDns makeDns() {
+  AuthoritativeDns dns;
+  dns.registerApp(kApp);
+  dns.addVip(kApp, kV0, 1.0);
+  dns.addVip(kApp, kV1, 1.0);
+  return dns;
+}
+
+TEST(AuthoritativeDns, RegisterAndQuery) {
+  AuthoritativeDns dns = makeDns();
+  EXPECT_TRUE(dns.hasApp(kApp));
+  EXPECT_FALSE(dns.hasApp(AppId{9}));
+  EXPECT_EQ(dns.vips(kApp).size(), 2u);
+}
+
+TEST(AuthoritativeDns, DuplicateRegistrationThrows) {
+  AuthoritativeDns dns = makeDns();
+  EXPECT_THROW(dns.registerApp(kApp), PreconditionError);
+  EXPECT_THROW(dns.addVip(kApp, kV0), PreconditionError);
+}
+
+TEST(AuthoritativeDns, WeightUpdatesBumpGeneration) {
+  AuthoritativeDns dns = makeDns();
+  const auto g0 = dns.generation(kApp);
+  dns.setWeight(kApp, kV0, 5.0);
+  EXPECT_GT(dns.generation(kApp), g0);
+  // Setting the same weight again is a no-op.
+  const auto g1 = dns.generation(kApp);
+  dns.setWeight(kApp, kV0, 5.0);
+  EXPECT_EQ(dns.generation(kApp), g1);
+}
+
+TEST(AuthoritativeDns, SetWeightsBulk) {
+  AuthoritativeDns dns = makeDns();
+  const std::vector<VipWeight> w{{kV0, 0.0}, {kV1, 3.0}};
+  dns.setWeights(kApp, w);
+  EXPECT_EQ(dns.vips(kApp)[0].weight, 0.0);
+  EXPECT_EQ(dns.vips(kApp)[1].weight, 3.0);
+}
+
+TEST(AuthoritativeDns, ResolveRespectsWeights) {
+  AuthoritativeDns dns = makeDns();
+  dns.setWeight(kApp, kV0, 0.0);
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dns.resolve(kApp, rng), kV1);
+}
+
+TEST(AuthoritativeDns, RemoveVip) {
+  AuthoritativeDns dns = makeDns();
+  dns.removeVip(kApp, kV0);
+  EXPECT_EQ(dns.vips(kApp).size(), 1u);
+  EXPECT_THROW(dns.removeVip(kApp, kV0), PreconditionError);
+}
+
+TEST(AuthoritativeDns, RecordUpdateCounting) {
+  AuthoritativeDns dns;
+  dns.registerApp(kApp);
+  EXPECT_EQ(dns.recordUpdates(), 0u);
+  dns.addVip(kApp, kV0, 1.0);
+  dns.setWeight(kApp, kV0, 2.0);
+  dns.removeVip(kApp, kV0);
+  EXPECT_EQ(dns.recordUpdates(), 3u);
+}
+
+ResolverConfig fastConfig() {
+  ResolverConfig cfg;
+  cfg.ttlSeconds = 60.0;
+  cfg.lingerFraction = 0.0;
+  cfg.lingerSeconds = 1800.0;
+  return cfg;
+}
+
+TEST(ResolverPopulation, StartsAtAuthoritativeWeights) {
+  AuthoritativeDns dns = makeDns();
+  ResolverPopulation pop{dns, fastConfig()};
+  EXPECT_NEAR(pop.share(kApp, kV0), 0.5, 1e-12);
+  EXPECT_NEAR(pop.share(kApp, kV1), 0.5, 1e-12);
+}
+
+TEST(ResolverPopulation, SharesSumToOne) {
+  AuthoritativeDns dns = makeDns();
+  ResolverPopulation pop{dns, fastConfig()};
+  dns.setWeights(kApp, std::vector<VipWeight>{{kV0, 1.0}, {kV1, 9.0}});
+  pop.advance(30.0);
+  double sum = 0.0;
+  for (const auto& vw : pop.shares(kApp)) sum += vw.weight;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ResolverPopulation, RelaxesTowardTargetAtTtlRate) {
+  AuthoritativeDns dns = makeDns();
+  ResolverPopulation pop{dns, fastConfig()};
+  (void)pop.shares(kApp);  // initialize the pool in steady state
+  dns.setWeights(kApp, std::vector<VipWeight>{{kV0, 0.0}, {kV1, 1.0}});
+  // After one TTL, the gap should have closed by 1 - e^-1 ~ 63%.
+  pop.advance(60.0);
+  EXPECT_NEAR(pop.share(kApp, kV1), 0.5 + 0.5 * (1.0 - std::exp(-1.0)),
+              1e-6);
+  // After many TTLs the share converges.
+  pop.advance(600.0);
+  EXPECT_NEAR(pop.share(kApp, kV1), 1.0, 1e-3);
+}
+
+TEST(ResolverPopulation, LingerersSlowConvergence) {
+  AuthoritativeDns dnsA = makeDns();
+  ResolverConfig lingering = fastConfig();
+  lingering.lingerFraction = 0.2;
+  ResolverPopulation pop{dnsA, lingering};
+  (void)pop.shares(kApp);
+  dnsA.setWeights(kApp, std::vector<VipWeight>{{kV0, 0.0}, {kV1, 1.0}});
+  pop.advance(300.0);  // 5 TTLs: compliant clients have moved
+  const double v0 = pop.share(kApp, kV0);
+  // Lingerers (20% of demand, tau 1800s) still hold a noticeable share.
+  EXPECT_GT(v0, 0.05);
+  EXPECT_LT(v0, 0.2);
+}
+
+TEST(ResolverPopulation, NewVipStartsAtZeroShare) {
+  AuthoritativeDns dns = makeDns();
+  ResolverPopulation pop{dns, fastConfig()};
+  (void)pop.shares(kApp);
+  dns.addVip(kApp, kV2, 1.0);
+  EXPECT_NEAR(pop.share(kApp, kV2), 0.0, 1e-12);
+  pop.advance(600.0);
+  EXPECT_NEAR(pop.share(kApp, kV2), 1.0 / 3.0, 1e-3);
+}
+
+TEST(ResolverPopulation, RemovedVipShareDecaysNotVanishes) {
+  // Models the §IV-B hazard: clients keep using a VIP after DNS stops
+  // exposing it, so a transfer cannot be immediate.
+  AuthoritativeDns dns = makeDns();
+  ResolverPopulation pop{dns, fastConfig()};
+  (void)pop.shares(kApp);
+  dns.removeVip(kApp, kV0);
+  EXPECT_NEAR(pop.share(kApp, kV0), 0.5, 1e-12);  // still held by caches
+  pop.advance(60.0);
+  const double after1 = pop.share(kApp, kV0);
+  EXPECT_GT(after1, 0.1);
+  pop.advance(1200.0);
+  EXPECT_LT(pop.share(kApp, kV0), 1e-6);
+}
+
+TEST(ResolverPopulation, PickVipFollowsShares) {
+  AuthoritativeDns dns = makeDns();
+  ResolverPopulation pop{dns, fastConfig()};
+  dns.setWeights(kApp, std::vector<VipWeight>{{kV0, 1.0}, {kV1, 0.0}});
+  Rng rng{3};
+  (void)pop.shares(kApp);
+  pop.advance(6000.0);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(pop.pickVip(kApp, rng), kV0);
+}
+
+TEST(ResolverPopulation, AdvanceBackwardsThrows) {
+  AuthoritativeDns dns = makeDns();
+  ResolverPopulation pop{dns, fastConfig()};
+  pop.advance(10.0);
+  EXPECT_THROW(pop.advance(5.0), PreconditionError);
+}
+
+TEST(ResolverPopulation, ConfigValidation) {
+  AuthoritativeDns dns = makeDns();
+  ResolverConfig bad = fastConfig();
+  bad.ttlSeconds = 0.0;
+  EXPECT_THROW((ResolverPopulation{dns, bad}), PreconditionError);
+  bad = fastConfig();
+  bad.lingerFraction = 1.5;
+  EXPECT_THROW((ResolverPopulation{dns, bad}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,169 @@
+// End-to-end integration tests: the fully wired mega-DC scenario with the
+// fluid engine, pod managers, global manager, and every balancer running.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "mdc/scenario/megadc.hpp"
+
+namespace mdc {
+namespace {
+
+TEST(MegaDcIntegration, BootstrapBringsUpAllApps) {
+  MegaDc dc{testScaleConfig()};
+  dc.deployAllApps();
+  // Every app has VIPs in DNS, on switches, and advertised.
+  for (const Application& a : dc.apps.all()) {
+    EXPECT_EQ(a.vips.size(), dc.config().manager.vipsPerApp);
+    for (VipId vip : a.vips) {
+      EXPECT_TRUE(dc.fleet.ownerOf(vip).has_value());
+    }
+    // deployAllApps auto-sizes the instance count upward so each initial
+    // slice fits within a server.
+    EXPECT_GE(a.instances.size(), dc.config().instancesPerApp);
+  }
+  // Switch tables within limits.
+  dc.fleet.forEach([](const LbSwitch& sw) {
+    EXPECT_LE(sw.vipCount(), sw.limits().maxVips);
+    EXPECT_LE(sw.ripCount(), sw.limits().maxRips);
+  });
+}
+
+TEST(MegaDcIntegration, SteadyStateServesAllDemand) {
+  MegaDc dc{testScaleConfig()};
+  dc.bootstrap();
+  dc.runUntil(dc.sim.now() + 120.0);
+  const EpochReport& r = dc.engine->latest();
+  EXPECT_LT(r.unroutedRps, 1.0);
+  const double demand = r.totalDemandRps();
+  const double served = r.totalServedRps();
+  EXPECT_GT(demand, 0.0);
+  EXPECT_GT(served / demand, 0.95);
+}
+
+TEST(MegaDcIntegration, EpochReportStructuresAreComplete) {
+  MegaDc dc{testScaleConfig()};
+  dc.bootstrap();
+  dc.runUntil(dc.sim.now() + 30.0);
+  const EpochReport& r = dc.engine->latest();
+  EXPECT_EQ(r.accessLinkUtil.size(), dc.topo.accessLinkCount());
+  EXPECT_EQ(r.switchUtil.size(), dc.topo.switchCount());
+  EXPECT_EQ(r.appDemandRps.size(), dc.apps.size());
+  EXPECT_FALSE(r.vipDemandGbps.empty());
+  EXPECT_GT(r.externalOfferedGbps, 0.0);
+}
+
+TEST(MegaDcIntegration, FlashCrowdTriggersScaleOut) {
+  MegaDcConfig cfg = testScaleConfig();
+  MegaDc dc{cfg};
+
+  // Flash crowd on app 3 (an unpopular one): 8x demand for 5 minutes.
+  const auto rates = zipfBaseRates(cfg.numApps, cfg.zipfAlpha,
+                                   cfg.totalDemandRps);
+  FlashCrowdDemand::Spike spike;
+  spike.app = AppId{3};
+  spike.start = 60.0;
+  spike.end = 360.0;
+  spike.multiplier = 8.0;
+  spike.rampSeconds = 20.0;
+  dc.setDemandModel(std::make_unique<FlashCrowdDemand>(
+      std::make_unique<StaticDemand>(rates),
+      std::vector<FlashCrowdDemand::Spike>{spike}));
+
+  dc.bootstrap();
+  const std::size_t instancesBefore = dc.apps.app(AppId{3}).instances.size();
+  dc.runUntil(300.0);
+  // The pod managers must have grown the app.
+  EXPECT_GT(dc.apps.app(AppId{3}).instances.size(), instancesBefore);
+  // And most of the spiked demand is served.
+  const EpochReport& r = dc.engine->latest();
+  const double demand = r.appDemandRps.at(AppId{3});
+  const double served = r.appServedRps.at(AppId{3});
+  EXPECT_GT(served / demand, 0.8);
+}
+
+TEST(MegaDcIntegration, DiurnalLoadStaysServed) {
+  MegaDcConfig cfg = testScaleConfig();
+  MegaDc dc{cfg};
+  const auto rates =
+      zipfBaseRates(cfg.numApps, cfg.zipfAlpha, cfg.totalDemandRps);
+  dc.setDemandModel(
+      std::make_unique<DiurnalDemand>(rates, 0.5, 600.0, cfg.seed));
+  dc.bootstrap();
+  dc.runUntil(900.0);  // 1.5 synthetic days
+  EXPECT_GT(dc.engine->satisfaction().timeWeightedMean(), 0.9);
+}
+
+TEST(MegaDcIntegration, ServerUtilizationNeverExceedsCapacity) {
+  MegaDc dc{testScaleConfig()};
+  dc.bootstrap();
+  dc.runUntil(dc.sim.now() + 60.0);
+  for (const ServerInfo& s : dc.topo.servers()) {
+    EXPECT_LE(dc.hosts.serverUtilization(s.id), 1.0 + 1e-9);
+  }
+}
+
+TEST(MegaDcIntegration, PodStatsPopulatedByControlLoops) {
+  MegaDc dc{testScaleConfig()};
+  dc.bootstrap();
+  dc.runUntil(dc.sim.now() + 60.0);
+  for (const auto& pod : dc.manager->pods()) {
+    const PodStats& st = pod->stats();
+    EXPECT_GT(st.servers, 0u);
+    EXPECT_GE(st.meanUtilization, 0.0);
+  }
+}
+
+TEST(MegaDcIntegration, DeterministicAcrossRuns) {
+  auto run = [] {
+    MegaDc dc{testScaleConfig()};
+    dc.bootstrap();
+    dc.runUntil(dc.sim.now() + 120.0);
+    return std::tuple{dc.engine->latest().totalServedRps(),
+                      dc.hosts.activeVmCount(),
+                      dc.sim.eventsExecuted()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(MegaDcIntegration, LinkBalancerReducesImbalance) {
+  // Give one app all the demand and the other link little, then check
+  // selective exposure pulls the max/mean link imbalance down.
+  MegaDcConfig cfg = testScaleConfig();
+  cfg.numApps = 4;
+  cfg.totalDemandRps = 40'000.0;
+  cfg.zipfAlpha = 0.0;  // uniform demand
+  cfg.manager.link.period = 6.0;
+  MegaDc dc{cfg};
+  dc.bootstrap();
+  dc.runUntil(dc.sim.now() + 300.0);
+  const double late = dc.engine->linkImbalance().last();
+  EXPECT_LT(late, 1.5);  // two links, so max/mean <= 2; balanced ~1
+}
+
+TEST(MegaDcIntegration, VipRipQueueDrainsUnderChurn) {
+  MegaDcConfig cfg = testScaleConfig();
+  MegaDc dc{cfg};
+  const auto rates =
+      zipfBaseRates(cfg.numApps, cfg.zipfAlpha, cfg.totalDemandRps);
+  dc.setDemandModel(std::make_unique<RandomWalkDemand>(rates, 0.4, 30.0,
+                                                       cfg.seed));
+  dc.bootstrap();
+  dc.runUntil(600.0);
+  EXPECT_GT(dc.manager->viprip().processedRequests(), 0u);
+  EXPECT_LT(dc.manager->viprip().queueLength(), 50u);
+}
+
+TEST(MegaDcIntegration, PaperScaleConfigShapesMatchPaper) {
+  const MegaDcConfig cfg = paperScaleConfig();
+  EXPECT_EQ(cfg.topology.numServers, 300'000u);
+  EXPECT_EQ(cfg.numApps, 300'000u);
+  EXPECT_EQ(cfg.numPods, 60u);
+  EXPECT_EQ(cfg.topology.numServers / cfg.numPods, 5000u);
+  EXPECT_GE(cfg.topology.numSwitches, 375u);
+  EXPECT_EQ(cfg.manager.vipsPerApp, 3u);
+}
+
+}  // namespace
+}  // namespace mdc

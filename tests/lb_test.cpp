@@ -1,0 +1,317 @@
+// Unit tests for the LB switch model and the switch fleet.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mdc/lb/lb_switch.hpp"
+#include "mdc/lb/switch_fleet.hpp"
+
+namespace mdc {
+namespace {
+
+constexpr VipId kVip{10};
+constexpr AppId kApp{0};
+
+SwitchLimits tinyLimits() {
+  SwitchLimits lim;
+  lim.maxVips = 2;
+  lim.maxRips = 4;
+  lim.capacityGbps = 4.0;
+  lim.maxConnections = 3;
+  return lim;
+}
+
+RipEntry vmRip(std::uint32_t rip, std::uint32_t vm, double w = 1.0) {
+  RipEntry e;
+  e.rip = RipId{rip};
+  e.vm = VmId{vm};
+  e.weight = w;
+  return e;
+}
+
+TEST(LbSwitch, ConfigureAndFindVip) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};
+  EXPECT_TRUE(sw.configureVip(kVip, kApp).ok());
+  ASSERT_NE(sw.findVip(kVip), nullptr);
+  EXPECT_EQ(sw.findVip(kVip)->app, kApp);
+  EXPECT_EQ(sw.vipCount(), 1u);
+  EXPECT_EQ(sw.spareVips(), 1u);
+}
+
+TEST(LbSwitch, VipTableLimitEnforced) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};
+  EXPECT_TRUE(sw.configureVip(VipId{1}, kApp).ok());
+  EXPECT_TRUE(sw.configureVip(VipId{2}, kApp).ok());
+  const Status s = sw.configureVip(VipId{3}, kApp);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "vip_table_full");
+}
+
+TEST(LbSwitch, DuplicateVipRejected) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};
+  EXPECT_TRUE(sw.configureVip(kVip, kApp).ok());
+  EXPECT_EQ(sw.configureVip(kVip, kApp).error().code, "vip_exists");
+}
+
+TEST(LbSwitch, RipTableLimitSharedAcrossVips) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};
+  ASSERT_TRUE(sw.configureVip(VipId{1}, kApp).ok());
+  ASSERT_TRUE(sw.configureVip(VipId{2}, kApp).ok());
+  EXPECT_TRUE(sw.addRip(VipId{1}, vmRip(0, 0)).ok());
+  EXPECT_TRUE(sw.addRip(VipId{1}, vmRip(1, 1)).ok());
+  EXPECT_TRUE(sw.addRip(VipId{2}, vmRip(2, 2)).ok());
+  EXPECT_TRUE(sw.addRip(VipId{2}, vmRip(3, 3)).ok());
+  EXPECT_EQ(sw.addRip(VipId{1}, vmRip(4, 4)).error().code, "rip_table_full");
+  EXPECT_EQ(sw.ripCount(), 4u);
+  EXPECT_EQ(sw.spareRips(), 0u);
+}
+
+TEST(LbSwitch, RemoveVipFreesRips) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};
+  ASSERT_TRUE(sw.configureVip(kVip, kApp).ok());
+  ASSERT_TRUE(sw.addRip(kVip, vmRip(0, 0)).ok());
+  ASSERT_TRUE(sw.addRip(kVip, vmRip(1, 1)).ok());
+  EXPECT_TRUE(sw.removeVip(kVip).ok());
+  EXPECT_EQ(sw.ripCount(), 0u);
+  EXPECT_EQ(sw.vipCount(), 0u);
+  EXPECT_FALSE(sw.hasVip(kVip));
+}
+
+TEST(LbSwitch, RemoveVipWithSwapAndPopKeepsIndexCoherent) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};
+  ASSERT_TRUE(sw.configureVip(VipId{1}, kApp).ok());
+  ASSERT_TRUE(sw.configureVip(VipId{2}, AppId{1}).ok());
+  ASSERT_TRUE(sw.removeVip(VipId{1}).ok());
+  ASSERT_NE(sw.findVip(VipId{2}), nullptr);
+  EXPECT_EQ(sw.findVip(VipId{2})->app, AppId{1});
+}
+
+TEST(LbSwitch, RipOperations) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};
+  ASSERT_TRUE(sw.configureVip(kVip, kApp).ok());
+  ASSERT_TRUE(sw.addRip(kVip, vmRip(0, 0, 2.0)).ok());
+  EXPECT_EQ(sw.addRip(kVip, vmRip(0, 1)).error().code, "rip_exists");
+  EXPECT_TRUE(sw.setRipWeight(kVip, RipId{0}, 5.0).ok());
+  EXPECT_DOUBLE_EQ(sw.findVip(kVip)->findRip(RipId{0})->weight, 5.0);
+  EXPECT_EQ(sw.setRipWeight(kVip, RipId{9}, 1.0).error().code, "rip_unknown");
+  EXPECT_EQ(sw.setRipWeight(kVip, RipId{0}, -1.0).error().code, "bad_weight");
+  EXPECT_TRUE(sw.removeRip(kVip, RipId{0}).ok());
+  EXPECT_EQ(sw.removeRip(kVip, RipId{0}).error().code, "rip_unknown");
+}
+
+TEST(LbSwitch, MvipRipTargetsVip) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};
+  ASSERT_TRUE(sw.configureVip(kVip, kApp).ok());
+  RipEntry e;
+  e.rip = RipId{0};
+  e.mvip = VipId{77};
+  ASSERT_TRUE(sw.addRip(kVip, e).ok());
+  EXPECT_FALSE(sw.findVip(kVip)->findRip(RipId{0})->targetsVm());
+}
+
+TEST(LbSwitch, RipMustTargetExactlyOneKind) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};
+  ASSERT_TRUE(sw.configureVip(kVip, kApp).ok());
+  RipEntry both;
+  both.rip = RipId{0};
+  both.vm = VmId{1};
+  both.mvip = VipId{2};
+  EXPECT_THROW((void)sw.addRip(kVip, both), PreconditionError);
+  RipEntry neither;
+  neither.rip = RipId{1};
+  EXPECT_THROW((void)sw.addRip(kVip, neither), PreconditionError);
+}
+
+TEST(LbSwitch, ConnectionTrackingPinsRip) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};
+  ASSERT_TRUE(sw.configureVip(kVip, kApp).ok());
+  ASSERT_TRUE(sw.addRip(kVip, vmRip(0, 0)).ok());
+  ASSERT_TRUE(sw.addRip(kVip, vmRip(1, 1)).ok());
+  Rng rng{5};
+  const auto r = sw.openConnection(ConnId{0}, kVip, rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(sw.connectionRip(ConnId{0}).value(), r.value());
+  EXPECT_EQ(sw.activeConnections(), 1u);
+  EXPECT_EQ(sw.activeConnections(kVip), 1u);
+  sw.closeConnection(ConnId{0});
+  EXPECT_EQ(sw.activeConnections(), 0u);
+  EXPECT_FALSE(sw.connectionRip(ConnId{0}).has_value());
+}
+
+TEST(LbSwitch, ConnectionLimitEnforced) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};  // max 3 connections
+  ASSERT_TRUE(sw.configureVip(kVip, kApp).ok());
+  ASSERT_TRUE(sw.addRip(kVip, vmRip(0, 0)).ok());
+  Rng rng{5};
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    EXPECT_TRUE(sw.openConnection(ConnId{c}, kVip, rng).ok());
+  }
+  EXPECT_EQ(sw.openConnection(ConnId{3}, kVip, rng).error().code,
+            "conn_table_full");
+}
+
+TEST(LbSwitch, WeightedRipSelection) {
+  SwitchLimits lim = tinyLimits();
+  lim.maxConnections = 100000;
+  LbSwitch sw{SwitchId{0}, lim};
+  ASSERT_TRUE(sw.configureVip(kVip, kApp).ok());
+  ASSERT_TRUE(sw.addRip(kVip, vmRip(0, 0, 1.0)).ok());
+  ASSERT_TRUE(sw.addRip(kVip, vmRip(1, 1, 3.0)).ok());
+  Rng rng{5};
+  int hits1 = 0;
+  const int n = 10000;
+  for (int c = 0; c < n; ++c) {
+    const auto r = sw.openConnection(ConnId{static_cast<std::uint32_t>(c)},
+                                     kVip, rng);
+    if (r.value() == RipId{1}) ++hits1;
+  }
+  EXPECT_NEAR(static_cast<double>(hits1) / n, 0.75, 0.02);
+}
+
+TEST(LbSwitch, RemoveVipWithConnectionsRefused) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};
+  ASSERT_TRUE(sw.configureVip(kVip, kApp).ok());
+  ASSERT_TRUE(sw.addRip(kVip, vmRip(0, 0)).ok());
+  Rng rng{5};
+  ASSERT_TRUE(sw.openConnection(ConnId{0}, kVip, rng).ok());
+  EXPECT_EQ(sw.removeVip(kVip).error().code, "vip_has_connections");
+  EXPECT_EQ(sw.dropConnections(kVip), 1u);
+  EXPECT_TRUE(sw.removeVip(kVip).ok());
+}
+
+TEST(LbSwitch, OpenOnUnknownVipOrNoRips) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};
+  Rng rng{5};
+  EXPECT_EQ(sw.openConnection(ConnId{0}, kVip, rng).error().code,
+            "vip_unknown");
+  ASSERT_TRUE(sw.configureVip(kVip, kApp).ok());
+  EXPECT_EQ(sw.openConnection(ConnId{0}, kVip, rng).error().code, "no_rips");
+}
+
+TEST(LbSwitch, ReconfigOpsCounted) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};
+  ASSERT_TRUE(sw.configureVip(kVip, kApp).ok());
+  ASSERT_TRUE(sw.addRip(kVip, vmRip(0, 0)).ok());
+  ASSERT_TRUE(sw.setRipWeight(kVip, RipId{0}, 2.0).ok());
+  ASSERT_TRUE(sw.removeRip(kVip, RipId{0}).ok());
+  ASSERT_TRUE(sw.removeVip(kVip).ok());
+  EXPECT_EQ(sw.reconfigOps(), 5u);
+}
+
+TEST(LbSwitch, UtilizationGauge) {
+  LbSwitch sw{SwitchId{0}, tinyLimits()};
+  sw.setOfferedGbps(2.0);
+  EXPECT_DOUBLE_EQ(sw.utilization(), 0.5);
+}
+
+// ------------------------------------------------------------- fleet --
+
+TEST(SwitchFleet, OwnershipIndex) {
+  SwitchFleet fleet;
+  const SwitchId a = fleet.addSwitch(tinyLimits());
+  const SwitchId b = fleet.addSwitch(tinyLimits());
+  EXPECT_EQ(fleet.size(), 2u);
+  EXPECT_FALSE(fleet.ownerOf(kVip).has_value());
+  ASSERT_TRUE(fleet.configureVip(a, kVip, kApp).ok());
+  EXPECT_EQ(fleet.ownerOf(kVip).value(), a);
+  EXPECT_EQ(fleet.configureVip(b, kVip, kApp).error().code,
+            "vip_owned_elsewhere");
+}
+
+TEST(SwitchFleet, RemoveVipClearsOwnership) {
+  SwitchFleet fleet;
+  const SwitchId a = fleet.addSwitch(tinyLimits());
+  ASSERT_TRUE(fleet.configureVip(a, kVip, kApp).ok());
+  ASSERT_TRUE(fleet.removeVip(kVip).ok());
+  EXPECT_FALSE(fleet.ownerOf(kVip).has_value());
+  EXPECT_EQ(fleet.removeVip(kVip).error().code, "vip_unowned");
+}
+
+TEST(SwitchFleet, TransferMovesRipsAndWeights) {
+  SwitchFleet fleet;
+  const SwitchId a = fleet.addSwitch(tinyLimits());
+  const SwitchId b = fleet.addSwitch(tinyLimits());
+  ASSERT_TRUE(fleet.configureVip(a, kVip, kApp).ok());
+  ASSERT_TRUE(fleet.addRip(kVip, vmRip(0, 0, 2.5)).ok());
+  ASSERT_TRUE(fleet.addRip(kVip, vmRip(1, 1, 1.5)).ok());
+
+  ASSERT_TRUE(fleet.transferVip(kVip, b).ok());
+  EXPECT_EQ(fleet.ownerOf(kVip).value(), b);
+  EXPECT_FALSE(fleet.at(a).hasVip(kVip));
+  const VipEntry* e = fleet.at(b).findVip(kVip);
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->rips.size(), 2u);
+  EXPECT_DOUBLE_EQ(e->findRip(RipId{0})->weight, 2.5);
+  EXPECT_EQ(fleet.vipTransfers(), 1u);
+}
+
+TEST(SwitchFleet, TransferRefusedWhileInUse) {
+  SwitchFleet fleet;
+  const SwitchId a = fleet.addSwitch(tinyLimits());
+  const SwitchId b = fleet.addSwitch(tinyLimits());
+  ASSERT_TRUE(fleet.configureVip(a, kVip, kApp).ok());
+  ASSERT_TRUE(fleet.addRip(kVip, vmRip(0, 0)).ok());
+  Rng rng{5};
+  ASSERT_TRUE(fleet.at(a).openConnection(ConnId{0}, kVip, rng).ok());
+
+  EXPECT_EQ(fleet.transferVip(kVip, b).error().code, "vip_in_use");
+  EXPECT_EQ(fleet.ownerOf(kVip).value(), a);
+
+  // Forced transfer drops the connection and counts the violation.
+  ASSERT_TRUE(fleet.transferVip(kVip, b, /*force=*/true).ok());
+  EXPECT_EQ(fleet.droppedConnections(), 1u);
+  EXPECT_EQ(fleet.ownerOf(kVip).value(), b);
+}
+
+TEST(SwitchFleet, TransferChecksDestinationCapacity) {
+  SwitchFleet fleet;
+  const SwitchId a = fleet.addSwitch(tinyLimits());
+  const SwitchId b = fleet.addSwitch(tinyLimits());
+  ASSERT_TRUE(fleet.configureVip(a, kVip, kApp).ok());
+  // Fill b's VIP table.
+  ASSERT_TRUE(fleet.configureVip(b, VipId{20}, kApp).ok());
+  ASSERT_TRUE(fleet.configureVip(b, VipId{21}, kApp).ok());
+  EXPECT_EQ(fleet.transferVip(kVip, b).error().code, "vip_table_full");
+  EXPECT_EQ(fleet.ownerOf(kVip).value(), a);  // unchanged on failure
+}
+
+TEST(SwitchFleet, TransferToSameSwitchRejected) {
+  SwitchFleet fleet;
+  const SwitchId a = fleet.addSwitch(tinyLimits());
+  ASSERT_TRUE(fleet.configureVip(a, kVip, kApp).ok());
+  EXPECT_EQ(fleet.transferVip(kVip, a).error().code, "same_switch");
+}
+
+TEST(SwitchFleet, FleetWideAccounting) {
+  SwitchFleet fleet;
+  const SwitchId a = fleet.addSwitch(tinyLimits());
+  const SwitchId b = fleet.addSwitch(tinyLimits());
+  ASSERT_TRUE(fleet.configureVip(a, VipId{1}, kApp).ok());
+  ASSERT_TRUE(fleet.configureVip(b, VipId{2}, kApp).ok());
+  ASSERT_TRUE(fleet.addRip(VipId{1}, vmRip(0, 0)).ok());
+  EXPECT_EQ(fleet.totalVips(), 2u);
+  EXPECT_EQ(fleet.totalRips(), 1u);
+
+  fleet.at(a).setOfferedGbps(1.0);
+  fleet.at(b).setOfferedGbps(3.0);
+  const auto offered = fleet.offeredGbps();
+  EXPECT_DOUBLE_EQ(offered[0], 1.0);
+  EXPECT_DOUBLE_EQ(offered[1], 3.0);
+
+  int visited = 0;
+  fleet.forEach([&](const LbSwitch&) { ++visited; });
+  EXPECT_EQ(visited, 2);
+}
+
+TEST(SwitchFleet, RipOpsOnUnownedVip) {
+  SwitchFleet fleet;
+  fleet.addSwitch(tinyLimits());
+  EXPECT_EQ(fleet.addRip(kVip, vmRip(0, 0)).error().code, "vip_unowned");
+  EXPECT_EQ(fleet.removeRip(kVip, RipId{0}).error().code, "vip_unowned");
+  EXPECT_EQ(fleet.setRipWeight(kVip, RipId{0}, 1.0).error().code,
+            "vip_unowned");
+  EXPECT_EQ(fleet.findVip(kVip), nullptr);
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,144 @@
+// Unit tests for time series, histograms, and the table renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mdc/metrics/histogram.hpp"
+#include "mdc/metrics/table.hpp"
+#include "mdc/metrics/timeseries.hpp"
+
+namespace mdc {
+namespace {
+
+TEST(TimeSeries, RecordAndQuery) {
+  TimeSeries ts{"util"};
+  ts.record(0.0, 1.0);
+  ts.record(1.0, 3.0);
+  ts.record(2.0, 2.0);
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts.last(), 2.0);
+  EXPECT_DOUBLE_EQ(ts.maxValue(), 3.0);
+  EXPECT_DOUBLE_EQ(ts.minValue(), 1.0);
+  EXPECT_DOUBLE_EQ(ts.meanValue(), 2.0);
+}
+
+TEST(TimeSeries, RejectsOutOfOrder) {
+  TimeSeries ts;
+  ts.record(5.0, 1.0);
+  EXPECT_THROW(ts.record(4.0, 1.0), PreconditionError);
+  ts.record(5.0, 2.0);  // equal time allowed
+}
+
+TEST(TimeSeries, EmptyQueriesThrow) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_THROW((void)ts.last(), PreconditionError);
+  EXPECT_THROW((void)ts.timeWeightedMean(), PreconditionError);
+}
+
+TEST(TimeSeries, TimeWeightedMean) {
+  TimeSeries ts;
+  ts.record(0.0, 1.0);   // holds 1.0 over [0, 10)
+  ts.record(10.0, 3.0);  // endpoint
+  EXPECT_DOUBLE_EQ(ts.timeWeightedMean(), 1.0);
+  ts.record(20.0, 3.0);
+  // 1.0 over [0,10), 3.0 over [10,20) -> 2.0
+  EXPECT_DOUBLE_EQ(ts.timeWeightedMean(), 2.0);
+}
+
+TEST(TimeSeries, SettleTime) {
+  TimeSeries ts;
+  ts.record(0.0, 5.0);
+  ts.record(1.0, 0.5);
+  ts.record(2.0, 4.0);  // bounced back up
+  ts.record(3.0, 0.8);
+  ts.record(4.0, 0.2);
+  EXPECT_DOUBLE_EQ(ts.settleTime(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(ts.settleTime(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.settleTime(0.1), -1.0);
+}
+
+TEST(Histogram, CountsAndMean) {
+  Histogram h{0.001, 100.0};
+  h.record(1.0);
+  h.record(2.0);
+  h.record(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.meanValue(), 2.0);
+  EXPECT_DOUBLE_EQ(h.minRecorded(), 1.0);
+  EXPECT_DOUBLE_EQ(h.maxRecorded(), 3.0);
+}
+
+TEST(Histogram, QuantilesAreMonotone) {
+  Histogram h{0.001, 1000.0, 128};
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i) * 0.1);
+  const double p50 = h.quantile(0.5);
+  const double p90 = h.quantile(0.9);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_NEAR(p50, 50.0, 5.0);
+  EXPECT_NEAR(p99, 99.0, 8.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h{1.0, 10.0, 4};
+  h.record(0.5);
+  h.record(100.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, BulkRecord) {
+  Histogram h{0.1, 10.0};
+  h.record(1.0, 10);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  h.record(2.0, 0);  // no-op
+  EXPECT_EQ(h.count(), 10u);
+}
+
+TEST(Histogram, Preconditions) {
+  EXPECT_THROW((Histogram{0.0, 1.0}), PreconditionError);
+  EXPECT_THROW((Histogram{2.0, 1.0}), PreconditionError);
+  EXPECT_THROW((Histogram{1.0, 2.0, 1}), PreconditionError);
+  Histogram h{1.0, 2.0};
+  EXPECT_THROW((void)h.quantile(0.5), PreconditionError);
+  EXPECT_THROW(h.record(-1.0), PreconditionError);
+}
+
+TEST(Table, RendersAlignedText) {
+  Table t{"Demo", {"name", "count"}};
+  t.addRow({std::string{"alpha"}, static_cast<long long>(3)});
+  t.addRow({std::string{"b"}, static_cast<long long>(12345)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t{"T", {"a", "b"}};
+  EXPECT_THROW(t.addRow({std::string{"only-one"}}), PreconditionError);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t{"T", {"a", "b"}};
+  t.addRow({std::string{"x,y"}, std::string{"quo\"te"}});
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"quo\"\"te\"\n");
+}
+
+TEST(Table, FormatCellScientificForExtremes) {
+  EXPECT_EQ(Table::formatCell(Cell{1.5}), "1.500");
+  EXPECT_EQ(Table::formatCell(Cell{static_cast<long long>(7)}), "7");
+  const std::string big = Table::formatCell(Cell{3.0e12});
+  EXPECT_NE(big.find('e'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdc

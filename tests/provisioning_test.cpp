@@ -1,0 +1,86 @@
+// Tests that the provisioning arithmetic reproduces the paper's published
+// numbers exactly (§III-B, §V-A).
+#include <gtest/gtest.h>
+
+#include "mdc/core/provisioning.hpp"
+
+namespace mdc {
+namespace {
+
+SwitchLimits catalyst() {
+  SwitchLimits lim;  // defaults are the paper's Catalyst parameters
+  return lim;
+}
+
+TEST(Provisioning, PaperTwoVipCase) {
+  // §III-B: 300,000 apps x 2 VIPs / 4,000 VIPs per switch = 150 switches,
+  // about 600 Gbps aggregate.
+  ProvisioningDemand d;
+  d.applications = 300'000;
+  d.vipsPerApp = 2.0;
+  d.ripsPerApp = 0.0;
+  EXPECT_EQ(minSwitchesForVips(d, catalyst()), 150u);
+  EXPECT_DOUBLE_EQ(aggregateGbps(150, catalyst()), 600.0);
+}
+
+TEST(Provisioning, PaperThreeVipTwentyRipCase) {
+  // §V-A: max(300k*3/4000, 300k*20/16000) = max(225, 375) = 375 switches.
+  ProvisioningDemand d;  // defaults: 300k apps, 3 VIPs, 20 RIPs
+  EXPECT_EQ(minSwitchesForVips(d, catalyst()), 225u);
+  EXPECT_EQ(minSwitchesForRips(d, catalyst()), 375u);
+  EXPECT_EQ(minSwitches(d, catalyst()), 375u);
+}
+
+TEST(Provisioning, TargetScaleNeedsAtLeast300kVipsAnd6MRips) {
+  // §II: 300,000 VIPs (1/app) and 6M RIPs (20/app).
+  ProvisioningDemand d;
+  d.vipsPerApp = 1.0;
+  EXPECT_EQ(minSwitchesForVips(d, catalyst()), 75u);   // 300k/4k
+  EXPECT_EQ(minSwitchesForRips(d, catalyst()), 375u);  // 6M/16k
+}
+
+TEST(Provisioning, CeilingNotFloor) {
+  ProvisioningDemand d;
+  d.applications = 4001;
+  d.vipsPerApp = 1.0;
+  d.ripsPerApp = 1.0;
+  EXPECT_EQ(minSwitchesForVips(d, catalyst()), 2u);
+}
+
+TEST(Provisioning, StateSpaceIsAstronomical) {
+  ProvisioningDemand d;  // 300k apps, 3 VIPs
+  const double literal = log10PlacementStatesLiteral(d, 400);
+  const double paper = log10PlacementStatesPaper(d, 400);
+  // Literal: 900k VIPs x log10(400) ~ 2.3M digits.
+  EXPECT_GT(literal, 1e6);
+  // Paper's A^(L*k): 1200 * log10(300k) ~ 6575 digits.
+  EXPECT_GT(paper, 6000.0);
+  EXPECT_LT(paper, 7000.0);
+}
+
+TEST(Provisioning, LbLayerNotBottleneckAtTwentyPercent) {
+  // §III-B: external traffic is ~20% of total; 150 switches offer
+  // 600 Gbps, enough for 3 Tbps total traffic.
+  const auto check = lbLayerBottleneck(3000.0, 0.2, 150, catalyst());
+  EXPECT_DOUBLE_EQ(check.externalGbps, 600.0);
+  EXPECT_DOUBLE_EQ(check.aggregateGbps, 600.0);
+  EXPECT_FALSE(check.bottleneck);
+}
+
+TEST(Provisioning, LbLayerBottleneckWhenExternalShareGrows) {
+  const auto check = lbLayerBottleneck(3000.0, 0.4, 150, catalyst());
+  EXPECT_TRUE(check.bottleneck);
+}
+
+TEST(Provisioning, Validation) {
+  ProvisioningDemand d;
+  SwitchLimits zero = catalyst();
+  zero.maxVips = 0;
+  EXPECT_THROW((void)minSwitchesForVips(d, zero), PreconditionError);
+  EXPECT_THROW((void)lbLayerBottleneck(1.0, 1.5, 1, catalyst()),
+               PreconditionError);
+  EXPECT_THROW((void)log10PlacementStatesLiteral(d, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,109 @@
+// Unit tests for BGP-style advertisement dynamics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mdc/route/route_registry.hpp"
+
+namespace mdc {
+namespace {
+
+constexpr VipId kVip{1};
+constexpr AccessRouterId kAr0{0};
+constexpr AccessRouterId kAr1{1};
+
+TEST(RouteRegistry, AdvertisementPropagates) {
+  RouteRegistry reg{30.0};
+  reg.advertise(kVip, kAr0, 0.0);
+  reg.settle(0.0);
+  EXPECT_FALSE(reg.isActive(kVip, kAr0));  // still announcing
+  reg.settle(29.9);
+  EXPECT_FALSE(reg.isActive(kVip, kAr0));
+  reg.settle(30.0);
+  EXPECT_TRUE(reg.isActive(kVip, kAr0));
+  EXPECT_TRUE(reg.isReachable(kVip, kAr0));
+}
+
+TEST(RouteRegistry, ZeroDelayIsImmediate) {
+  RouteRegistry reg{0.0};
+  reg.advertise(kVip, kAr0, 5.0);
+  reg.settle(5.0);
+  EXPECT_TRUE(reg.isActive(kVip, kAr0));
+}
+
+TEST(RouteRegistry, PaddedRouteDrainsButStaysReachable) {
+  RouteRegistry reg{10.0};
+  reg.advertise(kVip, kAr0, 0.0);
+  reg.settle(10.0);
+  reg.pad(kVip, kAr0, 10.0);
+  // Conservatively no new traffic immediately after padding.
+  EXPECT_FALSE(reg.isActive(kVip, kAr0));
+  EXPECT_TRUE(reg.isReachable(kVip, kAr0));
+  reg.settle(100.0);
+  EXPECT_FALSE(reg.isActive(kVip, kAr0));
+  EXPECT_TRUE(reg.isReachable(kVip, kAr0));
+}
+
+TEST(RouteRegistry, WithdrawalRemovesRoute) {
+  RouteRegistry reg{10.0};
+  reg.advertise(kVip, kAr0, 0.0);
+  reg.settle(10.0);
+  reg.withdraw(kVip, kAr0, 20.0);
+  reg.settle(25.0);
+  // Withdrawal still propagating: not active for new traffic.
+  EXPECT_FALSE(reg.isActive(kVip, kAr0));
+  reg.settle(30.0);
+  EXPECT_FALSE(reg.isReachable(kVip, kAr0));
+  EXPECT_TRUE(reg.activeRouters(kVip).empty());
+}
+
+TEST(RouteRegistry, ReAdvertiseAfterPadRestoresTraffic) {
+  RouteRegistry reg{10.0};
+  reg.advertise(kVip, kAr0, 0.0);
+  reg.settle(10.0);
+  reg.pad(kVip, kAr0, 10.0);
+  reg.advertise(kVip, kAr0, 20.0);
+  reg.settle(30.0);
+  EXPECT_TRUE(reg.isActive(kVip, kAr0));
+}
+
+TEST(RouteRegistry, MultipleRoutersTrackedIndependently) {
+  RouteRegistry reg{5.0};
+  reg.advertise(kVip, kAr0, 0.0);
+  reg.advertise(kVip, kAr1, 0.0);
+  reg.settle(5.0);
+  reg.pad(kVip, kAr0, 5.0);
+  const auto active = reg.activeRouters(kVip);
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], kAr1);
+  EXPECT_EQ(reg.reachableRouters(kVip).size(), 2u);
+}
+
+TEST(RouteRegistry, UpdateCounting) {
+  RouteRegistry reg{5.0};
+  EXPECT_EQ(reg.routeUpdates(), 0u);
+  reg.advertise(kVip, kAr0, 0.0);
+  reg.pad(kVip, kAr0, 1.0);
+  reg.withdraw(kVip, kAr0, 2.0);
+  EXPECT_EQ(reg.routeUpdates(), 3u);
+}
+
+TEST(RouteRegistry, PadUnknownRouteThrows) {
+  RouteRegistry reg{5.0};
+  EXPECT_THROW(reg.pad(kVip, kAr0, 0.0), PreconditionError);
+  EXPECT_THROW(reg.withdraw(kVip, kAr0, 0.0), PreconditionError);
+}
+
+TEST(RouteRegistry, PadAfterWithdrawThrows) {
+  RouteRegistry reg{5.0};
+  reg.advertise(kVip, kAr0, 0.0);
+  reg.withdraw(kVip, kAr0, 1.0);
+  EXPECT_THROW(reg.pad(kVip, kAr0, 2.0), PreconditionError);
+}
+
+TEST(RouteRegistry, NegativeDelayRejected) {
+  EXPECT_THROW((RouteRegistry{-1.0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdc

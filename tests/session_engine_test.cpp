@@ -1,0 +1,153 @@
+// Tests for the session-level engine and its interaction with VIP
+// transfer (connection affinity, §IV-B).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mdc/scenario/session_engine.hpp"
+
+namespace mdc {
+namespace {
+
+struct Fixture {
+  Simulation sim;
+  AppRegistry apps;
+  AuthoritativeDns dns;
+  ResolverPopulation resolvers{dns, ResolverConfig{}};
+  SwitchFleet fleet;
+  StaticDemand demand{{10'000.0}};
+  AppId app;
+  VipId vip{100};
+  SwitchId swA, swB;
+
+  Fixture() {
+    app = apps.create("web", AppSla{}, 10'000.0);
+    swA = fleet.addSwitch(SwitchLimits{});
+    swB = fleet.addSwitch(SwitchLimits{});
+    EXPECT_TRUE(fleet.configureVip(swA, vip, app).ok());
+    RipEntry rip;
+    rip.rip = RipId{0};
+    rip.vm = VmId{0};
+    EXPECT_TRUE(fleet.addRip(vip, rip).ok());
+    dns.registerApp(app);
+    dns.addVip(app, vip, 1.0);
+  }
+
+  SessionEngine::Options options() {
+    SessionEngine::Options o;
+    o.sessionsPerSecondPerKrps = 1.0;  // 10 sessions/s at 10 krps
+    o.meanSessionSeconds = 20.0;
+    o.tick = 1.0;
+    o.seed = 5;
+    return o;
+  }
+};
+
+TEST(SessionEngine, SessionsArriveAndTrackOnSwitch) {
+  Fixture f;
+  SessionEngine engine{f.sim, f.apps, f.demand, f.resolvers, f.fleet,
+                       f.options()};
+  engine.start();
+  f.sim.runUntil(30.0);
+  EXPECT_GT(engine.totalArrivals(), 200u);
+  EXPECT_GT(engine.activeSessions(), 0u);
+  EXPECT_EQ(engine.rejectedSessions(), 0u);
+  EXPECT_EQ(f.fleet.at(f.swA).activeConnections(), engine.activeSessions());
+}
+
+TEST(SessionEngine, SessionsCompleteOverTime) {
+  Fixture f;
+  SessionEngine engine{f.sim, f.apps, f.demand, f.resolvers, f.fleet,
+                       f.options()};
+  engine.start();
+  f.sim.runUntil(200.0);
+  EXPECT_GT(engine.completedSessions(), 0u);
+  EXPECT_EQ(engine.brokenSessions(), 0u);
+  // Little's law sanity: active ~ rate * duration = 10/s * 20 s = 200.
+  EXPECT_NEAR(static_cast<double>(engine.activeSessions()), 200.0, 80.0);
+}
+
+TEST(SessionEngine, TransferRefusedWhileSessionsActive) {
+  Fixture f;
+  SessionEngine engine{f.sim, f.apps, f.demand, f.resolvers, f.fleet,
+                       f.options()};
+  engine.start();
+  f.sim.runUntil(30.0);
+  ASSERT_GT(f.fleet.at(f.swA).activeConnections(f.vip), 0u);
+  EXPECT_EQ(f.fleet.transferVip(f.vip, f.swB).error().code, "vip_in_use");
+}
+
+TEST(SessionEngine, ForcedTransferBreaksSessions) {
+  Fixture f;
+  SessionEngine engine{f.sim, f.apps, f.demand, f.resolvers, f.fleet,
+                       f.options()};
+  engine.start();
+  f.sim.runUntil(30.0);
+  const auto inFlight = f.fleet.at(f.swA).activeConnections(f.vip);
+  ASSERT_GT(inFlight, 0u);
+  ASSERT_TRUE(f.fleet.transferVip(f.vip, f.swB, /*force=*/true).ok());
+  EXPECT_EQ(f.fleet.droppedConnections(), inFlight);
+  // Let every broken session reach its scheduled close.
+  f.sim.runUntil(600.0);
+  EXPECT_GE(engine.brokenSessions(), inFlight);
+}
+
+TEST(SessionEngine, DrainViaDnsThenTransferCleanly) {
+  // The paper's drain recipe: stop exposing the VIP, wait for sessions to
+  // finish, then transfer with zero affinity violations.
+  Fixture f;
+  // Add a second VIP so clients have somewhere else to go.
+  const VipId vip2{101};
+  ASSERT_TRUE(f.fleet.configureVip(f.swB, vip2, f.app).ok());
+  RipEntry rip;
+  rip.rip = RipId{1};
+  rip.vm = VmId{1};
+  ASSERT_TRUE(f.fleet.addRip(vip2, rip).ok());
+  f.dns.addVip(f.app, vip2, 1.0);
+
+  SessionEngine engine{f.sim, f.apps, f.demand, f.resolvers, f.fleet,
+                       f.options()};
+  engine.start();
+  f.sim.runUntil(30.0);
+  ASSERT_GT(f.fleet.at(f.swA).activeConnections(f.vip), 0u);
+
+  f.dns.setWeight(f.app, f.vip, 0.0);  // selective exposure away
+  // Old sessions finish (mean 20 s); new ones go to vip2 as resolver
+  // caches expire.  After several TTLs + session lifetimes it quiesces.
+  f.sim.runUntil(2000.0);
+  EXPECT_EQ(f.fleet.at(f.swA).activeConnections(f.vip), 0u);
+  ASSERT_TRUE(f.fleet.transferVip(f.vip, f.swB).ok());
+  EXPECT_EQ(engine.brokenSessions(), 0u);
+  EXPECT_EQ(f.fleet.droppedConnections(), 0u);
+}
+
+TEST(SessionEngine, RejectsWhenNoVipExposed) {
+  Simulation sim;
+  AppRegistry apps;
+  AuthoritativeDns dns;
+  ResolverPopulation resolvers{dns, ResolverConfig{}};
+  SwitchFleet fleet;
+  StaticDemand demand{{1000.0}};
+  const AppId app = apps.create("a", AppSla{}, 1000.0);
+  dns.registerApp(app);  // registered but no VIPs
+
+  SessionEngine::Options o;
+  o.sessionsPerSecondPerKrps = 5.0;
+  SessionEngine engine{sim, apps, demand, resolvers, fleet, o};
+  engine.start();
+  sim.runUntil(10.0);
+  EXPECT_GT(engine.totalArrivals(), 0u);
+  EXPECT_EQ(engine.rejectedSessions(), engine.totalArrivals());
+}
+
+TEST(SessionEngine, OptionValidation) {
+  Fixture f;
+  SessionEngine::Options bad = f.options();
+  bad.meanSessionSeconds = 0.0;
+  EXPECT_THROW(
+      (SessionEngine{f.sim, f.apps, f.demand, f.resolvers, f.fleet, bad}),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,244 @@
+// Unit tests for the discrete-event kernel and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mdc/sim/rng.hpp"
+#include "mdc/sim/simulation.hpp"
+
+namespace mdc {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.eventsExecuted(), 0u);
+}
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.runAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, TiesBreakByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(1.0, [&] { order.push_back(2); });
+  sim.at(1.0, [&] { order.push_back(3); });
+  sim.runAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, AfterSchedulesRelative) {
+  Simulation sim;
+  double firedAt = -1.0;
+  sim.at(5.0, [&] {
+    sim.after(2.5, [&] { firedAt = sim.now(); });
+  });
+  sim.runAll();
+  EXPECT_DOUBLE_EQ(firedAt, 7.5);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWithoutEvents) {
+  Simulation sim;
+  sim.runUntil(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulation, RunUntilLeavesFutureEventsPending) {
+  Simulation sim;
+  bool fired = false;
+  sim.at(5.0, [&] { fired = true; });
+  sim.runUntil(4.0);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pendingEvents(), 1u);
+  sim.runUntil(6.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const EventHandle h = sim.at(1.0, [&] { fired = true; });
+  sim.cancel(h);
+  sim.runUntil(2.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelNullHandleIsNoop) {
+  Simulation sim;
+  sim.cancel(EventHandle{});
+  sim.runUntil(1.0);
+}
+
+TEST(Simulation, PeriodicFiresRepeatedly) {
+  Simulation sim;
+  int count = 0;
+  sim.every(1.0, [&] { ++count; });
+  sim.runUntil(5.5);
+  EXPECT_EQ(count, 6);  // phase 0: fires at t = 0, 1, 2, 3, 4, 5
+}
+
+TEST(Simulation, PeriodicFirstFiringAtPhase) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.every(2.0, [&] { times.push_back(sim.now()); }, 0.5);
+  sim.runUntil(5.0);
+  EXPECT_EQ(times, (std::vector<double>{0.5, 2.5, 4.5}));
+}
+
+TEST(Simulation, PeriodicCancellable) {
+  Simulation sim;
+  int count = 0;
+  const EventHandle h = sim.every(1.0, [&] { ++count; }, 1.0);
+  sim.at(3.5, [&] { sim.cancel(h); });
+  sim.runUntil(10.0);
+  EXPECT_EQ(count, 3);  // fired at 1, 2, 3
+}
+
+TEST(Simulation, SchedulingInPastThrows) {
+  Simulation sim;
+  sim.runUntil(5.0);
+  EXPECT_THROW(sim.at(4.0, [] {}), PreconditionError);
+  EXPECT_THROW(sim.after(-1.0, [] {}), PreconditionError);
+}
+
+TEST(Simulation, RunAllWithPeriodicThrows) {
+  Simulation sim;
+  sim.every(1.0, [] {});
+  EXPECT_THROW(sim.runAll(), PreconditionError);
+}
+
+TEST(Simulation, EventsExecutedCounts) {
+  Simulation sim;
+  for (int i = 0; i < 10; ++i) sim.at(static_cast<double>(i), [] {});
+  sim.runAll();
+  EXPECT_EQ(sim.eventsExecuted(), 10u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{12345};
+  Rng b{12345};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  EXPECT_NE(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.uniformInt(13), 13u);
+  EXPECT_THROW((void)rng.uniformInt(0), PreconditionError);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng{42};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{42};
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{42};
+  double sum = 0.0, sumSq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sumSq += x * x;
+  }
+  const double m = sum / n;
+  EXPECT_NEAR(m, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sumSq / n - m * m), 2.0, 0.1);
+}
+
+TEST(Rng, ParetoLowerBound) {
+  Rng rng{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng{42};
+  std::vector<double> w{0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weightedIndex(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexPreconditions) {
+  Rng rng{1};
+  std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW((void)rng.weightedIndex(zero), PreconditionError);
+  std::vector<double> neg{1.0, -1.0};
+  EXPECT_THROW((void)rng.weightedIndex(neg), PreconditionError);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButDeterministic) {
+  Rng a{9};
+  Rng b{9};
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fa.nextU64(), fb.nextU64());
+}
+
+TEST(ZipfSampler, ProbabilitiesSumToOne) {
+  ZipfSampler z{100, 0.9};
+  double sum = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) sum += z.probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, RankZeroMostPopular) {
+  ZipfSampler z{50, 1.1};
+  EXPECT_GT(z.probability(0), z.probability(1));
+  EXPECT_GT(z.probability(1), z.probability(49));
+}
+
+TEST(ZipfSampler, AlphaZeroIsUniform) {
+  ZipfSampler z{10, 0.0};
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(z.probability(i), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfSampler, SamplingMatchesProbability) {
+  ZipfSampler z{20, 1.0};
+  Rng rng{11};
+  std::vector<int> counts(20, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, z.probability(0), 0.02);
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,114 @@
+// Unit tests for the physical topology.
+#include <gtest/gtest.h>
+
+#include "mdc/topo/topology.hpp"
+
+namespace mdc {
+namespace {
+
+TopologyConfig smallConfig() {
+  TopologyConfig cfg;
+  cfg.numServers = 20;
+  cfg.numIsps = 2;
+  cfg.accessLinksPerIsp = 2;
+  cfg.accessLinkGbps = 10.0;
+  cfg.numSwitches = 3;
+  cfg.switchTrunkGbps = 4.0;
+  return cfg;
+}
+
+TEST(Topology, BuildsConfiguredCounts) {
+  Topology topo{smallConfig()};
+  EXPECT_EQ(topo.serverCount(), 20u);
+  EXPECT_EQ(topo.accessLinkCount(), 4u);
+  EXPECT_EQ(topo.switchCount(), 3u);
+  // Links: 4 access + 3 trunks + 20 NICs.
+  EXPECT_EQ(topo.network().linkCount(), 27u);
+}
+
+TEST(Topology, AccessLinksStripeOverIsps) {
+  Topology topo{smallConfig()};
+  EXPECT_EQ(topo.accessLink(0).isp, IspId{0});
+  EXPECT_EQ(topo.accessLink(1).isp, IspId{1});
+  EXPECT_EQ(topo.accessLink(2).isp, IspId{0});
+  EXPECT_EQ(topo.accessLink(3).isp, IspId{1});
+}
+
+TEST(Topology, AccessLinkForRouter) {
+  Topology topo{smallConfig()};
+  const auto& al = topo.accessLinkFor(AccessRouterId{2});
+  EXPECT_EQ(al.router, AccessRouterId{2});
+  EXPECT_THROW((void)topo.accessLinkFor(AccessRouterId{99}),
+               PreconditionError);
+}
+
+TEST(Topology, ServerProperties) {
+  Topology topo{smallConfig()};
+  const ServerInfo& s = topo.server(ServerId{5});
+  EXPECT_EQ(s.id, ServerId{5});
+  EXPECT_DOUBLE_EQ(s.capacity.cpu(), 8.0);
+  EXPECT_DOUBLE_EQ(topo.network().link(s.nic).capacityGbps, 1.0);
+  EXPECT_THROW((void)topo.server(ServerId{999}), PreconditionError);
+}
+
+TEST(Topology, ModernExternalPathHasNoSiloHop) {
+  Topology topo{smallConfig()};
+  const auto path = topo.externalPath(0, SwitchId{1}, ServerId{3});
+  ASSERT_EQ(path.size(), 3u);  // access link, trunk, NIC
+  EXPECT_EQ(path[0], topo.accessLink(0).link);
+  EXPECT_EQ(path[1], topo.switchTrunk(SwitchId{1}));
+  EXPECT_EQ(path[2], topo.server(ServerId{3}).nic);
+}
+
+TEST(Topology, ModernInternalPathOnlyNics) {
+  Topology topo{smallConfig()};
+  const auto path = topo.internalPath(ServerId{0}, ServerId{7});
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], topo.server(ServerId{0}).nic);
+  EXPECT_EQ(path[1], topo.server(ServerId{7}).nic);
+}
+
+TEST(Topology, TraditionalFabricAddsSiloUplinks) {
+  TopologyConfig cfg = smallConfig();
+  cfg.fabric = FabricKind::TraditionalTree;
+  cfg.siloCount = 4;
+  Topology topo{cfg};
+  // Servers striped over silos.
+  EXPECT_EQ(topo.server(ServerId{0}).silo, 0u);
+  EXPECT_EQ(topo.server(ServerId{1}).silo, 1u);
+  EXPECT_EQ(topo.server(ServerId{5}).silo, 1u);
+
+  const auto ext = topo.externalPath(0, SwitchId{0}, ServerId{1});
+  ASSERT_EQ(ext.size(), 4u);  // access, trunk, silo uplink, NIC
+  EXPECT_EQ(ext[2], topo.siloUplink(1));
+
+  // Cross-silo internal path pays both uplinks.
+  const auto cross = topo.internalPath(ServerId{0}, ServerId{1});
+  EXPECT_EQ(cross.size(), 4u);
+  // Same-silo internal path does not.
+  const auto same = topo.internalPath(ServerId{0}, ServerId{4});
+  EXPECT_EQ(same.size(), 2u);
+}
+
+TEST(Topology, SiloUplinkUnavailableOnModernFabric) {
+  Topology topo{smallConfig()};
+  EXPECT_THROW((void)topo.siloUplink(0), PreconditionError);
+}
+
+TEST(Topology, ConfigValidation) {
+  TopologyConfig cfg = smallConfig();
+  cfg.numServers = 0;
+  EXPECT_THROW((Topology{cfg}), PreconditionError);
+
+  cfg = smallConfig();
+  cfg.numSwitches = 0;
+  EXPECT_THROW((Topology{cfg}), PreconditionError);
+
+  cfg = smallConfig();
+  cfg.fabric = FabricKind::TraditionalTree;
+  cfg.siloCount = 0;
+  EXPECT_THROW((Topology{cfg}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mdc

@@ -1,0 +1,243 @@
+// Unit tests for the serialized VIP/RIP manager.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mdc/core/viprip_manager.hpp"
+
+namespace mdc {
+namespace {
+
+struct Fixture {
+  Simulation sim;
+  Topology topo;
+  SwitchFleet fleet;
+  AuthoritativeDns dns;
+  RouteRegistry routes{2.0};
+  AppRegistry apps;
+  VipRipManager viprip;
+
+  static TopologyConfig topoConfig() {
+    TopologyConfig cfg;
+    cfg.numServers = 8;
+    cfg.numIsps = 2;
+    cfg.accessLinksPerIsp = 1;
+    cfg.numSwitches = 3;
+    return cfg;
+  }
+
+  static VipRipManager::Options options() {
+    VipRipManager::Options o;
+    o.processSeconds = 0.1;
+    o.reconfigSeconds = 1.0;
+    return o;
+  }
+
+  static SwitchLimits smallSwitch() {
+    SwitchLimits lim;
+    lim.maxVips = 4;
+    lim.maxRips = 8;
+    return lim;
+  }
+
+  Fixture() : topo(topoConfig()),
+              viprip(sim, fleet, dns, routes, apps, topo, options()) {
+    for (int i = 0; i < 3; ++i) fleet.addSwitch(smallSwitch());
+  }
+
+  AppId makeApp() { return apps.create("a", AppSla{}, 100.0); }
+};
+
+TEST(VipRipManager, CreateVipNowPlacesOnEmptiestSwitch) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  const auto vip = f.viprip.createVipNow(app);
+  ASSERT_TRUE(vip.ok());
+  // Registered everywhere: fleet, DNS, app, route.
+  EXPECT_TRUE(f.fleet.ownerOf(vip.value()).has_value());
+  EXPECT_TRUE(f.dns.hasApp(app));
+  EXPECT_EQ(f.dns.vips(app).size(), 1u);
+  EXPECT_EQ(f.apps.app(app).vips.size(), 1u);
+  EXPECT_NO_THROW((void)f.viprip.routerOf(vip.value()));
+}
+
+TEST(VipRipManager, VipsSpreadAcrossSwitches) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(f.viprip.createVipNow(app).ok());
+  }
+  // 6 VIPs over 3 switches -> 2 each with the occupancy-first policy.
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(f.fleet.at(SwitchId{s}).vipCount(), 2u);
+  }
+}
+
+TEST(VipRipManager, VipsSpreadAcrossAccessRouters) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  ASSERT_TRUE(f.viprip.createVipNow(app).ok());
+  ASSERT_TRUE(f.viprip.createVipNow(app).ok());
+  const auto& vips = f.apps.app(app).vips;
+  EXPECT_NE(f.viprip.routerOf(vips[0]), f.viprip.routerOf(vips[1]));
+}
+
+TEST(VipRipManager, CreateVipFailsWhenAllTablesFull) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(f.viprip.createVipNow(app).ok());
+  }
+  EXPECT_THROW((void)f.viprip.createVipNow(app), PreconditionError);
+}
+
+TEST(VipRipManager, RipGoesToSwitchHostingAppVip) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  const auto vip = f.viprip.createVipNow(app);
+  ASSERT_TRUE(vip.ok());
+  ASSERT_TRUE(f.viprip.createRipNow(app, VmId{0}, 2.0).ok());
+  const auto owner = f.fleet.ownerOf(vip.value());
+  EXPECT_EQ(f.fleet.at(*owner).ripCount(), 1u);
+  const auto refs = f.viprip.ripsOf(VmId{0});
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].vip, vip.value());
+}
+
+TEST(VipRipManager, RipFailsWithoutVips) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  const Status s = f.viprip.createRipNow(app, VmId{0}, 1.0);
+  EXPECT_EQ(s.error().code, "app_has_no_vips");
+}
+
+TEST(VipRipManager, QueueProcessesSeriallyWithLatency) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  int done = 0;
+  for (int i = 0; i < 3; ++i) {
+    VipRipRequest req;
+    req.op = VipRipOp::NewVip;
+    req.app = app;
+    req.done = [&](Status s) {
+      EXPECT_TRUE(s.ok());
+      ++done;
+    };
+    f.viprip.submit(std::move(req));
+  }
+  // Decisions serialize at 0.1 s each (0.1, 0.2, 0.3); the 1.0 s switch
+  // reconfigurations run in parallel, completing at 1.1, 1.2, 1.3.
+  f.sim.runUntil(1.0);
+  EXPECT_EQ(done, 0);
+  f.sim.runUntil(1.15);
+  EXPECT_EQ(done, 1);
+  f.sim.runUntil(1.25);
+  EXPECT_EQ(done, 2);
+  f.sim.runUntil(3.5);
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(f.viprip.processedRequests(), 3u);
+  EXPECT_EQ(f.viprip.queueLength(), 0u);
+}
+
+TEST(VipRipManager, PriorityJumpsTheQueue) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  std::vector<int> order;
+  auto mk = [&](int priority, int tag) {
+    VipRipRequest req;
+    req.op = VipRipOp::NewVip;
+    req.app = app;
+    req.priority = priority;
+    req.done = [&order, tag](Status) { order.push_back(tag); };
+    return req;
+  };
+  // All three arrive before the manager's first pump, so strict priority
+  // order applies across the whole batch.
+  f.viprip.submit(mk(0, 1));
+  f.viprip.submit(mk(0, 2));
+  f.viprip.submit(mk(5, 3));
+  f.sim.runUntil(10.0);
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(VipRipManager, SetWeightAndDeleteRip) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  ASSERT_TRUE(f.viprip.createVipNow(app).ok());
+  ASSERT_TRUE(f.viprip.createRipNow(app, VmId{3}, 1.0).ok());
+
+  VipRipRequest w;
+  w.op = VipRipOp::SetWeight;
+  w.vm = VmId{3};
+  w.weight = 9.0;
+  f.viprip.submit(std::move(w));
+  f.sim.runUntil(5.0);
+  const auto refs = f.viprip.ripsOf(VmId{3});
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      f.fleet.findVip(refs[0].vip)->findRip(refs[0].rip)->weight, 9.0);
+
+  VipRipRequest d;
+  d.op = VipRipOp::DeleteRip;
+  d.vm = VmId{3};
+  f.viprip.submit(std::move(d));
+  f.sim.runUntil(10.0);
+  EXPECT_TRUE(f.viprip.ripsOf(VmId{3}).empty());
+  EXPECT_EQ(f.fleet.totalRips(), 0u);
+}
+
+TEST(VipRipManager, DeleteVipCleansEverything) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  const auto vip = f.viprip.createVipNow(app);
+  ASSERT_TRUE(vip.ok());
+  ASSERT_TRUE(f.viprip.createRipNow(app, VmId{0}, 1.0).ok());
+
+  VipRipRequest req;
+  req.op = VipRipOp::DeleteVip;
+  req.vip = vip.value();
+  f.viprip.submit(std::move(req));
+  f.sim.runUntil(5.0);
+  EXPECT_FALSE(f.fleet.ownerOf(vip.value()).has_value());
+  EXPECT_TRUE(f.apps.app(app).vips.empty());
+  EXPECT_TRUE(f.dns.vips(app).empty());
+  EXPECT_TRUE(f.viprip.ripsOf(VmId{0}).empty());
+}
+
+TEST(VipRipManager, MoveVipRouteUpdatesDirectoryAndDrains) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  const auto vip = f.viprip.createVipNow(app);
+  ASSERT_TRUE(vip.ok());
+  const AccessRouterId from = f.viprip.routerOf(vip.value());
+  const AccessRouterId to{from.value() == 0 ? 1u : 0u};
+  f.sim.runUntil(3.0);  // let the first advertisement converge
+  f.routes.settle(f.sim.now());
+  ASSERT_TRUE(f.routes.isActive(vip.value(), from));
+
+  f.viprip.moveVipRoute(vip.value(), to);
+  EXPECT_EQ(f.viprip.routerOf(vip.value()), to);
+  // Old route drains (padded, reachable) then is withdrawn.
+  f.routes.settle(f.sim.now());
+  EXPECT_FALSE(f.routes.isActive(vip.value(), from));
+  EXPECT_TRUE(f.routes.isReachable(vip.value(), from));
+  f.sim.runUntil(f.sim.now() + 120.0);
+  f.routes.settle(f.sim.now());
+  EXPECT_FALSE(f.routes.isReachable(vip.value(), from));
+  EXPECT_TRUE(f.routes.isActive(vip.value(), to));
+}
+
+TEST(VipRipManager, RequestLatencyHistogramFills) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  VipRipRequest req;
+  req.op = VipRipOp::NewVip;
+  req.app = app;
+  f.viprip.submit(std::move(req));
+  f.sim.runUntil(5.0);
+  EXPECT_EQ(f.viprip.requestLatency().count(), 1u);
+  EXPECT_NEAR(f.viprip.requestLatency().meanValue(), 1.1, 0.2);
+}
+
+}  // namespace
+}  // namespace mdc
