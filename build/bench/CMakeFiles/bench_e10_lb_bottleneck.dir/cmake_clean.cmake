@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_lb_bottleneck.dir/bench_e10_lb_bottleneck.cpp.o"
+  "CMakeFiles/bench_e10_lb_bottleneck.dir/bench_e10_lb_bottleneck.cpp.o.d"
+  "bench_e10_lb_bottleneck"
+  "bench_e10_lb_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_lb_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_viprip_manager.dir/bench_e12_viprip_manager.cpp.o"
+  "CMakeFiles/bench_e12_viprip_manager.dir/bench_e12_viprip_manager.cpp.o.d"
+  "bench_e12_viprip_manager"
+  "bench_e12_viprip_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_viprip_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_link_balancing.dir/bench_e4_link_balancing.cpp.o"
+  "CMakeFiles/bench_e4_link_balancing.dir/bench_e4_link_balancing.cpp.o.d"
+  "bench_e4_link_balancing"
+  "bench_e4_link_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_link_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_vip_transfer.dir/bench_e5_vip_transfer.cpp.o"
+  "CMakeFiles/bench_e5_vip_transfer.dir/bench_e5_vip_transfer.cpp.o.d"
+  "bench_e5_vip_transfer"
+  "bench_e5_vip_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_vip_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_elephant_pods.dir/bench_e7_elephant_pods.cpp.o"
+  "CMakeFiles/bench_e7_elephant_pods.dir/bench_e7_elephant_pods.cpp.o.d"
+  "bench_e7_elephant_pods"
+  "bench_e7_elephant_pods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_elephant_pods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_multiplexing.dir/bench_e8_multiplexing.cpp.o"
+  "CMakeFiles/bench_e8_multiplexing.dir/bench_e8_multiplexing.cpp.o.d"
+  "bench_e8_multiplexing"
+  "bench_e8_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_two_layer.dir/bench_e9_two_layer.cpp.o"
+  "CMakeFiles/bench_e9_two_layer.dir/bench_e9_two_layer.cpp.o.d"
+  "bench_e9_two_layer"
+  "bench_e9_two_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_two_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/flash_crowd.cpp" "examples/CMakeFiles/example_flash_crowd.dir/flash_crowd.cpp.o" "gcc" "examples/CMakeFiles/example_flash_crowd.dir/flash_crowd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdc_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flash_crowd.dir/flash_crowd.cpp.o"
+  "CMakeFiles/example_flash_crowd.dir/flash_crowd.cpp.o.d"
+  "example_flash_crowd"
+  "example_flash_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flash_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_link_failover.dir/link_failover.cpp.o"
+  "CMakeFiles/example_link_failover.dir/link_failover.cpp.o.d"
+  "example_link_failover"
+  "example_link_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_link_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

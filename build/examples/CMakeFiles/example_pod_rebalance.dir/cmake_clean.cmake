@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pod_rebalance.dir/pod_rebalance.cpp.o"
+  "CMakeFiles/example_pod_rebalance.dir/pod_rebalance.cpp.o.d"
+  "example_pod_rebalance"
+  "example_pod_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pod_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

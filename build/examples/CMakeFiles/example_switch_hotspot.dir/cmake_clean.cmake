@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_switch_hotspot.dir/switch_hotspot.cpp.o"
+  "CMakeFiles/example_switch_hotspot.dir/switch_hotspot.cpp.o.d"
+  "example_switch_hotspot"
+  "example_switch_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_switch_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_app.dir/mdc/app/app_registry.cpp.o"
+  "CMakeFiles/mdc_app.dir/mdc/app/app_registry.cpp.o.d"
+  "libmdc_app.a"
+  "libmdc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdc/core/global_manager.cpp" "src/CMakeFiles/mdc_core.dir/mdc/core/global_manager.cpp.o" "gcc" "src/CMakeFiles/mdc_core.dir/mdc/core/global_manager.cpp.o.d"
+  "/root/repo/src/mdc/core/interpod_balancer.cpp" "src/CMakeFiles/mdc_core.dir/mdc/core/interpod_balancer.cpp.o" "gcc" "src/CMakeFiles/mdc_core.dir/mdc/core/interpod_balancer.cpp.o.d"
+  "/root/repo/src/mdc/core/link_balancer.cpp" "src/CMakeFiles/mdc_core.dir/mdc/core/link_balancer.cpp.o" "gcc" "src/CMakeFiles/mdc_core.dir/mdc/core/link_balancer.cpp.o.d"
+  "/root/repo/src/mdc/core/placement.cpp" "src/CMakeFiles/mdc_core.dir/mdc/core/placement.cpp.o" "gcc" "src/CMakeFiles/mdc_core.dir/mdc/core/placement.cpp.o.d"
+  "/root/repo/src/mdc/core/pod.cpp" "src/CMakeFiles/mdc_core.dir/mdc/core/pod.cpp.o" "gcc" "src/CMakeFiles/mdc_core.dir/mdc/core/pod.cpp.o.d"
+  "/root/repo/src/mdc/core/provisioning.cpp" "src/CMakeFiles/mdc_core.dir/mdc/core/provisioning.cpp.o" "gcc" "src/CMakeFiles/mdc_core.dir/mdc/core/provisioning.cpp.o.d"
+  "/root/repo/src/mdc/core/switch_balancer.cpp" "src/CMakeFiles/mdc_core.dir/mdc/core/switch_balancer.cpp.o" "gcc" "src/CMakeFiles/mdc_core.dir/mdc/core/switch_balancer.cpp.o.d"
+  "/root/repo/src/mdc/core/viprip_manager.cpp" "src/CMakeFiles/mdc_core.dir/mdc/core/viprip_manager.cpp.o" "gcc" "src/CMakeFiles/mdc_core.dir/mdc/core/viprip_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

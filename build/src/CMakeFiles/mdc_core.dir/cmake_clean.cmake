@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_core.dir/mdc/core/global_manager.cpp.o"
+  "CMakeFiles/mdc_core.dir/mdc/core/global_manager.cpp.o.d"
+  "CMakeFiles/mdc_core.dir/mdc/core/interpod_balancer.cpp.o"
+  "CMakeFiles/mdc_core.dir/mdc/core/interpod_balancer.cpp.o.d"
+  "CMakeFiles/mdc_core.dir/mdc/core/link_balancer.cpp.o"
+  "CMakeFiles/mdc_core.dir/mdc/core/link_balancer.cpp.o.d"
+  "CMakeFiles/mdc_core.dir/mdc/core/placement.cpp.o"
+  "CMakeFiles/mdc_core.dir/mdc/core/placement.cpp.o.d"
+  "CMakeFiles/mdc_core.dir/mdc/core/pod.cpp.o"
+  "CMakeFiles/mdc_core.dir/mdc/core/pod.cpp.o.d"
+  "CMakeFiles/mdc_core.dir/mdc/core/provisioning.cpp.o"
+  "CMakeFiles/mdc_core.dir/mdc/core/provisioning.cpp.o.d"
+  "CMakeFiles/mdc_core.dir/mdc/core/switch_balancer.cpp.o"
+  "CMakeFiles/mdc_core.dir/mdc/core/switch_balancer.cpp.o.d"
+  "CMakeFiles/mdc_core.dir/mdc/core/viprip_manager.cpp.o"
+  "CMakeFiles/mdc_core.dir/mdc/core/viprip_manager.cpp.o.d"
+  "libmdc_core.a"
+  "libmdc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

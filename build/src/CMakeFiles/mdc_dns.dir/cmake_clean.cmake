@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_dns.dir/mdc/dns/dns.cpp.o"
+  "CMakeFiles/mdc_dns.dir/mdc/dns/dns.cpp.o.d"
+  "libmdc_dns.a"
+  "libmdc_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

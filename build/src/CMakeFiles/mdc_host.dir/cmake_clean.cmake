@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_host.dir/mdc/host/host_fleet.cpp.o"
+  "CMakeFiles/mdc_host.dir/mdc/host/host_fleet.cpp.o.d"
+  "libmdc_host.a"
+  "libmdc_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdc/lb/lb_switch.cpp" "src/CMakeFiles/mdc_lb.dir/mdc/lb/lb_switch.cpp.o" "gcc" "src/CMakeFiles/mdc_lb.dir/mdc/lb/lb_switch.cpp.o.d"
+  "/root/repo/src/mdc/lb/switch_fleet.cpp" "src/CMakeFiles/mdc_lb.dir/mdc/lb/switch_fleet.cpp.o" "gcc" "src/CMakeFiles/mdc_lb.dir/mdc/lb/switch_fleet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

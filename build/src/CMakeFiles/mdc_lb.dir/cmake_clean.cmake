@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_lb.dir/mdc/lb/lb_switch.cpp.o"
+  "CMakeFiles/mdc_lb.dir/mdc/lb/lb_switch.cpp.o.d"
+  "CMakeFiles/mdc_lb.dir/mdc/lb/switch_fleet.cpp.o"
+  "CMakeFiles/mdc_lb.dir/mdc/lb/switch_fleet.cpp.o.d"
+  "libmdc_lb.a"
+  "libmdc_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

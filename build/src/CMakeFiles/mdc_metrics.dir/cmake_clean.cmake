@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_metrics.dir/mdc/metrics/histogram.cpp.o"
+  "CMakeFiles/mdc_metrics.dir/mdc/metrics/histogram.cpp.o.d"
+  "CMakeFiles/mdc_metrics.dir/mdc/metrics/table.cpp.o"
+  "CMakeFiles/mdc_metrics.dir/mdc/metrics/table.cpp.o.d"
+  "CMakeFiles/mdc_metrics.dir/mdc/metrics/timeseries.cpp.o"
+  "CMakeFiles/mdc_metrics.dir/mdc/metrics/timeseries.cpp.o.d"
+  "libmdc_metrics.a"
+  "libmdc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_net.dir/mdc/net/network.cpp.o"
+  "CMakeFiles/mdc_net.dir/mdc/net/network.cpp.o.d"
+  "libmdc_net.a"
+  "libmdc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_route.dir/mdc/route/route_registry.cpp.o"
+  "CMakeFiles/mdc_route.dir/mdc/route/route_registry.cpp.o.d"
+  "libmdc_route.a"
+  "libmdc_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_scenario.dir/mdc/scenario/fluid_engine.cpp.o"
+  "CMakeFiles/mdc_scenario.dir/mdc/scenario/fluid_engine.cpp.o.d"
+  "CMakeFiles/mdc_scenario.dir/mdc/scenario/megadc.cpp.o"
+  "CMakeFiles/mdc_scenario.dir/mdc/scenario/megadc.cpp.o.d"
+  "CMakeFiles/mdc_scenario.dir/mdc/scenario/session_engine.cpp.o"
+  "CMakeFiles/mdc_scenario.dir/mdc/scenario/session_engine.cpp.o.d"
+  "libmdc_scenario.a"
+  "libmdc_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

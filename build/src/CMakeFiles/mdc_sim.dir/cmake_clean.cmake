@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_sim.dir/mdc/sim/rng.cpp.o"
+  "CMakeFiles/mdc_sim.dir/mdc/sim/rng.cpp.o.d"
+  "CMakeFiles/mdc_sim.dir/mdc/sim/simulation.cpp.o"
+  "CMakeFiles/mdc_sim.dir/mdc/sim/simulation.cpp.o.d"
+  "libmdc_sim.a"
+  "libmdc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

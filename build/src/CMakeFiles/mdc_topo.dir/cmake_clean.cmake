@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_topo.dir/mdc/topo/topology.cpp.o"
+  "CMakeFiles/mdc_topo.dir/mdc/topo/topology.cpp.o.d"
+  "libmdc_topo.a"
+  "libmdc_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

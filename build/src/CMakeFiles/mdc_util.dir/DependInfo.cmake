@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdc/util/expect.cpp" "src/CMakeFiles/mdc_util.dir/mdc/util/expect.cpp.o" "gcc" "src/CMakeFiles/mdc_util.dir/mdc/util/expect.cpp.o.d"
+  "/root/repo/src/mdc/util/stats.cpp" "src/CMakeFiles/mdc_util.dir/mdc/util/stats.cpp.o" "gcc" "src/CMakeFiles/mdc_util.dir/mdc/util/stats.cpp.o.d"
+  "/root/repo/src/mdc/util/units.cpp" "src/CMakeFiles/mdc_util.dir/mdc/util/units.cpp.o" "gcc" "src/CMakeFiles/mdc_util.dir/mdc/util/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_util.dir/mdc/util/expect.cpp.o"
+  "CMakeFiles/mdc_util.dir/mdc/util/expect.cpp.o.d"
+  "CMakeFiles/mdc_util.dir/mdc/util/stats.cpp.o"
+  "CMakeFiles/mdc_util.dir/mdc/util/stats.cpp.o.d"
+  "CMakeFiles/mdc_util.dir/mdc/util/units.cpp.o"
+  "CMakeFiles/mdc_util.dir/mdc/util/units.cpp.o.d"
+  "libmdc_util.a"
+  "libmdc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdc_workload.dir/mdc/workload/demand.cpp.o"
+  "CMakeFiles/mdc_workload.dir/mdc/workload/demand.cpp.o.d"
+  "libmdc_workload.a"
+  "libmdc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

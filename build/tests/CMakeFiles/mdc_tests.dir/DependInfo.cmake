@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app_workload_test.cpp" "tests/CMakeFiles/mdc_tests.dir/app_workload_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/app_workload_test.cpp.o.d"
+  "/root/repo/tests/balancer_test.cpp" "tests/CMakeFiles/mdc_tests.dir/balancer_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/balancer_test.cpp.o.d"
+  "/root/repo/tests/dns_test.cpp" "tests/CMakeFiles/mdc_tests.dir/dns_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/dns_test.cpp.o.d"
+  "/root/repo/tests/fluid_engine_test.cpp" "tests/CMakeFiles/mdc_tests.dir/fluid_engine_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/fluid_engine_test.cpp.o.d"
+  "/root/repo/tests/host_test.cpp" "tests/CMakeFiles/mdc_tests.dir/host_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/host_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/mdc_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/lb_test.cpp" "tests/CMakeFiles/mdc_tests.dir/lb_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/lb_test.cpp.o.d"
+  "/root/repo/tests/metrics_test.cpp" "tests/CMakeFiles/mdc_tests.dir/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/metrics_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/mdc_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/placement_test.cpp" "tests/CMakeFiles/mdc_tests.dir/placement_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/placement_test.cpp.o.d"
+  "/root/repo/tests/pod_test.cpp" "tests/CMakeFiles/mdc_tests.dir/pod_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/pod_test.cpp.o.d"
+  "/root/repo/tests/provisioning_test.cpp" "tests/CMakeFiles/mdc_tests.dir/provisioning_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/provisioning_test.cpp.o.d"
+  "/root/repo/tests/route_test.cpp" "tests/CMakeFiles/mdc_tests.dir/route_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/route_test.cpp.o.d"
+  "/root/repo/tests/session_engine_test.cpp" "tests/CMakeFiles/mdc_tests.dir/session_engine_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/session_engine_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/mdc_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/topo_test.cpp" "tests/CMakeFiles/mdc_tests.dir/topo_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/topo_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/mdc_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/viprip_test.cpp" "tests/CMakeFiles/mdc_tests.dir/viprip_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/viprip_test.cpp.o.d"
+  "/root/repo/tests/world_invariants_test.cpp" "tests/CMakeFiles/mdc_tests.dir/world_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/mdc_tests.dir/world_invariants_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdc_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
