@@ -1,0 +1,123 @@
+// E13 — fault injection, failure detection, and self-healing recovery.
+//
+// A crashed LB switch loses its volatile VIP/RIP tables; the health
+// monitor pays a heartbeat detection delay, then re-hosts the orphans on
+// the surviving switches through the serialized VIP/RIP queue.  We
+// measure recovery latency percentiles and the unavailability integral
+// (a) against fleet headroom — fewer surviving switches means fuller
+// tables and RestoreVip retries — and (b) against the detection knobs,
+// which trade probe traffic for time-to-detect.
+#include <iostream>
+
+#include "mdc/metrics/table.hpp"
+#include "mdc/scenario/megadc.hpp"
+
+namespace {
+
+mdc::MegaDcConfig baseConfig(std::uint32_t switches) {
+  mdc::MegaDcConfig cfg = mdc::testScaleConfig();
+  cfg.topology.numSwitches = switches;
+  return cfg;
+}
+
+// Small VIP tables so headroom really varies with the fleet size: the 12
+// deployed VIPs leave 3 spare slots fleet-wide at 3 switches (too few for
+// a 4-VIP orphan batch once the victim's slots are gone) but plenty at 6.
+mdc::MegaDcConfig tightConfig(std::uint32_t switches) {
+  mdc::MegaDcConfig cfg = baseConfig(switches);
+  cfg.switchLimits.maxVips = 5;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mdc;
+
+  Table a{"E13a: switch-crash recovery vs fleet headroom "
+          "(1 of N switches crashes at t=100s, repaired at t=220s)",
+          {"switches", "vips orphaned", "vips restored", "retries",
+           "recovery p50 s", "recovery p99 s", "unavail rps-s"}};
+  for (std::uint32_t switches : {3u, 4u, 6u}) {
+    MegaDc dc{tightConfig(switches)};
+    dc.bootstrap();
+    dc.runUntil(100.0);
+    const std::uint32_t orphaned = dc.fleet.at(SwitchId{0}).vipCount();
+    dc.faults->crashSwitch(SwitchId{0}, 100.0, 120.0);
+    dc.runUntil(400.0);
+    const Histogram& rec = dc.health->vipRecoverySeconds();
+    a.addRow({static_cast<long long>(switches),
+              static_cast<long long>(orphaned),
+              static_cast<long long>(dc.health->vipsRestored()),
+              static_cast<long long>(dc.health->restoreRetries()),
+              rec.count() ? rec.quantile(0.5) : 0.0,
+              rec.count() ? rec.quantile(0.99) : 0.0,
+              dc.health->unavailabilityRpsSeconds()});
+  }
+  a.print(std::cout);
+  std::cout << "expected shape: every orphan is eventually restored; tight"
+               " fleets (3 switches) queue RestoreVip retries against full"
+               " tables, stretching p99 and the unavailability integral;"
+               " roomy fleets recover in roughly detection delay +"
+               " per-VIP reconfiguration\n\n";
+
+  Table b{"E13b: detection knobs vs unavailability "
+          "(4 switches, crash at t=100s, no repair)",
+          {"heartbeat s", "missed", "detect bound s", "recovery p99 s",
+           "unavail rps-s"}};
+  struct Knob {
+    double interval;
+    std::uint32_t missed;
+  };
+  for (const Knob& k : {Knob{1.0, 2}, Knob{2.0, 2}, Knob{5.0, 3}}) {
+    MegaDcConfig cfg = baseConfig(4);
+    cfg.health.heartbeatInterval = k.interval;
+    cfg.health.missedHeartbeats = k.missed;
+    MegaDc dc{cfg};
+    dc.bootstrap();
+    dc.runUntil(100.0);
+    dc.faults->crashSwitch(SwitchId{0}, 100.0);
+    dc.runUntil(400.0);
+    const Histogram& rec = dc.health->vipRecoverySeconds();
+    b.addRow({k.interval, static_cast<long long>(k.missed),
+              dc.health->detectionDelayBound(),
+              rec.count() ? rec.quantile(0.99) : 0.0,
+              dc.health->unavailabilityRpsSeconds()});
+  }
+  b.print(std::cout);
+  std::cout << "expected shape: unavailability grows roughly linearly with"
+               " the detection delay bound — the recovery actions"
+               " themselves cost the same, detection dominates\n\n";
+
+  Table c{"E13c: seeded random fault storm (switch+server crashes over"
+          " 200s, repairs after 60s)",
+          {"faults", "repairs", "switch det", "server det", "vips restored",
+           "vms cleaned", "served/demand end"}};
+  {
+    MegaDcConfig cfg = baseConfig(6);
+    cfg.topology.numServers = 48;
+    cfg.numPods = 3;
+    MegaDc dc{cfg};
+    dc.bootstrap();
+    FaultInjector::RandomPlan plan;
+    plan.start = 100.0;
+    plan.end = 300.0;
+    plan.switchCrashes = 2;
+    plan.serverCrashes = 4;
+    plan.repairAfter = 60.0;
+    dc.faults->schedulePlan(plan);
+    dc.runUntil(600.0);
+    c.addRow({static_cast<long long>(dc.faults->faultsInjected()),
+              static_cast<long long>(dc.faults->repairsApplied()),
+              static_cast<long long>(dc.health->switchFailuresDetected()),
+              static_cast<long long>(dc.health->serverFailuresDetected()),
+              static_cast<long long>(dc.health->vipsRestored()),
+              static_cast<long long>(dc.health->vmsCleanedUp()),
+              dc.engine->satisfaction().last()});
+  }
+  c.print(std::cout);
+  std::cout << "expected shape: every injected fault is detected and"
+               " healed; served/demand returns to ~1 after the storm —"
+               " no permanent black holes\n";
+  return 0;
+}

@@ -4,6 +4,7 @@
 // plane of Figure 1 (the dashed arrows).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +36,12 @@ struct EpochReport {
   /// Why it was dropped: "no_dns", "no_shares", "no_route", "no_owner",
   /// "no_rips", "depth", "dead_vm".
   std::unordered_map<std::string, double> unroutedByCause;
+
+  /// Failure-state snapshot (fault experiments, E13).
+  std::uint32_t downSwitches = 0;
+  std::uint32_t downServers = 0;
+  /// VIPs orphaned by switch crashes and not yet re-hosted.
+  std::uint32_t orphanedVips = 0;
 
   [[nodiscard]] double totalDemandRps() const {
     double d = 0.0;

@@ -64,6 +64,7 @@ Status GlobalManager::deployApp(AppId app, std::uint32_t instances,
       ServerId best;
       double bestUtil = std::numeric_limits<double>::infinity();
       for (ServerId s : pod.servers()) {
+        if (!hosts_.serverUp(s)) continue;
         if (!slice.fitsWithin(hosts_.freeCapacity(s))) continue;
         const double u = hosts_.serverUtilization(s);
         if (u < bestUtil) {

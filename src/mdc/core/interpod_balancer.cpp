@@ -38,7 +38,7 @@ PodManager* InterPodBalancer::coldestPod(PodId excluding) const {
   PodManager* best = nullptr;
   double bestUtil = std::numeric_limits<double>::infinity();
   for (PodManager* p : pods_) {
-    if (p->id() == excluding) continue;
+    if (p->id() == excluding || frozen(p->id())) continue;
     const double u = p->stats().meanUtilization;
     if (u < bestUtil) {
       bestUtil = u;
@@ -53,6 +53,7 @@ void InterPodBalancer::runOnce() {
 
   if (options_.enableElephantAvoidance) {
     for (PodManager* p : pods_) {
+      if (frozen(p->id())) continue;
       const PodStats& st = p->stats();
       if (st.decisionSeconds > options_.decisionBudgetSeconds ||
           st.vms > options_.maxVmsPerPod ||
@@ -63,6 +64,7 @@ void InterPodBalancer::runOnce() {
   }
 
   for (PodManager* p : pods_) {
+    if (frozen(p->id())) continue;
     const PodStats& st = p->stats();
     const bool overloaded =
         st.maxUtilization > options_.overloadUtilization ||
@@ -175,6 +177,7 @@ void InterPodBalancer::relieveByDeployment(PodManager& hot) {
   ServerId target;
   double bestUtil = std::numeric_limits<double>::infinity();
   for (ServerId s : cold->servers()) {
+    if (!hosts_.serverUp(s)) continue;
     if (!slice.fitsWithin(hosts_.freeCapacity(s))) continue;
     const double u = hosts_.serverUtilization(s);
     if (u < bestUtil) {
@@ -260,7 +263,7 @@ void InterPodBalancer::avoidElephant(PodManager& pod) {
   PodManager* smallest = nullptr;
   std::size_t best = std::numeric_limits<std::size_t>::max();
   for (PodManager* p : pods_) {
-    if (p->id() == pod.id()) continue;
+    if (p->id() == pod.id() || frozen(p->id())) continue;
     if (p->stats().vms < best) {
       best = p->stats().vms;
       smallest = p;

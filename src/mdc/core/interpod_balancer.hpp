@@ -72,6 +72,14 @@ class InterPodBalancer {
   void runOnce();
   void start(SimTime phase = 0.0);
 
+  /// Installs a predicate marking pods whose manager is suspected down
+  /// (failure detector).  Frozen pods are skipped as sources and targets
+  /// of inter-pod moves: their manager cannot cooperate, and their stats
+  /// are stale.
+  void setPodFrozenCheck(std::function<bool(PodId)> check) {
+    podFrozen_ = std::move(check);
+  }
+
   // --- knob usage counters (E6) ------------------------------------------
 
   [[nodiscard]] std::uint64_t ripWeightActions() const noexcept {
@@ -91,6 +99,9 @@ class InterPodBalancer {
   }
 
  private:
+  [[nodiscard]] bool frozen(PodId pod) const {
+    return podFrozen_ && podFrozen_(pod);
+  }
   [[nodiscard]] PodManager* coldestPod(PodId excluding) const;
   void relieveByRipWeights(PodManager& hot);
   void relieveByDeployment(PodManager& hot);
@@ -106,6 +117,7 @@ class InterPodBalancer {
   PodRegistry& registry_;
   std::vector<PodManager*> pods_;
   Options options_;
+  std::function<bool(PodId)> podFrozen_;
   EpochReport latest_;
   bool haveReport_ = false;
 

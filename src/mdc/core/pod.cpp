@@ -96,7 +96,7 @@ bool PodManager::vacateServer(ServerId server,
   // Feasibility: greedy-fit every slice into the pod's other servers.
   std::vector<std::pair<ServerId, CapacityVec>> free;
   for (ServerId s : servers()) {
-    if (s == server || vacating_.contains(s)) continue;
+    if (s == server || vacating_.contains(s) || !hosts_.serverUp(s)) continue;
     free.emplace_back(s, hosts_.freeCapacity(s));
   }
   std::vector<std::pair<VmId, ServerId>> plan;
@@ -141,7 +141,7 @@ bool PodManager::vacateServer(ServerId server,
 std::vector<ServerId> PodManager::pickDonorServers(std::size_t n) const {
   std::vector<ServerId> candidates;
   for (ServerId s : servers()) {
-    if (!vacating_.contains(s)) candidates.push_back(s);
+    if (!vacating_.contains(s) && hosts_.serverUp(s)) candidates.push_back(s);
   }
   std::stable_sort(candidates.begin(), candidates.end(),
                    [&](ServerId a, ServerId b) {
@@ -173,6 +173,8 @@ std::vector<AppId> PodManager::coveredApps() const {
 }
 
 void PodManager::runControlLoop() {
+  // A crashed pod manager makes no decisions; its VMs keep serving.
+  if (!online_) return;
   // No demand signal yet (the engine has not reported an epoch): deciding
   // now would mistake "unknown" for "zero" and tear everything down.
   if (demand_.empty()) return;
@@ -180,7 +182,7 @@ void PodManager::runControlLoop() {
   // --- build the placement problem over this pod ------------------------
   std::vector<ServerId> serverIds;
   for (ServerId s : servers()) {
-    if (!vacating_.contains(s)) serverIds.push_back(s);
+    if (!vacating_.contains(s) && hosts_.serverUp(s)) serverIds.push_back(s);
   }
   if (serverIds.empty()) return;
 

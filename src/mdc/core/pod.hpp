@@ -137,6 +137,14 @@ class PodManager {
   /// Registers the periodic control loop on the simulation.
   void start(SimTime phase = 0.0);
 
+  // --- failure semantics --------------------------------------------------
+
+  /// A pod-manager outage: while offline the control loop is inert — no
+  /// provisioning, resizing, or retiring happens in this pod (resident
+  /// VMs keep serving; only the control plane is gone).
+  void setOnline(bool online) noexcept { online_ = online; }
+  [[nodiscard]] bool online() const noexcept { return online_; }
+
   [[nodiscard]] const PodStats& stats() const noexcept { return stats_; }
 
   /// Apps currently covering this pod (instance resident here).
@@ -165,6 +173,7 @@ class PodManager {
   std::unordered_map<AppId, double> demand_;
   std::unordered_map<VmId, double> lastWeight_;
   std::unordered_set<ServerId> vacating_;
+  bool online_ = true;
   PodStats stats_;
 };
 

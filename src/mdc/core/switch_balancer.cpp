@@ -41,6 +41,7 @@ void SwitchBalancer::runOnce() {
   }
   if (util[hot] <= options_.highWatermark) return;
   const SwitchId hotSw{static_cast<SwitchId::value_type>(hot)};
+  if (!fleet_.isUp(hotSw)) return;  // crashed since the report; nothing to drain
 
   // Candidate VIPs on the hot switch, largest demand first; drain the
   // biggest one for which an acceptable destination exists (the very
@@ -67,7 +68,7 @@ void SwitchBalancer::runOnce() {
     for (std::uint32_t i = 0; i < fleet_.size(); ++i) {
       if (i == hot) continue;
       const LbSwitch& sw = fleet_.at(SwitchId{i});
-      if (sw.spareVips() == 0) continue;
+      if (!sw.up() || sw.spareVips() == 0) continue;
       const VipEntry* entry = fleet_.at(hotSw).findVip(c.vip);
       if (entry != nullptr && sw.spareRips() < entry->rips.size()) continue;
       const double projected = util[i] + c.gbps / sw.limits().capacityGbps;

@@ -76,7 +76,10 @@ void VipRipManager::pump() {
     sim_.after(reconfig, [this, p = std::move(p)]() mutable {
       const Status s = apply(p.req);
       ++processed_;
-      if (!s.ok()) ++rejected_;
+      if (!s.ok()) {
+        ++rejected_;
+        ++rejectionsByCode_[s.error().code];
+      }
       latency_.record(std::max(1e-3, sim_.now() - p.submitted));
       if (p.req.done) p.req.done(s);
     });
@@ -96,17 +99,19 @@ Status VipRipManager::apply(const VipRipRequest& req) {
       return applyDeleteRip(req);
     case VipRipOp::SetWeight:
       return applySetWeight(req);
+    case VipRipOp::RestoreVip:
+      return applyRestoreVip(req);
   }
   return Status::fail("bad_op");
 }
 
-SwitchId VipRipManager::pickSwitchForVip() const {
+std::optional<SwitchId> VipRipManager::pickSwitchForVip() const {
   MDC_EXPECT(fleet_.size() > 0, "no switches");
-  SwitchId best{0};
+  std::optional<SwitchId> best;
   double bestScore = std::numeric_limits<double>::infinity();
   for (std::uint32_t i = 0; i < fleet_.size(); ++i) {
     const LbSwitch& sw = fleet_.at(SwitchId{i});
-    if (sw.spareVips() == 0) continue;
+    if (!sw.up() || sw.spareVips() == 0) continue;
     // Primary: VIP occupancy; secondary: offered throughput.
     const double score =
         static_cast<double>(sw.vipCount()) /
@@ -117,7 +122,6 @@ SwitchId VipRipManager::pickSwitchForVip() const {
       best = SwitchId{i};
     }
   }
-  MDC_EXPECT(std::isfinite(bestScore), "all switches' VIP tables are full");
   return best;
 }
 
@@ -132,9 +136,10 @@ AccessRouterId VipRipManager::pickAccessRouter() const {
 
 Status VipRipManager::applyNewVip(const VipRipRequest& req) {
   MDC_EXPECT(req.app.valid(), "NewVip needs an app");
-  const SwitchId sw = pickSwitchForVip();
+  const std::optional<SwitchId> sw = pickSwitchForVip();
+  if (!sw.has_value()) return Status::fail("vip_table_full");
   const VipId vip = vipIds_.next();
-  const Status s = fleet_.configureVip(sw, vip, req.app);
+  const Status s = fleet_.configureVip(*sw, vip, req.app);
   if (!s.ok()) return s;
 
   apps_.addVip(req.app, vip);
@@ -317,6 +322,42 @@ Status VipRipManager::applySetWeight(const VipRipRequest& req) {
     if (!s.ok()) return s;
     syncVipDnsWeight(ref.vip);
   }
+  return Status::okStatus();
+}
+
+Status VipRipManager::applyRestoreVip(const VipRipRequest& req) {
+  MDC_EXPECT(req.vip.valid() && req.app.valid(), "RestoreVip needs vip + app");
+  if (fleet_.ownerOf(req.vip).has_value()) {
+    return Status::okStatus();  // already re-hosted (retry raced recovery)
+  }
+  const std::optional<SwitchId> sw = pickSwitchForVip();
+  if (!sw.has_value()) return Status::fail("vip_table_full");
+  const Status s = fleet_.configureVip(*sw, req.vip, req.app);
+  if (!s.ok()) return s;
+
+  // Re-add the orphan's RIP set under the original ids, dropping entries
+  // whose VM is gone; a ref that cannot be re-added must also leave the
+  // VM bookkeeping or later weight updates would chase a ghost.
+  for (const RipEntry& r : req.rips) {
+    const bool dead = r.targetsVm() && vmAlive_ && !vmAlive_(r.vm);
+    const bool added = !dead && fleet_.addRip(req.vip, r).ok();
+    if (!added && r.targetsVm()) {
+      const auto it = vmRips_.find(r.vm);
+      if (it != vmRips_.end()) {
+        std::erase_if(it->second, [&](const RipRef& ref) {
+          return ref.vip == req.vip && ref.rip == r.rip;
+        });
+      }
+    }
+  }
+  const VipEntry* entry = fleet_.findVip(req.vip);
+  MDC_ENSURE(entry != nullptr, "restored vip missing from fleet");
+  if (entry->rips.empty()) {
+    // Everything behind it died with the switch; try to re-back it with
+    // any live instance so TTL-lingering clients stop black-holing.
+    (void)refillVip(req.vip, req.app, VmId{});
+  }
+  syncVipDnsWeight(req.vip);
   return Status::okStatus();
 }
 

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -32,11 +34,12 @@
 namespace mdc {
 
 enum class VipRipOp : std::uint8_t {
-  NewVip,     // allocate + place a new VIP for app
-  DeleteVip,  // remove a VIP everywhere
-  NewRip,     // bind vm to one of app's VIPs
-  DeleteRip,  // remove all RIPs of vm
-  SetWeight   // change the weight of vm's RIPs
+  NewVip,      // allocate + place a new VIP for app
+  DeleteVip,   // remove a VIP everywhere
+  NewRip,      // bind vm to one of app's VIPs
+  DeleteRip,   // remove all RIPs of vm
+  SetWeight,   // change the weight of vm's RIPs
+  RestoreVip   // re-host an orphaned VIP (switch crash) with its RIP set
 };
 
 struct VipRipRequest {
@@ -46,6 +49,10 @@ struct VipRipRequest {
   VmId vm;
   VipId vip;
   double weight = 1.0;
+  /// RestoreVip payload: the orphan's last-known RIP set.  Entries are
+  /// re-added under their original ids (so RIP bookkeeping stays
+  /// coherent); RIPs of VMs that died with the switch are dropped.
+  std::vector<RipEntry> rips;
   /// Optional completion callback with the outcome.
   std::function<void(Status)> done;
 };
@@ -114,6 +121,13 @@ class VipRipManager {
   [[nodiscard]] std::uint64_t rejectedRequests() const noexcept {
     return rejected_;
   }
+  /// Rejections of queued requests broken down by error code (e.g.
+  /// "vip_table_full", "no_rip_capacity", "vm_dead") — which resource
+  /// actually ran out, for capacity planning and the fault experiments.
+  [[nodiscard]] const std::unordered_map<std::string, std::uint64_t>&
+  rejectionsByCode() const noexcept {
+    return rejectionsByCode_;
+  }
   [[nodiscard]] const Histogram& requestLatency() const noexcept {
     return latency_;
   }
@@ -132,8 +146,10 @@ class VipRipManager {
   Status applyDeleteVip(const VipRipRequest& req);
   Status applyDeleteRip(const VipRipRequest& req);
   Status applySetWeight(const VipRipRequest& req);
+  Status applyRestoreVip(const VipRipRequest& req);
 
-  [[nodiscard]] SwitchId pickSwitchForVip() const;
+  /// The most underloaded *healthy* switch with VIP-table space, if any.
+  [[nodiscard]] std::optional<SwitchId> pickSwitchForVip() const;
   [[nodiscard]] AccessRouterId pickAccessRouter() const;
   /// Re-backs a VIP that lost its last RIP with another live instance of
   /// `app` (excluding the VM being retired).  Returns false if no
@@ -162,6 +178,7 @@ class VipRipManager {
   std::uint64_t nextSeq_ = 0;
   std::uint64_t processed_ = 0;
   std::uint64_t rejected_ = 0;
+  std::unordered_map<std::string, std::uint64_t> rejectionsByCode_;
   Histogram latency_{0.001, 3600.0, 96};
 
   IdAllocator<VipId> vipIds_;

@@ -1,0 +1,160 @@
+#include "mdc/fault/fault_injector.hpp"
+
+#include "mdc/core/pod.hpp"
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+FaultInjector::FaultInjector(Simulation& sim, Topology& topo,
+                             SwitchFleet& fleet, HostFleet& hosts,
+                             Options options)
+    : sim_(sim), topo_(topo), fleet_(fleet), hosts_(hosts),
+      rng_(options.seed) {}
+
+void FaultInjector::attachPods(std::vector<PodManager*> pods) {
+  for (const PodManager* p : pods) {
+    MDC_EXPECT(p != nullptr, "null pod manager");
+  }
+  pods_ = std::move(pods);
+}
+
+PodManager* FaultInjector::podById(PodId pod) const {
+  for (PodManager* p : pods_) {
+    if (p->id() == pod) return p;
+  }
+  return nullptr;
+}
+
+void FaultInjector::crashSwitch(SwitchId sw, SimTime at,
+                                SimTime repairAfter) {
+  sim_.at(at, [this, sw, repairAfter] {
+    if (!fleet_.isUp(sw)) return;  // already down; overlapping fault
+    fleet_.crashSwitch(sw, sim_.now());
+    ++faults_;
+    history_.push_back(FaultRecord{
+        FaultKind::SwitchCrash, sw.value(), sim_.now(),
+        repairAfter >= 0.0 ? sim_.now() + repairAfter : kNoRepair});
+    if (repairAfter >= 0.0) {
+      sim_.after(repairAfter, [this, sw] {
+        if (fleet_.isUp(sw)) return;  // someone else rebooted it
+        fleet_.recoverSwitch(sw);
+        ++repairs_;
+      });
+    }
+  });
+}
+
+void FaultInjector::crashServer(ServerId server, SimTime at,
+                                SimTime repairAfter) {
+  sim_.at(at, [this, server, repairAfter] {
+    if (!hosts_.serverUp(server)) return;
+    hosts_.crashServer(server);
+    ++faults_;
+    history_.push_back(FaultRecord{
+        FaultKind::ServerCrash, server.value(), sim_.now(),
+        repairAfter >= 0.0 ? sim_.now() + repairAfter : kNoRepair});
+    if (repairAfter >= 0.0) {
+      sim_.after(repairAfter, [this, server] {
+        if (hosts_.serverUp(server)) return;
+        hosts_.recoverServer(server);
+        ++repairs_;
+      });
+    }
+  });
+}
+
+void FaultInjector::cutLink(LinkId link, SimTime at, SimTime repairAfter) {
+  sim_.at(at, [this, link, repairAfter] {
+    if (savedCapacity_.contains(link)) return;  // already cut/degraded
+    savedCapacity_.emplace(link, topo_.network().link(link).capacityGbps);
+    topo_.network().setCapacity(link, 0.0);
+    ++faults_;
+    history_.push_back(FaultRecord{
+        FaultKind::LinkCut, link.value(), sim_.now(),
+        repairAfter >= 0.0 ? sim_.now() + repairAfter : kNoRepair});
+    if (repairAfter >= 0.0) scheduleRepair(FaultKind::LinkCut, link.value(),
+                                           repairAfter);
+  });
+}
+
+void FaultInjector::degradeLink(LinkId link, double factor, SimTime at,
+                                SimTime repairAfter) {
+  MDC_EXPECT(factor > 0.0 && factor < 1.0, "degrade factor out of (0,1)");
+  sim_.at(at, [this, link, factor, repairAfter] {
+    if (savedCapacity_.contains(link)) return;
+    const double orig = topo_.network().link(link).capacityGbps;
+    savedCapacity_.emplace(link, orig);
+    topo_.network().setCapacity(link, orig * factor);
+    ++faults_;
+    history_.push_back(FaultRecord{
+        FaultKind::LinkDegrade, link.value(), sim_.now(),
+        repairAfter >= 0.0 ? sim_.now() + repairAfter : kNoRepair});
+    if (repairAfter >= 0.0) {
+      scheduleRepair(FaultKind::LinkDegrade, link.value(), repairAfter);
+    }
+  });
+}
+
+void FaultInjector::scheduleRepair(FaultKind kind, std::uint32_t target,
+                                   SimTime repairAfter) {
+  (void)kind;  // link cut and degradation repair identically
+  const LinkId link{target};
+  sim_.after(repairAfter, [this, link] {
+    const auto it = savedCapacity_.find(link);
+    if (it == savedCapacity_.end()) return;
+    topo_.network().setCapacity(link, it->second);
+    savedCapacity_.erase(it);
+    ++repairs_;
+  });
+}
+
+void FaultInjector::podOutage(PodId pod, SimTime at, SimTime repairAfter) {
+  sim_.at(at, [this, pod, repairAfter] {
+    PodManager* p = podById(pod);
+    MDC_EXPECT(p != nullptr, "pod outage: pod not attached");
+    if (!p->online()) return;
+    p->setOnline(false);
+    ++faults_;
+    history_.push_back(FaultRecord{
+        FaultKind::PodOutage, pod.value(), sim_.now(),
+        repairAfter >= 0.0 ? sim_.now() + repairAfter : kNoRepair});
+    if (repairAfter >= 0.0) {
+      sim_.after(repairAfter, [this, pod] {
+        PodManager* mgr = podById(pod);
+        if (mgr == nullptr || mgr->online()) return;
+        mgr->setOnline(true);
+        ++repairs_;
+      });
+    }
+  });
+}
+
+void FaultInjector::schedulePlan(const RandomPlan& plan) {
+  MDC_EXPECT(plan.end > plan.start, "plan window must be non-empty");
+  auto when = [&] { return rng_.uniform(plan.start, plan.end); };
+  for (std::uint32_t i = 0; i < plan.switchCrashes; ++i) {
+    MDC_EXPECT(fleet_.size() > 0, "plan: no switches");
+    crashSwitch(SwitchId{static_cast<SwitchId::value_type>(
+                    rng_.uniformInt(fleet_.size()))},
+                when(), plan.repairAfter);
+  }
+  for (std::uint32_t i = 0; i < plan.serverCrashes; ++i) {
+    MDC_EXPECT(topo_.serverCount() > 0, "plan: no servers");
+    crashServer(ServerId{static_cast<ServerId::value_type>(
+                    rng_.uniformInt(topo_.serverCount()))},
+                when(), plan.repairAfter);
+  }
+  for (std::uint32_t i = 0; i < plan.linkCuts; ++i) {
+    MDC_EXPECT(topo_.accessLinkCount() > 0, "plan: no access links");
+    const auto idx = rng_.uniformInt(topo_.accessLinkCount());
+    cutLink(topo_.accessLink(static_cast<std::uint32_t>(idx)).link, when(),
+            plan.repairAfter);
+  }
+  for (std::uint32_t i = 0; i < plan.podOutages; ++i) {
+    MDC_EXPECT(!pods_.empty(), "plan: no pods attached");
+    podOutage(pods_[rng_.uniformInt(pods_.size())]->id(), when(),
+              plan.repairAfter);
+  }
+}
+
+}  // namespace mdc

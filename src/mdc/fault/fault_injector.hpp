@@ -1,0 +1,124 @@
+// Deterministic fault injection against the simulation clock.
+//
+// The paper's architecture claims hinge on shared, globally managed
+// resources (switch fleet, VIP/RIP manager, logical pods) staying usable
+// through component failures.  The injector schedules the failure events
+// — LB-switch crashes, server crashes, access-link cuts and degradations,
+// pod-manager outages — and their repairs; *detection and recovery* are
+// the HealthMonitor's job, so the time between the two is measurable.
+//
+// All randomness comes from one seeded Rng, so a fault plan is a pure
+// function of (seed, plan parameters) and every experiment replays
+// bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mdc/host/host_fleet.hpp"
+#include "mdc/lb/switch_fleet.hpp"
+#include "mdc/sim/rng.hpp"
+#include "mdc/sim/simulation.hpp"
+#include "mdc/topo/topology.hpp"
+
+namespace mdc {
+
+class PodManager;
+
+enum class FaultKind : std::uint8_t {
+  SwitchCrash,
+  ServerCrash,
+  LinkCut,
+  LinkDegrade,
+  PodOutage
+};
+
+/// One injected fault, in execution order (the audit trail of a run).
+struct FaultRecord {
+  FaultKind kind = FaultKind::SwitchCrash;
+  std::uint32_t target = 0;  // switch/server/link/pod index
+  SimTime at = 0.0;
+  SimTime repairAt = -1.0;  // < 0: never repaired
+};
+
+class FaultInjector {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+  };
+
+  /// A seeded batch of faults spread uniformly over [start, end).
+  struct RandomPlan {
+    SimTime start = 0.0;
+    SimTime end = 0.0;
+    std::uint32_t switchCrashes = 0;
+    std::uint32_t serverCrashes = 0;
+    std::uint32_t linkCuts = 0;
+    std::uint32_t podOutages = 0;
+    /// Repair delay applied to every fault of the plan; < 0: no repair.
+    SimTime repairAfter = -1.0;
+  };
+
+  static constexpr SimTime kNoRepair = -1.0;
+
+  FaultInjector(Simulation& sim, Topology& topo, SwitchFleet& fleet,
+                HostFleet& hosts, Options options);
+
+  /// Registers the pod managers targetable by PodOutage faults.
+  void attachPods(std::vector<PodManager*> pods);
+
+  // --- targeted injections ------------------------------------------------
+  // Each schedules the fault at absolute sim time `at` and, when
+  // `repairAfter` >= 0, the matching repair `repairAfter` seconds later.
+  // A fault against a target that is already down is skipped (recorded
+  // nowhere); repairs only apply while the target is still down.
+
+  void crashSwitch(SwitchId sw, SimTime at, SimTime repairAfter = kNoRepair);
+  void crashServer(ServerId server, SimTime at,
+                   SimTime repairAfter = kNoRepair);
+  void cutLink(LinkId link, SimTime at, SimTime repairAfter = kNoRepair);
+  /// Reduces the link's capacity to `factor` (in (0, 1)) of its current
+  /// value; the repair restores the original capacity.
+  void degradeLink(LinkId link, double factor, SimTime at,
+                   SimTime repairAfter = kNoRepair);
+  void podOutage(PodId pod, SimTime at, SimTime repairAfter = kNoRepair);
+
+  /// Schedules `plan` using the injector's seeded Rng: targets drawn
+  /// uniformly (links among access links), times uniform in [start, end).
+  void schedulePlan(const RandomPlan& plan);
+
+  // --- introspection ------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t faultsInjected() const noexcept {
+    return faults_;
+  }
+  [[nodiscard]] std::uint64_t repairsApplied() const noexcept {
+    return repairs_;
+  }
+  /// Faults actually injected, in execution order.
+  [[nodiscard]] const std::vector<FaultRecord>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  void scheduleRepair(FaultKind kind, std::uint32_t target,
+                      SimTime repairAfter);
+  PodManager* podById(PodId pod) const;
+
+  Simulation& sim_;
+  Topology& topo_;
+  SwitchFleet& fleet_;
+  HostFleet& hosts_;
+  std::vector<PodManager*> pods_;
+  Rng rng_;
+
+  /// Capacity to restore per cut/degraded link; presence marks the link
+  /// as already faulted (overlapping link faults are skipped).
+  std::unordered_map<LinkId, double> savedCapacity_;
+  std::uint64_t faults_ = 0;
+  std::uint64_t repairs_ = 0;
+  std::vector<FaultRecord> history_;
+};
+
+}  // namespace mdc

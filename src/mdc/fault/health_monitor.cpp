@@ -1,0 +1,198 @@
+#include "mdc/fault/health_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mdc/core/pod.hpp"
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+HealthMonitor::HealthMonitor(Simulation& sim, SwitchFleet& fleet,
+                             HostFleet& hosts, AppRegistry& apps,
+                             AuthoritativeDns& dns, VipRipManager& viprip,
+                             Options options)
+    : sim_(sim),
+      fleet_(fleet),
+      hosts_(hosts),
+      apps_(apps),
+      dns_(dns),
+      viprip_(viprip),
+      options_(options) {
+  MDC_EXPECT(options.heartbeatInterval > 0.0,
+             "heartbeat interval must be positive");
+  MDC_EXPECT(options.missedHeartbeats > 0, "missed threshold must be >= 1");
+  MDC_EXPECT(options.retryBackoffSeconds > 0.0 &&
+                 options.maxBackoffSeconds >= options.retryBackoffSeconds,
+             "bad retry backoff");
+}
+
+void HealthMonitor::attachPods(std::vector<PodManager*> pods) {
+  for (const PodManager* p : pods) {
+    MDC_EXPECT(p != nullptr, "null pod manager");
+  }
+  pods_ = std::move(pods);
+  missedPod_.assign(pods_.size(), 0);
+}
+
+void HealthMonitor::start(SimTime phase) {
+  sim_.every(options_.heartbeatInterval, [this] { heartbeat(); }, phase);
+}
+
+void HealthMonitor::heartbeat() {
+  probeSwitches();
+  probeServers();
+  probePods();
+}
+
+void HealthMonitor::probeSwitches() {
+  missedSwitch_.resize(fleet_.size(), 0);
+  for (std::uint32_t i = 0; i < fleet_.size(); ++i) {
+    const SwitchId sw{i};
+    if (!fleet_.isUp(sw)) {
+      if (++missedSwitch_[i] == options_.missedHeartbeats) {
+        ++switchFailuresDetected_;
+        recoverOrphans(sw);
+      }
+    } else {
+      missedSwitch_[i] = 0;
+    }
+  }
+  // A switch that crashed and rebooted between probes never accumulates
+  // misses, but its VIPs are orphaned all the same.  Sweep orphan batches
+  // whose blackout already exceeds the detection bound.
+  std::vector<SwitchId> blipped;
+  for (const auto& [sw, list] : fleet_.orphans()) {
+    if (!fleet_.isUp(sw)) continue;  // the missed-counter path owns it
+    MDC_ENSURE(!list.empty(), "empty orphan batch retained");
+    if (sim_.now() - list.front().orphanedAt >= detectionDelayBound()) {
+      blipped.push_back(sw);
+    }
+  }
+  for (SwitchId sw : blipped) {
+    ++switchFailuresDetected_;
+    recoverOrphans(sw);
+  }
+}
+
+void HealthMonitor::recoverOrphans(SwitchId sw) {
+  for (OrphanedVip& orphan : fleet_.takeOrphans(sw)) {
+    // Blackout: stop answering DNS queries with a VIP nobody hosts.  The
+    // record itself survives (clients may linger on it, [18]); RestoreVip
+    // re-syncs the weight from the re-added RIP set.
+    if (dns_.hasApp(orphan.app)) {
+      const auto vips = dns_.vips(orphan.app);
+      const bool present =
+          std::any_of(vips.begin(), vips.end(), [&](const VipWeight& vw) {
+            return vw.vip == orphan.vip;
+          });
+      if (present) dns_.setWeight(orphan.app, orphan.vip, 0.0);
+    }
+    submitRestore(std::move(orphan), 0);
+  }
+}
+
+void HealthMonitor::submitRestore(OrphanedVip orphan, std::uint32_t attempt) {
+  VipRipRequest req;
+  req.op = VipRipOp::RestoreVip;
+  req.priority = options_.restorePriority;
+  req.app = orphan.app;
+  req.vip = orphan.vip;
+  req.rips = orphan.rips;
+  req.done = [this, orphan = std::move(orphan), attempt](Status s) mutable {
+    if (s.ok()) {
+      ++vipsRestored_;
+      vipRecovery_.record(std::max(1e-3, sim_.now() - orphan.orphanedAt));
+      return;
+    }
+    // Every failure here means "no table space anywhere right now" — a
+    // transient in a fleet where drains and repairs free capacity, so
+    // retry with exponential backoff instead of abandoning the VIP.
+    ++restoreRetries_;
+    const SimTime backoff =
+        std::min(options_.maxBackoffSeconds,
+                 options_.retryBackoffSeconds *
+                     std::pow(2.0, static_cast<double>(attempt)));
+    sim_.after(backoff, [this, orphan = std::move(orphan), attempt]() mutable {
+      submitRestore(std::move(orphan), attempt + 1);
+    });
+  };
+  viprip_.submit(std::move(req));
+}
+
+void HealthMonitor::probeServers() {
+  missedServer_.resize(hosts_.serverCount(), 0);
+  for (std::uint32_t i = 0; i < missedServer_.size(); ++i) {
+    const ServerId s{i};
+    if (!hosts_.serverUp(s)) {
+      if (++missedServer_[i] == options_.missedHeartbeats) {
+        ++serverFailuresDetected_;
+        cleanupCasualties(s);
+      }
+    } else {
+      missedServer_[i] = 0;
+    }
+  }
+  // Blip sweep, mirroring the switch path.
+  std::vector<ServerId> blipped;
+  for (const auto& [server, list] : hosts_.crashCasualties()) {
+    if (!hosts_.serverUp(server)) continue;
+    MDC_ENSURE(!list.empty(), "empty casualty batch retained");
+    if (sim_.now() - list.front().crashedAt >= detectionDelayBound()) {
+      blipped.push_back(server);
+    }
+  }
+  for (ServerId s : blipped) {
+    ++serverFailuresDetected_;
+    cleanupCasualties(s);
+  }
+}
+
+void HealthMonitor::cleanupCasualties(ServerId server) {
+  for (const CrashedVm& c : hosts_.takeCrashCasualties(server)) {
+    // Detach the corpse from its application so control loops provision
+    // replacements (an app left with zero live instances is re-seeded by
+    // the global manager's demand fan-out).
+    const auto& inst = apps_.app(c.app).instances;
+    if (std::find(inst.begin(), inst.end(), c.vm) != inst.end()) {
+      apps_.removeInstance(c.app, c.vm);
+    }
+    // Purge its dangling RIPs: until the switch tables stop referencing
+    // the VM, its share of traffic is black-holed ("dead_vm").
+    VipRipRequest req;
+    req.op = VipRipOp::DeleteRip;
+    req.priority = options_.restorePriority;
+    req.vm = c.vm;
+    const SimTime crashedAt = c.crashedAt;
+    req.done = [this, crashedAt](Status) {
+      ++vmsCleanedUp_;
+      vmCleanup_.record(std::max(1e-3, sim_.now() - crashedAt));
+    };
+    viprip_.submit(std::move(req));
+  }
+}
+
+void HealthMonitor::probePods() {
+  for (std::size_t i = 0; i < pods_.size(); ++i) {
+    PodManager* p = pods_[i];
+    if (!p->online()) {
+      if (++missedPod_[i] == options_.missedHeartbeats) {
+        ++podFailuresDetected_;
+        suspectPods_.insert(p->id());
+      }
+    } else {
+      missedPod_[i] = 0;
+      suspectPods_.erase(p->id());
+    }
+  }
+}
+
+void HealthMonitor::observe(const EpochReport& report) {
+  if (lastReportTime_ >= 0.0 && report.time > lastReportTime_) {
+    unavailabilityRpsSeconds_ +=
+        report.unroutedRps * (report.time - lastReportTime_);
+  }
+  lastReportTime_ = report.time;
+}
+
+}  // namespace mdc

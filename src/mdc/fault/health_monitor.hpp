@@ -1,0 +1,148 @@
+// Heartbeat failure detector + self-healing recovery (the control plane's
+// answer to the faults FaultInjector throws at it).
+//
+// Detection is not free: the monitor probes every component each
+// heartbeat interval and declares a failure only after `missedHeartbeats`
+// consecutive misses, so every recovery pays a measurable detection delay
+// of up to heartbeatInterval * missedHeartbeats seconds before the first
+// repair action even enters the (serialized, §III-C) VIP/RIP queue.
+//
+// Recovery uses only the paper's own knobs:
+//  * switch crash  -> orphaned VIPs get their DNS weight zeroed (stop
+//    answering queries with a black hole) and are re-hosted on healthy
+//    switches via high-priority RestoreVip requests, with exponential
+//    backoff while switch tables are full;
+//  * server crash  -> dead VMs are detached from their applications and
+//    their dangling RIPs purged (traffic to them is black-holed until
+//    then); replacement capacity comes from the ordinary control loops,
+//    which now see demand against fewer live instances;
+//  * pod-manager outage -> the pod is marked suspect, freezing inter-pod
+//    moves that would need its cooperation, until it reports back in.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "mdc/app/app_registry.hpp"
+#include "mdc/core/epoch_report.hpp"
+#include "mdc/core/viprip_manager.hpp"
+#include "mdc/dns/dns.hpp"
+#include "mdc/host/host_fleet.hpp"
+#include "mdc/lb/switch_fleet.hpp"
+#include "mdc/metrics/histogram.hpp"
+#include "mdc/sim/simulation.hpp"
+
+namespace mdc {
+
+class PodManager;
+
+class HealthMonitor {
+ public:
+  struct Options {
+    SimTime heartbeatInterval = 2.0;
+    std::uint32_t missedHeartbeats = 2;
+    /// Backoff of the first RestoreVip retry; doubles per attempt.
+    SimTime retryBackoffSeconds = 5.0;
+    SimTime maxBackoffSeconds = 60.0;
+    /// Priority of recovery requests in the VIP/RIP queue — above all
+    /// routine balancer traffic (which uses 0..1).
+    int restorePriority = 10;
+  };
+
+  HealthMonitor(Simulation& sim, SwitchFleet& fleet, HostFleet& hosts,
+                AppRegistry& apps, AuthoritativeDns& dns,
+                VipRipManager& viprip, Options options);
+
+  /// Registers the pod managers to probe for outages.
+  void attachPods(std::vector<PodManager*> pods);
+
+  /// Registers the heartbeat loop on the simulation.
+  void start(SimTime phase = 0.0);
+
+  /// One probe round (normally driven by start(); public for tests).
+  void heartbeat();
+
+  /// Epoch hook: integrates unavailability (unrouted rps x seconds).
+  void observe(const EpochReport& report);
+
+  /// Whether the pod's manager is currently suspected down (inter-pod
+  /// moves involving it are frozen).
+  [[nodiscard]] bool isPodSuspect(PodId pod) const {
+    return suspectPods_.contains(pod);
+  }
+
+  // --- introspection ------------------------------------------------------
+
+  /// Upper bound on time-to-detect: interval x missed-threshold.
+  [[nodiscard]] SimTime detectionDelayBound() const noexcept {
+    return options_.heartbeatInterval *
+           static_cast<double>(options_.missedHeartbeats);
+  }
+  /// Orphaned-VIP crash -> re-hosted-and-exposed latency.
+  [[nodiscard]] const Histogram& vipRecoverySeconds() const noexcept {
+    return vipRecovery_;
+  }
+  /// Dead-VM crash -> dangling-RIP-purged latency.
+  [[nodiscard]] const Histogram& vmCleanupSeconds() const noexcept {
+    return vmCleanup_;
+  }
+  /// Integral of unrouted demand over time (lost rps x seconds).
+  [[nodiscard]] double unavailabilityRpsSeconds() const noexcept {
+    return unavailabilityRpsSeconds_;
+  }
+  [[nodiscard]] std::uint64_t switchFailuresDetected() const noexcept {
+    return switchFailuresDetected_;
+  }
+  [[nodiscard]] std::uint64_t serverFailuresDetected() const noexcept {
+    return serverFailuresDetected_;
+  }
+  [[nodiscard]] std::uint64_t podFailuresDetected() const noexcept {
+    return podFailuresDetected_;
+  }
+  [[nodiscard]] std::uint64_t vipsRestored() const noexcept {
+    return vipsRestored_;
+  }
+  [[nodiscard]] std::uint64_t vmsCleanedUp() const noexcept {
+    return vmsCleanedUp_;
+  }
+  [[nodiscard]] std::uint64_t restoreRetries() const noexcept {
+    return restoreRetries_;
+  }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+ private:
+  void probeSwitches();
+  void probeServers();
+  void probePods();
+  void recoverOrphans(SwitchId sw);
+  void cleanupCasualties(ServerId server);
+  void submitRestore(OrphanedVip orphan, std::uint32_t attempt);
+
+  Simulation& sim_;
+  SwitchFleet& fleet_;
+  HostFleet& hosts_;
+  AppRegistry& apps_;
+  AuthoritativeDns& dns_;
+  VipRipManager& viprip_;
+  std::vector<PodManager*> pods_;
+  Options options_;
+
+  std::vector<std::uint32_t> missedSwitch_;
+  std::vector<std::uint32_t> missedServer_;
+  std::vector<std::uint32_t> missedPod_;
+  std::unordered_set<PodId> suspectPods_;
+
+  Histogram vipRecovery_{0.001, 3600.0, 96};
+  Histogram vmCleanup_{0.001, 3600.0, 96};
+  double unavailabilityRpsSeconds_ = 0.0;
+  SimTime lastReportTime_ = -1.0;
+  std::uint64_t switchFailuresDetected_ = 0;
+  std::uint64_t serverFailuresDetected_ = 0;
+  std::uint64_t podFailuresDetected_ = 0;
+  std::uint64_t vipsRestored_ = 0;
+  std::uint64_t vmsCleanedUp_ = 0;
+  std::uint64_t restoreRetries_ = 0;
+};
+
+}  // namespace mdc

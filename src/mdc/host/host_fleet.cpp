@@ -31,6 +31,7 @@ Result<VmId> HostFleet::createVm(AppId app, ServerId server, CapacityVec slice,
   MDC_EXPECT(app.valid(), "createVm: invalid app");
   MDC_EXPECT(slice.nonNegative(), "createVm: negative slice");
   ServerState& st = serverState(server);
+  if (!st.up) return Error{"server_down", ""};
   const CapacityVec cap = topo_.server(server).capacity;
   if (!(st.used + slice).fitsWithin(cap)) {
     return Error{"insufficient_capacity", ""};
@@ -113,6 +114,7 @@ Status HostFleet::migrateVm(VmId vmId, ServerId dst, VmCallback onDone) {
   if (rec.server == dst) return Status::fail("same_server");
 
   ServerState& dstState = serverState(dst);
+  if (!dstState.up) return Status::fail("server_down");
   const CapacityVec dstCap = topo_.server(dst).capacity;
   if (!(dstState.used + rec.slice).fitsWithin(dstCap)) {
     return Status::fail("insufficient_capacity");
@@ -120,16 +122,18 @@ Status HostFleet::migrateVm(VmId vmId, ServerId dst, VmCallback onDone) {
   dstState.used += rec.slice;
   dstState.vms.push_back(vmId);
   rec.state = VmState::Migrating;
+  const std::uint64_t seq = ++rec.migrationSeq;
   ++migrations_;
 
   const double memGb = rec.slice.memory() * costs_.migrationMemoryFactor;
   migratedGb_ += memGb;
   const SimTime duration = memGb * 8.0 / costs_.migrationGbps;
   const ServerId src = rec.server;
-  sim_.after(duration, [this, vmId, src, dst, cb = std::move(onDone)] {
+  sim_.after(duration, [this, vmId, src, dst, seq, cb = std::move(onDone)] {
     const auto vit = vms_.find(vmId);
-    if (vit == vms_.end() || vit->second.state == VmState::Destroyed) {
-      return;
+    if (vit == vms_.end() || vit->second.state == VmState::Destroyed ||
+        vit->second.migrationSeq != seq) {
+      return;  // destroyed mid-flight, or the move was cancelled by a crash
     }
     VmRecord& r = vit->second;
     ServerState& srcState = serverState(src);
@@ -167,6 +171,54 @@ void HostFleet::destroyVm(VmId vmId) {
   }
   rec.state = VmState::Destroyed;
   --liveVms_;
+}
+
+std::size_t HostFleet::crashServer(ServerId server) {
+  ServerState& st = serverState(server);
+  MDC_EXPECT(st.up, "crashServer: server already down");
+  st.up = false;
+  ++down_;
+  ++serverCrashes_;
+
+  auto& log = casualties_[server];
+  const std::vector<VmId> attached = st.vms;  // mutated below; iterate a copy
+  std::size_t killed = 0;
+  for (VmId vmId : attached) {
+    const auto it = vms_.find(vmId);
+    MDC_ENSURE(it != vms_.end(), "attached vm has no record");
+    VmRecord& rec = it->second;
+    if (rec.server != server) {
+      // In-flight migration *into* this server: only the destination copy
+      // dies; the VM keeps serving on its source.  Cancel the move.
+      st.used -= rec.slice;
+      detachFromServer(vmId, server);
+      rec.state = VmState::Active;
+      ++rec.migrationSeq;  // invalidate the pending completion event
+      continue;
+    }
+    log.push_back(CrashedVm{vmId, rec.app, sim_.now()});
+    destroyVm(vmId);
+    ++killed;
+    ++vmsLost_;
+  }
+  st.used = CapacityVec{};  // no residual reservations on a dead host
+  return killed;
+}
+
+void HostFleet::recoverServer(ServerId server) {
+  ServerState& st = serverState(server);
+  MDC_EXPECT(!st.up, "recoverServer: server is not down");
+  MDC_ENSURE(st.vms.empty(), "crashed server still has attachments");
+  st.up = true;
+  --down_;
+}
+
+std::vector<CrashedVm> HostFleet::takeCrashCasualties(ServerId server) {
+  const auto it = casualties_.find(server);
+  if (it == casualties_.end()) return {};
+  std::vector<CrashedVm> out = std::move(it->second);
+  casualties_.erase(it);
+  return out;
 }
 
 void HostFleet::detachFromServer(VmId vmId, ServerId server) {

@@ -34,6 +34,9 @@ struct VmRecord {
   CapacityVec effectiveSlice;  // share actually serving load (lags slice)
   VmState state = VmState::Booting;
   SimTime createdAt = 0.0;
+  /// Bumped whenever a migration starts or is cancelled, so a stale
+  /// migration-completion event can detect it no longer applies.
+  std::uint64_t migrationSeq = 0;
 
   // Fluid-engine gauges (requests/s offered to and served by this VM).
   double offeredRps = 0.0;
@@ -49,6 +52,15 @@ struct HostCostModel {
   double migrationMemoryFactor = 1.0;
 };
 
+/// A VM killed by a server crash, recorded for the failure detector:
+/// switch tables may still reference it (black-holing traffic) until the
+/// detector purges its RIPs.
+struct CrashedVm {
+  VmId vm;
+  AppId app;
+  SimTime crashedAt = 0.0;
+};
+
 /// Runtime state of the server fleet plus all VM lifecycle operations.
 class HostFleet {
  public:
@@ -61,7 +73,7 @@ class HostFleet {
   /// Creates a VM for `app` on `server` with the given slice.  `clone`
   /// selects the fast-clone latency instead of a cold boot.  `onActive`
   /// (optional) fires when the VM starts serving.
-  /// Errors: "insufficient_capacity".
+  /// Errors: "insufficient_capacity", "server_down".
   Result<VmId> createVm(AppId app, ServerId server, CapacityVec slice,
                         bool clone = false, VmCallback onActive = {});
 
@@ -73,12 +85,47 @@ class HostFleet {
 
   /// Live-migrates the VM; it keeps serving on the source until the
   /// migration completes.  Duration = sliceMemory * 8 / migrationGbps.
-  /// Errors: "vm_not_active", "same_server", "insufficient_capacity".
+  /// Errors: "vm_not_active", "same_server", "insufficient_capacity",
+  /// "server_down".
   Status migrateVm(VmId vm, ServerId dst, VmCallback onDone = {});
 
   /// Destroys the VM and frees its reservation immediately.
   /// Precondition: VM exists and is not already destroyed.
   void destroyVm(VmId vm);
+
+  // --- failure semantics --------------------------------------------------
+
+  /// Crashes a server: every resident VM dies instantly (recorded as a
+  /// crash casualty), an in-flight migration *into* the server loses its
+  /// destination copy (the VM keeps serving on its source), and the
+  /// server refuses placements until recoverServer().  Returns how many
+  /// VMs were killed.
+  std::size_t crashServer(ServerId server);
+
+  /// Brings a crashed server back into service (empty).
+  void recoverServer(ServerId server);
+
+  [[nodiscard]] bool serverUp(ServerId server) const {
+    return serverState(server).up;
+  }
+  [[nodiscard]] std::size_t downServers() const noexcept { return down_; }
+
+  /// Casualties of one crashed server, surrendered to the caller exactly
+  /// once (the failure detector purges their RIP bindings).
+  [[nodiscard]] std::vector<CrashedVm> takeCrashCasualties(ServerId server);
+
+  /// Uncollected casualty batches keyed by the crashed server (peek).
+  [[nodiscard]] const std::unordered_map<ServerId, std::vector<CrashedVm>>&
+  crashCasualties() const noexcept {
+    return casualties_;
+  }
+
+  [[nodiscard]] std::uint64_t serverCrashes() const noexcept {
+    return serverCrashes_;
+  }
+  [[nodiscard]] std::uint64_t vmsLostToCrashes() const noexcept {
+    return vmsLost_;
+  }
 
   // --- queries ------------------------------------------------------------
 
@@ -95,6 +142,9 @@ class HostFleet {
 
   [[nodiscard]] std::size_t activeVmCount() const noexcept {
     return liveVms_;
+  }
+  [[nodiscard]] std::size_t serverCount() const noexcept {
+    return servers_.size();
   }
 
   /// Visits every non-destroyed VM (mutable; used by the fluid engine to
@@ -118,6 +168,7 @@ class HostFleet {
   struct ServerState {
     CapacityVec used;
     std::vector<VmId> vms;
+    bool up = true;
   };
 
   ServerState& serverState(ServerId id);
@@ -135,6 +186,10 @@ class HostFleet {
   std::uint64_t migrations_ = 0;
   std::uint64_t adjustments_ = 0;
   double migratedGb_ = 0.0;
+  std::size_t down_ = 0;
+  std::uint64_t serverCrashes_ = 0;
+  std::uint64_t vmsLost_ = 0;
+  std::unordered_map<ServerId, std::vector<CrashedVm>> casualties_;
 };
 
 }  // namespace mdc

@@ -45,6 +45,7 @@ std::vector<VipId> LbSwitch::vipIds() const {
 
 Status LbSwitch::configureVip(VipId vip, AppId app) {
   MDC_EXPECT(vip.valid() && app.valid(), "configureVip: invalid ids");
+  if (!up_) return Status::fail("switch_down");
   if (vipCount() >= limits_.maxVips) {
     return Status::fail("vip_table_full");
   }
@@ -58,6 +59,7 @@ Status LbSwitch::configureVip(VipId vip, AppId app) {
 }
 
 Status LbSwitch::removeVip(VipId vip) {
+  if (!up_) return Status::fail("switch_down");
   const auto it = vipIndex_.find(vip);
   if (it == vipIndex_.end()) {
     return Status::fail("vip_unknown");
@@ -83,6 +85,7 @@ Status LbSwitch::addRip(VipId vip, RipEntry entry) {
   MDC_EXPECT(entry.rip.valid(), "addRip: invalid rip id");
   MDC_EXPECT(entry.vm.valid() != entry.mvip.valid(),
              "addRip: exactly one of vm/mvip must be set");
+  if (!up_) return Status::fail("switch_down");
   VipEntry* e = findVipMutable(vip);
   if (e == nullptr) return Status::fail("vip_unknown");
   if (ripCount_ >= limits_.maxRips) return Status::fail("rip_table_full");
@@ -95,6 +98,7 @@ Status LbSwitch::addRip(VipId vip, RipEntry entry) {
 }
 
 Status LbSwitch::removeRip(VipId vip, RipId rip) {
+  if (!up_) return Status::fail("switch_down");
   VipEntry* e = findVipMutable(vip);
   if (e == nullptr) return Status::fail("vip_unknown");
   const auto it =
@@ -108,6 +112,7 @@ Status LbSwitch::removeRip(VipId vip, RipId rip) {
 }
 
 Status LbSwitch::setRipWeight(VipId vip, RipId rip, double weight) {
+  if (!up_) return Status::fail("switch_down");
   VipEntry* e = findVipMutable(vip);
   if (e == nullptr) return Status::fail("vip_unknown");
   if (weight < 0.0) return Status::fail("bad_weight");
@@ -125,6 +130,7 @@ Status LbSwitch::setRipWeight(VipId vip, RipId rip, double weight) {
 Result<RipId> LbSwitch::openConnection(ConnId conn, VipId vip, Rng& rng) {
   MDC_EXPECT(conn.valid(), "openConnection: invalid conn id");
   MDC_EXPECT(!conns_.contains(conn), "openConnection: conn already open");
+  if (!up_) return Error{"switch_down", ""};
   const VipEntry* e = findVip(vip);
   if (e == nullptr) return Error{"vip_unknown", ""};
   if (e->rips.empty() || e->totalWeight() <= 0.0) {
@@ -161,6 +167,24 @@ void LbSwitch::closeConnection(ConnId conn) {
 std::uint64_t LbSwitch::activeConnections(VipId vip) const {
   const auto it = connsPerVip_.find(vip);
   return it == connsPerVip_.end() ? 0 : it->second;
+}
+
+std::uint64_t LbSwitch::crash() {
+  MDC_EXPECT(up_, "crash: switch already down");
+  const std::uint64_t severed = conns_.size();
+  up_ = false;
+  vips_.clear();
+  vipIndex_.clear();
+  ripCount_ = 0;
+  conns_.clear();
+  connsPerVip_.clear();
+  offeredGbps_ = 0.0;
+  return severed;
+}
+
+void LbSwitch::recover() {
+  MDC_EXPECT(!up_, "recover: switch is not down");
+  up_ = true;
 }
 
 std::uint64_t LbSwitch::dropConnections(VipId vip) {

@@ -68,8 +68,10 @@ class LbSwitch {
   [[nodiscard]] const SwitchLimits& limits() const noexcept { return limits_; }
 
   // --- table management (all O(#rips of one vip) or better) ------------
+  // Every mutation additionally fails with "switch_down" on a crashed
+  // switch.
 
-  /// Errors: "vip_table_full", "vip_exists".
+  /// Errors: "vip_table_full", "vip_exists", "switch_down".
   Status configureVip(VipId vip, AppId app);
 
   /// Errors: "vip_unknown", "vip_has_connections".
@@ -120,6 +122,23 @@ class LbSwitch {
   /// in-flight sessions).  Returns how many were dropped.
   std::uint64_t dropConnections(VipId vip);
 
+  // --- failure semantics ------------------------------------------------
+
+  /// Whether the switch is powered and forwarding.  All table mutations
+  /// and connection opens fail with "switch_down" while it is not.
+  [[nodiscard]] bool up() const noexcept { return up_; }
+
+  /// Crash: the switch loses power.  Volatile state — the VIP/RIP tables
+  /// and the connection-tracking table — is gone; every tracked TCP
+  /// session is severed.  Returns how many connections were dropped.
+  /// The caller (SwitchFleet) is responsible for orphan bookkeeping.
+  std::uint64_t crash();
+
+  /// Reboot after a crash: the switch comes back up with *empty* tables
+  /// (configuration is not persistent, §IV-B: only the owning switch
+  /// knows its connection state).  Precondition: currently down.
+  void recover();
+
   // --- fluid-engine gauges ---------------------------------------------
 
   /// Offered L4 demand through this switch in the last fluid epoch.
@@ -152,6 +171,7 @@ class LbSwitch {
   std::unordered_map<VipId, std::uint64_t> connsPerVip_;
   double offeredGbps_ = 0.0;
   std::uint64_t reconfigOps_ = 0;
+  bool up_ = true;
 };
 
 }  // namespace mdc

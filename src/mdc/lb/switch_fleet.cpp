@@ -47,6 +47,7 @@ Status SwitchFleet::transferVip(VipId vip, SwitchId to, bool force) {
   if (it->second == to) return Status::fail("same_switch");
   LbSwitch& src = at(it->second);
   LbSwitch& dst = at(to);
+  if (!dst.up()) return Status::fail("switch_down");
 
   const std::uint64_t inFlight = src.activeConnections(vip);
   if (inFlight > 0 && !force) {
@@ -79,6 +80,45 @@ Status SwitchFleet::transferVip(VipId vip, SwitchId to, bool force) {
   it->second = to;
   ++transfers_;
   return Status::okStatus();
+}
+
+std::size_t SwitchFleet::crashSwitch(SwitchId sw, SimTime now) {
+  LbSwitch& victim = at(sw);
+  MDC_EXPECT(victim.up(), "crashSwitch: switch already down");
+  auto& stranded = orphans_[sw];
+  std::size_t orphaned = 0;
+  for (VipId vip : victim.vipIds()) {
+    const VipEntry* entry = victim.findVip(vip);
+    MDC_ENSURE(entry != nullptr, "vip listed but not found");
+    stranded.push_back(OrphanedVip{vip, entry->app, entry->rips, now});
+    owner_.erase(vip);
+    ++orphaned;
+  }
+  droppedConns_ += victim.crash();
+  ++crashes_;
+  return orphaned;
+}
+
+void SwitchFleet::recoverSwitch(SwitchId sw) { at(sw).recover(); }
+
+std::size_t SwitchFleet::upCount() const {
+  std::size_t n = 0;
+  for (const LbSwitch& sw : switches_) n += sw.up() ? 1 : 0;
+  return n;
+}
+
+std::vector<OrphanedVip> SwitchFleet::takeOrphans(SwitchId sw) {
+  const auto it = orphans_.find(sw);
+  if (it == orphans_.end()) return {};
+  std::vector<OrphanedVip> out = std::move(it->second);
+  orphans_.erase(it);
+  return out;
+}
+
+std::size_t SwitchFleet::pendingOrphans() const {
+  std::size_t n = 0;
+  for (const auto& [sw, list] : orphans_) n += list.size();
+  return n;
 }
 
 Status SwitchFleet::addRip(VipId vip, RipEntry entry) {

@@ -20,8 +20,18 @@
 #include <vector>
 
 #include "mdc/lb/lb_switch.hpp"
+#include "mdc/util/units.hpp"
 
 namespace mdc {
+
+/// A VIP stranded by a switch crash: its last-known configuration, kept
+/// so a failure detector can re-place it on a healthy switch.
+struct OrphanedVip {
+  VipId vip;
+  AppId app;
+  std::vector<RipEntry> rips;
+  SimTime orphanedAt = 0.0;
+};
 
 class SwitchFleet {
  public:
@@ -34,6 +44,36 @@ class SwitchFleet {
 
   /// The switch currently owning `vip`, if any.
   [[nodiscard]] std::optional<SwitchId> ownerOf(VipId vip) const;
+
+  // --- failure semantics ------------------------------------------------
+
+  /// Crashes a switch at sim time `now`: every VIP it hosted becomes an
+  /// orphan (recorded with its RIP set for later re-placement), its
+  /// tracked connections are severed (counted in droppedConnections()),
+  /// and the switch refuses all operations until recoverSwitch().
+  /// Returns the number of VIPs orphaned.
+  std::size_t crashSwitch(SwitchId sw, SimTime now);
+
+  /// Reboots a crashed switch: up again, tables empty.  Pending orphans
+  /// of the switch stay pending — recovery re-places them explicitly.
+  void recoverSwitch(SwitchId sw);
+
+  [[nodiscard]] bool isUp(SwitchId sw) const { return at(sw).up(); }
+  [[nodiscard]] std::size_t upCount() const;
+
+  /// Orphans of one crashed switch, surrendered to the caller (the
+  /// failure detector collects them exactly once).
+  [[nodiscard]] std::vector<OrphanedVip> takeOrphans(SwitchId sw);
+  [[nodiscard]] std::size_t pendingOrphans() const;
+  /// Uncollected orphan batches keyed by the crashed switch (peek; a
+  /// detector uses this to notice crash-reboot blips it never probed).
+  [[nodiscard]] const std::unordered_map<SwitchId, std::vector<OrphanedVip>>&
+  orphans() const noexcept {
+    return orphans_;
+  }
+  [[nodiscard]] std::uint64_t switchCrashes() const noexcept {
+    return crashes_;
+  }
 
   // --- placement operations (keep the ownership index coherent) --------
 
@@ -49,7 +89,8 @@ class SwitchFleet {
   /// "vip_in_use" if the VIP still has tracked connections and `force` is
   /// false; with force, in-flight connections are dropped and counted as
   /// affinity violations.  Errors also: "vip_unowned", "same_switch",
-  /// "vip_table_full", "rip_table_full" (destination capacity).
+  /// "vip_table_full", "rip_table_full" (destination capacity),
+  /// "switch_down" (crashed destination).
   Status transferVip(VipId vip, SwitchId to, bool force = false);
 
   // --- forwarded per-VIP operations -------------------------------------
@@ -80,8 +121,10 @@ class SwitchFleet {
  private:
   std::vector<LbSwitch> switches_;
   std::unordered_map<VipId, SwitchId> owner_;
+  std::unordered_map<SwitchId, std::vector<OrphanedVip>> orphans_;
   std::uint64_t transfers_ = 0;
   std::uint64_t droppedConns_ = 0;
+  std::uint64_t crashes_ = 0;
 };
 
 }  // namespace mdc

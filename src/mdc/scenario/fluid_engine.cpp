@@ -204,6 +204,12 @@ EpochReport FluidEngine::step() {
     if (i < fleet_.size()) fleet_.at(sw).setOfferedGbps(off);
   }
 
+  // Failure-state snapshot.
+  report.downSwitches =
+      static_cast<std::uint32_t>(fleet_.size() - fleet_.upCount());
+  report.downServers = static_cast<std::uint32_t>(hosts_.downServers());
+  report.orphanedVips = static_cast<std::uint32_t>(fleet_.pendingOrphans());
+
   // Recorded series.
   const bool room =
       options_.maxSamples == 0 || satisfaction_.size() < options_.maxSamples;

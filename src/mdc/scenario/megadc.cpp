@@ -49,6 +49,19 @@ MegaDc::MegaDc(MegaDcConfig config)
   engine = std::make_unique<FluidEngine>(sim, topo, apps, dns, *resolvers,
                                          routes, fleet, hosts, *demand,
                                          manager->viprip(), config_.engine);
+
+  std::vector<PodManager*> rawPods;
+  rawPods.reserve(manager->pods().size());
+  for (auto& p : manager->pods()) rawPods.push_back(p.get());
+  faults = std::make_unique<FaultInjector>(sim, topo, fleet, hosts,
+                                           config_.fault);
+  faults->attachPods(rawPods);
+  if (config_.enableHealthMonitor) {
+    health = std::make_unique<HealthMonitor>(sim, fleet, hosts, apps, dns,
+                                             manager->viprip(),
+                                             config_.health);
+    health->attachPods(std::move(rawPods));
+  }
 }
 
 void MegaDc::setDemandModel(std::unique_ptr<DemandModel> model) {
@@ -84,7 +97,18 @@ void MegaDc::start() {
   MDC_EXPECT(!started_, "start() called twice");
   started_ = true;
   manager->start();
-  engine->start([this](const EpochReport& r) { manager->observe(r); });
+  engine->start([this](const EpochReport& r) {
+    manager->observe(r);
+    if (health) health->observe(r);
+  });
+  if (health) {
+    // Offset from the control loops so probes interleave with decisions.
+    health->start(0.25 * config_.health.heartbeatInterval);
+    if (config_.manager.enableInterPodBalancer) {
+      manager->interPodBalancer().setPodFrozenCheck(
+          [this](PodId pod) { return health->isPodSuspect(pod); });
+    }
+  }
 }
 
 void MegaDc::bootstrap(SimTime warmupSeconds) {

@@ -10,6 +10,8 @@
 #include <string>
 
 #include "mdc/core/global_manager.hpp"
+#include "mdc/fault/fault_injector.hpp"
+#include "mdc/fault/health_monitor.hpp"
 #include "mdc/scenario/fluid_engine.hpp"
 #include "mdc/workload/demand.hpp"
 
@@ -37,6 +39,12 @@ struct MegaDcConfig {
 
   GlobalManager::Options manager;
   FluidEngine::Options engine;
+
+  /// Failure detection + self-healing (E13).  Disabled monitors leave
+  /// injected faults unrepaired — the "no recovery" baseline.
+  bool enableHealthMonitor = true;
+  HealthMonitor::Options health;
+  FaultInjector::Options fault;
 };
 
 /// The assembled world.  Construction wires everything; call
@@ -77,6 +85,8 @@ class MegaDc {
   std::unique_ptr<GlobalManager> manager;
   std::unique_ptr<ResolverPopulation> resolvers;
   std::unique_ptr<FluidEngine> engine;
+  std::unique_ptr<FaultInjector> faults;
+  std::unique_ptr<HealthMonitor> health;  // null when disabled
 
  private:
   MegaDcConfig config_;

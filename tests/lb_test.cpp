@@ -275,6 +275,71 @@ TEST(SwitchFleet, TransferChecksDestinationCapacity) {
   EXPECT_EQ(fleet.ownerOf(kVip).value(), a);  // unchanged on failure
 }
 
+TEST(SwitchFleet, TransferChecksDestinationRipCapacity) {
+  SwitchFleet fleet;
+  const SwitchId a = fleet.addSwitch(tinyLimits());
+  const SwitchId b = fleet.addSwitch(tinyLimits());
+  ASSERT_TRUE(fleet.configureVip(a, kVip, kApp).ok());
+  ASSERT_TRUE(fleet.addRip(kVip, vmRip(0, 0)).ok());
+  ASSERT_TRUE(fleet.addRip(kVip, vmRip(1, 1)).ok());
+  // b has VIP space but only 1 of the 2 needed RIP slots free.
+  ASSERT_TRUE(fleet.configureVip(b, VipId{20}, kApp).ok());
+  ASSERT_TRUE(fleet.addRip(VipId{20}, vmRip(2, 2)).ok());
+  ASSERT_TRUE(fleet.addRip(VipId{20}, vmRip(3, 3)).ok());
+  ASSERT_TRUE(fleet.addRip(VipId{20}, vmRip(4, 4)).ok());
+  EXPECT_EQ(fleet.transferVip(kVip, b).error().code, "rip_table_full");
+  EXPECT_EQ(fleet.ownerOf(kVip).value(), a);  // unchanged on failure
+  // The source still serves: its table was not touched.
+  EXPECT_EQ(fleet.at(a).ripCount(), 2u);
+}
+
+TEST(SwitchFleet, TransferToCrashedSwitchRefused) {
+  SwitchFleet fleet;
+  const SwitchId a = fleet.addSwitch(tinyLimits());
+  const SwitchId b = fleet.addSwitch(tinyLimits());
+  ASSERT_TRUE(fleet.configureVip(a, kVip, kApp).ok());
+  fleet.crashSwitch(b, 1.0);
+  EXPECT_EQ(fleet.transferVip(kVip, b).error().code, "switch_down");
+  EXPECT_EQ(fleet.ownerOf(kVip).value(), a);
+}
+
+TEST(SwitchFleet, CrashOrphansVipsAndSeversConnections) {
+  SwitchFleet fleet;
+  const SwitchId a = fleet.addSwitch(tinyLimits());
+  ASSERT_TRUE(fleet.configureVip(a, kVip, kApp).ok());
+  ASSERT_TRUE(fleet.configureVip(a, VipId{11}, AppId{1}).ok());
+  ASSERT_TRUE(fleet.addRip(kVip, vmRip(0, 0, 2.5)).ok());
+  Rng rng{5};
+  ASSERT_TRUE(fleet.at(a).openConnection(ConnId{0}, kVip, rng).ok());
+
+  EXPECT_EQ(fleet.crashSwitch(a, 42.0), 2u);
+  EXPECT_FALSE(fleet.isUp(a));
+  EXPECT_EQ(fleet.upCount(), 0u);
+  EXPECT_EQ(fleet.switchCrashes(), 1u);
+  EXPECT_EQ(fleet.droppedConnections(), 1u);
+  EXPECT_FALSE(fleet.ownerOf(kVip).has_value());  // ownership released
+  EXPECT_EQ(fleet.pendingOrphans(), 2u);
+
+  // Orphans carry the last-known configuration for re-placement.
+  auto orphans = fleet.takeOrphans(a);
+  ASSERT_EQ(orphans.size(), 2u);
+  const auto& o = orphans[0].vip == kVip ? orphans[0] : orphans[1];
+  EXPECT_EQ(o.app, kApp);
+  EXPECT_DOUBLE_EQ(o.orphanedAt, 42.0);
+  ASSERT_EQ(o.rips.size(), 1u);
+  EXPECT_DOUBLE_EQ(o.rips[0].weight, 2.5);
+  EXPECT_EQ(fleet.pendingOrphans(), 0u);  // surrendered exactly once
+
+  // A crashed switch refuses operations until it reboots, then comes
+  // back with empty tables.
+  EXPECT_EQ(fleet.configureVip(a, VipId{12}, kApp).error().code,
+            "switch_down");
+  fleet.recoverSwitch(a);
+  EXPECT_TRUE(fleet.isUp(a));
+  EXPECT_EQ(fleet.at(a).vipCount(), 0u);
+  EXPECT_TRUE(fleet.configureVip(a, VipId{12}, kApp).ok());
+}
+
 TEST(SwitchFleet, TransferToSameSwitchRejected) {
   SwitchFleet fleet;
   const SwitchId a = fleet.addSwitch(tinyLimits());

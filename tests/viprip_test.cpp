@@ -88,7 +88,100 @@ TEST(VipRipManager, CreateVipFailsWhenAllTablesFull) {
   for (int i = 0; i < 12; ++i) {
     ASSERT_TRUE(f.viprip.createVipNow(app).ok());
   }
-  EXPECT_THROW((void)f.viprip.createVipNow(app), PreconditionError);
+  // Table exhaustion is a branchable error, not a contract violation —
+  // recovery code retries on it.
+  const auto r = f.viprip.createVipNow(app);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "vip_table_full");
+}
+
+TEST(VipRipManager, RejectedRequestStillInvokesDoneAndIsCounted) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  bool called = false;
+  VipRipRequest req;
+  req.op = VipRipOp::NewRip;  // fails: the app has no VIPs yet
+  req.app = app;
+  req.vm = VmId{0};
+  req.done = [&](Status s) {
+    called = true;
+    EXPECT_EQ(s.error().code, "app_has_no_vips");
+  };
+  f.viprip.submit(std::move(req));
+  f.sim.runUntil(5.0);
+  EXPECT_TRUE(called);  // callers must always learn the outcome
+  EXPECT_EQ(f.viprip.rejectedRequests(), 1u);
+  ASSERT_EQ(f.viprip.rejectionsByCode().count("app_has_no_vips"), 1u);
+  EXPECT_EQ(f.viprip.rejectionsByCode().at("app_has_no_vips"), 1u);
+}
+
+TEST(VipRipManager, RejectionsBrokenDownByErrorCode) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(f.viprip.createVipNow(app).ok());
+  }
+  auto submitOp = [&](VipRipOp op) {
+    VipRipRequest req;
+    req.op = op;
+    req.app = app;
+    req.vm = VmId{0};
+    f.viprip.submit(std::move(req));
+  };
+  submitOp(VipRipOp::NewVip);     // vip_table_full (all 12 slots taken)
+  submitOp(VipRipOp::NewVip);     // vip_table_full again
+  submitOp(VipRipOp::SetWeight);  // vm_has_no_rips
+  f.sim.runUntil(10.0);
+  const auto& byCode = f.viprip.rejectionsByCode();
+  ASSERT_EQ(byCode.count("vip_table_full"), 1u);
+  EXPECT_EQ(byCode.at("vip_table_full"), 2u);
+  EXPECT_EQ(byCode.count("vm_has_no_rips"), 1u);
+  EXPECT_EQ(f.viprip.rejectedRequests(), 3u);
+}
+
+TEST(VipRipManager, RestoreVipRehostsOrphanWithOriginalRips) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  const auto vip = f.viprip.createVipNow(app);
+  ASSERT_TRUE(vip.ok());
+  ASSERT_TRUE(f.viprip.createRipNow(app, VmId{0}, 2.0).ok());
+  ASSERT_TRUE(f.viprip.createRipNow(app, VmId{1}, 3.0).ok());
+
+  const SwitchId owner = *f.fleet.ownerOf(vip.value());
+  ASSERT_EQ(f.fleet.crashSwitch(owner, f.sim.now()), 1u);
+  auto orphans = f.fleet.takeOrphans(owner);
+  ASSERT_EQ(orphans.size(), 1u);
+
+  VipRipRequest req;
+  req.op = VipRipOp::RestoreVip;
+  req.app = orphans[0].app;
+  req.vip = orphans[0].vip;
+  req.rips = orphans[0].rips;
+  Status result = Status::fail("pending");
+  req.done = [&](Status s) { result = s; };
+  f.viprip.submit(std::move(req));
+  f.sim.runUntil(10.0);
+
+  EXPECT_TRUE(result.ok());
+  const auto newOwner = f.fleet.ownerOf(vip.value());
+  ASSERT_TRUE(newOwner.has_value());
+  EXPECT_NE(*newOwner, owner);  // the crashed switch is still down
+  const VipEntry* e = f.fleet.findVip(vip.value());
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->rips.size(), 2u);  // original RIP ids and weights survive
+  EXPECT_DOUBLE_EQ(e->findRip(f.viprip.ripsOf(VmId{1})[0].rip)->weight, 3.0);
+
+  // The VM bookkeeping still routes weight updates to the new home.
+  VipRipRequest w;
+  w.op = VipRipOp::SetWeight;
+  w.vm = VmId{0};
+  w.weight = 7.0;
+  f.viprip.submit(std::move(w));
+  f.sim.runUntil(20.0);
+  const auto refs = f.viprip.ripsOf(VmId{0});
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.fleet.findVip(refs[0].vip)->findRip(refs[0].rip)->weight,
+                   7.0);
 }
 
 TEST(VipRipManager, RipGoesToSwitchHostingAppVip) {
