@@ -1,0 +1,118 @@
+// E14 — unreliable control channel and anti-entropy reconciliation.
+//
+// The manager's config commands now cross a channel that drops, delays,
+// duplicates, and reorders; the sender retries until acked and the
+// reconciler heals whatever drift lost/late commands leave between the
+// intended and the actual VIP/RIP tables.  We measure (a) how channel
+// loss stretches convergence after a switch crash — retransmits, command
+// timeouts, repairs, and the stale-routing unavailability integral — and
+// (b) how the reconciler's audit period trades repair traffic against
+// time-to-converge at a fixed 20% loss rate.
+#include <iostream>
+
+#include "mdc/metrics/table.hpp"
+#include "mdc/scenario/megadc.hpp"
+
+namespace {
+
+mdc::MegaDcConfig lossyConfig(double rate) {
+  mdc::MegaDcConfig cfg = mdc::testScaleConfig();
+  cfg.ctrlFaults.dropRate = rate;
+  cfg.ctrlFaults.duplicateRate = rate;
+  cfg.ctrlFaults.reorderRate = rate;
+  if (rate > 0.0) {
+    cfg.ctrlFaults.delaySeconds = 0.05;
+    cfg.ctrlFaults.delayJitterSeconds = 0.1;
+    cfg.manager.viprip.ctrl.ackTimeoutSeconds = 1.0;
+    // A tight retry budget (gives up after ~7 s) so the 15 s partition
+    // actually times commands out and leaves drift for the reconciler,
+    // instead of the sender riding every outage out on its own.
+    cfg.manager.viprip.ctrl.maxAttempts = 4;
+  }
+  return cfg;
+}
+
+struct Run {
+  mdc::MegaDc dc;
+  double convergedAt = -1.0;
+
+  explicit Run(mdc::MegaDcConfig cfg) : dc(std::move(cfg)) {
+    dc.bootstrap();
+    dc.runUntil(100.0);
+    // The storm: a crash whose restores traverse the lossy channel, plus
+    // a control partition marooning one switch's commands long enough to
+    // time out.
+    dc.faults->crashSwitch(mdc::SwitchId{0}, 100.0, /*repairAfter=*/20.0);
+    dc.faults->partitionChannel(mdc::SwitchId{1}, 110.0, /*repairAfter=*/15.0);
+    dc.runUntil(140.0);
+    // Convergence: the first audit after the storm reporting intended ==
+    // actual with no command awaiting an ack.
+    const double period =
+        dc.config().manager.reconciler.periodSeconds;
+    const mdc::Reconciler& rec = dc.manager->reconciler();
+    const mdc::CommandSender& sender = dc.manager->viprip().ctrlSender();
+    for (int i = 0; i < 100 && convergedAt < 0.0; ++i) {
+      dc.runUntil(dc.sim.now() + period);
+      if (rec.divergenceLastRound() == 0 && sender.inflight() == 0) {
+        convergedAt = dc.sim.now();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace mdc;
+
+  Table a{"E14a: channel loss vs convergence (crash at t=100s repaired"
+          " +20s, control partition 110-125s; loss = drop = dup = reorder"
+          " rate)",
+          {"loss %", "dropped", "retransmits", "timeouts", "drift found",
+           "repairs ok", "adopted", "converged s", "unavail rps-s"}};
+  for (double rate : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    Run run{lossyConfig(rate)};
+    const MegaDc& dc = run.dc;
+    const ControlChannel& ch = dc.manager->viprip().ctrlChannel();
+    const CommandSender& sender = dc.manager->viprip().ctrlSender();
+    const Reconciler& rec = dc.manager->reconciler();
+    a.addRow({100.0 * rate, static_cast<long long>(ch.messagesDropped()),
+              static_cast<long long>(sender.retransmits()),
+              static_cast<long long>(sender.timeouts()),
+              static_cast<long long>(rec.driftDetected()),
+              static_cast<long long>(rec.repairsSucceeded()),
+              static_cast<long long>(rec.placementsAdopted() +
+                                     rec.weightsAdopted()),
+              run.convergedAt, dc.health->unavailabilityRpsSeconds()});
+  }
+  a.print(std::cout);
+  std::cout << "expected shape: at 0% loss only the partition causes"
+               " drops and drift stays near zero; rising loss multiplies"
+               " retransmits and reconciler repairs/adoptions and stretches"
+               " both convergence time and the stale-routing unavailability"
+               " integral, but every run still converges to zero drift\n\n";
+
+  Table b{"E14b: reconciler audit period at 20% loss (same storm)",
+          {"period s", "audit rounds", "drift found", "repairs ok",
+           "adopted", "converged s", "unavail rps-s"}};
+  for (double period : {5.0, 15.0, 30.0}) {
+    MegaDcConfig cfg = lossyConfig(0.2);
+    cfg.manager.reconciler.periodSeconds = period;
+    Run run{std::move(cfg)};
+    const MegaDc& dc = run.dc;
+    const Reconciler& rec = dc.manager->reconciler();
+    b.addRow({period, static_cast<long long>(rec.rounds()),
+              static_cast<long long>(rec.driftDetected()),
+              static_cast<long long>(rec.repairsSucceeded()),
+              static_cast<long long>(rec.placementsAdopted() +
+                                     rec.weightsAdopted()),
+              run.convergedAt, dc.health->unavailabilityRpsSeconds()});
+  }
+  b.print(std::cout);
+  std::cout << "expected shape: short audit periods spend more audit"
+               " rounds but certify convergence sooner; the unavailability"
+               " integral barely moves because it is dominated by the"
+               " data-plane crash window, not by how quickly the audit"
+               " confirms the repaired state\n";
+  return 0;
+}

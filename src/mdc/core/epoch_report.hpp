@@ -43,6 +43,18 @@ struct EpochReport {
   /// VIPs orphaned by switch crashes and not yet re-hosted.
   std::uint32_t orphanedVips = 0;
 
+  /// Control-plane snapshot (E14): health of the manager->switch command
+  /// channel and of the intended-vs-actual reconciliation.
+  std::uint64_t ctrlMessagesDropped = 0;
+  std::uint64_t ctrlRetransmits = 0;
+  std::uint64_t ctrlTimeouts = 0;
+  std::uint32_t ctrlInflightCommands = 0;
+  std::uint32_t ctrlPartitionedLinks = 0;
+  /// Divergent table entries found in the reconciler's latest audit round
+  /// (0 = converged), and cumulative repairs it issued.
+  std::uint64_t ctrlDriftLastAudit = 0;
+  std::uint64_t ctrlRepairsIssued = 0;
+
   [[nodiscard]] double totalDemandRps() const {
     double d = 0.0;
     for (const auto& [app, rps] : appDemandRps) d += rps;

@@ -112,6 +112,21 @@ void GlobalManager::start() {
   if (options_.enableSwitchBalancer) {
     switchBalancer_->start(options_.switchBalancer.period * 0.75);
   }
+  if (options_.enableReconciler) {
+    Reconciler::Hooks hooks;
+    hooks.adoptPlacement = [this](VipId vip, SwitchId actual) {
+      viprip_->adoptPlacement(vip, actual);
+    };
+    hooks.adoptRipWeight = [this](VipId vip, RipId rip, double actual) {
+      viprip_->adoptRipWeight(vip, rip, actual);
+    };
+    hooks.resyncDns = [this](VipId vip) { viprip_->resyncVipDnsWeight(vip); };
+    reconciler_ = std::make_unique<Reconciler>(
+        sim_, fleet_, viprip_->intent(), viprip_->ctrlSender(),
+        std::move(hooks), options_.reconciler);
+    viprip_->attachReconciler(reconciler_.get());
+    reconciler_->start(options_.reconciler.periodSeconds * 0.4);
+  }
 }
 
 void GlobalManager::observe(const EpochReport& report) {

@@ -19,6 +19,7 @@
 #include "mdc/core/pod.hpp"
 #include "mdc/core/switch_balancer.hpp"
 #include "mdc/core/viprip_manager.hpp"
+#include "mdc/ctrl/reconciler.hpp"
 
 namespace mdc {
 
@@ -30,6 +31,9 @@ class GlobalManager final : public RipRequestSink {
     AccessLinkBalancer::Options link;
     SwitchBalancer::Options switchBalancer;
     InterPodBalancer::Options interPod;
+    /// Anti-entropy audit of intended vs. actual VIP/RIP state (E14).
+    Reconciler::Options reconciler;
+    bool enableReconciler = true;
     bool enableLinkBalancer = true;
     bool enableSwitchBalancer = true;
     bool enableInterPodBalancer = true;
@@ -83,6 +87,10 @@ class GlobalManager final : public RipRequestSink {
     MDC_EXPECT(interPod_ != nullptr, "start() not yet called");
     return *interPod_;
   }
+  [[nodiscard]] Reconciler& reconciler() noexcept {
+    MDC_EXPECT(reconciler_ != nullptr, "reconciler disabled or not started");
+    return *reconciler_;
+  }
   [[nodiscard]] std::vector<std::unique_ptr<PodManager>>& pods() noexcept {
     return pods_;
   }
@@ -102,6 +110,7 @@ class GlobalManager final : public RipRequestSink {
   std::unique_ptr<AccessLinkBalancer> linkBalancer_;
   std::unique_ptr<SwitchBalancer> switchBalancer_;
   std::unique_ptr<InterPodBalancer> interPod_;  // built in start()
+  std::unique_ptr<Reconciler> reconciler_;      // built in start()
   std::vector<std::unique_ptr<PodManager>> pods_;
   std::uint32_t nextDeployPod_ = 0;
   bool started_ = false;

@@ -3,10 +3,42 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <unordered_set>
+#include <utility>
 
 #include "mdc/util/expect.hpp"
 
 namespace mdc {
+
+namespace {
+
+/// Joins several command completions into one: fires `done` with the
+/// first error (or ok) once every added command settled AND seal() was
+/// called.  With `ignoreErrors` individual failures are best-effort and
+/// the joined outcome stays ok.
+struct CmdBarrier {
+  DoneGuard done;
+  Status result = Status::okStatus();
+  int outstanding = 0;
+  bool sealed = false;
+  bool ignoreErrors = false;
+
+  CmdBarrier(DoneGuard d, bool ignore)
+      : done(std::move(d)), ignoreErrors(ignore) {}
+
+  void add() { ++outstanding; }
+  void complete(const Status& s) {
+    if (!s.ok() && result.ok() && !ignoreErrors) result = s;
+    if (--outstanding == 0 && sealed) done.fire(result);
+  }
+  void seal() {
+    sealed = true;
+    if (outstanding == 0) done.fire(result);
+  }
+};
+
+}  // namespace
 
 VipRipManager::VipRipManager(Simulation& sim, SwitchFleet& fleet,
                              AuthoritativeDns& dns, RouteRegistry& routes,
@@ -18,9 +50,28 @@ VipRipManager::VipRipManager(Simulation& sim, SwitchFleet& fleet,
       routes_(routes),
       apps_(apps),
       topo_(topo),
-      options_(options) {
+      options_(options),
+      channel_(sim, options.channelSeed),
+      sender_(sim, channel_, fleet, options.ctrl) {
   MDC_EXPECT(options.processSeconds >= 0.0, "negative process time");
   routerVipCount_.assign(topo.accessLinkCount(), 0);
+  // Balancers move VIPs directly (SwitchFleet::transferVip); the journal
+  // learns those placements here so intent tracks reality synchronously.
+  fleet_.setTransferListener([this](VipId vip, SwitchId /*from*/,
+                                    SwitchId to) {
+    if (intent_.find(vip) == nullptr) return;
+    IntentRecord rec;
+    rec.op = IntentOp::MoveVip;
+    rec.vip = vip;
+    rec.sw = to;
+    intend(rec);
+  });
+}
+
+void VipRipManager::intend(IntentRecord record) {
+  record.at = sim_.now();
+  journal_.append(record);
+  intent_.apply(record);
 }
 
 void VipRipManager::submit(VipRipRequest request) {
@@ -74,52 +125,66 @@ void VipRipManager::pump() {
                             : 0.0;
     }
     sim_.after(reconfig, [this, p = std::move(p)]() mutable {
-      const Status s = apply(p.req);
-      ++processed_;
-      if (!s.ok()) {
-        ++rejected_;
-        ++rejectionsByCode_[s.error().code];
-      }
-      latency_.record(std::max(1e-3, sim_.now() - p.submitted));
-      if (p.req.done) p.req.done(s);
+      // The guard travels through every asynchronous command flow; no
+      // matter which path settles the request — ack, rejection, channel
+      // timeout, or a dropped continuation — the accounting and the
+      // submitter's callback run exactly once.
+      DoneGuard done(
+          [this, submitted = p.submitted,
+           user = std::move(p.req.done)](Status s) {
+            ++processed_;
+            if (!s.ok()) {
+              ++rejected_;
+              ++rejectionsByCode_[s.error().code];
+            }
+            latency_.record(std::max(1e-3, sim_.now() - submitted));
+            if (user) user(std::move(s));
+          });
+      apply(p.req, std::move(done));
     });
     pump();
   });
 }
 
-Status VipRipManager::apply(const VipRipRequest& req) {
+void VipRipManager::apply(const VipRipRequest& req, DoneGuard done) {
   switch (req.op) {
     case VipRipOp::NewVip:
-      return applyNewVip(req);
+      return applyNewVip(req, std::move(done));
     case VipRipOp::NewRip:
-      return applyNewRip(req);
+      return applyNewRip(req, std::move(done));
     case VipRipOp::DeleteVip:
-      return applyDeleteVip(req);
+      return applyDeleteVip(req, std::move(done));
     case VipRipOp::DeleteRip:
-      return applyDeleteRip(req);
+      return applyDeleteRip(req, std::move(done));
     case VipRipOp::SetWeight:
-      return applySetWeight(req);
+      return applySetWeight(req, std::move(done));
     case VipRipOp::RestoreVip:
-      return applyRestoreVip(req);
+      return applyRestoreVip(req, std::move(done));
   }
-  return Status::fail("bad_op");
+  done.fire(Status::fail("bad_op"));
 }
 
-std::optional<SwitchId> VipRipManager::pickSwitchForVip() const {
+std::optional<SwitchId> VipRipManager::pickSwitchForVip(VipId ignoring) const {
   MDC_EXPECT(fleet_.size() > 0, "no switches");
+  const VipIntent* ignored =
+      ignoring.valid() ? intent_.find(ignoring) : nullptr;
   std::optional<SwitchId> best;
   double bestScore = std::numeric_limits<double>::infinity();
   for (std::uint32_t i = 0; i < fleet_.size(); ++i) {
-    const LbSwitch& sw = fleet_.at(SwitchId{i});
-    if (!sw.up() || sw.spareVips() == 0) continue;
-    // Primary: VIP occupancy; secondary: offered throughput.
+    const SwitchId id{i};
+    const LbSwitch& sw = fleet_.at(id);
+    if (!sw.up()) continue;
+    std::uint32_t intended = intent_.vipsOn(id);
+    if (ignored != nullptr && ignored->sw == id && intended > 0) --intended;
+    if (intended >= sw.limits().maxVips) continue;
+    // Primary: intended VIP occupancy; secondary: offered throughput.
     const double score =
-        static_cast<double>(sw.vipCount()) /
+        static_cast<double>(intended) /
             static_cast<double>(sw.limits().maxVips) +
         sw.utilization();
     if (score < bestScore) {
       bestScore = score;
-      best = SwitchId{i};
+      best = id;
     }
   }
   return best;
@@ -134,13 +199,20 @@ AccessRouterId VipRipManager::pickAccessRouter() const {
   return AccessRouterId{best};
 }
 
-Status VipRipManager::applyNewVip(const VipRipRequest& req) {
+void VipRipManager::applyNewVip(const VipRipRequest& req, DoneGuard done) {
   MDC_EXPECT(req.app.valid(), "NewVip needs an app");
   const std::optional<SwitchId> sw = pickSwitchForVip();
-  if (!sw.has_value()) return Status::fail("vip_table_full");
+  if (!sw.has_value()) return done.fire(Status::fail("vip_table_full"));
   const VipId vip = vipIds_.next();
-  const Status s = fleet_.configureVip(*sw, vip, req.app);
-  if (!s.ok()) return s;
+  const AccessRouterId ar = pickAccessRouter();
+
+  IntentRecord rec;
+  rec.op = IntentOp::AddVip;
+  rec.vip = vip;
+  rec.app = req.app;
+  rec.sw = *sw;
+  rec.router = ar;
+  intend(rec);
 
   apps_.addVip(req.app, vip);
   if (!dns_.hasApp(req.app)) dns_.registerApp(req.app);
@@ -149,53 +221,92 @@ Status VipRipManager::applyNewVip(const VipRipRequest& req) {
   dns_.addVip(req.app, vip, 0.0);
 
   // Selective exposure: advertise at (typically) exactly one router.
-  const AccessRouterId ar = pickAccessRouter();
   routes_.advertise(vip, ar, sim_.now());
   vipRouter_.emplace(vip, ar);
   ++routerVipCount_[ar.index()];
-  return Status::okStatus();
+
+  SwitchCommand cmd;
+  cmd.kind = CmdKind::ConfigureVip;
+  cmd.vip = vip;
+  cmd.app = req.app;
+  sender_.send(*sw, cmd,
+               [this, vip, app = req.app, ar, done](Status s) mutable {
+                 if (s.ok()) return done.fire(Status::okStatus());
+                 // The switch rejected (or the channel gave up on) the
+                 // placement: unwind the directories and the intent so
+                 // the submitter can simply retry.
+                 apps_.removeVip(app, vip);
+                 dns_.removeVip(app, vip);
+                 routes_.withdraw(vip, ar, sim_.now());
+                 vipRouter_.erase(vip);
+                 --routerVipCount_[ar.index()];
+                 IntentRecord undo;
+                 undo.op = IntentOp::RemoveVip;
+                 undo.vip = vip;
+                 intend(undo);
+                 done.fire(std::move(s));
+               });
 }
 
-Status VipRipManager::applyNewRip(const VipRipRequest& req) {
+void VipRipManager::applyNewRip(const VipRipRequest& req, DoneGuard done) {
   MDC_EXPECT(req.app.valid() && req.vm.valid(), "NewRip needs app and vm");
   if (vmAlive_ && !vmAlive_(req.vm)) {
-    return Status::fail("vm_dead");
+    return done.fire(Status::fail("vm_dead"));
   }
+  if (req.weight < 0.0) return done.fire(Status::fail("bad_weight"));
   const Application& app = apps_.app(req.app);
-  if (app.vips.empty()) return Status::fail("app_has_no_vips");
+  if (app.vips.empty()) return done.fire(Status::fail("app_has_no_vips"));
 
-  // Choose among switches hosting one of the app's VIPs.  A VIP with no
-  // RIPs at all is strongly preferred: every exposed VIP must stay backed
-  // or TTL-lingering clients black-hole (§IV-A/B).
+  // Choose among switches intended to host one of the app's VIPs.  A VIP
+  // with no RIPs at all is strongly preferred: every exposed VIP must
+  // stay backed or TTL-lingering clients black-hole (§IV-A/B).
   VipId bestVip;
   double bestScore = std::numeric_limits<double>::infinity();
   for (VipId vip : app.vips) {
-    const auto owner = fleet_.ownerOf(vip);
-    if (!owner.has_value()) continue;
-    const LbSwitch& sw = fleet_.at(*owner);
-    if (sw.spareRips() == 0) continue;
-    const VipEntry* entry = sw.findVip(vip);
+    const VipIntent* in = intent_.find(vip);
+    if (in == nullptr) continue;
+    const LbSwitch& sw = fleet_.at(in->sw);
+    if (!sw.up()) continue;
+    const std::uint32_t intended = intent_.ripsOn(in->sw);
+    if (intended >= sw.limits().maxRips) continue;
     double score =
-        static_cast<double>(sw.ripCount()) /
+        static_cast<double>(intended) /
             static_cast<double>(sw.limits().maxRips) +
         sw.utilization();
-    if (entry != nullptr && entry->rips.empty()) score -= 1000.0;
+    if (in->rips.empty()) score -= 1000.0;
     if (score < bestScore) {
       bestScore = score;
       bestVip = vip;
     }
   }
-  if (!bestVip.valid()) return Status::fail("no_rip_capacity");
+  if (!bestVip.valid()) return done.fire(Status::fail("no_rip_capacity"));
+  const SwitchId target = intent_.find(bestVip)->sw;
 
   RipEntry entry;
   entry.rip = ripIds_.next();
   entry.vm = req.vm;
   entry.weight = req.weight;
-  const Status s = fleet_.addRip(bestVip, entry);
-  if (!s.ok()) return s;
+  IntentRecord rec;
+  rec.op = IntentOp::AddRip;
+  rec.vip = bestVip;
+  rec.rip = entry;
+  intend(rec);
   vmRips_[req.vm].push_back(RipRef{bestVip, entry.rip});
-  syncVipDnsWeight(bestVip);
-  return Status::okStatus();
+
+  SwitchCommand cmd;
+  cmd.kind = CmdKind::AddRip;
+  cmd.vip = bestVip;
+  cmd.rip = entry;
+  sender_.send(target, cmd,
+               [this, vip = bestVip, vm = req.vm, rip = entry.rip,
+                done](Status s) mutable {
+                 if (!s.ok()) {
+                   dropRipIntent(vip, rip, vm);
+                   return done.fire(std::move(s));
+                 }
+                 syncVipDnsWeight(vip);
+                 done.fire(Status::okStatus());
+               });
 }
 
 void VipRipManager::syncVipDnsWeight(VipId vip) {
@@ -222,23 +333,29 @@ double VipRipManager::vipExposureFactor(VipId vip) const {
   return f == exposureFactor_.end() ? 1.0 : f->second;
 }
 
-Status VipRipManager::applyDeleteVip(const VipRipRequest& req) {
+void VipRipManager::applyDeleteVip(const VipRipRequest& req, DoneGuard done) {
   MDC_EXPECT(req.vip.valid(), "DeleteVip needs a vip");
-  const auto owner = fleet_.ownerOf(req.vip);
-  if (!owner.has_value()) return Status::fail("vip_unowned");
-  const VipEntry* entry = fleet_.at(*owner).findVip(req.vip);
-  MDC_ENSURE(entry != nullptr, "fleet index out of sync");
-  const AppId app = entry->app;
-
-  // Detach RIP bookkeeping.
-  for (const RipEntry& r : entry->rips) {
-    if (!r.vm.valid()) continue;
-    auto& refs = vmRips_[r.vm];
-    std::erase_if(refs, [&](const RipRef& ref) { return ref.vip == req.vip; });
+  const VipIntent* in = intent_.find(req.vip);
+  if (in == nullptr) return done.fire(Status::fail("vip_unowned"));
+  const AppId app = in->app;
+  const SwitchId sw = in->sw;
+  if (fleet_.at(sw).up() && fleet_.at(sw).activeConnections(req.vip) > 0) {
+    return done.fire(Status::fail("vip_has_connections"));
   }
-  // RIPs vanish with the VIP entry.
-  const Status s = fleet_.removeVip(req.vip);
-  if (!s.ok()) return s;
+
+  // Detach RIP bookkeeping (from intent: the authoritative RIP set).
+  for (const RipEntry& r : in->rips) {
+    if (!r.vm.valid()) continue;
+    const auto refs = vmRips_.find(r.vm);
+    if (refs == vmRips_.end()) continue;
+    std::erase_if(refs->second,
+                  [&](const RipRef& ref) { return ref.vip == req.vip; });
+    if (refs->second.empty()) vmRips_.erase(refs);
+  }
+  IntentRecord rec;
+  rec.op = IntentOp::RemoveVip;
+  rec.vip = req.vip;
+  intend(rec);  // `in` is dangling from here on
 
   apps_.removeVip(app, req.vip);
   dns_.removeVip(app, req.vip);
@@ -249,48 +366,81 @@ Status VipRipManager::applyDeleteVip(const VipRipRequest& req) {
     --routerVipCount_[ar->second.index()];
     vipRouter_.erase(ar);
   }
-  return Status::okStatus();
+
+  SwitchCommand cmd;
+  cmd.kind = CmdKind::RemoveVip;
+  cmd.vip = req.vip;
+  sender_.send(sw, cmd, [done](Status s) mutable {
+    // The goal is "entry gone": an unknown VIP or a crashed switch
+    // (tables wiped) already satisfies it.
+    if (s.ok() || s.error().code == "vip_unknown" ||
+        s.error().code == "switch_down") {
+      return done.fire(Status::okStatus());
+    }
+    done.fire(std::move(s));
+  });
 }
 
-Status VipRipManager::applyDeleteRip(const VipRipRequest& req) {
+void VipRipManager::applyDeleteRip(const VipRipRequest& req, DoneGuard done) {
   MDC_EXPECT(req.vm.valid(), "DeleteRip needs a vm");
   const auto it = vmRips_.find(req.vm);
   if (it == vmRips_.end() || it->second.empty()) {
-    return Status::okStatus();  // idempotent: nothing bound (any more)
+    return done.fire(Status::okStatus());  // idempotent: nothing bound
   }
-  const std::vector<RipRef> refs = it->second;
+  const std::vector<RipRef> refs = std::move(it->second);
   vmRips_.erase(it);
+  // Removal is best effort per ref: a VIP deleted or moved meanwhile must
+  // not leak the remaining refs, so the joined outcome stays ok.
+  const auto barrier = std::make_shared<CmdBarrier>(std::move(done), true);
   for (const RipRef& ref : refs) {
-    // Best effort per ref: a VIP deleted or transferred meanwhile must
-    // not leak the remaining refs.
-    if (!fleet_.removeRip(ref.vip, ref.rip).ok()) continue;
-    const VipEntry* entry = fleet_.findVip(ref.vip);
-    if (entry != nullptr && entry->rips.empty()) {
-      // The VIP just lost its last RIP.  Clients may keep resolving to it
-      // for a TTL (or much longer, [18]), so try to re-back it with
-      // another live instance of the application; with no backing its
-      // capacity term — and hence its DNS weight — drops to zero.
-      (void)refillVip(ref.vip, entry->app, req.vm);
+    const VipIntent* in = intent_.find(ref.vip);
+    if (in == nullptr || in->findRip(ref.rip) == nullptr) continue;
+    const SwitchId sw = in->sw;
+    const AppId app = in->app;
+    IntentRecord rec;
+    rec.op = IntentOp::RemoveRip;
+    rec.vip = ref.vip;
+    rec.rip.rip = ref.rip;
+    intend(rec);
+    const bool nowEmpty = intent_.find(ref.vip)->rips.empty();
+    SwitchCommand cmd;
+    cmd.kind = CmdKind::RemoveRip;
+    cmd.vip = ref.vip;
+    cmd.rip.rip = ref.rip;
+    barrier->add();
+    sender_.send(sw, cmd, [this, vip = ref.vip, barrier](Status s) {
+      if (s.ok()) syncVipDnsWeight(vip);
+      barrier->complete(s);
+    });
+    if (nowEmpty) {
+      // The VIP just lost its last intended RIP.  Clients may keep
+      // resolving to it for a TTL (or much longer, [18]), so try to
+      // re-back it with another live instance of the application; with no
+      // backing its capacity term — and hence its DNS weight — drops to
+      // zero.
+      (void)refillVip(ref.vip, app, req.vm);
     }
-    syncVipDnsWeight(ref.vip);
   }
-  return Status::okStatus();
+  barrier->seal();
 }
 
 bool VipRipManager::refillVip(VipId vip, AppId app, VmId excluding) {
-  const auto owner = fleet_.ownerOf(vip);
-  if (!owner.has_value()) return false;
-  if (fleet_.at(*owner).spareRips() == 0) return false;
+  const VipIntent* in = intent_.find(vip);
+  if (in == nullptr) return false;
+  const SwitchId sw = in->sw;
+  if (!fleet_.at(sw).up()) return false;
+  if (intent_.ripsOn(sw) >= fleet_.at(sw).limits().maxRips) return false;
   for (VmId vm : apps_.app(app).instances) {
     if (vm == excluding) continue;
     if (vmAlive_ && !vmAlive_(vm)) continue;
     const auto existing = vmRips_.find(vm);
-    // Reuse the VM's current weight so traffic shares stay consistent.
+    // Reuse the VM's current intended weight so traffic shares stay
+    // consistent.
     double weight = 1.0;
     if (existing != vmRips_.end() && !existing->second.empty()) {
-      const VipEntry* e = fleet_.findVip(existing->second.front().vip);
-      if (e != nullptr) {
-        const RipEntry* r = e->findRip(existing->second.front().rip);
+      const VipIntent* other = intent_.find(existing->second.front().vip);
+      if (other != nullptr) {
+        const RipEntry* r = other->findRip(existing->second.front().rip);
         if (r != nullptr) weight = r->weight;
       }
     }
@@ -298,75 +448,215 @@ bool VipRipManager::refillVip(VipId vip, AppId app, VmId excluding) {
     entry.rip = ripIds_.next();
     entry.vm = vm;
     entry.weight = weight;
-    if (fleet_.addRip(vip, entry).ok()) {
-      vmRips_[vm].push_back(RipRef{vip, entry.rip});
+    IntentRecord rec;
+    rec.op = IntentOp::AddRip;
+    rec.vip = vip;
+    rec.rip = entry;
+    intend(rec);
+    vmRips_[vm].push_back(RipRef{vip, entry.rip});
+    SwitchCommand cmd;
+    cmd.kind = CmdKind::AddRip;
+    cmd.vip = vip;
+    cmd.rip = entry;
+    sender_.send(sw, cmd, [this, vip, vm, rip = entry.rip](Status s) {
+      if (!s.ok()) {
+        dropRipIntent(vip, rip, vm);
+        return;
+      }
       syncVipDnsWeight(vip);
-      return true;
-    }
+    });
+    return true;
   }
   return false;
 }
 
-Status VipRipManager::applySetWeight(const VipRipRequest& req) {
+void VipRipManager::dropRipIntent(VipId vip, RipId rip, VmId vm) {
+  if (intent_.find(vip) != nullptr) {
+    IntentRecord rec;
+    rec.op = IntentOp::RemoveRip;
+    rec.vip = vip;
+    rec.rip.rip = rip;
+    intend(rec);
+  }
+  if (!vm.valid()) return;
+  const auto it = vmRips_.find(vm);
+  if (it == vmRips_.end()) return;
+  std::erase_if(it->second, [&](const RipRef& ref) {
+    return ref.vip == vip && ref.rip == rip;
+  });
+  if (it->second.empty()) vmRips_.erase(it);
+}
+
+void VipRipManager::applySetWeight(const VipRipRequest& req, DoneGuard done) {
   MDC_EXPECT(req.vm.valid(), "SetWeight needs a vm");
   const auto it = vmRips_.find(req.vm);
   if (it == vmRips_.end() || it->second.empty()) {
-    return Status::fail("vm_has_no_rips");
+    return done.fire(Status::fail("vm_has_no_rips"));
   }
+  if (req.weight < 0.0) return done.fire(Status::fail("bad_weight"));
   // `weight` is the VM's total serving weight; split it across the VM's
   // RIPs so a VM reachable through k VIPs is not handed k shares.
   const double perRip =
       req.weight / static_cast<double>(it->second.size());
+  const auto barrier = std::make_shared<CmdBarrier>(std::move(done), false);
   for (const RipRef& ref : it->second) {
-    const Status s = fleet_.setRipWeight(ref.vip, ref.rip, perRip);
-    if (!s.ok()) return s;
-    syncVipDnsWeight(ref.vip);
+    const VipIntent* in = intent_.find(ref.vip);
+    if (in == nullptr || in->findRip(ref.rip) == nullptr) continue;
+    IntentRecord rec;
+    rec.op = IntentOp::SetRipWeight;
+    rec.vip = ref.vip;
+    rec.rip.rip = ref.rip;
+    rec.weight = perRip;
+    intend(rec);
+    SwitchCommand cmd;
+    cmd.kind = CmdKind::SetRipWeight;
+    cmd.vip = ref.vip;
+    cmd.rip.rip = ref.rip;
+    cmd.weight = perRip;
+    barrier->add();
+    sender_.send(in->sw, cmd, [this, vip = ref.vip, barrier](Status s) {
+      if (s.ok()) syncVipDnsWeight(vip);
+      barrier->complete(s);
+    });
   }
-  return Status::okStatus();
+  barrier->seal();
 }
 
-Status VipRipManager::applyRestoreVip(const VipRipRequest& req) {
+void VipRipManager::applyRestoreVip(const VipRipRequest& req, DoneGuard done) {
   MDC_EXPECT(req.vip.valid() && req.app.valid(), "RestoreVip needs vip + app");
   if (fleet_.ownerOf(req.vip).has_value()) {
-    return Status::okStatus();  // already re-hosted (retry raced recovery)
+    // Already re-hosted (retry raced recovery).
+    return done.fire(Status::okStatus());
   }
-  const std::optional<SwitchId> sw = pickSwitchForVip();
-  if (!sw.has_value()) return Status::fail("vip_table_full");
-  const Status s = fleet_.configureVip(*sw, req.vip, req.app);
-  if (!s.ok()) return s;
+  if (sender_.vipBusy(req.vip)) {
+    // A previous restore's commands are still awaiting acks; the health
+    // monitor retries with backoff, so just report busy.
+    return done.fire(Status::fail("ctrl_busy"));
+  }
+  const std::optional<SwitchId> sw = pickSwitchForVip(req.vip);
+  if (!sw.has_value()) return done.fire(Status::fail("vip_table_full"));
 
-  // Re-add the orphan's RIP set under the original ids, dropping entries
-  // whose VM is gone; a ref that cannot be re-added must also leave the
-  // VM bookkeeping or later weight updates would chase a ghost.
+  // The orphan's RIP set, minus entries whose VM died with the switch —
+  // their bookkeeping refs leave too, or later weight updates would chase
+  // a ghost.
+  std::vector<RipEntry> desired;
   for (const RipEntry& r : req.rips) {
-    const bool dead = r.targetsVm() && vmAlive_ && !vmAlive_(r.vm);
-    const bool added = !dead && fleet_.addRip(req.vip, r).ok();
-    if (!added && r.targetsVm()) {
-      const auto it = vmRips_.find(r.vm);
-      if (it != vmRips_.end()) {
-        std::erase_if(it->second, [&](const RipRef& ref) {
+    if (r.targetsVm() && vmAlive_ && !vmAlive_(r.vm)) {
+      const auto refs = vmRips_.find(r.vm);
+      if (refs != vmRips_.end()) {
+        std::erase_if(refs->second, [&](const RipRef& ref) {
           return ref.vip == req.vip && ref.rip == r.rip;
         });
+        if (refs->second.empty()) vmRips_.erase(refs);
       }
+      continue;
+    }
+    desired.push_back(r);
+  }
+
+  // Point the intent at the new home; a VIP this manager has no record of
+  // (a journal predating it) is adopted fresh.
+  if (intent_.find(req.vip) == nullptr) {
+    IntentRecord rec;
+    rec.op = IntentOp::AddVip;
+    rec.vip = req.vip;
+    rec.app = req.app;
+    rec.sw = *sw;
+    const auto ar = vipRouter_.find(req.vip);
+    rec.router = ar != vipRouter_.end() ? ar->second : AccessRouterId{};
+    intend(rec);
+  } else {
+    IntentRecord rec;
+    rec.op = IntentOp::MoveVip;
+    rec.vip = req.vip;
+    rec.sw = *sw;
+    intend(rec);
+  }
+  // Square the intended RIP set with the desired one (normally identical;
+  // they diverge when commands were lost around the crash).
+  std::unordered_set<RipId> want;
+  for (const RipEntry& r : desired) want.insert(r.rip);
+  std::vector<RipId> toDrop;
+  const VipIntent* cur = intent_.find(req.vip);
+  for (const RipEntry& r : cur->rips) {
+    if (!want.contains(r.rip)) toDrop.push_back(r.rip);
+  }
+  for (RipId rip : toDrop) {
+    IntentRecord rec;
+    rec.op = IntentOp::RemoveRip;
+    rec.vip = req.vip;
+    rec.rip.rip = rip;
+    intend(rec);
+  }
+  for (const RipEntry& r : desired) {
+    if (intent_.find(req.vip)->findRip(r.rip) != nullptr) continue;
+    IntentRecord rec;
+    rec.op = IntentOp::AddRip;
+    rec.vip = req.vip;
+    rec.rip = r;
+    intend(rec);
+    if (r.targetsVm()) {
+      auto& refs = vmRips_[r.vm];
+      const bool known = std::any_of(
+          refs.begin(), refs.end(), [&](const RipRef& ref) {
+            return ref.vip == req.vip && ref.rip == r.rip;
+          });
+      if (!known) refs.push_back(RipRef{req.vip, r.rip});
     }
   }
-  const VipEntry* entry = fleet_.findVip(req.vip);
-  MDC_ENSURE(entry != nullptr, "restored vip missing from fleet");
-  if (entry->rips.empty()) {
-    // Everything behind it died with the switch; try to re-back it with
-    // any live instance so TTL-lingering clients stop black-holing.
-    (void)refillVip(req.vip, req.app, VmId{});
-  }
-  syncVipDnsWeight(req.vip);
-  return Status::okStatus();
+
+  SwitchCommand cfg;
+  cfg.kind = CmdKind::ConfigureVip;
+  cfg.vip = req.vip;
+  cfg.app = req.app;
+  sender_.send(
+      *sw, cfg,
+      [this, vip = req.vip, app = req.app, target = *sw, desired,
+       done](Status s) mutable {
+        if (!s.ok()) {
+          // No rollback: the intent keeps naming the new home and the
+          // health monitor's retry (or the reconciler) finishes the job.
+          return done.fire(std::move(s));
+        }
+        // Re-add the RIP set under the original ids (best effort per
+        // entry, like the seed); then, if nothing could back the VIP,
+        // re-back it with any live instance so TTL-lingering clients
+        // stop black-holing.
+        DoneGuard epilogue([this, vip, app, done](Status) mutable {
+          const VipIntent* in = intent_.find(vip);
+          if (in != nullptr && in->rips.empty()) {
+            (void)refillVip(vip, app, VmId{});
+          }
+          syncVipDnsWeight(vip);
+          done.fire(Status::okStatus());
+        });
+        const auto barrier =
+            std::make_shared<CmdBarrier>(std::move(epilogue), true);
+        for (const RipEntry& r : desired) {
+          SwitchCommand cmd;
+          cmd.kind = CmdKind::AddRip;
+          cmd.vip = vip;
+          cmd.rip = r;
+          barrier->add();
+          sender_.send(target, cmd, [this, vip, r, barrier](Status rs) {
+            if (!rs.ok()) {
+              dropRipIntent(vip, r.rip, r.targetsVm() ? r.vm : VmId{});
+            }
+            barrier->complete(rs);
+          });
+        }
+        barrier->seal();
+      });
 }
 
 Result<VipId> VipRipManager::createVipNow(AppId app) {
   VipRipRequest req;
   req.op = VipRipOp::NewVip;
   req.app = app;
-  const Status s = applyNewVip(req);
-  if (!s.ok()) return s.error();
+  std::optional<Status> outcome;
+  applyNewVip(req, DoneGuard([&outcome](Status s) { outcome = std::move(s); }));
+  MDC_ENSURE(outcome.has_value(), "createVipNow needs a reliable channel");
+  if (!outcome->ok()) return outcome->error();
   return apps_.app(app).vips.back();
 }
 
@@ -376,7 +666,54 @@ Status VipRipManager::createRipNow(AppId app, VmId vm, double weight) {
   req.app = app;
   req.vm = vm;
   req.weight = weight;
-  return applyNewRip(req);
+  std::optional<Status> outcome;
+  applyNewRip(req, DoneGuard([&outcome](Status s) { outcome = std::move(s); }));
+  MDC_ENSURE(outcome.has_value(), "createRipNow needs a reliable channel");
+  return *outcome;
+}
+
+void VipRipManager::adoptPlacement(VipId vip, SwitchId actual) {
+  const VipIntent* in = intent_.find(vip);
+  if (in == nullptr || in->sw == actual) return;
+  IntentRecord rec;
+  rec.op = IntentOp::MoveVip;
+  rec.vip = vip;
+  rec.sw = actual;
+  intend(rec);
+}
+
+void VipRipManager::adoptRipWeight(VipId vip, RipId rip, double actual) {
+  const VipIntent* in = intent_.find(vip);
+  if (in == nullptr || in->findRip(rip) == nullptr) return;
+  IntentRecord rec;
+  rec.op = IntentOp::SetRipWeight;
+  rec.vip = vip;
+  rec.rip.rip = rip;
+  rec.weight = actual;
+  intend(rec);
+}
+
+void VipRipManager::rebuildIntentFromJournal() {
+  intent_ = journal_.replay();
+  queue_.clear();  // queued requests die with the crashed manager
+  vipRouter_.clear();
+  vmRips_.clear();
+  exposureFactor_.clear();
+  routerVipCount_.assign(topo_.accessLinkCount(), 0);
+  intent_.forEach([&](VipId vip, const VipIntent& in) {
+    if (in.router.valid()) {
+      vipRouter_.emplace(vip, in.router);
+      ++routerVipCount_[in.router.index()];
+    }
+    for (const RipEntry& r : in.rips) {
+      if (r.targetsVm()) vmRips_[r.vm].push_back(RipRef{vip, r.rip});
+    }
+  });
+  // Never re-issue an id any journal record ever mentioned.
+  for (const IntentRecord& rec : journal_.records()) {
+    vipIds_.ensureBeyond(rec.vip);
+    ripIds_.ensureBeyond(rec.rip.rip);
+  }
 }
 
 void VipRipManager::moveVipRoute(VipId vip, AccessRouterId to) {
@@ -384,6 +721,13 @@ void VipRipManager::moveVipRoute(VipId vip, AccessRouterId to) {
   MDC_EXPECT(it != vipRouter_.end(), "vip has no advertised router");
   const AccessRouterId from = it->second;
   if (from == to) return;
+  if (intent_.find(vip) != nullptr) {
+    IntentRecord rec;
+    rec.op = IntentOp::MoveRoute;
+    rec.vip = vip;
+    rec.router = to;
+    intend(rec);
+  }
   // Pad the old route (drains but stays reachable), announce the new one,
   // and withdraw the old once the padded path has had time to drain.
   routes_.pad(vip, from, sim_.now());

@@ -12,6 +12,16 @@
 //    the least-loaded access router;
 //  * new RIP  -> among switches already hosting one of the application's
 //    VIPs, the one with spare RIP capacity and the lowest throughput.
+//
+// Decisions no longer reach the switches as direct function calls: each
+// applied operation is journaled as *intent* (write-ahead, so a manager
+// crash can rebuild it) and then sent as idempotent commands over a
+// per-switch ControlChannel that may drop, delay, duplicate, and reorder
+// them.  The CommandSender retries with backoff until each command is
+// acked (or times out); the periodic Reconciler heals whatever drift the
+// channel leaves between the IntentStore and the switches' actual tables.
+// With the default reliable channel every command round trip completes
+// inline and behavior is identical to the seed's in-process calls.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +33,10 @@
 #include <vector>
 
 #include "mdc/app/app_registry.hpp"
+#include "mdc/ctrl/command_sender.hpp"
+#include "mdc/ctrl/control_channel.hpp"
+#include "mdc/ctrl/done_guard.hpp"
+#include "mdc/ctrl/intent.hpp"
 #include "mdc/dns/dns.hpp"
 #include "mdc/lb/switch_fleet.hpp"
 #include "mdc/metrics/histogram.hpp"
@@ -32,6 +46,8 @@
 #include "mdc/util/ids.hpp"
 
 namespace mdc {
+
+class Reconciler;
 
 enum class VipRipOp : std::uint8_t {
   NewVip,      // allocate + place a new VIP for app
@@ -53,7 +69,8 @@ struct VipRipRequest {
   /// re-added under their original ids (so RIP bookkeeping stays
   /// coherent); RIPs of VMs that died with the switch are dropped.
   std::vector<RipEntry> rips;
-  /// Optional completion callback with the outcome.
+  /// Optional completion callback with the outcome.  Fires exactly once
+  /// per request, on every path — including drops and channel timeouts.
   std::function<void(Status)> done;
 };
 
@@ -68,6 +85,10 @@ class VipRipManager {
     SimTime reconfigSeconds = -1.0;
     /// Initial DNS weight for newly created VIPs.
     double newVipDnsWeight = 1.0;
+    /// Seed of the control channel's fault randomness (E14).
+    std::uint64_t channelSeed = 0x6d646314u;
+    /// Ack/retry policy of the manager->switch command links.
+    CommandSender::Options ctrl;
   };
 
   VipRipManager(Simulation& sim, SwitchFleet& fleet, AuthoritativeDns& dns,
@@ -86,6 +107,8 @@ class VipRipManager {
 
   /// Convenience synchronous-decision API used at deployment time, before
   /// the simulation starts (bypasses the queue, still applies policy).
+  /// Requires a reliable control channel — fault rates are switched on
+  /// after bootstrap.
   Result<VipId> createVipNow(AppId app);
   Status createRipNow(AppId app, VmId vm, double weight);
 
@@ -109,6 +132,47 @@ class VipRipManager {
     RipId rip;
   };
   [[nodiscard]] std::vector<RipRef> ripsOf(VmId vm) const;
+
+  // --- control plane (E14) -----------------------------------------------
+
+  [[nodiscard]] ControlChannel& ctrlChannel() noexcept { return channel_; }
+  [[nodiscard]] const ControlChannel& ctrlChannel() const noexcept {
+    return channel_;
+  }
+  [[nodiscard]] CommandSender& ctrlSender() noexcept { return sender_; }
+  [[nodiscard]] const CommandSender& ctrlSender() const noexcept {
+    return sender_;
+  }
+  /// The intended (authoritative) VIP/RIP state, audited by the
+  /// Reconciler against the fleet's actual tables.
+  [[nodiscard]] const IntentStore& intent() const noexcept { return intent_; }
+  [[nodiscard]] const IntentJournal& intentJournal() const noexcept {
+    return journal_;
+  }
+
+  /// Reconciler hooks: accept observed reality into the intent journal.
+  void adoptPlacement(VipId vip, SwitchId actual);
+  void adoptRipWeight(VipId vip, RipId rip, double actual);
+  /// Recomputes the VIP's DNS weight from the fleet's actual tables
+  /// (reconciler hook after a structural repair lands).
+  void resyncVipDnsWeight(VipId vip) { syncVipDnsWeight(vip); }
+
+  /// Simulated manager crash-recovery: discards the in-memory intended
+  /// state (and the pending request queue) and rebuilds it by replaying
+  /// the write-ahead journal.  Exposure factors are balancer policy, not
+  /// placement intent, and are not journaled: a rebuilt manager starts
+  /// neutral until the balancers re-decide.  Call on a quiesced manager
+  /// (no commands awaiting acks).
+  void rebuildIntentFromJournal();
+
+  /// Lets the epoch reporter read reconciler gauges alongside the channel
+  /// and sender stats (the reconciler lives in the GlobalManager).
+  void attachReconciler(const Reconciler* reconciler) noexcept {
+    reconciler_ = reconciler;
+  }
+  [[nodiscard]] const Reconciler* reconciler() const noexcept {
+    return reconciler_;
+  }
 
   // --- introspection (E12) -----------------------------------------------
 
@@ -140,16 +204,29 @@ class VipRipManager {
   };
 
   void pump();
-  Status apply(const VipRipRequest& req);
-  Status applyNewVip(const VipRipRequest& req);
-  Status applyNewRip(const VipRipRequest& req);
-  Status applyDeleteVip(const VipRipRequest& req);
-  Status applyDeleteRip(const VipRipRequest& req);
-  Status applySetWeight(const VipRipRequest& req);
-  Status applyRestoreVip(const VipRipRequest& req);
+  void apply(const VipRipRequest& req, DoneGuard done);
+  void applyNewVip(const VipRipRequest& req, DoneGuard done);
+  void applyNewRip(const VipRipRequest& req, DoneGuard done);
+  void applyDeleteVip(const VipRipRequest& req, DoneGuard done);
+  void applyDeleteRip(const VipRipRequest& req, DoneGuard done);
+  void applySetWeight(const VipRipRequest& req, DoneGuard done);
+  void applyRestoreVip(const VipRipRequest& req, DoneGuard done);
 
-  /// The most underloaded *healthy* switch with VIP-table space, if any.
-  [[nodiscard]] std::optional<SwitchId> pickSwitchForVip() const;
+  /// Stamps the record with the current time, appends it to the journal
+  /// (write-ahead), then applies it to the in-memory store.
+  void intend(IntentRecord record);
+  /// Rolls an intended RIP back out (a rejected AddRip command) and drops
+  /// the VM bookkeeping ref.
+  void dropRipIntent(VipId vip, RipId rip, VmId vm);
+
+  /// The most underloaded *healthy* switch with intended VIP-table space,
+  /// if any.  Scored on intent, not actual tables: under in-flight or
+  /// lost commands the actual tables lag what the manager already
+  /// decided.  `ignoring` (a VIP being re-placed) does not count against
+  /// its own intended switch — an orphan must be able to return to its
+  /// rebooted home even when the fleet has no other headroom.
+  [[nodiscard]] std::optional<SwitchId> pickSwitchForVip(
+      VipId ignoring = VipId{}) const;
   [[nodiscard]] AccessRouterId pickAccessRouter() const;
   /// Re-backs a VIP that lost its last RIP with another live instance of
   /// `app` (excluding the VM being retired).  Returns false if no
@@ -170,6 +247,12 @@ class VipRipManager {
   AppRegistry& apps_;
   const Topology& topo_;
   Options options_;
+
+  ControlChannel channel_;
+  CommandSender sender_;
+  IntentStore intent_;
+  IntentJournal journal_;
+  const Reconciler* reconciler_ = nullptr;
 
   std::function<bool(VmId)> vmAlive_;
   std::unordered_map<VipId, double> exposureFactor_;

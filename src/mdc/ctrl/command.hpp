@@ -1,0 +1,52 @@
+// Wire format of the VIP/RIP control channel.
+//
+// The global manager's decisions reach the LB switches as small config
+// commands; each command targets exactly one switch and carries a
+// per-link sequence number so the receiving side can deduplicate
+// retransmissions (the channel may drop, delay, duplicate, and reorder
+// messages — see ControlChannel).
+#pragma once
+
+#include <cstdint>
+
+#include "mdc/lb/lb_switch.hpp"
+#include "mdc/util/ids.hpp"
+#include "mdc/util/result.hpp"
+
+namespace mdc {
+
+enum class CmdKind : std::uint8_t {
+  ConfigureVip,  // install a (vip -> app) entry
+  RemoveVip,     // drop the entry (and its RIPs)
+  AddRip,        // add one weighted backend
+  RemoveRip,     // remove one backend
+  SetRipWeight   // re-weight one backend
+};
+
+[[nodiscard]] const char* toString(CmdKind kind) noexcept;
+
+struct SwitchCommand {
+  CmdKind kind = CmdKind::ConfigureVip;
+  VipId vip;
+  AppId app;       // ConfigureVip payload
+  RipEntry rip;    // AddRip payload; rip.rip keys RemoveRip / SetRipWeight
+  double weight = 1.0;  // SetRipWeight payload
+  /// RemoveVip only: sever tracked connections first instead of failing
+  /// with "vip_has_connections" (used by reconciler repairs, where the
+  /// entry being removed is a stray that must not survive).
+  bool dropConnections = false;
+
+  /// Per-(manager, switch) sequence number, stamped by the CommandSender.
+  std::uint64_t seq = 0;
+  /// Piggybacked sender watermark: every seq below this has been acked,
+  /// so the receiver can prune its completed-command cache.
+  std::uint64_t ackedBelow = 0;
+};
+
+/// The switch's reply: the outcome of applying (or re-acking) `seq`.
+struct CommandAck {
+  std::uint64_t seq = 0;
+  Status status;
+};
+
+}  // namespace mdc

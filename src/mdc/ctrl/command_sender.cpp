@@ -1,0 +1,115 @@
+#include "mdc/ctrl/command_sender.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+CommandSender::CommandSender(Simulation& sim, ControlChannel& channel,
+                             SwitchFleet& fleet, Options options)
+    : sim_(sim), channel_(channel), fleet_(fleet), options_(options) {
+  MDC_EXPECT(options.ackTimeoutSeconds > 0.0, "ack timeout must be positive");
+  MDC_EXPECT(options.maxBackoffSeconds >= options.ackTimeoutSeconds,
+             "max backoff below first timeout");
+}
+
+CommandSender::Link& CommandSender::link(SwitchId sw) {
+  auto it = links_.find(sw);
+  if (it == links_.end()) {
+    it = links_.emplace(sw, Link{}).first;
+    it->second.agent = std::make_unique<SwitchAgent>(fleet_, sw);
+  }
+  return it->second;
+}
+
+SwitchAgent& CommandSender::agentOf(SwitchId sw) { return *link(sw).agent; }
+
+void CommandSender::send(SwitchId sw, SwitchCommand cmd, Completion done) {
+  Link& l = link(sw);
+  const std::uint64_t seq = l.nextSeq++;
+  cmd.seq = seq;
+  Outstanding out;
+  out.cmd = cmd;
+  out.done = std::move(done);
+  out.vip = cmd.vip;
+  l.outstanding.emplace(seq, std::move(out));
+  if (cmd.vip.valid()) ++busyVips_[cmd.vip];
+  ++inflight_;
+  ++sent_;
+  transmit(sw, seq);
+}
+
+void CommandSender::transmit(SwitchId sw, std::uint64_t seq) {
+  Link& l = link(sw);
+  const auto it = l.outstanding.find(seq);
+  if (it == l.outstanding.end()) return;  // settled while queued
+  SwitchCommand cmd = it->second.cmd;
+  cmd.ackedBelow = l.ackedBelow;
+  channel_.send(sw, [this, sw, cmd] {
+    link(sw).agent->deliver(cmd, [this, sw](const CommandAck& ack) {
+      channel_.send(sw, [this, sw, ack] { onAck(sw, ack); });
+    });
+  });
+  // On a reliable channel the ack already came back inside send(); only
+  // arm the retransmit timer if the command is still unsettled.
+  if (l.outstanding.contains(seq)) armRetry(sw, seq);
+}
+
+void CommandSender::armRetry(SwitchId sw, std::uint64_t seq) {
+  Link& l = link(sw);
+  const auto it = l.outstanding.find(seq);
+  MDC_ENSURE(it != l.outstanding.end(), "arming retry for settled command");
+  Outstanding& out = it->second;
+  const SimTime backoff =
+      std::min(options_.maxBackoffSeconds,
+               options_.ackTimeoutSeconds *
+                   std::pow(2.0, static_cast<double>(out.attempt)));
+  out.retryTimer = sim_.after(backoff, [this, sw, seq] {
+    Link& lk = link(sw);
+    const auto o = lk.outstanding.find(seq);
+    if (o == lk.outstanding.end()) return;  // ack won the race
+    ++o->second.attempt;
+    if (options_.maxAttempts > 0 && o->second.attempt >= options_.maxAttempts) {
+      ++timeouts_;
+      // The command may still be in flight and land later; whatever state
+      // that leaves is the reconciler's to repair.
+      complete(sw, seq, Status::fail("ctrl_timeout"));
+      return;
+    }
+    ++retransmits_;
+    transmit(sw, seq);
+  });
+}
+
+void CommandSender::onAck(SwitchId sw, const CommandAck& ack) {
+  Link& l = link(sw);
+  if (!l.outstanding.contains(ack.seq)) return;  // stale duplicate ack
+  ++acks_;
+  complete(sw, ack.seq, ack.status);
+}
+
+void CommandSender::complete(SwitchId sw, std::uint64_t seq, Status outcome) {
+  Link& l = link(sw);
+  const auto it = l.outstanding.find(seq);
+  MDC_ENSURE(it != l.outstanding.end(), "completing settled command");
+  sim_.cancel(it->second.retryTimer);
+  Completion done = std::move(it->second.done);
+  const VipId vip = it->second.vip;
+  l.outstanding.erase(it);
+  l.ackedBelow =
+      l.outstanding.empty() ? l.nextSeq : l.outstanding.begin()->first;
+  if (vip.valid()) {
+    const auto busy = busyVips_.find(vip);
+    MDC_ENSURE(busy != busyVips_.end(), "busy-vip refcount out of sync");
+    if (--busy->second == 0) busyVips_.erase(busy);
+  }
+  --inflight_;
+  // Bookkeeping is settled before the callback runs: a completion that
+  // reentrantly sends more commands sees a consistent sender.
+  if (done) done(std::move(outcome));
+}
+
+}  // namespace mdc

@@ -1,0 +1,101 @@
+// Manager-side endpoint of the control channel: at-least-once delivery
+// with acks, timeouts, and exponential-backoff retransmits.
+//
+// Together with the SwitchAgent's sequence-number dedupe this makes every
+// command's *application* exactly-once: the sender retransmits until it
+// sees an ack (at-least-once delivery), the agent applies each seq at
+// most once.  Each send's completion callback fires exactly once, with
+// the switch's outcome — or with "ctrl_timeout" if `maxAttempts` is set
+// and exhausted (the command may still land later; the anti-entropy
+// reconciler owns whatever state that leaves behind).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "mdc/ctrl/command.hpp"
+#include "mdc/ctrl/control_channel.hpp"
+#include "mdc/ctrl/switch_agent.hpp"
+#include "mdc/sim/simulation.hpp"
+
+namespace mdc {
+
+class CommandSender {
+ public:
+  struct Options {
+    /// Retransmit timer of the first attempt; doubles per attempt.
+    SimTime ackTimeoutSeconds = 2.0;
+    SimTime maxBackoffSeconds = 30.0;
+    /// Attempts before giving up with "ctrl_timeout"; 0 = never give up.
+    std::uint32_t maxAttempts = 8;
+  };
+
+  using Completion = std::function<void(Status)>;
+
+  CommandSender(Simulation& sim, ControlChannel& channel, SwitchFleet& fleet,
+                Options options);
+
+  /// Sends `cmd` to `sw`; `done` fires exactly once with the outcome.
+  /// On a reliable channel the whole round trip completes inline.
+  void send(SwitchId sw, SwitchCommand cmd, Completion done);
+
+  /// Whether any command touching `vip` is still awaiting its ack.  The
+  /// reconciler skips busy VIPs: their state is mid-flight, not drifted.
+  [[nodiscard]] bool vipBusy(VipId vip) const {
+    return busyVips_.contains(vip);
+  }
+
+  // --- introspection ------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t inflight() const noexcept { return inflight_; }
+  [[nodiscard]] std::uint64_t commandsSent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t acksReceived() const noexcept { return acks_; }
+  [[nodiscard]] std::uint64_t retransmits() const noexcept {
+    return retransmits_;
+  }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+  /// The switch-side endpoint of `sw`'s link (tests, drift probes).
+  [[nodiscard]] SwitchAgent& agentOf(SwitchId sw);
+
+ private:
+  struct Outstanding {
+    SwitchCommand cmd;
+    Completion done;
+    VipId vip;
+    std::uint32_t attempt = 0;
+    EventHandle retryTimer;
+  };
+  struct Link {
+    std::unique_ptr<SwitchAgent> agent;
+    std::uint64_t nextSeq = 0;
+    /// Every seq below this has been completed (acked or timed out);
+    /// piggybacked on sends so the agent can prune its outcome cache.
+    std::uint64_t ackedBelow = 0;
+    /// Ordered so ackedBelow is the smallest outstanding seq.
+    std::map<std::uint64_t, Outstanding> outstanding;
+  };
+
+  Link& link(SwitchId sw);
+  void transmit(SwitchId sw, std::uint64_t seq);
+  void armRetry(SwitchId sw, std::uint64_t seq);
+  void onAck(SwitchId sw, const CommandAck& ack);
+  void complete(SwitchId sw, std::uint64_t seq, Status outcome);
+
+  Simulation& sim_;
+  ControlChannel& channel_;
+  SwitchFleet& fleet_;
+  Options options_;
+  std::unordered_map<SwitchId, Link> links_;
+  std::unordered_map<VipId, std::uint32_t> busyVips_;
+  std::uint32_t inflight_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t acks_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace mdc

@@ -1,0 +1,51 @@
+#include "mdc/ctrl/control_channel.hpp"
+
+#include <utility>
+
+namespace mdc {
+
+void ControlChannel::setPartitioned(SwitchId sw, bool partitioned) {
+  if (partitioned) {
+    partitioned_.insert(sw);
+  } else {
+    partitioned_.erase(sw);
+  }
+}
+
+void ControlChannel::send(SwitchId sw, std::function<void()> deliver) {
+  ++sent_;
+  if (partitioned_.contains(sw)) {
+    ++dropped_;
+    return;
+  }
+  if (faults_.reliable()) {
+    deliver();
+    return;
+  }
+  if (rng_.bernoulli(faults_.dropRate)) {
+    ++dropped_;
+    return;
+  }
+  const bool duplicate = rng_.bernoulli(faults_.duplicateRate);
+  const bool reorder = rng_.bernoulli(faults_.reorderRate);
+  if (duplicate) {
+    ++duplicated_;
+    dispatch(deliver, reorder);
+  }
+  if (reorder) ++reordered_;
+  dispatch(std::move(deliver), reorder);
+}
+
+void ControlChannel::dispatch(std::function<void()> deliver, bool reordered) {
+  SimTime delay = faults_.delaySeconds;
+  if (faults_.delayJitterSeconds > 0.0) {
+    delay += rng_.uniform(0.0, faults_.delayJitterSeconds);
+  }
+  if (reordered && faults_.reorderDelaySeconds > 0.0) {
+    // Held back long enough that messages sent later overtake it.
+    delay += rng_.uniform(0.0, faults_.reorderDelaySeconds);
+  }
+  sim_.after(delay, std::move(deliver));
+}
+
+}  // namespace mdc

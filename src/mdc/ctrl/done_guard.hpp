@@ -1,0 +1,67 @@
+// RAII exactly-once completion callback.
+//
+// Every VipRipRequest promises its submitter exactly one `done(Status)`
+// invocation.  With asynchronous command flows (acks, retries, barriers)
+// the completion travels through several lambdas; a forgotten path would
+// silently leak a waiter (the E13 health monitor would stop retrying, a
+// pod would wait forever for its RIP).  DoneGuard makes the promise
+// structural: copies share one fire-at-most-once state, and if the last
+// copy dies without anyone firing, the fallback status is delivered —
+// so every path out reports *something*, exactly once.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "mdc/util/result.hpp"
+
+namespace mdc {
+
+class DoneGuard {
+ public:
+  /// A null guard: fire() is a no-op.  Useful as a default.
+  DoneGuard() = default;
+
+  explicit DoneGuard(std::function<void(Status)> fn,
+                     Status ifDropped = Status::fail("request_dropped"))
+      : state_(std::make_shared<State>(std::move(fn), std::move(ifDropped))) {}
+
+  /// Delivers the outcome.  Only the first fire() across all copies runs
+  /// the callback; later calls are no-ops.
+  void fire(Status status) const {
+    if (state_ != nullptr) state_->fire(std::move(status));
+  }
+
+  [[nodiscard]] bool fired() const noexcept {
+    return state_ == nullptr || state_->fn == nullptr;
+  }
+
+ private:
+  struct State {
+    std::function<void(Status)> fn;
+    Status fallback;
+
+    State(std::function<void(Status)> f, Status fb)
+        : fn(std::move(f)), fallback(std::move(fb)) {}
+    State(const State&) = delete;
+    State& operator=(const State&) = delete;
+
+    void fire(Status status) {
+      if (fn == nullptr) return;
+      // Clear before invoking: a reentrant fire() from inside the
+      // callback must see the guard as already spent.
+      std::function<void(Status)> f = std::move(fn);
+      fn = nullptr;
+      f(std::move(status));
+    }
+
+    ~State() {
+      if (fn != nullptr) fire(std::move(fallback));
+    }
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace mdc

@@ -1,0 +1,118 @@
+#include "mdc/ctrl/intent.hpp"
+
+#include <algorithm>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+const RipEntry* VipIntent::findRip(RipId rip) const {
+  for (const RipEntry& r : rips) {
+    if (r.rip == rip) return &r;
+  }
+  return nullptr;
+}
+
+double VipIntent::totalWeight() const {
+  double w = 0.0;
+  for (const RipEntry& r : rips) w += r.weight;
+  return w;
+}
+
+const VipIntent* IntentStore::find(VipId vip) const {
+  const auto it = vips_.find(vip);
+  return it == vips_.end() ? nullptr : &it->second;
+}
+
+std::uint32_t IntentStore::vipsOn(SwitchId sw) const {
+  const auto it = vipCount_.find(sw);
+  return it == vipCount_.end() ? 0 : it->second;
+}
+
+std::uint32_t IntentStore::ripsOn(SwitchId sw) const {
+  const auto it = ripCount_.find(sw);
+  return it == ripCount_.end() ? 0 : it->second;
+}
+
+void IntentStore::apply(const IntentRecord& record) {
+  switch (record.op) {
+    case IntentOp::AddVip: {
+      MDC_EXPECT(!vips_.contains(record.vip), "AddVip: vip already intended");
+      vips_.emplace(record.vip,
+                    VipIntent{record.app, record.sw, record.router, {}});
+      ++vipCount_[record.sw];
+      return;
+    }
+    case IntentOp::RemoveVip: {
+      const auto it = vips_.find(record.vip);
+      MDC_EXPECT(it != vips_.end(), "RemoveVip: vip not intended");
+      ripCount_[it->second.sw] -=
+          static_cast<std::uint32_t>(it->second.rips.size());
+      --vipCount_[it->second.sw];
+      vips_.erase(it);
+      return;
+    }
+    case IntentOp::MoveVip: {
+      const auto it = vips_.find(record.vip);
+      MDC_EXPECT(it != vips_.end(), "MoveVip: vip not intended");
+      VipIntent& in = it->second;
+      if (in.sw == record.sw) return;
+      const auto nRips = static_cast<std::uint32_t>(in.rips.size());
+      ripCount_[in.sw] -= nRips;
+      --vipCount_[in.sw];
+      in.sw = record.sw;
+      ripCount_[in.sw] += nRips;
+      ++vipCount_[in.sw];
+      return;
+    }
+    case IntentOp::MoveRoute: {
+      const auto it = vips_.find(record.vip);
+      MDC_EXPECT(it != vips_.end(), "MoveRoute: vip not intended");
+      it->second.router = record.router;
+      return;
+    }
+    case IntentOp::AddRip: {
+      const auto it = vips_.find(record.vip);
+      MDC_EXPECT(it != vips_.end(), "AddRip: vip not intended");
+      MDC_EXPECT(it->second.findRip(record.rip.rip) == nullptr,
+                 "AddRip: rip already intended");
+      it->second.rips.push_back(record.rip);
+      ++ripCount_[it->second.sw];
+      return;
+    }
+    case IntentOp::RemoveRip: {
+      const auto it = vips_.find(record.vip);
+      MDC_EXPECT(it != vips_.end(), "RemoveRip: vip not intended");
+      auto& rips = it->second.rips;
+      const auto sizeBefore = rips.size();
+      std::erase_if(rips,
+                    [&](const RipEntry& r) { return r.rip == record.rip.rip; });
+      if (rips.size() < sizeBefore) --ripCount_[it->second.sw];
+      return;
+    }
+    case IntentOp::SetRipWeight: {
+      const auto it = vips_.find(record.vip);
+      MDC_EXPECT(it != vips_.end(), "SetRipWeight: vip not intended");
+      for (RipEntry& r : it->second.rips) {
+        if (r.rip == record.rip.rip) {
+          r.weight = record.weight;
+          return;
+        }
+      }
+      return;  // rip gone meanwhile: a no-op, like the switch's own error
+    }
+  }
+}
+
+void IntentStore::forEach(
+    const std::function<void(VipId, const VipIntent&)>& fn) const {
+  for (const auto& [vip, intent] : vips_) fn(vip, intent);
+}
+
+IntentStore IntentJournal::replay() const {
+  IntentStore store;
+  for (const IntentRecord& r : records_) store.apply(r);
+  return store;
+}
+
+}  // namespace mdc

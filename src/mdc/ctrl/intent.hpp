@@ -1,0 +1,99 @@
+// Intended VIP/RIP state, and the write-ahead journal that makes it
+// crash-recoverable.
+//
+// With an unreliable channel the manager can no longer treat the switch
+// tables as its own bookkeeping: a command may be lost, may land late, or
+// may land twice on the wrong side of a retry.  The IntentStore is the
+// manager's *authoritative* picture — which switch each VIP should live
+// on, with which RIP set and weights — kept separate from the fleet's
+// actual tables; the anti-entropy reconciler compares the two and heals
+// the difference.
+//
+// Every intent mutation is a small IntentRecord appended to the journal
+// *before* it is applied to the store (write-ahead).  Replaying the
+// journal therefore rebuilds the exact intended state after a simulated
+// manager crash; the switches' actual tables never need to be trusted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mdc/lb/lb_switch.hpp"
+#include "mdc/util/ids.hpp"
+#include "mdc/util/units.hpp"
+
+namespace mdc {
+
+/// Where one VIP should live and what should be behind it.
+struct VipIntent {
+  AppId app;
+  SwitchId sw;
+  AccessRouterId router;
+  std::vector<RipEntry> rips;
+
+  [[nodiscard]] const RipEntry* findRip(RipId rip) const;
+  [[nodiscard]] double totalWeight() const;
+};
+
+enum class IntentOp : std::uint8_t {
+  AddVip,       // vip, app, sw, router
+  RemoveVip,    // vip
+  MoveVip,      // vip, sw (placement change; RIP set travels along)
+  MoveRoute,    // vip, router
+  AddRip,       // vip, rip
+  RemoveRip,    // vip, rip.rip
+  SetRipWeight  // vip, rip.rip, weight
+};
+
+struct IntentRecord {
+  IntentOp op = IntentOp::AddVip;
+  VipId vip;
+  AppId app;
+  SwitchId sw;
+  AccessRouterId router;
+  RipEntry rip;
+  double weight = 0.0;
+  SimTime at = 0.0;
+};
+
+class IntentStore {
+ public:
+  [[nodiscard]] const VipIntent* find(VipId vip) const;
+  [[nodiscard]] std::size_t vipCount() const noexcept { return vips_.size(); }
+
+  /// Intended occupancy per switch (placement scoring under in-flight
+  /// commands, where actual tables lag intent).
+  [[nodiscard]] std::uint32_t vipsOn(SwitchId sw) const;
+  [[nodiscard]] std::uint32_t ripsOn(SwitchId sw) const;
+
+  /// Applies one mutation.  The same function serves live updates and
+  /// journal replay, so the two can never diverge.
+  void apply(const IntentRecord& record);
+
+  void forEach(
+      const std::function<void(VipId, const VipIntent&)>& fn) const;
+
+ private:
+  std::unordered_map<VipId, VipIntent> vips_;
+  std::unordered_map<SwitchId, std::uint32_t> vipCount_;
+  std::unordered_map<SwitchId, std::uint32_t> ripCount_;
+};
+
+class IntentJournal {
+ public:
+  void append(IntentRecord record) { records_.push_back(std::move(record)); }
+  [[nodiscard]] const std::vector<IntentRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Rebuilds the intended state by replaying every record in order.
+  [[nodiscard]] IntentStore replay() const;
+
+ private:
+  std::vector<IntentRecord> records_;
+};
+
+}  // namespace mdc

@@ -1,0 +1,224 @@
+#include "mdc/ctrl/reconciler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+Reconciler::Reconciler(Simulation& sim, SwitchFleet& fleet,
+                       const IntentStore& intent, CommandSender& sender,
+                       Hooks hooks, Options options)
+    : sim_(sim),
+      fleet_(fleet),
+      intent_(intent),
+      sender_(sender),
+      hooks_(std::move(hooks)),
+      options_(options) {
+  MDC_EXPECT(options.periodSeconds > 0.0, "audit period must be positive");
+}
+
+void Reconciler::start(SimTime phase) {
+  sim_.every(options_.periodSeconds, [this] { auditRound(); }, phase);
+}
+
+bool Reconciler::frozen(VipId vip) const {
+  if (sender_.vipBusy(vip)) return true;  // mid-flight, not drift
+  // Crash orphans awaiting (or undergoing) RestoreVip belong to the
+  // health monitor; repairing them here would race its recovery.
+  for (const auto& [sw, batch] : fleet_.orphans()) {
+    for (const OrphanedVip& o : batch) {
+      if (o.vip == vip) return true;
+    }
+  }
+  return false;
+}
+
+void Reconciler::noteDrift(const char* kind) {
+  ++lastRoundDrift_;
+  ++driftDetected_;
+  ++driftByKind_[kind];
+}
+
+void Reconciler::auditRound() {
+  ++rounds_;
+  lastRoundDrift_ = 0;
+  const auto fleetSize = static_cast<std::uint32_t>(fleet_.size());
+  if (fleetSize == 0) return;
+  const std::uint32_t n = options_.switchesPerRound == 0
+                              ? fleetSize
+                              : std::min(options_.switchesPerRound, fleetSize);
+  std::vector<bool> inSlice(fleetSize, false);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    inSlice[(cursor_ + k) % fleetSize] = true;
+  }
+  for (std::uint32_t i = 0; i < fleetSize; ++i) {
+    if (inSlice[i]) auditSwitch(SwitchId{i});
+  }
+  intent_.forEach([&](VipId vip, const VipIntent& intent) {
+    if (intent.sw.valid() && intent.sw.index() < fleetSize &&
+        inSlice[intent.sw.index()]) {
+      auditIntent(vip, intent);
+    }
+  });
+  cursor_ = (cursor_ + n) % fleetSize;
+}
+
+void Reconciler::auditSwitch(SwitchId sw) {
+  const LbSwitch& s = fleet_.at(sw);
+  if (!s.up()) return;  // nothing actual to audit; detection is E13's job
+
+  // Collect first, act after: on a reliable channel a repair mutates the
+  // very table being iterated.
+  struct RipFix {
+    VipId vip;
+    RipId rip;
+  };
+  std::vector<VipId> strays;
+  std::vector<VipId> adoptions;
+  std::vector<RipFix> orphanRips;
+  struct WeightFix {
+    VipId vip;
+    RipId rip;
+    double weight;
+  };
+  std::vector<WeightFix> weightFixes;
+
+  for (VipId vip : s.vipIds()) {
+    if (frozen(vip)) continue;
+    const VipIntent* intent = intent_.find(vip);
+    if (intent == nullptr) {
+      noteDrift("stray_vip");
+      strays.push_back(vip);
+      continue;
+    }
+    if (intent->sw != sw) {
+      if (fleet_.at(intent->sw).up() && fleet_.at(intent->sw).hasVip(vip)) {
+        // Alive on both the intended switch and this one (a retried
+        // command landed late): the unintended copy goes.
+        noteDrift("duplicate_vip");
+        strays.push_back(vip);
+      } else {
+        // Alive only here: a direct transfer (or a stale intent whose
+        // switch died) — actual placement wins for singletons.
+        noteDrift("wrong_switch");
+        adoptions.push_back(vip);
+      }
+      continue;
+    }
+    const VipEntry* entry = s.findVip(vip);
+    MDC_ENSURE(entry != nullptr, "listed vip not found");
+    for (const RipEntry& actual : entry->rips) {
+      const RipEntry* intended = intent->findRip(actual.rip);
+      if (intended == nullptr) {
+        noteDrift("orphan_rip");
+        orphanRips.push_back(RipFix{vip, actual.rip});
+      } else if (std::abs(intended->weight - actual.weight) > 1e-9) {
+        // Weights are written straight to the fleet by the inter-pod
+        // balancer; the journal learns them here instead of undoing them.
+        weightFixes.push_back(WeightFix{vip, actual.rip, actual.weight});
+      }
+    }
+  }
+
+  for (const WeightFix& fix : weightFixes) {
+    ++weightsAdopted_;
+    if (hooks_.adoptRipWeight) hooks_.adoptRipWeight(fix.vip, fix.rip, fix.weight);
+  }
+  for (VipId vip : adoptions) {
+    ++placementsAdopted_;
+    if (hooks_.adoptPlacement) hooks_.adoptPlacement(vip, sw);
+  }
+  for (VipId vip : strays) issueRemoveVip(sw, vip);
+  for (const RipFix& fix : orphanRips) {
+    ++repairsIssued_;
+    SwitchCommand cmd;
+    cmd.kind = CmdKind::RemoveRip;
+    cmd.vip = fix.vip;
+    cmd.rip.rip = fix.rip;
+    sender_.send(sw, cmd, [this, vip = fix.vip](Status status) {
+      if (!status.ok()) {
+        ++repairsFailed_;
+        return;
+      }
+      ++repairsSucceeded_;
+      if (hooks_.resyncDns) hooks_.resyncDns(vip);
+    });
+  }
+}
+
+void Reconciler::auditIntent(VipId vip, const VipIntent& intent) {
+  if (frozen(vip)) return;
+  const LbSwitch& s = fleet_.at(intent.sw);
+  if (!s.up()) return;  // its restore is the health monitor's call
+  const VipEntry* entry = s.findVip(vip);
+  if (entry == nullptr) {
+    // Hosted elsewhere means the stray/adoption pass owns it; hosted
+    // nowhere means a lost command — re-issue the whole placement.
+    if (!fleet_.hostsOf(vip).empty()) return;
+    noteDrift("missing_vip");
+    ++repairsIssued_;
+    SwitchCommand cmd;
+    cmd.kind = CmdKind::ConfigureVip;
+    cmd.vip = vip;
+    cmd.app = intent.app;
+    const SwitchId sw = intent.sw;
+    const std::vector<RipEntry> rips = intent.rips;
+    sender_.send(sw, cmd, [this, sw, vip, rips](Status status) {
+      if (!status.ok()) {
+        ++repairsFailed_;
+        return;
+      }
+      ++repairsSucceeded_;
+      for (const RipEntry& r : rips) issueAddRip(sw, vip, r);
+      if (hooks_.resyncDns) hooks_.resyncDns(vip);
+    });
+    return;
+  }
+  std::vector<RipEntry> missing;
+  for (const RipEntry& intended : intent.rips) {
+    if (entry->findRip(intended.rip) == nullptr) {
+      noteDrift("missing_rip");
+      missing.push_back(intended);
+    }
+  }
+  for (const RipEntry& r : missing) issueAddRip(intent.sw, vip, r);
+}
+
+void Reconciler::issueRemoveVip(SwitchId sw, VipId vip) {
+  ++repairsIssued_;
+  SwitchCommand cmd;
+  cmd.kind = CmdKind::RemoveVip;
+  cmd.vip = vip;
+  // A stray must not survive because sessions still pin it: severing
+  // them is the lesser evil vs. two switches both owning the VIP.
+  cmd.dropConnections = true;
+  sender_.send(sw, cmd, [this](Status status) {
+    if (status.ok()) {
+      ++repairsSucceeded_;
+    } else {
+      ++repairsFailed_;
+    }
+  });
+}
+
+void Reconciler::issueAddRip(SwitchId sw, VipId vip, const RipEntry& rip) {
+  ++repairsIssued_;
+  SwitchCommand cmd;
+  cmd.kind = CmdKind::AddRip;
+  cmd.vip = vip;
+  cmd.rip = rip;
+  sender_.send(sw, cmd, [this, vip](Status status) {
+    if (!status.ok()) {
+      ++repairsFailed_;
+      return;
+    }
+    ++repairsSucceeded_;
+    if (hooks_.resyncDns) hooks_.resyncDns(vip);
+  });
+}
+
+}  // namespace mdc

@@ -1,0 +1,128 @@
+// Anti-entropy reconciliation of intended vs. actual VIP/RIP state.
+//
+// Under a lossy control channel the switch tables drift from the
+// manager's intent: a timed-out command may land late (a VIP alive on
+// two switches after a retried restore), a lost one may never land (a
+// missing VIP or RIP), a crashed manager may forget in-flight work.  The
+// reconciler periodically audits every switch's actual table against the
+// IntentStore and heals the difference with ordinary idempotent commands
+// over the same (still unreliable) channel:
+//
+//  * table entries with no intent        -> removed (stray);
+//  * a VIP live on two switches          -> removed from the unintended
+//    one — after reconciliation no VIP is ever live on two switches;
+//  * a VIP live only on the wrong switch -> the intent is *adopted*
+//    (balancers move VIPs directly via SwitchFleet::transferVip; actual
+//    placement wins for singletons);
+//  * RIP weight differences              -> adopted, not repaired (the
+//    inter-pod balancer writes weights directly to the fleet);
+//  * intended VIPs/RIPs missing          -> re-issued.
+//
+// VIPs with commands still awaiting acks, pending crash orphans, or an
+// intended host that is down are skipped: they are mid-flight or the
+// health monitor's responsibility, not drift.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "mdc/ctrl/command_sender.hpp"
+#include "mdc/ctrl/intent.hpp"
+#include "mdc/lb/switch_fleet.hpp"
+#include "mdc/sim/simulation.hpp"
+
+namespace mdc {
+
+class Reconciler {
+ public:
+  struct Options {
+    SimTime periodSeconds = 15.0;
+    /// Switches audited per round (a full-fleet audit of 400 switches in
+    /// one tick is unrealistic); 0 = the whole fleet every round.
+    std::uint32_t switchesPerRound = 0;
+  };
+
+  /// Callbacks into the VIP/RIP manager for state it owns.
+  struct Hooks {
+    /// A singleton VIP found on a different switch than intended (e.g. a
+    /// direct balancer transfer the journal missed): accept reality.
+    std::function<void(VipId, SwitchId actual)> adoptPlacement;
+    /// An actual RIP weight differing from intent: accept reality.
+    std::function<void(VipId, RipId, double actual)> adoptRipWeight;
+    /// Recompute the VIP's DNS weight after a structural repair landed.
+    std::function<void(VipId)> resyncDns;
+  };
+
+  Reconciler(Simulation& sim, SwitchFleet& fleet, const IntentStore& intent,
+             CommandSender& sender, Hooks hooks, Options options);
+
+  /// Registers the periodic audit on the simulation.
+  void start(SimTime phase = 0.0);
+
+  /// One audit round (normally driven by start(); public for tests).
+  void auditRound();
+
+  // --- introspection ------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  /// Divergent table entries found in the most recent round — the
+  /// convergence signal: 0 means intended == actual for the audited
+  /// slice.
+  [[nodiscard]] std::uint64_t divergenceLastRound() const noexcept {
+    return lastRoundDrift_;
+  }
+  [[nodiscard]] std::uint64_t driftDetected() const noexcept {
+    return driftDetected_;
+  }
+  [[nodiscard]] std::uint64_t repairsIssued() const noexcept {
+    return repairsIssued_;
+  }
+  [[nodiscard]] std::uint64_t repairsSucceeded() const noexcept {
+    return repairsSucceeded_;
+  }
+  [[nodiscard]] std::uint64_t repairsFailed() const noexcept {
+    return repairsFailed_;
+  }
+  [[nodiscard]] std::uint64_t placementsAdopted() const noexcept {
+    return placementsAdopted_;
+  }
+  [[nodiscard]] std::uint64_t weightsAdopted() const noexcept {
+    return weightsAdopted_;
+  }
+  /// Drift occurrences by kind: "stray_vip", "duplicate_vip",
+  /// "wrong_switch", "missing_vip", "orphan_rip", "missing_rip".
+  [[nodiscard]] const std::unordered_map<std::string, std::uint64_t>&
+  driftByKind() const noexcept {
+    return driftByKind_;
+  }
+
+ private:
+  void auditSwitch(SwitchId sw);
+  void auditIntent(VipId vip, const VipIntent& intent);
+  [[nodiscard]] bool frozen(VipId vip) const;
+  void noteDrift(const char* kind);
+  void issueRemoveVip(SwitchId sw, VipId vip);
+  void issueAddRip(SwitchId sw, VipId vip, const RipEntry& rip);
+
+  Simulation& sim_;
+  SwitchFleet& fleet_;
+  const IntentStore& intent_;
+  CommandSender& sender_;
+  Hooks hooks_;
+  Options options_;
+
+  std::uint32_t cursor_ = 0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t lastRoundDrift_ = 0;
+  std::uint64_t driftDetected_ = 0;
+  std::uint64_t repairsIssued_ = 0;
+  std::uint64_t repairsSucceeded_ = 0;
+  std::uint64_t repairsFailed_ = 0;
+  std::uint64_t placementsAdopted_ = 0;
+  std::uint64_t weightsAdopted_ = 0;
+  std::unordered_map<std::string, std::uint64_t> driftByKind_;
+};
+
+}  // namespace mdc

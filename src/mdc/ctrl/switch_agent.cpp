@@ -1,0 +1,63 @@
+#include "mdc/ctrl/switch_agent.hpp"
+
+namespace mdc {
+
+const char* toString(CmdKind kind) noexcept {
+  switch (kind) {
+    case CmdKind::ConfigureVip:
+      return "ConfigureVip";
+    case CmdKind::RemoveVip:
+      return "RemoveVip";
+    case CmdKind::AddRip:
+      return "AddRip";
+    case CmdKind::RemoveRip:
+      return "RemoveRip";
+    case CmdKind::SetRipWeight:
+      return "SetRipWeight";
+  }
+  return "?";
+}
+
+void SwitchAgent::deliver(const SwitchCommand& cmd, const AckFn& sendAck) {
+  // Prune outcomes the sender has confirmed receiving acks for.
+  while (prunedBelow_ < cmd.ackedBelow) {
+    completed_.erase(prunedBelow_);
+    ++prunedBelow_;
+  }
+  if (cmd.seq < prunedBelow_) {
+    // A late copy of a fully settled command: the sender no longer waits
+    // for this ack, so don't even reply.
+    ++duplicates_;
+    return;
+  }
+  const auto it = completed_.find(cmd.seq);
+  if (it != completed_.end()) {
+    // Retransmit (or duplicate) of an applied command: same ack, no
+    // table mutation — application is exactly-once.
+    ++duplicates_;
+    sendAck(CommandAck{cmd.seq, it->second});
+    return;
+  }
+  const Status outcome = apply(cmd);
+  completed_.emplace(cmd.seq, outcome);
+  ++applied_;
+  sendAck(CommandAck{cmd.seq, outcome});
+}
+
+Status SwitchAgent::apply(const SwitchCommand& cmd) {
+  switch (cmd.kind) {
+    case CmdKind::ConfigureVip:
+      return fleet_.applyConfigureVip(sw_, cmd.vip, cmd.app);
+    case CmdKind::RemoveVip:
+      return fleet_.applyRemoveVip(sw_, cmd.vip, cmd.dropConnections);
+    case CmdKind::AddRip:
+      return fleet_.applyAddRip(sw_, cmd.vip, cmd.rip);
+    case CmdKind::RemoveRip:
+      return fleet_.applyRemoveRip(sw_, cmd.vip, cmd.rip.rip);
+    case CmdKind::SetRipWeight:
+      return fleet_.applySetRipWeight(sw_, cmd.vip, cmd.rip.rip, cmd.weight);
+  }
+  return Status::fail("bad_command");
+}
+
+}  // namespace mdc

@@ -1,0 +1,57 @@
+// Switch-side endpoint of the control channel: idempotent command
+// application.
+//
+// The channel can deliver the same command twice (duplication, or a
+// retransmit racing its own ack), so the agent keeps the outcome of every
+// applied sequence number and re-acks duplicates without touching the
+// tables — applying a command twice leaves tables *and counters* exactly
+// as applying it once.  The outcome cache is pruned with the sender's
+// piggybacked `ackedBelow` watermark, so its size is bounded by the
+// sender's in-flight window, not by history.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "mdc/ctrl/command.hpp"
+#include "mdc/lb/switch_fleet.hpp"
+
+namespace mdc {
+
+class SwitchAgent {
+ public:
+  using AckFn = std::function<void(const CommandAck&)>;
+
+  SwitchAgent(SwitchFleet& fleet, SwitchId sw) : fleet_(fleet), sw_(sw) {}
+
+  /// Handles one delivered command: applies it (first delivery), or
+  /// re-acks the cached outcome (retransmit), or drops it silently (a
+  /// duplicate of a command the sender already saw acked).
+  void deliver(const SwitchCommand& cmd, const AckFn& sendAck);
+
+  [[nodiscard]] SwitchId switchId() const noexcept { return sw_; }
+  [[nodiscard]] std::uint64_t commandsApplied() const noexcept {
+    return applied_;
+  }
+  [[nodiscard]] std::uint64_t duplicatesDropped() const noexcept {
+    return duplicates_;
+  }
+  [[nodiscard]] std::size_t outcomeCacheSize() const noexcept {
+    return completed_.size();
+  }
+
+ private:
+  Status apply(const SwitchCommand& cmd);
+
+  SwitchFleet& fleet_;
+  SwitchId sw_;
+  /// Outcome per applied seq, for re-acking retransmits.
+  std::unordered_map<std::uint64_t, Status> completed_;
+  /// Everything below this has been pruned (the sender saw the ack).
+  std::uint64_t prunedBelow_ = 0;
+  std::uint64_t applied_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace mdc

@@ -1,6 +1,7 @@
 #include "mdc/fault/fault_injector.hpp"
 
 #include "mdc/core/pod.hpp"
+#include "mdc/ctrl/control_channel.hpp"
 #include "mdc/util/expect.hpp"
 
 namespace mdc {
@@ -16,6 +17,11 @@ void FaultInjector::attachPods(std::vector<PodManager*> pods) {
     MDC_EXPECT(p != nullptr, "null pod manager");
   }
   pods_ = std::move(pods);
+}
+
+void FaultInjector::attachChannel(ControlChannel* channel) {
+  MDC_EXPECT(channel != nullptr, "null control channel");
+  channel_ = channel;
 }
 
 PodManager* FaultInjector::podById(PodId pod) const {
@@ -129,6 +135,26 @@ void FaultInjector::podOutage(PodId pod, SimTime at, SimTime repairAfter) {
   });
 }
 
+void FaultInjector::partitionChannel(SwitchId sw, SimTime at,
+                                     SimTime repairAfter) {
+  MDC_EXPECT(channel_ != nullptr, "partitionChannel: no channel attached");
+  sim_.at(at, [this, sw, repairAfter] {
+    if (channel_->isPartitioned(sw)) return;  // overlapping partition
+    channel_->setPartitioned(sw, true);
+    ++faults_;
+    history_.push_back(FaultRecord{
+        FaultKind::ChannelPartition, sw.value(), sim_.now(),
+        repairAfter >= 0.0 ? sim_.now() + repairAfter : kNoRepair});
+    if (repairAfter >= 0.0) {
+      sim_.after(repairAfter, [this, sw] {
+        if (!channel_->isPartitioned(sw)) return;  // already healed
+        channel_->setPartitioned(sw, false);
+        ++repairs_;
+      });
+    }
+  });
+}
+
 void FaultInjector::schedulePlan(const RandomPlan& plan) {
   MDC_EXPECT(plan.end > plan.start, "plan window must be non-empty");
   auto when = [&] { return rng_.uniform(plan.start, plan.end); };
@@ -154,6 +180,12 @@ void FaultInjector::schedulePlan(const RandomPlan& plan) {
     MDC_EXPECT(!pods_.empty(), "plan: no pods attached");
     podOutage(pods_[rng_.uniformInt(pods_.size())]->id(), when(),
               plan.repairAfter);
+  }
+  for (std::uint32_t i = 0; i < plan.channelPartitions; ++i) {
+    MDC_EXPECT(fleet_.size() > 0, "plan: no switches");
+    partitionChannel(SwitchId{static_cast<SwitchId::value_type>(
+                         rng_.uniformInt(fleet_.size()))},
+                     when(), plan.repairAfter);
   }
 }
 

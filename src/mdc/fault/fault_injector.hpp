@@ -24,6 +24,7 @@
 
 namespace mdc {
 
+class ControlChannel;
 class PodManager;
 
 enum class FaultKind : std::uint8_t {
@@ -31,7 +32,8 @@ enum class FaultKind : std::uint8_t {
   ServerCrash,
   LinkCut,
   LinkDegrade,
-  PodOutage
+  PodOutage,
+  ChannelPartition
 };
 
 /// One injected fault, in execution order (the audit trail of a run).
@@ -56,6 +58,9 @@ class FaultInjector {
     std::uint32_t serverCrashes = 0;
     std::uint32_t linkCuts = 0;
     std::uint32_t podOutages = 0;
+    /// Control-channel partitions (manager -> one switch); needs an
+    /// attached channel.
+    std::uint32_t channelPartitions = 0;
     /// Repair delay applied to every fault of the plan; < 0: no repair.
     SimTime repairAfter = -1.0;
   };
@@ -67,6 +72,9 @@ class FaultInjector {
 
   /// Registers the pod managers targetable by PodOutage faults.
   void attachPods(std::vector<PodManager*> pods);
+
+  /// Registers the control channel targetable by ChannelPartition faults.
+  void attachChannel(ControlChannel* channel);
 
   // --- targeted injections ------------------------------------------------
   // Each schedules the fault at absolute sim time `at` and, when
@@ -83,6 +91,11 @@ class FaultInjector {
   void degradeLink(LinkId link, double factor, SimTime at,
                    SimTime repairAfter = kNoRepair);
   void podOutage(PodId pod, SimTime at, SimTime repairAfter = kNoRepair);
+  /// Severs the manager->switch control link: every command to `sw` is
+  /// dropped until the repair heals the partition.  The switch itself
+  /// keeps forwarding traffic (control/data-plane separation).
+  void partitionChannel(SwitchId sw, SimTime at,
+                        SimTime repairAfter = kNoRepair);
 
   /// Schedules `plan` using the injector's seeded Rng: targets drawn
   /// uniformly (links among access links), times uniform in [start, end).
@@ -111,6 +124,7 @@ class FaultInjector {
   SwitchFleet& fleet_;
   HostFleet& hosts_;
   std::vector<PodManager*> pods_;
+  ControlChannel* channel_ = nullptr;
   Rng rng_;
 
   /// Capacity to restore per cut/degraded link; presence marks the link

@@ -25,6 +25,7 @@ HealthMonitor::HealthMonitor(Simulation& sim, SwitchFleet& fleet,
   MDC_EXPECT(options.retryBackoffSeconds > 0.0 &&
                  options.maxBackoffSeconds >= options.retryBackoffSeconds,
              "bad retry backoff");
+  MDC_EXPECT(options.holdDownSeconds >= 0.0, "negative hold-down");
 }
 
 void HealthMonitor::attachPods(std::vector<PodManager*> pods) {
@@ -47,11 +48,21 @@ void HealthMonitor::heartbeat() {
 
 void HealthMonitor::probeSwitches() {
   missedSwitch_.resize(fleet_.size(), 0);
+  switchHoldDown_.resize(fleet_.size(), 0.0);
   for (std::uint32_t i = 0; i < fleet_.size(); ++i) {
     const SwitchId sw{i};
     if (!fleet_.isUp(sw)) {
+      // Flap damping: a declaration due now but inside the hold-down
+      // window is deferred — the counter stays just below the threshold
+      // and re-arms on the next probe.
+      if (missedSwitch_[i] + 1 == options_.missedHeartbeats &&
+          sim_.now() < switchHoldDown_[i]) {
+        ++flapSuppressions_;
+        continue;
+      }
       if (++missedSwitch_[i] == options_.missedHeartbeats) {
         ++switchFailuresDetected_;
+        switchHoldDown_[i] = sim_.now() + options_.holdDownSeconds;
         recoverOrphans(sw);
       }
     } else {
@@ -65,12 +76,18 @@ void HealthMonitor::probeSwitches() {
   for (const auto& [sw, list] : fleet_.orphans()) {
     if (!fleet_.isUp(sw)) continue;  // the missed-counter path owns it
     MDC_ENSURE(!list.empty(), "empty orphan batch retained");
-    if (sim_.now() - list.front().orphanedAt >= detectionDelayBound()) {
-      blipped.push_back(sw);
+    if (sim_.now() - list.front().orphanedAt < detectionDelayBound()) {
+      continue;
     }
+    if (sim_.now() < switchHoldDown_[sw.index()]) {
+      ++flapSuppressions_;  // flapping switch: defer past the hold-down
+      continue;
+    }
+    blipped.push_back(sw);
   }
   for (SwitchId sw : blipped) {
     ++switchFailuresDetected_;
+    switchHoldDown_[sw.index()] = sim_.now() + options_.holdDownSeconds;
     recoverOrphans(sw);
   }
 }

@@ -45,6 +45,11 @@ class HealthMonitor {
     /// Backoff of the first RestoreVip retry; doubles per attempt.
     SimTime retryBackoffSeconds = 5.0;
     SimTime maxBackoffSeconds = 60.0;
+    /// Flap damping: after declaring a switch failed, further failure
+    /// declarations for the same switch are deferred this long, so a
+    /// flapping switch (crash/reboot/crash) cannot stampede the VIP/RIP
+    /// queue with RestoreVip storms.  0 disables damping.
+    SimTime holdDownSeconds = 5.0;
     /// Priority of recovery requests in the VIP/RIP queue — above all
     /// routine balancer traffic (which uses 0..1).
     int restorePriority = 10;
@@ -109,6 +114,10 @@ class HealthMonitor {
   [[nodiscard]] std::uint64_t restoreRetries() const noexcept {
     return restoreRetries_;
   }
+  /// Switch-failure declarations deferred by the hold-down timer.
+  [[nodiscard]] std::uint64_t flapSuppressions() const noexcept {
+    return flapSuppressions_;
+  }
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
  private:
@@ -131,6 +140,8 @@ class HealthMonitor {
   std::vector<std::uint32_t> missedSwitch_;
   std::vector<std::uint32_t> missedServer_;
   std::vector<std::uint32_t> missedPod_;
+  /// Per-switch hold-down expiry (absolute sim time).
+  std::vector<SimTime> switchHoldDown_;
   std::unordered_set<PodId> suspectPods_;
 
   Histogram vipRecovery_{0.001, 3600.0, 96};
@@ -143,6 +154,7 @@ class HealthMonitor {
   std::uint64_t vipsRestored_ = 0;
   std::uint64_t vmsCleanedUp_ = 0;
   std::uint64_t restoreRetries_ = 0;
+  std::uint64_t flapSuppressions_ = 0;
 };
 
 }  // namespace mdc

@@ -77,9 +77,70 @@ Status SwitchFleet::transferVip(VipId vip, SwitchId to, bool force) {
     s = dst.addRip(vip, r);
     MDC_ENSURE(s.ok(), "destination addRip must succeed after check");
   }
+  const SwitchId from = it->second;
   it->second = to;
   ++transfers_;
+  if (onTransfer_) onTransfer_(vip, from, to);
   return Status::okStatus();
+}
+
+std::optional<SwitchId> SwitchFleet::otherHostOf(VipId vip,
+                                                 SwitchId excluding) const {
+  for (const LbSwitch& sw : switches_) {
+    if (sw.id() == excluding || !sw.up()) continue;
+    if (sw.hasVip(vip)) return sw.id();
+  }
+  return std::nullopt;
+}
+
+Status SwitchFleet::applyConfigureVip(SwitchId sw, VipId vip, AppId app) {
+  const Status s = at(sw).configureVip(vip, app);
+  // First host wins the index; a late duplicate stays un-indexed until
+  // the reconciler removes one copy.
+  if (s.ok() && !owner_.contains(vip)) owner_.emplace(vip, sw);
+  return s;
+}
+
+Status SwitchFleet::applyRemoveVip(SwitchId sw, VipId vip,
+                                   bool dropConnections) {
+  LbSwitch& target = at(sw);
+  if (dropConnections && target.up() && target.hasVip(vip)) {
+    droppedConns_ += target.dropConnections(vip);
+  }
+  const Status s = target.removeVip(vip);
+  if (s.ok()) {
+    const auto it = owner_.find(vip);
+    if (it != owner_.end() && it->second == sw) {
+      const auto survivor = otherHostOf(vip, sw);
+      if (survivor.has_value()) {
+        it->second = *survivor;
+      } else {
+        owner_.erase(it);
+      }
+    }
+  }
+  return s;
+}
+
+Status SwitchFleet::applyAddRip(SwitchId sw, VipId vip, RipEntry entry) {
+  return at(sw).addRip(vip, entry);
+}
+
+Status SwitchFleet::applyRemoveRip(SwitchId sw, VipId vip, RipId rip) {
+  return at(sw).removeRip(vip, rip);
+}
+
+Status SwitchFleet::applySetRipWeight(SwitchId sw, VipId vip, RipId rip,
+                                      double weight) {
+  return at(sw).setRipWeight(vip, rip, weight);
+}
+
+std::vector<SwitchId> SwitchFleet::hostsOf(VipId vip) const {
+  std::vector<SwitchId> hosts;
+  for (const LbSwitch& sw : switches_) {
+    if (sw.up() && sw.hasVip(vip)) hosts.push_back(sw.id());
+  }
+  return hosts;
 }
 
 std::size_t SwitchFleet::crashSwitch(SwitchId sw, SimTime now) {
@@ -90,10 +151,18 @@ std::size_t SwitchFleet::crashSwitch(SwitchId sw, SimTime now) {
   for (VipId vip : victim.vipIds()) {
     const VipEntry* entry = victim.findVip(vip);
     MDC_ENSURE(entry != nullptr, "vip listed but not found");
+    // A duplicate host (control-plane race) keeps the VIP alive: repoint
+    // the index there instead of declaring an orphan.
+    const auto survivor = otherHostOf(vip, sw);
+    if (survivor.has_value()) {
+      owner_[vip] = *survivor;
+      continue;
+    }
     stranded.push_back(OrphanedVip{vip, entry->app, entry->rips, now});
     owner_.erase(vip);
     ++orphaned;
   }
+  if (stranded.empty()) orphans_.erase(sw);
   droppedConns_ += victim.crash();
   ++crashes_;
   return orphaned;

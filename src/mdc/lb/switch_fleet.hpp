@@ -93,12 +93,43 @@ class SwitchFleet {
   /// "switch_down" (crashed destination).
   Status transferVip(VipId vip, SwitchId to, bool force = false);
 
+  /// Observer of successful transferVip calls (the VIP/RIP manager keeps
+  /// its intent journal in sync with direct balancer moves through this).
+  using TransferListener =
+      std::function<void(VipId, SwitchId from, SwitchId to)>;
+  void setTransferListener(TransferListener listener) {
+    onTransfer_ = std::move(listener);
+  }
+
   // --- forwarded per-VIP operations -------------------------------------
 
   Status addRip(VipId vip, RipEntry entry);
   Status removeRip(VipId vip, RipId rip);
   Status setRipWeight(VipId vip, RipId rip, double weight);
   [[nodiscard]] const VipEntry* findVip(VipId vip) const;
+
+  // --- control-channel (per-switch) application -------------------------
+  // These apply a config command to ONE named switch's own table — the
+  // way a message delivered over the control channel does — and then
+  // repair the ownership index to match observable reality.  Unlike
+  // configureVip(), a duplicate host (the same VIP live on a second
+  // switch after a control-plane race) is representable: the index keeps
+  // pointing at the first host until the duplicate is removed.
+
+  /// Errors: those of LbSwitch::configureVip.
+  Status applyConfigureVip(SwitchId sw, VipId vip, AppId app);
+  /// With `dropConnections`, tracked sessions are severed (and counted in
+  /// droppedConnections()) instead of failing "vip_has_connections".  If
+  /// the removed copy was the indexed owner, the index repoints to a
+  /// surviving duplicate host, if any.
+  /// Errors: those of LbSwitch::removeVip.
+  Status applyRemoveVip(SwitchId sw, VipId vip, bool dropConnections = false);
+  Status applyAddRip(SwitchId sw, VipId vip, RipEntry entry);
+  Status applyRemoveRip(SwitchId sw, VipId vip, RipId rip);
+  Status applySetRipWeight(SwitchId sw, VipId vip, RipId rip, double weight);
+
+  /// Every switch whose table currently holds `vip` (duplicate audit).
+  [[nodiscard]] std::vector<SwitchId> hostsOf(VipId vip) const;
 
   // --- fleet-wide accounting --------------------------------------------
 
@@ -119,8 +150,13 @@ class SwitchFleet {
   void forEach(const std::function<void(const LbSwitch&)>& fn) const;
 
  private:
+  /// Another up switch (not `excluding`) hosting `vip`, if any.
+  [[nodiscard]] std::optional<SwitchId> otherHostOf(VipId vip,
+                                                   SwitchId excluding) const;
+
   std::vector<LbSwitch> switches_;
   std::unordered_map<VipId, SwitchId> owner_;
+  TransferListener onTransfer_;
   std::unordered_map<SwitchId, std::vector<OrphanedVip>> orphans_;
   std::uint64_t transfers_ = 0;
   std::uint64_t droppedConns_ = 0;

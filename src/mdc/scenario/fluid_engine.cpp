@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "mdc/core/viprip_manager.hpp"
+#include "mdc/ctrl/reconciler.hpp"
 #include "mdc/util/expect.hpp"
 #include "mdc/util/stats.hpp"
 
@@ -40,7 +41,6 @@ FluidEngine::FluidEngine(Simulation& sim, const Topology& topo,
       viprip_(viprip),
       options_(options) {
   MDC_EXPECT(options.epoch > 0.0, "epoch must be positive");
-  (void)viprip_;
 }
 
 EpochReport FluidEngine::step() {
@@ -209,6 +209,18 @@ EpochReport FluidEngine::step() {
       static_cast<std::uint32_t>(fleet_.size() - fleet_.upCount());
   report.downServers = static_cast<std::uint32_t>(hosts_.downServers());
   report.orphanedVips = static_cast<std::uint32_t>(fleet_.pendingOrphans());
+
+  // Control-plane snapshot.
+  report.ctrlMessagesDropped = viprip_.ctrlChannel().messagesDropped();
+  report.ctrlRetransmits = viprip_.ctrlSender().retransmits();
+  report.ctrlTimeouts = viprip_.ctrlSender().timeouts();
+  report.ctrlInflightCommands = viprip_.ctrlSender().inflight();
+  report.ctrlPartitionedLinks =
+      static_cast<std::uint32_t>(viprip_.ctrlChannel().partitionedLinks());
+  if (const Reconciler* rec = viprip_.reconciler(); rec != nullptr) {
+    report.ctrlDriftLastAudit = rec->divergenceLastRound();
+    report.ctrlRepairsIssued = rec->repairsIssued();
+  }
 
   // Recorded series.
   const bool room =

@@ -33,6 +33,10 @@ MegaDc::MegaDc(MegaDcConfig config)
 
   resolvers = std::make_unique<ResolverPopulation>(dns, config_.resolver);
 
+  // Derive the control-channel seed from the scenario seed so faulty runs
+  // replay bit-identically without correlating with the fault injector.
+  config_.manager.viprip.channelSeed = config_.seed * 0x9e3779b9u + 0xe14u;
+
   manager = std::make_unique<GlobalManager>(
       sim, topo, hosts, apps, fleet, dns, routes, podRegistry,
       std::make_shared<PlacementController>(), config_.manager);
@@ -56,6 +60,7 @@ MegaDc::MegaDc(MegaDcConfig config)
   faults = std::make_unique<FaultInjector>(sim, topo, fleet, hosts,
                                            config_.fault);
   faults->attachPods(rawPods);
+  faults->attachChannel(&manager->viprip().ctrlChannel());
   if (config_.enableHealthMonitor) {
     health = std::make_unique<HealthMonitor>(sim, fleet, hosts, apps, dns,
                                              manager->viprip(),
@@ -96,6 +101,9 @@ void MegaDc::deployAllApps() {
 void MegaDc::start() {
   MDC_EXPECT(!started_, "start() called twice");
   started_ = true;
+  // The bootstrap ran on a reliable channel; unreliability begins with
+  // the control loops.
+  manager->viprip().ctrlChannel().setFaults(config_.ctrlFaults);
   manager->start();
   engine->start([this](const EpochReport& r) {
     manager->observe(r);

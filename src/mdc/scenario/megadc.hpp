@@ -10,6 +10,7 @@
 #include <string>
 
 #include "mdc/core/global_manager.hpp"
+#include "mdc/ctrl/control_channel.hpp"
 #include "mdc/fault/fault_injector.hpp"
 #include "mdc/fault/health_monitor.hpp"
 #include "mdc/scenario/fluid_engine.hpp"
@@ -45,6 +46,11 @@ struct MegaDcConfig {
   bool enableHealthMonitor = true;
   HealthMonitor::Options health;
   FaultInjector::Options fault;
+
+  /// Manager->switch control-link fault model (E14).  Applied at start()
+  /// so the bootstrap path stays on a reliable channel; the default is
+  /// the seed's lossless behavior.
+  ChannelFaults ctrlFaults;
 };
 
 /// The assembled world.  Construction wires everything; call

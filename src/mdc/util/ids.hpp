@@ -93,6 +93,12 @@ class IdAllocator {
     return next_;
   }
 
+  /// Never hand out `id` (or anything below it) again — used when
+  /// rebuilding an allocator from a journal of previously issued ids.
+  void ensureBeyond(Id id) noexcept {
+    if (id.valid() && id.value() >= next_) next_ = id.value() + 1;
+  }
+
  private:
   typename Id::value_type next_ = 0;
 };
