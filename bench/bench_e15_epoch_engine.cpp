@@ -1,0 +1,549 @@
+// E15 — epoch engine throughput: incremental cache + parallel fan-out.
+//
+// Sweeps application count x dirty fraction x worker count over three
+// engine modes and measures wall-clock epochs/sec and step latency:
+//   * legacy       — a faithful reimplementation of the pre-cache engine
+//                    (per-flow std::vector paths, unordered_map
+//                    accumulators, full recompute) through public APIs,
+//                    kept here as the honest baseline;
+//   * full         — the current engine with the cache disabled;
+//   * incremental  — the current engine re-descending only dirty apps.
+// "Dirty fraction" is driven the way control loops dirty the world: RIP
+// weight updates on a rotating subset of apps between epochs.
+//
+// Flags:
+//   --smoke           small fixed cell only (CI); seconds, not minutes
+//   --out FILE        write machine-readable JSON (default BENCH_E15.json
+//                     when omitted: print to stdout only)
+//   --baseline FILE   compare smoke checks against a previous JSON; exit
+//                     non-zero on a >30% regression
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mdc/core/viprip_manager.hpp"
+#include "mdc/metrics/table.hpp"
+#include "mdc/scenario/fluid_engine.hpp"
+#include "mdc/util/stats.hpp"
+
+namespace {
+using namespace mdc;
+
+constexpr double kEpsRps = 1e-9;
+constexpr int kMaxVipDepth = 3;
+
+// One app -> one VIP -> one VM; ids are all derived from the app index.
+struct BenchWorld {
+  Simulation sim;
+  Topology topo;
+  AppRegistry apps;
+  AuthoritativeDns dns;
+  RouteRegistry routes{0.0};
+  SwitchFleet fleet;
+  HostFleet hosts;
+  std::unique_ptr<ResolverPopulation> resolvers;
+  std::unique_ptr<StaticDemand> demand;
+  std::unique_ptr<VipRipManager> viprip;
+  std::uint32_t numApps;
+
+  static TopologyConfig topoConfig() {
+    TopologyConfig cfg;
+    cfg.numServers = 64;
+    // Big hosts: the bench stresses the engine, not placement.
+    cfg.numIsps = 4;
+    cfg.accessLinksPerIsp = 2;
+    cfg.accessLinkGbps = 400.0;
+    cfg.numSwitches = 64;
+    cfg.switchTrunkGbps = 100.0;
+    cfg.serverCapacity = CapacityVec{4096.0, 16384.0, 100.0};
+    return cfg;
+  }
+
+  explicit BenchWorld(std::uint32_t apps_) : topo(topoConfig()),
+                                             hosts(topo, sim, HostCostModel{}),
+                                             numApps(apps_) {
+    std::mt19937 rng(0xE15);
+    for (std::uint32_t i = 0; i < topo.config().numSwitches; ++i) {
+      SwitchLimits limits;
+      limits.maxVips = numApps;  // the sweep outgrows real table sizes
+      limits.maxRips = 4 * numApps;
+      fleet.addSwitch(limits);
+    }
+    std::uniform_real_distribution<double> rpsDist(100.0, 1000.0);
+    std::vector<double> rates;
+    rates.reserve(numApps);
+    for (std::uint32_t a = 0; a < numApps; ++a) {
+      rates.push_back(rpsDist(rng));
+      const AppId app =
+          apps.create("app-" + std::to_string(a), AppSla{}, rates[a]);
+      dns.registerApp(app);
+    }
+    demand = std::make_unique<StaticDemand>(rates);
+    resolvers = std::make_unique<ResolverPopulation>(dns, ResolverConfig{});
+    viprip = std::make_unique<VipRipManager>(sim, fleet, dns, routes, apps,
+                                             topo, VipRipManager::Options{});
+    const std::uint32_t servers = topo.config().numServers;
+    const std::uint32_t switches = topo.config().numSwitches;
+    const std::uint32_t routers =
+        topo.config().numIsps * topo.config().accessLinksPerIsp;
+    for (std::uint32_t a = 0; a < numApps; ++a) {
+      const AppId app{a};
+      const VipId vip{a};
+      if (!fleet.configureVip(SwitchId{a % switches}, vip, app).ok() ||
+          !wireVm(app, vip, ServerId{a % servers}, rates[a])) {
+        std::cerr << "bench world wiring failed at app " << a << "\n";
+        std::exit(1);
+      }
+      dns.addVip(app, vip, 1.0);
+      routes.advertise(vip, AccessRouterId{a % routers}, sim.now());
+    }
+    sim.runUntil(61.0);  // boot every VM
+    routes.settle(sim.now());
+  }
+
+  bool wireVm(AppId app, VipId vip, ServerId srv, double rps) {
+    const auto vm =
+        hosts.createVm(app, srv, apps.app(app).sla.sliceFor(rps, 1.2));
+    if (!vm.ok()) return false;
+    RipEntry e;
+    e.rip = RipId{vip.value() * 16};
+    e.vm = vm.value();
+    e.weight = 1.0;
+    return fleet.addRip(vip, e).ok();
+  }
+
+  /// Touches `fraction * numApps` apps (rotating window) the way control
+  /// loops do: a RIP weight update, which bumps the VIP config version.
+  void dirtyApps(double fraction, std::uint64_t epochIdx) {
+    const auto count =
+        static_cast<std::uint64_t>(fraction * numApps + 0.5);
+    for (std::uint64_t j = 0; j < count; ++j) {
+      const auto a =
+          static_cast<std::uint32_t>((epochIdx * count + j) % numApps);
+      const double w = (epochIdx % 2 == 0) ? 2.0 : 1.0;
+      (void)fleet.setRipWeight(VipId{a}, RipId{a * 16}, w);
+    }
+  }
+};
+
+// The pre-PR FluidEngine, preserved through public APIs: this is the
+// measured baseline the incremental engine is compared against,
+// including its end-of-step report copy and series recording.
+struct LegacyEngine {
+  EpochReport latest;
+  TimeSeries linkImbalance{"link-imbalance(max/mean)"};
+  TimeSeries switchImbalance{"switch-imbalance(max/mean)"};
+  TimeSeries maxLinkUtil{"max-link-util"};
+  TimeSeries maxSwitchUtil{"max-switch-util"};
+  TimeSeries satisfaction{"served/demand"};
+  TimeSeries unrouted{"unrouted-rps"};
+};
+
+EpochReport legacyStep(BenchWorld& w, LegacyEngine& eng) {
+  const SimTime now = w.sim.now();
+  w.resolvers->advance(now);
+  w.routes.settle(now);
+
+  EpochReport report;
+  report.time = now;
+
+  std::vector<double> linkOffered(w.topo.network().linkCount(), 0.0);
+  struct VmFlowRecord {
+    VmId vm;
+    AppId app;
+    double rps = 0.0;
+    std::vector<LinkId> path;
+  };
+  std::vector<VmFlowRecord> vmFlows;
+
+  std::function<void(VipId, double, AppId, std::vector<LinkId>, int)>
+      descend = [&](VipId vip, double rps, AppId app,
+                    std::vector<LinkId> prefix, int depth) {
+        if (rps <= kEpsRps) return;
+        if (depth >= kMaxVipDepth) {
+          report.unroutedRps += rps;
+          report.unroutedByCause["depth"] += rps;
+          return;
+        }
+        const auto owner = w.fleet.ownerOf(vip);
+        if (!owner.has_value()) {
+          report.unroutedRps += rps;
+          report.unroutedByCause["no_owner"] += rps;
+          return;
+        }
+        const VipEntry* entry = w.fleet.at(*owner).findVip(vip);
+        const double totalWeight = entry->totalWeight();
+        if (entry->rips.empty() || totalWeight <= 0.0) {
+          report.unroutedRps += rps;
+          report.unroutedByCause["no_rips"] += rps;
+          return;
+        }
+        report.vipDemandGbps[vip] +=
+            rps * w.apps.app(app).sla.gbpsPerKrps / 1000.0;
+        prefix.push_back(w.topo.switchTrunk(*owner));
+        for (const RipEntry& rip : entry->rips) {
+          const double ripRps = rps * rip.weight / totalWeight;
+          if (ripRps <= kEpsRps) continue;
+          if (rip.targetsVm()) {
+            if (!w.hosts.vmExists(rip.vm)) {
+              report.unroutedRps += ripRps;
+              report.unroutedByCause["dead_vm"] += ripRps;
+              continue;
+            }
+            const ServerInfo& srv =
+                w.topo.server(w.hosts.vm(rip.vm).server);
+            VmFlowRecord rec;
+            rec.vm = rip.vm;
+            rec.app = app;
+            rec.rps = ripRps;
+            rec.path = prefix;
+            if (w.topo.config().fabric == FabricKind::TraditionalTree) {
+              rec.path.push_back(w.topo.siloUplink(srv.silo));
+            }
+            rec.path.push_back(srv.nic);
+            vmFlows.push_back(std::move(rec));
+          } else {
+            descend(rip.mvip, ripRps, app, prefix, depth + 1);
+          }
+        }
+      };
+
+  for (const Application& app : w.apps.all()) {
+    const double demandRps = w.demand->rps(app.id, now);
+    report.appDemandRps[app.id] = demandRps;
+    if (demandRps <= kEpsRps) continue;
+    if (!w.dns.hasApp(app.id)) {
+      report.unroutedRps += demandRps;
+      report.unroutedByCause["no_dns"] += demandRps;
+      continue;
+    }
+    const auto shares = w.resolvers->shares(app.id);
+    double shareSum = 0.0;
+    for (const VipWeight& sh : shares) shareSum += sh.weight;
+    if (shares.empty() || shareSum <= kEpsRps) {
+      report.unroutedRps += demandRps;
+      report.unroutedByCause["no_shares"] += demandRps;
+      continue;
+    }
+    for (const VipWeight& sh : shares) {
+      const double vipRps = demandRps * sh.weight;
+      if (vipRps <= kEpsRps) continue;
+      auto routers = w.routes.activeRouters(sh.vip);
+      if (routers.empty()) routers = w.routes.reachableRouters(sh.vip);
+      if (routers.empty()) {
+        report.unroutedRps += vipRps;
+        report.unroutedByCause["no_route"] += vipRps;
+        continue;
+      }
+      const double perRouter = vipRps / static_cast<double>(routers.size());
+      for (AccessRouterId ar : routers) {
+        descend(sh.vip, perRouter, app.id,
+                {w.topo.accessLinkFor(ar).link}, 0);
+      }
+    }
+  }
+
+  for (const VmFlowRecord& f : vmFlows) {
+    const AppSla& sla = w.apps.app(f.app).sla;
+    const double gbps = f.rps * sla.gbpsPerKrps / 1000.0;
+    for (LinkId l : f.path) linkOffered[l.index()] += gbps;
+  }
+
+  w.hosts.forEachVm([](VmRecord& vm) {
+    vm.offeredRps = 0.0;
+    vm.servedRps = 0.0;
+  });
+  std::unordered_map<VmId, double> netServedRps;
+  for (const VmFlowRecord& f : vmFlows) {
+    double fraction = 1.0;
+    for (LinkId l : f.path) {
+      const double cap = w.topo.network().link(l).capacityGbps;
+      const double off = linkOffered[l.index()];
+      if (off > cap) {
+        fraction = std::min(fraction, cap > 0.0 ? cap / off : 0.0);
+      }
+    }
+    VmRecord& vm = w.hosts.vmMutable(f.vm);
+    vm.offeredRps += f.rps;
+    netServedRps[f.vm] += f.rps * fraction;
+  }
+  for (const auto& [vmId, rps] : netServedRps) {
+    VmRecord& vm = w.hosts.vmMutable(vmId);
+    const AppSla& sla = w.apps.app(vm.app).sla;
+    vm.servedRps = std::min(rps, sla.servableRps(vm.effectiveSlice));
+    report.appServedRps[vm.app] += vm.servedRps;
+  }
+
+  report.accessLinkUtil.resize(w.topo.accessLinkCount());
+  for (std::size_t i = 0; i < w.topo.accessLinkCount(); ++i) {
+    const Link& l = w.topo.network().link(w.topo.accessLink(i).link);
+    const double off = linkOffered[l.id.index()];
+    report.accessLinkUtil[i] = l.capacityGbps > 0.0
+                                   ? off / l.capacityGbps
+                                   : (off > 0.0 ? 1e9 : 0.0);
+    report.externalOfferedGbps += off;
+    report.externalServedGbps += std::min(off, l.capacityGbps);
+  }
+  report.switchUtil.resize(w.topo.switchCount());
+  for (std::size_t i = 0; i < w.topo.switchCount(); ++i) {
+    const SwitchId sw{static_cast<SwitchId::value_type>(i)};
+    const Link& trunk = w.topo.network().link(w.topo.switchTrunk(sw));
+    const double off = linkOffered[trunk.id.index()];
+    report.switchUtil[i] =
+        trunk.capacityGbps > 0.0 ? off / trunk.capacityGbps : 0.0;
+    if (i < w.fleet.size()) w.fleet.at(sw).setOfferedGbps(off);
+  }
+
+  const SimTime t = now;
+  eng.linkImbalance.record(t, maxOverMean(report.accessLinkUtil));
+  eng.switchImbalance.record(t, maxOverMean(report.switchUtil));
+  eng.maxLinkUtil.record(t, *std::max_element(report.accessLinkUtil.begin(),
+                                              report.accessLinkUtil.end()));
+  eng.maxSwitchUtil.record(t, *std::max_element(report.switchUtil.begin(),
+                                                report.switchUtil.end()));
+  const double demandTotal = report.totalDemandRps();
+  eng.satisfaction.record(
+      t, demandTotal > 0.0 ? report.totalServedRps() / demandTotal : 1.0);
+  eng.unrouted.record(t, report.unroutedRps);
+
+  eng.latest = report;
+  return report;
+}
+
+struct CellResult {
+  std::string mode;
+  std::uint32_t numApps = 0;
+  double dirtyFraction = 0.0;
+  unsigned workers = 0;
+  double epochsPerSec = 0.0;
+  double p50Ms = 0.0;
+  double p99Ms = 0.0;
+  double cacheHitRate = 0.0;
+  double servedRps = 0.0;  // sanity: modes must agree
+};
+
+/// Runs one (mode, apps, dirty, workers) cell on a fresh world.
+CellResult runCell(const std::string& mode, std::uint32_t numApps,
+                   double dirtyFrac, unsigned workers, int epochs) {
+  BenchWorld w(numApps);
+  LegacyEngine legacy;
+  std::unique_ptr<FluidEngine> engine;
+  if (mode != "legacy") {
+    FluidEngine::Options opt;
+    opt.incremental = (mode == "incremental");
+    opt.workers = workers;
+    engine = std::make_unique<FluidEngine>(w.sim, w.topo, w.apps, w.dns,
+                                           *w.resolvers, w.routes, w.fleet,
+                                           w.hosts, *w.demand, *w.viprip,
+                                           opt);
+  }
+
+  const auto stepOnce = [&] {
+    return engine ? engine->step() : legacyStep(w, legacy);
+  };
+
+  // Warmup: populate caches / pools outside the timed window.
+  for (int i = 0; i < 2; ++i) {
+    w.sim.runUntil(w.sim.now() + 1.0);
+    (void)stepOnce();
+  }
+
+  std::vector<double> stepMs;
+  stepMs.reserve(static_cast<std::size_t>(epochs));
+  std::uint64_t recomputed = 0;
+  std::uint64_t cached = 0;
+  EpochReport last;
+  for (int e = 0; e < epochs; ++e) {
+    w.dirtyApps(dirtyFrac, static_cast<std::uint64_t>(e));
+    w.sim.runUntil(w.sim.now() + 1.0);
+    const auto t0 = std::chrono::steady_clock::now();
+    last = stepOnce();
+    const auto t1 = std::chrono::steady_clock::now();
+    stepMs.push_back(
+        1000.0 * std::chrono::duration<double>(t1 - t0).count());
+    recomputed += last.engineAppsRecomputed;
+    cached += last.engineAppsCached;
+  }
+
+  CellResult r;
+  r.mode = mode;
+  r.numApps = numApps;
+  r.dirtyFraction = dirtyFrac;
+  r.workers = engine ? engine->workerCount() : 1;
+  r.p50Ms = percentile(stepMs, 50.0);
+  r.p99Ms = percentile(stepMs, 99.0);
+  // Median-based throughput: robust against scheduler hiccups on shared
+  // machines, which skew a mean badly at 100+ ms step times.
+  r.epochsPerSec = r.p50Ms > 0.0 ? 1000.0 / r.p50Ms : 0.0;
+  r.cacheHitRate = (recomputed + cached) > 0
+                       ? static_cast<double>(cached) /
+                             static_cast<double>(recomputed + cached)
+                       : 0.0;
+  r.servedRps = last.totalServedRps();
+  return r;
+}
+
+void appendJson(std::ostringstream& out, const CellResult& r, bool last) {
+  out << "    {\"mode\": \"" << r.mode << "\", \"apps\": " << r.numApps
+      << ", \"dirty_fraction\": " << r.dirtyFraction
+      << ", \"workers\": " << r.workers
+      << ", \"epochs_per_sec\": " << r.epochsPerSec
+      << ", \"p50_ms\": " << r.p50Ms << ", \"p99_ms\": " << r.p99Ms
+      << ", \"cache_hit_rate\": " << r.cacheHitRate
+      << ", \"served_rps\": " << r.servedRps << "}" << (last ? "\n" : ",\n");
+}
+
+/// Hand-rolled scalar extraction: finds `"key": <number>` in a JSON blob.
+double extractNumber(const std::string& json, const std::string& key) {
+  const auto pos = json.find("\"" + key + "\":");
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + pos + key.size() + 3, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string outFile = "BENCH_E15.json";
+  std::string baselineFile;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      outFile = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baselineFile = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--smoke] [--out FILE] [--baseline FILE]\n";
+      return 2;
+    }
+  }
+
+  std::vector<CellResult> results;
+  Table table{"E15: epoch engine throughput (mode x apps x dirty x workers)",
+              {"mode", "apps", "dirty %", "workers", "epochs/s", "p50 ms",
+               "p99 ms", "hit %", "served rps"}};
+  const auto record = [&](const CellResult& r) {
+    results.push_back(r);
+    table.addRow({r.mode, static_cast<long long>(r.numApps),
+                  100.0 * r.dirtyFraction,
+                  static_cast<long long>(r.workers), r.epochsPerSec,
+                  r.p50Ms, r.p99Ms, 100.0 * r.cacheHitRate, r.servedRps});
+  };
+
+  // The smoke cell runs in every configuration so CI regressions can be
+  // compared against the committed full-run artifact apples-to-apples.
+  constexpr std::uint32_t kSmokeApps = 2000;
+  constexpr double kSmokeDirty = 0.05;
+  const int smokeEpochs = smoke ? 10 : 20;
+  record(runCell("legacy", kSmokeApps, kSmokeDirty, 1, smokeEpochs));
+  record(runCell("full", kSmokeApps, kSmokeDirty, 1, smokeEpochs));
+  record(runCell("incremental", kSmokeApps, kSmokeDirty, 1, smokeEpochs));
+  record(runCell("incremental", kSmokeApps, kSmokeDirty, 4, smokeEpochs));
+  const double smokeLegacy = results[0].epochsPerSec;
+  const double smokeFull = results[1].epochsPerSec;
+  const double smokeInc = results[3].epochsPerSec;
+
+  double mainSpeedup = -1.0;
+  double mainHitRate = -1.0;
+  if (!smoke) {
+    // Full sweep.  The acceptance cell is 50k apps, 5% dirty, 4 workers.
+    for (const std::uint32_t apps : {10'000u, 50'000u}) {
+      const int epochs = apps >= 50'000 ? 16 : 20;
+      for (const double dirty : {0.0, 0.05, 0.5}) {
+        record(runCell("legacy", apps, dirty, 1, epochs));
+        record(runCell("full", apps, dirty, 1, epochs));
+        for (const unsigned workers : {1u, 4u}) {
+          record(runCell("incremental", apps, dirty, workers, epochs));
+        }
+      }
+    }
+    double legacy50k = -1.0;
+    for (const CellResult& r : results) {
+      if (r.numApps == 50'000 && r.dirtyFraction == 0.05) {
+        if (r.mode == "legacy") legacy50k = r.epochsPerSec;
+        if (r.mode == "incremental" && r.workers >= 1) {
+          // Prefer the 4-worker cell; the 1-worker one comes first.
+          mainSpeedup = r.epochsPerSec / legacy50k;
+          mainHitRate = r.cacheHitRate;
+        }
+      }
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "expected shape: full mode tracks legacy (flat arrays and"
+               " interned paths shave constants); incremental mode scales"
+               " with the dirty fraction, not the app count — at low churn"
+               " it re-descends a few percent of apps and epochs/sec jumps"
+               " by an order of magnitude\n";
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"e15_epoch_engine\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    appendJson(json, results[i], i + 1 == results.size());
+  }
+  json << "  ],\n  \"checks\": {\n"
+       << "    \"smoke_apps\": " << kSmokeApps << ",\n"
+       << "    \"smoke_incremental_epochs_per_sec\": " << smokeInc << ",\n"
+       << "    \"smoke_speedup_vs_legacy\": " << smokeInc / smokeLegacy
+       << ",\n"
+       << "    \"smoke_incremental_over_full_ratio\": "
+       << smokeInc / smokeFull << ",\n"
+       << "    \"speedup_50k_5pct_4w\": " << mainSpeedup << ",\n"
+       << "    \"cache_hit_rate_50k_5pct\": " << mainHitRate << ",\n"
+       << "    \"target_speedup\": 5.0,\n"
+       << "    \"meets_target\": "
+       << ((smoke || mainSpeedup >= 5.0) ? "true" : "false") << "\n"
+       << "  }\n}\n";
+
+  std::ofstream(outFile) << json.str();
+  std::cout << "\nwrote " << outFile << "\n";
+
+  if (!smoke && mainSpeedup < 5.0) {
+    std::cerr << "FAIL: incremental speedup " << mainSpeedup
+              << "x < 5x target at 50k apps / 5% dirty\n";
+    return 1;
+  }
+
+  if (!baselineFile.empty()) {
+    std::ifstream in(baselineFile);
+    if (!in) {
+      std::cerr << "FAIL: cannot read baseline " << baselineFile << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string base = buf.str();
+    const double baseSpeedup =
+        extractNumber(base, "smoke_speedup_vs_legacy");
+    const double baseRatio =
+        extractNumber(base, "smoke_incremental_over_full_ratio");
+    const double newSpeedup = smokeInc / smokeLegacy;
+    const double newRatio = smokeInc / smokeFull;
+    std::cout << "baseline compare: speedup " << newSpeedup << " vs "
+              << baseSpeedup << ", inc/full ratio " << newRatio << " vs "
+              << baseRatio << " (fail below 70% of baseline)\n";
+    if (baseSpeedup > 0.0 && newSpeedup < 0.7 * baseSpeedup) {
+      std::cerr << "FAIL: smoke speedup regressed >30% vs baseline\n";
+      return 1;
+    }
+    if (baseRatio > 0.0 && newRatio < 0.7 * baseRatio) {
+      std::cerr << "FAIL: incremental/full ratio regressed >30%\n";
+      return 1;
+    }
+  }
+  return 0;
+}

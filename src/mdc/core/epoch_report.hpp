@@ -36,6 +36,17 @@ struct EpochReport {
   /// Why it was dropped: "no_dns", "no_shares", "no_route", "no_owner",
   /// "no_rips", "depth", "dead_vm".
   std::unordered_map<std::string, double> unroutedByCause;
+  /// Demand routed only via reachable (padded/draining) routes because
+  /// the VIP had no Active route — E4 separates this fallback share from
+  /// healthy routing.
+  double degradedRoutedRps = 0.0;
+
+  /// Incremental-engine observability: apps re-descended this epoch vs
+  /// apps served from the flow-tree cache.  Both 0 when the engine runs
+  /// in full-recompute mode.  Excluded from engine-equivalence checks —
+  /// they describe the computation, not the modelled system.
+  std::uint32_t engineAppsRecomputed = 0;
+  std::uint32_t engineAppsCached = 0;
 
   /// Failure-state snapshot (fault experiments, E13).
   std::uint32_t downSwitches = 0;

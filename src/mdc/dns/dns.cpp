@@ -11,6 +11,15 @@ void AuthoritativeDns::registerApp(AppId app) {
   MDC_EXPECT(app.valid(), "registerApp: invalid app");
   MDC_EXPECT(!apps_.contains(app), "registerApp: app already registered");
   apps_.emplace(app, AppRecord{});
+  ++topologyVersion_;
+}
+
+void AuthoritativeDns::logMutation(AppId app) { mutationLog_.push_back(app); }
+
+std::span<const AppId> AuthoritativeDns::mutationsSince(
+    std::uint64_t cursor) const {
+  MDC_EXPECT(cursor <= mutationLog_.size(), "mutation cursor out of range");
+  return std::span<const AppId>(mutationLog_).subspan(cursor);
 }
 
 bool AuthoritativeDns::hasApp(AppId app) const { return apps_.contains(app); }
@@ -38,6 +47,7 @@ void AuthoritativeDns::addVip(AppId app, VipId vip, double weight) {
   r.vips.push_back(VipWeight{vip, weight});
   ++r.generation;
   ++updates_;
+  logMutation(app);
 }
 
 void AuthoritativeDns::removeVip(AppId app, VipId vip) {
@@ -49,6 +59,7 @@ void AuthoritativeDns::removeVip(AppId app, VipId vip) {
   r.vips.erase(it);
   ++r.generation;
   ++updates_;
+  logMutation(app);
 }
 
 void AuthoritativeDns::setWeight(AppId app, VipId vip, double weight) {
@@ -62,6 +73,7 @@ void AuthoritativeDns::setWeight(AppId app, VipId vip, double weight) {
     it->weight = weight;
     ++r.generation;
     ++updates_;
+    logMutation(app);
   }
 }
 
@@ -79,6 +91,7 @@ void AuthoritativeDns::setWeights(AppId app,
   }
   ++r.generation;
   ++updates_;
+  logMutation(app);
 }
 
 std::span<const VipWeight> AuthoritativeDns::vips(AppId app) const {
@@ -107,6 +120,12 @@ ResolverPopulation::ResolverPopulation(const AuthoritativeDns& dns,
   MDC_EXPECT(config.lingerFraction >= 0.0 && config.lingerFraction <= 1.0,
              "lingerFraction out of [0,1]");
   MDC_EXPECT(config.lingerSeconds > 0.0, "lingerSeconds must be positive");
+}
+
+void ResolverPopulation::bumpShares(AppId app) const {
+  const std::size_t i = app.index();
+  if (i >= sharesVersions_.size()) sharesVersions_.resize(i + 1, 0);
+  ++sharesVersions_[i];
 }
 
 void ResolverPopulation::refreshTargets(AppId app, PoolShares& p) const {
@@ -143,8 +162,16 @@ void ResolverPopulation::refreshTargets(AppId app, PoolShares& p) const {
     p.fast = target;
     p.linger = target;
     p.initialised = true;
+  } else if (!p.relaxing) {
+    // Targets moved away from a settled pool: put it back on the
+    // relaxation work list until it converges onto the new targets.
+    p.relaxing = true;
+    relaxing_.push_back(app);
   }
   p.seenGeneration = gen;
+  // Any refresh can change what shares() returns (new tracked VIPs, new
+  // first-time steady state), so the version always moves with it.
+  bumpShares(app);
 }
 
 void ResolverPopulation::relax(std::vector<double>& shares,
@@ -154,18 +181,54 @@ void ResolverPopulation::relax(std::vector<double>& shares,
   }
 }
 
+namespace {
+
+// Below this distance the exponential tail is irrelevant to any consumer;
+// the pool snaps exactly onto its targets and stops relaxing, so settled
+// apps cost nothing per advance and their shares version goes quiet.
+constexpr double kConvergenceEps = 1e-12;
+
+[[nodiscard]] bool withinEps(std::span<const double> a,
+                             std::span<const double> b) noexcept {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > kConvergenceEps) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 void ResolverPopulation::advance(SimTime now) {
   MDC_EXPECT(now >= lastAdvance_, "ResolverPopulation going back in time");
   const SimTime dt = now - lastAdvance_;
   lastAdvance_ = now;
-  if (dt <= 0.0) return;
+  // Consume the DNS mutation log unconditionally — even a zero-dt advance
+  // must fold new targets (and bump shares versions) before callers read.
+  // refreshTargets dedupes repeated entries through seenGeneration.
+  for (const AppId app : dns_.mutationsSince(dnsCursor_)) {
+    const auto it = pools_.find(app);
+    if (it != pools_.end()) refreshTargets(app, it->second);
+  }
+  dnsCursor_ = dns_.mutationCursor();
+  if (dt <= 0.0 || relaxing_.empty()) return;
   const double alphaFast = 1.0 - std::exp(-dt / config_.ttlSeconds);
   const double alphaLinger = 1.0 - std::exp(-dt / config_.lingerSeconds);
-  for (auto& [app, p] : pools_) {
-    refreshTargets(app, p);
+  for (std::size_t i = 0; i < relaxing_.size();) {
+    const AppId app = relaxing_[i];
+    PoolShares& p = pools_.find(app)->second;
     const auto& target = targets_[app];
     relax(p.fast, target, alphaFast);
     relax(p.linger, target, alphaLinger);
+    bumpShares(app);
+    if (withinEps(p.fast, target) && withinEps(p.linger, target)) {
+      p.fast = target;
+      p.linger = target;
+      p.relaxing = false;
+      relaxing_[i] = relaxing_.back();
+      relaxing_.pop_back();
+    } else {
+      ++i;
+    }
   }
 }
 

@@ -57,6 +57,24 @@ class AuthoritativeDns {
   /// caches detect change cheaply.
   [[nodiscard]] std::uint64_t generation(AppId app) const;
 
+  /// Monotone counter bumped whenever the *set of registered apps* grows.
+  /// Lets a cache holding "this app is not in DNS" revalidate without a
+  /// per-app probe.
+  [[nodiscard]] std::uint64_t topologyVersion() const noexcept {
+    return topologyVersion_;
+  }
+
+  /// Apps mutated since `cursor` (a value previously returned by
+  /// mutationCursor(); 0 for "since the beginning").  Entries repeat when
+  /// an app was mutated repeatedly; consumers dedupe via generation().
+  /// The log is append-only and retained for the process lifetime —
+  /// mutation counts are control-plane scale, not data-plane scale.
+  [[nodiscard]] std::span<const AppId> mutationsSince(
+      std::uint64_t cursor) const;
+  [[nodiscard]] std::uint64_t mutationCursor() const noexcept {
+    return mutationLog_.size();
+  }
+
   /// Total weight-change/record-change operations issued (control-plane
   /// cost metric; compare against RouteRegistry::routeUpdates()).
   [[nodiscard]] std::uint64_t recordUpdates() const noexcept {
@@ -70,9 +88,12 @@ class AuthoritativeDns {
   };
   [[nodiscard]] AppRecord& record(AppId app);
   [[nodiscard]] const AppRecord& record(AppId app) const;
+  void logMutation(AppId app);
 
   std::unordered_map<AppId, AppRecord> apps_;
   std::uint64_t updates_ = 0;
+  std::uint64_t topologyVersion_ = 0;
+  std::vector<AppId> mutationLog_;
 };
 
 struct ResolverConfig {
@@ -106,6 +127,17 @@ class ResolverPopulation {
   /// Session-engine hook: sample the VIP a *new* session connects to.
   [[nodiscard]] VipId pickVip(AppId app, Rng& rng) const;
 
+  /// Monotone per-app version of the *effective* shares: bumped when a
+  /// DNS mutation reaches this pool (new targets, possibly new tracked
+  /// VIPs) and on every relaxation step that moves the shares.  Once a
+  /// pool converges (snaps onto its targets) the version goes quiet, so
+  /// "version unchanged" really means "shares() would return the same
+  /// vector".  Apps whose pool was never materialised read as 0.
+  [[nodiscard]] std::uint64_t sharesVersion(AppId app) const noexcept {
+    const std::size_t i = app.index();
+    return i < sharesVersions_.size() ? sharesVersions_[i] : 0;
+  }
+
   [[nodiscard]] const ResolverConfig& config() const noexcept {
     return config_;
   }
@@ -118,17 +150,22 @@ class ResolverPopulation {
     std::vector<double> linger;  // TTL-violating population
     std::uint64_t seenGeneration = ~0ULL;
     bool initialised = false;
+    bool relaxing = false;  // on the relaxing_ work list
   };
 
   void refreshTargets(AppId app, PoolShares& p) const;
   static void relax(std::vector<double>& shares,
                     std::span<const double> target, double alpha);
+  void bumpShares(AppId app) const;
 
   const AuthoritativeDns& dns_;
   ResolverConfig config_;
   SimTime lastAdvance_ = 0.0;
+  std::uint64_t dnsCursor_ = 0;  // consumed prefix of the DNS mutation log
   mutable std::unordered_map<AppId, PoolShares> pools_;
   mutable std::unordered_map<AppId, std::vector<double>> targets_;
+  mutable std::vector<AppId> relaxing_;  // pools not yet at their targets
+  mutable std::vector<std::uint64_t> sharesVersions_;
 };
 
 }  // namespace mdc

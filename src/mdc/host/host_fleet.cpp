@@ -49,6 +49,7 @@ Result<VmId> HostFleet::createVm(AppId app, ServerId server, CapacityVec slice,
   rec.state = VmState::Booting;
   rec.createdAt = sim_.now();
   vms_.emplace(id, rec);
+  bumpVm(id);
   ++liveVms_;
   ++created_;
 
@@ -141,6 +142,7 @@ Status HostFleet::migrateVm(VmId vmId, ServerId dst, VmCallback onDone) {
     detachFromServer(vmId, src);
     r.server = dst;
     r.state = VmState::Active;
+    bumpVm(vmId);
     if (cb) cb(vmId);
   });
   return Status::okStatus();
@@ -170,6 +172,7 @@ void HostFleet::destroyVm(VmId vmId) {
     }
   }
   rec.state = VmState::Destroyed;
+  bumpVm(vmId);
   --liveVms_;
 }
 
@@ -219,6 +222,12 @@ std::vector<CrashedVm> HostFleet::takeCrashCasualties(ServerId server) {
   std::vector<CrashedVm> out = std::move(it->second);
   casualties_.erase(it);
   return out;
+}
+
+void HostFleet::bumpVm(VmId id) {
+  const std::size_t i = id.index();
+  if (i >= vmVersions_.size()) vmVersions_.resize(i + 1, 0);
+  ++vmVersions_[i];
 }
 
 void HostFleet::detachFromServer(VmId vmId, ServerId server) {

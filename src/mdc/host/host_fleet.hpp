@@ -133,6 +133,23 @@ class HostFleet {
   [[nodiscard]] VmRecord& vmMutable(VmId id);
   [[nodiscard]] bool vmExists(VmId id) const;
 
+  /// Monotonic per-VM version covering the facts the epoch descent
+  /// resolves through a RIP: the VM's existence and its host server.
+  /// Bumped by createVm, destroyVm (crash kills included), and migration
+  /// completion (the server — and so the flow path — changes).  Slice and
+  /// gauge changes do NOT bump it: they feed the serving phase, which the
+  /// engine recomputes every epoch anyway.  Never-allocated ids read 0.
+  [[nodiscard]] std::uint64_t vmConfigVersion(VmId id) const noexcept {
+    const std::size_t i = id.index();
+    return i < vmVersions_.size() ? vmVersions_[i] : 0;
+  }
+
+  /// One past the largest VM index ever allocated (ids are dense and
+  /// never reused, so this is the bound for VmId-indexed gauge arrays).
+  [[nodiscard]] std::size_t vmIndexBound() const noexcept {
+    return vms_.size();
+  }
+
   [[nodiscard]] const std::vector<VmId>& vmsOn(ServerId server) const;
   [[nodiscard]] CapacityVec usedCapacity(ServerId server) const;
   [[nodiscard]] CapacityVec freeCapacity(ServerId server) const;
@@ -174,12 +191,14 @@ class HostFleet {
   ServerState& serverState(ServerId id);
   const ServerState& serverState(ServerId id) const;
   void detachFromServer(VmId vm, ServerId server);
+  void bumpVm(VmId id);
 
   const Topology& topo_;
   Simulation& sim_;
   HostCostModel costs_;
   std::vector<ServerState> servers_;
   std::unordered_map<VmId, VmRecord> vms_;
+  std::vector<std::uint64_t> vmVersions_;
   IdAllocator<VmId> vmIds_;
   std::size_t liveVms_ = 0;
   std::uint64_t created_ = 0;

@@ -20,6 +20,12 @@ const LbSwitch& SwitchFleet::at(SwitchId sw) const {
   return switches_[sw.index()];
 }
 
+void SwitchFleet::bumpVip(VipId vip) {
+  const std::size_t i = vip.index();
+  if (i >= vipVersions_.size()) vipVersions_.resize(i + 1, 0);
+  ++vipVersions_[i];
+}
+
 std::optional<SwitchId> SwitchFleet::ownerOf(VipId vip) const {
   const auto it = owner_.find(vip);
   if (it == owner_.end()) return std::nullopt;
@@ -29,7 +35,10 @@ std::optional<SwitchId> SwitchFleet::ownerOf(VipId vip) const {
 Status SwitchFleet::configureVip(SwitchId sw, VipId vip, AppId app) {
   if (owner_.contains(vip)) return Status::fail("vip_owned_elsewhere");
   const Status s = at(sw).configureVip(vip, app);
-  if (s.ok()) owner_.emplace(vip, sw);
+  if (s.ok()) {
+    owner_.emplace(vip, sw);
+    bumpVip(vip);
+  }
   return s;
 }
 
@@ -37,7 +46,10 @@ Status SwitchFleet::removeVip(VipId vip) {
   const auto it = owner_.find(vip);
   if (it == owner_.end()) return Status::fail("vip_unowned");
   const Status s = at(it->second).removeVip(vip);
-  if (s.ok()) owner_.erase(it);
+  if (s.ok()) {
+    owner_.erase(it);
+    bumpVip(vip);
+  }
   return s;
 }
 
@@ -80,6 +92,7 @@ Status SwitchFleet::transferVip(VipId vip, SwitchId to, bool force) {
   const SwitchId from = it->second;
   it->second = to;
   ++transfers_;
+  bumpVip(vip);
   if (onTransfer_) onTransfer_(vip, from, to);
   return Status::okStatus();
 }
@@ -97,7 +110,10 @@ Status SwitchFleet::applyConfigureVip(SwitchId sw, VipId vip, AppId app) {
   const Status s = at(sw).configureVip(vip, app);
   // First host wins the index; a late duplicate stays un-indexed until
   // the reconciler removes one copy.
-  if (s.ok() && !owner_.contains(vip)) owner_.emplace(vip, sw);
+  if (s.ok()) {
+    if (!owner_.contains(vip)) owner_.emplace(vip, sw);
+    bumpVip(vip);
+  }
   return s;
 }
 
@@ -109,6 +125,7 @@ Status SwitchFleet::applyRemoveVip(SwitchId sw, VipId vip,
   }
   const Status s = target.removeVip(vip);
   if (s.ok()) {
+    bumpVip(vip);
     const auto it = owner_.find(vip);
     if (it != owner_.end() && it->second == sw) {
       const auto survivor = otherHostOf(vip, sw);
@@ -123,16 +140,22 @@ Status SwitchFleet::applyRemoveVip(SwitchId sw, VipId vip,
 }
 
 Status SwitchFleet::applyAddRip(SwitchId sw, VipId vip, RipEntry entry) {
-  return at(sw).addRip(vip, entry);
+  const Status s = at(sw).addRip(vip, entry);
+  if (s.ok()) bumpVip(vip);
+  return s;
 }
 
 Status SwitchFleet::applyRemoveRip(SwitchId sw, VipId vip, RipId rip) {
-  return at(sw).removeRip(vip, rip);
+  const Status s = at(sw).removeRip(vip, rip);
+  if (s.ok()) bumpVip(vip);
+  return s;
 }
 
 Status SwitchFleet::applySetRipWeight(SwitchId sw, VipId vip, RipId rip,
                                       double weight) {
-  return at(sw).setRipWeight(vip, rip, weight);
+  const Status s = at(sw).setRipWeight(vip, rip, weight);
+  if (s.ok()) bumpVip(vip);
+  return s;
 }
 
 std::vector<SwitchId> SwitchFleet::hostsOf(VipId vip) const {
@@ -154,6 +177,7 @@ std::size_t SwitchFleet::crashSwitch(SwitchId sw, SimTime now) {
     // A duplicate host (control-plane race) keeps the VIP alive: repoint
     // the index there instead of declaring an orphan.
     const auto survivor = otherHostOf(vip, sw);
+    bumpVip(vip);
     if (survivor.has_value()) {
       owner_[vip] = *survivor;
       continue;
@@ -193,19 +217,25 @@ std::size_t SwitchFleet::pendingOrphans() const {
 Status SwitchFleet::addRip(VipId vip, RipEntry entry) {
   const auto it = owner_.find(vip);
   if (it == owner_.end()) return Status::fail("vip_unowned");
-  return at(it->second).addRip(vip, entry);
+  const Status s = at(it->second).addRip(vip, entry);
+  if (s.ok()) bumpVip(vip);
+  return s;
 }
 
 Status SwitchFleet::removeRip(VipId vip, RipId rip) {
   const auto it = owner_.find(vip);
   if (it == owner_.end()) return Status::fail("vip_unowned");
-  return at(it->second).removeRip(vip, rip);
+  const Status s = at(it->second).removeRip(vip, rip);
+  if (s.ok()) bumpVip(vip);
+  return s;
 }
 
 Status SwitchFleet::setRipWeight(VipId vip, RipId rip, double weight) {
   const auto it = owner_.find(vip);
   if (it == owner_.end()) return Status::fail("vip_unowned");
-  return at(it->second).setRipWeight(vip, rip, weight);
+  const Status s = at(it->second).setRipWeight(vip, rip, weight);
+  if (s.ok()) bumpVip(vip);
+  return s;
 }
 
 const VipEntry* SwitchFleet::findVip(VipId vip) const {

@@ -131,6 +131,19 @@ class SwitchFleet {
   /// Every switch whose table currently holds `vip` (duplicate audit).
   [[nodiscard]] std::vector<SwitchId> hostsOf(VipId vip) const;
 
+  // --- config versioning ------------------------------------------------
+
+  /// Monotonic per-VIP version, bumped by every mutation that can change
+  /// what the epoch engine resolves through this VIP: configure/remove,
+  /// transfer (ownership move), RIP add/remove/reweight, the control-plane
+  /// apply* variants, and a hosting switch's crash.  Never-configured VIPs
+  /// read as version 0.  The incremental engine caches a flow tree against
+  /// the versions it read and re-descends when any of them moved.
+  [[nodiscard]] std::uint64_t vipConfigVersion(VipId vip) const noexcept {
+    const std::size_t i = vip.index();
+    return i < vipVersions_.size() ? vipVersions_[i] : 0;
+  }
+
   // --- fleet-wide accounting --------------------------------------------
 
   [[nodiscard]] std::uint32_t totalVips() const;
@@ -154,7 +167,10 @@ class SwitchFleet {
   [[nodiscard]] std::optional<SwitchId> otherHostOf(VipId vip,
                                                    SwitchId excluding) const;
 
+  void bumpVip(VipId vip);
+
   std::vector<LbSwitch> switches_;
+  std::vector<std::uint64_t> vipVersions_;
   std::unordered_map<VipId, SwitchId> owner_;
   TransferListener onTransfer_;
   std::unordered_map<SwitchId, std::vector<OrphanedVip>> orphans_;

@@ -1,0 +1,133 @@
+// Interned, prefix-shared link paths for the epoch engine.
+//
+// The fluid descent builds every flow's path incrementally: access link,
+// then the owning switch's trunk, then (two-layer mode) more trunks, then
+// the server NIC.  Materialising each path as its own std::vector<LinkId>
+// made the descent allocation-bound at mega-DC scale.  The arena stores
+// paths as a trie of (link, parent) nodes instead: extending a path is a
+// hash probe, flows carry a 4-byte PathRef, and shared prefixes (every
+// flow behind the same access link and switch) are stored exactly once.
+//
+// Node ids are an implementation detail — two arenas built in different
+// orders intern the same *links*, so anything computed by iterating a
+// path (offered load, bottleneck fractions) is independent of interning
+// order.  That is what makes the parallel descent deterministic: workers
+// may race to intern, but never to disagree about a path's contents.
+//
+// Thread safety: concurrent root()/extend() calls are safe (interning
+// takes a shared lock for the lookup and upgrades to exclusive on a
+// miss).  forEach()/links()/length() are deliberately lock-free: they
+// must not run concurrently with interning.  The epoch engine honours
+// this by construction — interning happens only in the parallel descent
+// phase, path walks only in the accumulation phases after the fork/join
+// barrier — and it keeps the per-flow walk, the hottest loop in the
+// engine, free of any synchronisation cost.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mdc/util/expect.hpp"
+#include "mdc/util/ids.hpp"
+
+namespace mdc {
+
+/// Index of an interned path inside a PathArena; invalid() = empty path.
+class PathRef {
+ public:
+  constexpr PathRef() noexcept = default;
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return node_ != kInvalid;
+  }
+  [[nodiscard]] static constexpr PathRef invalid() noexcept { return {}; }
+
+  friend constexpr bool operator==(PathRef, PathRef) noexcept = default;
+
+ private:
+  friend class PathArena;
+  constexpr explicit PathRef(std::uint32_t node) noexcept : node_(node) {}
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t node_ = kInvalid;
+};
+
+class PathArena {
+ public:
+  /// Interns the single-link path [link].
+  [[nodiscard]] PathRef root(LinkId link) {
+    return intern(PathRef::kInvalid, link);
+  }
+
+  /// Interns prefix + [link].
+  [[nodiscard]] PathRef extend(PathRef prefix, LinkId link) {
+    return intern(prefix.node_, link);
+  }
+
+  /// Number of links on the path.  Not concurrent with interning.
+  [[nodiscard]] std::uint32_t length(PathRef ref) const {
+    if (!ref.valid()) return 0;
+    return nodes_[ref.node_].depth;
+  }
+
+  /// Visits the path's links in leaf-to-root order (NIC first, access
+  /// link last).  Per-link accumulation and min-reductions are order
+  /// independent, so callers need no materialised forward path.  Not
+  /// concurrent with interning.
+  template <typename Fn>
+  void forEach(PathRef ref, Fn&& fn) const {
+    std::uint32_t node = ref.node_;
+    while (node != PathRef::kInvalid) {
+      const Node& n = nodes_[node];
+      fn(n.link);
+      node = n.parent;
+    }
+  }
+
+  /// Materialises the path root-to-leaf (diagnostics / tests).
+  [[nodiscard]] std::vector<LinkId> links(PathRef ref) const {
+    std::vector<LinkId> out;
+    forEach(ref, [&](LinkId l) { out.push_back(l); });
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  /// Interned node count.  Not concurrent with interning.
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    LinkId link;
+    std::uint32_t parent;
+    std::uint32_t depth;
+  };
+
+  [[nodiscard]] PathRef intern(std::uint32_t parent, LinkId link) {
+    MDC_EXPECT(link.valid(), "path arena: invalid link");
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(parent) << 32) | link.value();
+    {
+      const std::shared_lock<std::shared_mutex> lock(mu_);
+      const auto it = index_.find(key);
+      if (it != index_.end()) return PathRef{it->second};
+    }
+    const std::unique_lock<std::shared_mutex> lock(mu_);
+    const auto [it, inserted] =
+        index_.try_emplace(key, static_cast<std::uint32_t>(nodes_.size()));
+    if (inserted) {
+      const std::uint32_t depth =
+          parent == PathRef::kInvalid ? 1 : nodes_[parent].depth + 1;
+      nodes_.push_back(Node{link, parent, depth});
+    }
+    return PathRef{it->second};
+  }
+
+  mutable std::shared_mutex mu_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+};
+
+}  // namespace mdc

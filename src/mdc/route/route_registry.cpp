@@ -9,14 +9,31 @@ RouteRegistry::RouteRegistry(SimTime propagationDelay)
   MDC_EXPECT(propagationDelay >= 0.0, "negative propagation delay");
 }
 
+void RouteRegistry::bumpVip(VipId vip) {
+  const std::size_t i = vip.index();
+  if (i >= versions_.size()) versions_.resize(i + 1, 0);
+  ++versions_[i];
+}
+
+namespace {
+
+[[nodiscard]] bool inTransition(RouteState s) noexcept {
+  return s == RouteState::Announcing || s == RouteState::Withdrawing;
+}
+
+}  // namespace
+
 void RouteRegistry::advertise(VipId vip, AccessRouterId router, SimTime now) {
   MDC_EXPECT(vip.valid() && router.valid(), "invalid advertise target");
-  RouteEntry& e = routes_[Key{vip, router}];
+  const auto [it, inserted] = routes_.try_emplace(Key{vip, router});
+  RouteEntry& e = it->second;
+  if (inserted || !inTransition(e.state)) ++pendingTransitions_;
   e.vip = vip;
   e.router = router;
   e.state = RouteState::Announcing;
   e.transitionDone = now + delay_;
   ++updates_;
+  bumpVip(vip);
 }
 
 void RouteRegistry::pad(VipId vip, AccessRouterId router, SimTime now) {
@@ -24,33 +41,41 @@ void RouteRegistry::pad(VipId vip, AccessRouterId router, SimTime now) {
   MDC_EXPECT(it != routes_.end(), "pad: route does not exist");
   MDC_EXPECT(it->second.state != RouteState::Withdrawing,
              "pad: route already withdrawing");
+  if (inTransition(it->second.state)) --pendingTransitions_;
   it->second.state = RouteState::Padded;
   // Padding takes effect once the longer path propagates; until then we
   // conservatively treat it as already padded (no new traffic), which is
   // the safe direction for drain correctness.
   it->second.transitionDone = now + delay_;
   ++updates_;
+  bumpVip(vip);
 }
 
 void RouteRegistry::withdraw(VipId vip, AccessRouterId router, SimTime now) {
   const auto it = routes_.find(Key{vip, router});
   MDC_EXPECT(it != routes_.end(), "withdraw: route does not exist");
+  if (!inTransition(it->second.state)) ++pendingTransitions_;
   it->second.state = RouteState::Withdrawing;
   it->second.transitionDone = now + delay_;
   ++updates_;
+  bumpVip(vip);
 }
 
 void RouteRegistry::settle(SimTime now) {
+  // Fast path for the epoch hot loop: with no announcement or withdrawal
+  // in flight the table is already settled, no scan needed.
+  if (pendingTransitions_ == 0) return;
   for (auto it = routes_.begin(); it != routes_.end();) {
     RouteEntry& e = it->second;
-    if (e.transitionDone <= now) {
+    if (inTransition(e.state) && e.transitionDone <= now) {
+      --pendingTransitions_;
+      bumpVip(e.vip);
       if (e.state == RouteState::Announcing) {
         e.state = RouteState::Active;
-      } else if (e.state == RouteState::Withdrawing) {
+      } else {
         it = routes_.erase(it);
         continue;
       }
-      // Padded stays padded after convergence.
     }
     ++it;
   }
@@ -63,9 +88,12 @@ const RouteEntry* RouteRegistry::find(VipId vip, AccessRouterId router) const {
 
 std::vector<AccessRouterId> RouteRegistry::activeRouters(VipId vip) const {
   std::vector<AccessRouterId> out;
-  for (const auto& [key, e] : routes_) {
-    if (key.first == vip && e.state == RouteState::Active) {
-      out.push_back(e.router);
+  // Keys sort by (vip, router), so one VIP's routes are contiguous:
+  // range-scan from the VIP's first possible key instead of the whole map.
+  for (auto it = routes_.lower_bound(Key{vip, AccessRouterId{0}});
+       it != routes_.end() && it->first.first == vip; ++it) {
+    if (it->second.state == RouteState::Active) {
+      out.push_back(it->second.router);
     }
   }
   return out;
@@ -73,10 +101,11 @@ std::vector<AccessRouterId> RouteRegistry::activeRouters(VipId vip) const {
 
 std::vector<AccessRouterId> RouteRegistry::reachableRouters(VipId vip) const {
   std::vector<AccessRouterId> out;
-  for (const auto& [key, e] : routes_) {
-    if (key.first == vip && (e.state == RouteState::Active ||
-                             e.state == RouteState::Padded)) {
-      out.push_back(e.router);
+  for (auto it = routes_.lower_bound(Key{vip, AccessRouterId{0}});
+       it != routes_.end() && it->first.first == vip; ++it) {
+    if (it->second.state == RouteState::Active ||
+        it->second.state == RouteState::Padded) {
+      out.push_back(it->second.router);
     }
   }
   return out;

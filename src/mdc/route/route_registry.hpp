@@ -76,15 +76,27 @@ class RouteRegistry {
     return updates_;
   }
 
+  /// Monotonic per-VIP version, bumped whenever the VIP's active or
+  /// reachable router set can change: advertise/pad/withdraw calls and
+  /// settle() transitions (Announcing -> Active, Withdrawing -> gone).
+  /// VIPs never advertised read as version 0.
+  [[nodiscard]] std::uint64_t routeVersion(VipId vip) const noexcept {
+    const std::size_t i = vip.index();
+    return i < versions_.size() ? versions_[i] : 0;
+  }
+
   [[nodiscard]] SimTime propagationDelay() const noexcept { return delay_; }
 
  private:
   using Key = std::pair<VipId, AccessRouterId>;
   [[nodiscard]] const RouteEntry* find(VipId vip, AccessRouterId router) const;
+  void bumpVip(VipId vip);
 
   SimTime delay_;
   std::map<Key, RouteEntry> routes_;
   std::uint64_t updates_ = 0;
+  std::vector<std::uint64_t> versions_;
+  std::size_t pendingTransitions_ = 0;  // entries Announcing or Withdrawing
 };
 
 }  // namespace mdc

@@ -1,8 +1,12 @@
 #include "mdc/scenario/fluid_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <functional>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
 
 #include "mdc/core/viprip_manager.hpp"
 #include "mdc/ctrl/reconciler.hpp"
@@ -15,13 +19,72 @@ namespace {
 constexpr double kEpsRps = 1e-9;
 constexpr int kMaxVipDepth = 3;  // external VIP -> m-VIP -> VM at most
 
-struct VmFlowRecord {
-  VmId vm;
-  AppId app;
-  double rps = 0.0;
-  std::vector<LinkId> path;
-};
+// Unrouted-demand causes, stored as indices in the per-app cache and
+// materialised as report keys only at emission time.
+constexpr std::uint8_t kNoDns = 0;
+constexpr std::uint8_t kNoShares = 1;
+constexpr std::uint8_t kNoRoute = 2;
+constexpr std::uint8_t kDepth = 3;
+constexpr std::uint8_t kNoOwner = 4;
+constexpr std::uint8_t kNoRips = 5;
+constexpr std::uint8_t kDeadVm = 6;
+const std::array<std::string, 7> kCauseNames = {
+    "no_dns", "no_shares", "no_route", "depth",
+    "no_owner", "no_rips", "dead_vm"};
+
+// Apps per parallel emission shard.  The shard boundaries are fixed (not
+// derived from the worker count), so the produced per-link addition
+// sequence is the same for any pool size.
+constexpr std::size_t kEmitShardApps = 512;
 }  // namespace
+
+// One application's resolved flow tree plus the config versions it was
+// derived from.  The outcome vectors keep the exact order the sequential
+// descent would emit in, so replaying a cached tree is bit-identical to
+// recomputing it.
+struct FluidEngine::AppCache {
+  // How far the app's evaluation got; what must hold for the cache to
+  // stay valid depends on it (see FluidEngine::cacheValid).
+  enum class Stage : std::uint8_t {
+    DemandOnly,  // demand <= eps: nothing else was consulted
+    NoDns,       // app missing from DNS: valid until DNS topology grows
+    Routed       // full descent: valid while every recorded version holds
+  };
+
+  bool valid = false;
+  Stage stage = Stage::DemandOnly;
+  bool hadDns = false;
+  double demandRps = 0.0;
+  std::uint64_t dnsTopoDep = 0;
+  std::uint64_t sharesDep = 0;
+
+  struct Flow {
+    VmRecord* vm;  // stable: HostFleet never erases VM records
+    double rps;
+    PathRef path;
+  };
+
+  // Outcome, in descent-visit order.
+  std::vector<std::pair<std::uint8_t, double>> unrouted;  // cause, rps
+  std::vector<std::pair<VipId, double>> vipDemandRps;
+  std::vector<double> degradedRps;  // fallback-routed shares
+  std::vector<Flow> flows;
+
+  // Version dependencies recorded during the descent.
+  std::vector<std::pair<VipId, std::uint64_t>> fleetDeps;
+  std::vector<std::pair<VipId, std::uint64_t>> routeDeps;
+  std::vector<std::pair<VmId, std::uint64_t>> vmDeps;
+
+  void clearOutcome() {
+    unrouted.clear();
+    vipDemandRps.clear();
+    degradedRps.clear();
+    flows.clear();
+    fleetDeps.clear();
+    routeDeps.clear();
+    vmDeps.clear();
+  }
+};
 
 FluidEngine::FluidEngine(Simulation& sim, const Topology& topo,
                          AppRegistry& apps, AuthoritativeDns& dns,
@@ -39,8 +102,139 @@ FluidEngine::FluidEngine(Simulation& sim, const Topology& topo,
       hosts_(hosts),
       demand_(demand),
       viprip_(viprip),
-      options_(options) {
+      options_(options),
+      demandInvariant_(demand.timeInvariant()),
+      // Sharded link emission produces the same bits as the sequential
+      // path but does strictly more work (pair lists + a merge); it only
+      // pays off when shards genuinely run concurrently.  The env knob
+      // lets tests exercise the merge on single-core machines.
+      multiCore_(std::thread::hardware_concurrency() > 1 ||
+                 std::getenv("MDC_FORCE_SHARDED_EMIT") != nullptr),
+      pool_(ThreadPool::resolveWorkers(options.workers)) {
   MDC_EXPECT(options.epoch > 0.0, "epoch must be positive");
+}
+
+FluidEngine::~FluidEngine() = default;
+
+bool FluidEngine::cacheValid(AppId app, const AppCache& c) const {
+  using Stage = AppCache::Stage;
+  if (c.stage == Stage::DemandOnly) return true;
+  if (c.stage == Stage::NoDns) {
+    // Apps are never unregistered, so "not in DNS" can only flip when
+    // the registered set grows.
+    return dns_.topologyVersion() == c.dnsTopoDep;
+  }
+  if (resolvers_.sharesVersion(app) != c.sharesDep) return false;
+  for (const auto& [vip, v] : c.routeDeps) {
+    if (routes_.routeVersion(vip) != v) return false;
+  }
+  for (const auto& [vip, v] : c.fleetDeps) {
+    if (fleet_.vipConfigVersion(vip) != v) return false;
+  }
+  for (const auto& [vm, v] : c.vmDeps) {
+    if (hosts_.vmConfigVersion(vm) != v) return false;
+  }
+  return true;
+}
+
+// Recursive descent from a VIP to VMs, following m-VIP indirection for
+// the two-LB-layer architecture (§V-B).  `prefix` is the interned path of
+// links already crossed (access link + upstream switch trunks).  Runs on
+// pool workers for disjoint apps: every store access is a const read, and
+// the arena locks its own interning.
+void FluidEngine::descend(VipId vip, double rps, PathRef prefix, int depth,
+                          AppCache& c) {
+  if (rps <= kEpsRps) return;
+  if (depth >= kMaxVipDepth) {
+    c.unrouted.emplace_back(kDepth, rps);
+    return;
+  }
+  const SwitchFleet& fleet = fleet_;
+  c.fleetDeps.emplace_back(vip, fleet.vipConfigVersion(vip));
+  const auto owner = fleet.ownerOf(vip);
+  if (!owner.has_value()) {
+    c.unrouted.emplace_back(kNoOwner, rps);
+    return;
+  }
+  const VipEntry* entry = fleet.at(*owner).findVip(vip);
+  MDC_ENSURE(entry != nullptr, "fleet ownership index out of sync");
+  const double totalWeight = entry->totalWeight();
+  if (entry->rips.empty() || totalWeight <= 0.0) {
+    c.unrouted.emplace_back(kNoRips, rps);
+    return;
+  }
+  c.vipDemandRps.emplace_back(vip, rps);
+  const PathRef withTrunk = arena_.extend(prefix, topo_.switchTrunk(*owner));
+  const bool traditional =
+      topo_.config().fabric == FabricKind::TraditionalTree;
+  for (const RipEntry& rip : entry->rips) {
+    const double ripRps = rps * rip.weight / totalWeight;
+    if (ripRps <= kEpsRps) continue;
+    if (rip.targetsVm()) {
+      c.vmDeps.emplace_back(rip.vm, hosts_.vmConfigVersion(rip.vm));
+      if (!hosts_.vmExists(rip.vm)) {
+        c.unrouted.emplace_back(kDeadVm, ripRps);
+        continue;
+      }
+      VmRecord& rec = hosts_.vmMutable(rip.vm);
+      const ServerInfo& srv = topo_.server(rec.server);
+      PathRef path = withTrunk;
+      if (traditional) path = arena_.extend(path, topo_.siloUplink(srv.silo));
+      path = arena_.extend(path, srv.nic);
+      c.flows.push_back(AppCache::Flow{&rec, ripRps, path});
+    } else {
+      descend(rip.mvip, ripRps, withTrunk, depth + 1, c);
+    }
+  }
+}
+
+void FluidEngine::computeApp(AppCache& c, std::span<const VipWeight> shares) {
+  using Stage = AppCache::Stage;
+  c.clearOutcome();
+  c.valid = true;
+  const double demandRps = c.demandRps;
+  if (demandRps <= kEpsRps) {
+    c.stage = Stage::DemandOnly;
+    return;
+  }
+  if (!c.hadDns) {
+    c.stage = Stage::NoDns;
+    c.unrouted.emplace_back(kNoDns, demandRps);
+    return;
+  }
+  c.stage = Stage::Routed;
+  double shareSum = 0.0;
+  for (const VipWeight& sh : shares) shareSum += sh.weight;
+  if (shares.empty() || shareSum <= kEpsRps) {
+    // No VIP of the app is exposed (all weights zero, e.g. every RIP
+    // lost); clients cannot reach it at all.
+    c.unrouted.emplace_back(kNoShares, demandRps);
+    return;
+  }
+  for (const VipWeight& sh : shares) {
+    const double vipRps = demandRps * sh.weight;
+    if (vipRps <= kEpsRps) continue;
+
+    c.routeDeps.emplace_back(sh.vip, routes_.routeVersion(sh.vip));
+    auto routers = routes_.activeRouters(sh.vip);
+    bool degraded = false;
+    if (routers.empty()) {
+      // No converged route attracts new traffic; fall back to padded /
+      // draining routes so existing clients keep a path.
+      routers = routes_.reachableRouters(sh.vip);
+      degraded = !routers.empty();
+    }
+    if (routers.empty()) {
+      c.unrouted.emplace_back(kNoRoute, vipRps);
+      continue;
+    }
+    if (degraded) c.degradedRps.push_back(vipRps);
+    const double perRouter = vipRps / static_cast<double>(routers.size());
+    for (AccessRouterId ar : routers) {
+      descend(sh.vip, perRouter,
+              arena_.root(topo_.accessLinkFor(ar).link), 0, c);
+    }
+  }
 }
 
 EpochReport FluidEngine::step() {
@@ -51,143 +245,177 @@ EpochReport FluidEngine::step() {
   EpochReport report;
   report.time = now;
 
-  std::vector<double> linkOffered(topo_.network().linkCount(), 0.0);
-  std::vector<VmFlowRecord> vmFlows;
+  const std::vector<Application>& appList = apps_.all();
+  const std::size_t n = appList.size();
+  if (cache_.size() < n) cache_.resize(n);
 
-  // Recursive descent from a VIP to VMs, following m-VIP indirection for
-  // the two-LB-layer architecture (§V-B).  `prefix` carries the links
-  // already on the path (access link + upstream switch trunks).
-  std::function<void(VipId, double, AppId, std::vector<LinkId>, int)>
-      descend = [&](VipId vip, double rps, AppId app,
-                    std::vector<LinkId> prefix, int depth) {
-        if (rps <= kEpsRps) return;
-        if (depth >= kMaxVipDepth) {
-          report.unroutedRps += rps;
-          report.unroutedByCause["depth"] += rps;
-          return;
-        }
-        const auto owner = fleet_.ownerOf(vip);
-        if (!owner.has_value()) {
-          report.unroutedRps += rps;
-          report.unroutedByCause["no_owner"] += rps;
-          return;
-        }
-        const VipEntry* entry = fleet_.at(*owner).findVip(vip);
-        MDC_ENSURE(entry != nullptr, "fleet ownership index out of sync");
-        const double totalWeight = entry->totalWeight();
-        if (entry->rips.empty() || totalWeight <= 0.0) {
-          report.unroutedRps += rps;
-          report.unroutedByCause["no_rips"] += rps;
-          return;
-        }
-        report.vipDemandGbps[vip] +=
-            rps * apps_.app(app).sla.gbpsPerKrps / 1000.0;
-        prefix.push_back(topo_.switchTrunk(*owner));
-        for (const RipEntry& rip : entry->rips) {
-          const double ripRps = rps * rip.weight / totalWeight;
-          if (ripRps <= kEpsRps) continue;
-          if (rip.targetsVm()) {
-            if (!hosts_.vmExists(rip.vm)) {
-              report.unroutedRps += ripRps;
-              report.unroutedByCause["dead_vm"] += ripRps;
-              continue;
-            }
-            const ServerInfo& srv =
-                topo_.server(hosts_.vm(rip.vm).server);
-            VmFlowRecord rec;
-            rec.vm = rip.vm;
-            rec.app = app;
-            rec.rps = ripRps;
-            rec.path = prefix;
-            if (topo_.config().fabric == FabricKind::TraditionalTree) {
-              rec.path.push_back(topo_.siloUplink(srv.silo));
-            }
-            rec.path.push_back(srv.nic);
-            vmFlows.push_back(std::move(rec));
-          } else {
-            descend(rip.mvip, ripRps, app, prefix, depth + 1);
-          }
-        }
-      };
-
-  // Route every application's demand down the data path.
-  for (const Application& app : apps_.all()) {
-    const double demandRps = demand_.rps(app.id, now);
-    report.appDemandRps[app.id] = demandRps;
-    if (demandRps <= kEpsRps) continue;
-    if (!dns_.hasApp(app.id)) {
-      report.unroutedRps += demandRps;
-      report.unroutedByCause["no_dns"] += demandRps;
+  // --- Phase A0: validate caches, snapshot the inputs of dirty apps ----
+  // Sequential by design: shares() may lazily materialise resolver pools,
+  // and validation is nothing but dense version-array loads.
+  const bool incremental = options_.incremental;
+  dirty_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Application& app = appList[i];
+    AppCache& c = cache_[app.id.index()];
+    const double d = (incremental && c.valid && demandInvariant_)
+                         ? c.demandRps
+                         : demand_.rps(app.id, now);
+    if (incremental && c.valid && d == c.demandRps && cacheValid(app.id, c)) {
       continue;
     }
-    const auto shares = resolvers_.shares(app.id);
-    double shareSum = 0.0;
-    for (const VipWeight& sh : shares) shareSum += sh.weight;
-    if (shares.empty() || shareSum <= kEpsRps) {
-      // No VIP of the app is exposed (all weights zero, e.g. every RIP
-      // lost); clients cannot reach it at all.
-      report.unroutedRps += demandRps;
-      report.unroutedByCause["no_shares"] += demandRps;
-      continue;
-    }
-    for (const VipWeight& sh : shares) {
-      const double vipRps = demandRps * sh.weight;
-      if (vipRps <= kEpsRps) continue;
-
-      auto routers = routes_.activeRouters(sh.vip);
-      if (routers.empty()) routers = routes_.reachableRouters(sh.vip);
-      if (routers.empty()) {
-        report.unroutedRps += vipRps;
-        report.unroutedByCause["no_route"] += vipRps;
-        continue;
-      }
-      const double perRouter = vipRps / static_cast<double>(routers.size());
-      for (AccessRouterId ar : routers) {
-        descend(sh.vip, perRouter, app.id,
-                {topo_.accessLinkFor(ar).link}, 0);
+    c.demandRps = d;
+    c.hadDns = false;
+    std::vector<VipWeight> shares;
+    if (d > kEpsRps) {
+      c.hadDns = dns_.hasApp(app.id);
+      if (c.hadDns) {
+        shares = resolvers_.shares(app.id);
+        // Read the version after shares(): a first call materialises the
+        // pool and moves the version.
+        c.sharesDep = resolvers_.sharesVersion(app.id);
+      } else {
+        c.dnsTopoDep = dns_.topologyVersion();
       }
     }
+    const std::size_t k = dirty_.size();
+    dirty_.push_back(app.id.index());
+    if (k < dirtyShares_.size()) {
+      dirtyShares_[k] = std::move(shares);
+    } else {
+      dirtyShares_.push_back(std::move(shares));
+    }
+  }
+  if (incremental) {
+    report.engineAppsRecomputed = static_cast<std::uint32_t>(dirty_.size());
+    report.engineAppsCached = static_cast<std::uint32_t>(n - dirty_.size());
+    totalRecomputed_ += dirty_.size();
+    totalCached_ += n - dirty_.size();
   }
 
-  // Offered load per link, from every VM flow.
-  for (const VmFlowRecord& f : vmFlows) {
-    const AppSla& sla = apps_.app(f.app).sla;
-    const double gbps = f.rps * sla.gbpsPerKrps / 1000.0;
-    for (LinkId l : f.path) linkOffered[l.index()] += gbps;
-  }
-
-  // Serving: network fraction first, then VM capacity.
-  hosts_.forEachVm([](VmRecord& vm) {
-    vm.offeredRps = 0.0;
-    vm.servedRps = 0.0;
+  // --- Phase A1: re-descend dirty apps on the pool ---------------------
+  // Workers write only their own app's cache slot; all store reads are
+  // const.  The join below is the barrier the lock-free arena walks in
+  // phases B/C rely on.
+  pool_.parallelFor(dirty_.size(), [&](std::size_t k) {
+    computeApp(cache_[dirty_[k]], dirtyShares_[k]);
   });
-  std::unordered_map<VmId, double> netServedRps;
-  for (const VmFlowRecord& f : vmFlows) {
-    double fraction = 1.0;
-    for (LinkId l : f.path) {
-      const double cap = topo_.network().link(l).capacityGbps;
-      const double off = linkOffered[l.index()];
-      if (off > cap) {
-        fraction = std::min(fraction, cap > 0.0 ? cap / off : 0.0);
+
+  // --- Phase B: emit every app's tree into the report ------------------
+  // Always in application order, so per-accumulator addition sequences —
+  // and therefore the floating-point results — are independent of which
+  // apps happened to be cached and of the worker count.
+  report.appDemandRps.reserve(n);
+  report.appServedRps.reserve(n);
+  report.vipDemandGbps.reserve(fleet_.totalVips());
+  linkOffered_.assign(topo_.network().linkCount(), 0.0);
+
+  const std::size_t shards = (n + kEmitShardApps - 1) / kEmitShardApps;
+  const bool shardedEmit = pool_.workers() > 1 && shards > 1 && multiCore_;
+  if (shardedEmit) {
+    if (shardOffered_.size() < shards) shardOffered_.resize(shards);
+    pool_.parallelFor(shards, [&](std::size_t s) {
+      auto& out = shardOffered_[s];
+      out.clear();
+      const std::size_t lo = s * kEmitShardApps;
+      const std::size_t hi = std::min(n, lo + kEmitShardApps);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Application& app = appList[i];
+        const AppCache& c = cache_[app.id.index()];
+        const double gbpsPerKrps = app.sla.gbpsPerKrps;
+        for (const AppCache::Flow& f : c.flows) {
+          const double gbps = f.rps * gbpsPerKrps / 1000.0;
+          arena_.forEach(f.path, [&](LinkId l) {
+            out.emplace_back(static_cast<std::uint32_t>(l.index()), gbps);
+          });
+        }
+      }
+    });
+    // Deterministic merge: shard order x in-shard order == app order, so
+    // every link slot sees the exact addition sequence of the sequential
+    // path below.
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (const auto& [slot, gbps] : shardOffered_[s]) {
+        linkOffered_[slot] += gbps;
       }
     }
-    VmRecord& vm = hosts_.vmMutable(f.vm);
-    vm.offeredRps += f.rps;
-    netServedRps[f.vm] += f.rps * fraction;
   }
-  for (const auto& [vmId, rps] : netServedRps) {
-    VmRecord& vm = hosts_.vmMutable(vmId);
-    const AppSla& sla = apps_.app(vm.app).sla;
-    const double capRps = sla.servableRps(vm.effectiveSlice);
-    vm.servedRps = std::min(rps, capRps);
-    report.appServedRps[vm.app] += vm.servedRps;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Application& app = appList[i];
+    const AppCache& c = cache_[app.id.index()];
+    const double gbpsPerKrps = app.sla.gbpsPerKrps;  // hoisted per app
+    report.appDemandRps[app.id] = c.demandRps;
+    for (const auto& [cause, rps] : c.unrouted) {
+      report.unroutedRps += rps;
+      report.unroutedByCause[kCauseNames[cause]] += rps;
+    }
+    for (const auto& [vip, rps] : c.vipDemandRps) {
+      report.vipDemandGbps[vip] += rps * gbpsPerKrps / 1000.0;
+    }
+    for (const double rps : c.degradedRps) {
+      report.degradedRoutedRps += rps;
+    }
+    if (!shardedEmit) {
+      for (const AppCache::Flow& f : c.flows) {
+        const double gbps = f.rps * gbpsPerKrps / 1000.0;
+        arena_.forEach(f.path, [&](LinkId l) {
+          linkOffered_[l.index()] += gbps;
+        });
+      }
+    }
+  }
+
+  // --- Phase C: serving — network fraction first, then VM capacity -----
+  // Flat VmId-indexed accumulators with an epoch stamp; only the VMs a
+  // flow touched are visited, instead of a fleet-wide gauge sweep.
+  ++epochStamp_;
+  const std::size_t vmBound = hosts_.vmIndexBound();
+  if (vmOffered_.size() < vmBound) {
+    vmOffered_.resize(vmBound, 0.0);
+    vmNetRps_.resize(vmBound, 0.0);
+    vmStamp_.resize(vmBound, 0);
+  }
+  for (VmRecord* vm : touchedVms_) {  // gauges of last epoch's targets
+    vm->offeredRps = 0.0;
+    vm->servedRps = 0.0;
+  }
+  touchedVms_.clear();
+  const Network& net = topo_.network();
+  for (std::size_t i = 0; i < n; ++i) {
+    const AppCache& c = cache_[appList[i].id.index()];
+    for (const AppCache::Flow& f : c.flows) {
+      double fraction = 1.0;
+      arena_.forEach(f.path, [&](LinkId l) {
+        const double cap = net.link(l).capacityGbps;
+        const double off = linkOffered_[l.index()];
+        if (off > cap) {
+          fraction = std::min(fraction, cap > 0.0 ? cap / off : 0.0);
+        }
+      });
+      const std::size_t vi = f.vm->id.index();
+      if (vmStamp_[vi] != epochStamp_) {
+        vmStamp_[vi] = epochStamp_;
+        vmOffered_[vi] = 0.0;
+        vmNetRps_[vi] = 0.0;
+        touchedVms_.push_back(f.vm);
+      }
+      vmOffered_[vi] += f.rps;
+      vmNetRps_[vi] += f.rps * fraction;
+    }
+  }
+  for (VmRecord* vm : touchedVms_) {
+    const std::size_t vi = vm->id.index();
+    vm->offeredRps = vmOffered_[vi];
+    const AppSla& sla = apps_.app(vm->app).sla;
+    const double capRps = sla.servableRps(vm->effectiveSlice);
+    vm->servedRps = std::min(vmNetRps_[vi], capRps);
+    report.appServedRps[vm->app] += vm->servedRps;
   }
 
   // Link and switch utilization.
   report.accessLinkUtil.resize(topo_.accessLinkCount());
   for (std::size_t i = 0; i < topo_.accessLinkCount(); ++i) {
-    const Link& l = topo_.network().link(topo_.accessLink(i).link);
-    const double off = linkOffered[l.id.index()];
+    const Link& l = net.link(topo_.accessLink(i).link);
+    const double off = linkOffered_[l.id.index()];
     report.accessLinkUtil[i] = l.capacityGbps > 0.0
                                    ? off / l.capacityGbps
                                    : (off > 0.0 ? 1e9 : 0.0);
@@ -197,8 +425,8 @@ EpochReport FluidEngine::step() {
   report.switchUtil.resize(topo_.switchCount());
   for (std::size_t i = 0; i < topo_.switchCount(); ++i) {
     const SwitchId sw{static_cast<SwitchId::value_type>(i)};
-    const Link& trunk = topo_.network().link(topo_.switchTrunk(sw));
-    const double off = linkOffered[trunk.id.index()];
+    const Link& trunk = net.link(topo_.switchTrunk(sw));
+    const double off = linkOffered_[trunk.id.index()];
     report.switchUtil[i] =
         trunk.capacityGbps > 0.0 ? off / trunk.capacityGbps : 0.0;
     if (i < fleet_.size()) fleet_.at(sw).setOfferedGbps(off);

@@ -13,9 +13,23 @@
 // whenever a flow crosses at most one saturated link (the dominant case
 // here: the access link or the switch trunk).  The exact max-min allocator
 // in mdc/net remains available for finer analyses.
+//
+// The engine is incremental and parallel (see DESIGN.md, "Epoch engine
+// performance model").  Each application's resolved flow tree is cached
+// together with the config versions it was derived from (DNS shares,
+// route table, VIP/RIP tables, VM liveness, demand value); an epoch
+// re-descends only the applications whose inputs moved and replays every
+// other tree from the cache.  The dirty-app fan-out is sharded across a
+// small worker pool, but the emission into the report and the serving
+// phase run in a fixed application order, so every mode — incremental or
+// full, 1 worker or N — produces bit-identical EpochReports.  The
+// virtual-time Simulation loop itself stays single-threaded; only the
+// pure computation inside one step() parallelizes.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -25,9 +39,11 @@
 #include "mdc/host/host_fleet.hpp"
 #include "mdc/lb/switch_fleet.hpp"
 #include "mdc/metrics/timeseries.hpp"
+#include "mdc/net/path_arena.hpp"
 #include "mdc/route/route_registry.hpp"
 #include "mdc/sim/simulation.hpp"
 #include "mdc/topo/topology.hpp"
+#include "mdc/util/thread_pool.hpp"
 #include "mdc/workload/demand.hpp"
 
 namespace mdc {
@@ -40,6 +56,13 @@ class FluidEngine {
     SimTime epoch = 5.0;
     /// Stop recording time series after this many samples (0 = unlimited).
     std::size_t maxSamples = 0;
+    /// Serve unchanged apps from the flow-tree cache.  false = recompute
+    /// every app every epoch (the always-correct fallback; also what the
+    /// equivalence tests compare the cache against).
+    bool incremental = true;
+    /// Worker threads for the per-app fan-out inside one step().
+    /// 0 = take the MDC_THREADS environment variable, defaulting to 1.
+    unsigned workers = 0;
   };
 
   FluidEngine(Simulation& sim, const Topology& topo, AppRegistry& apps,
@@ -47,6 +70,10 @@ class FluidEngine {
               RouteRegistry& routes, SwitchFleet& fleet, HostFleet& hosts,
               const DemandModel& demand,
               const VipRipManager& viprip, Options options);
+  ~FluidEngine();
+
+  FluidEngine(const FluidEngine&) = delete;
+  FluidEngine& operator=(const FluidEngine&) = delete;
 
   /// Evaluate one epoch at the current simulation time.
   EpochReport step();
@@ -55,6 +82,23 @@ class FluidEngine {
   void start(std::function<void(const EpochReport&)> sink);
 
   [[nodiscard]] const EpochReport& latest() const noexcept { return latest_; }
+
+  // --- cache observability (bench E15) -----------------------------------
+
+  /// Cumulative apps re-descended / served from cache across all steps.
+  [[nodiscard]] std::uint64_t appsRecomputed() const noexcept {
+    return totalRecomputed_;
+  }
+  [[nodiscard]] std::uint64_t appsFromCache() const noexcept {
+    return totalCached_;
+  }
+  /// Interned path nodes (shared prefixes stored once).
+  [[nodiscard]] std::size_t pathArenaSize() const noexcept {
+    return arena_.size();
+  }
+  [[nodiscard]] unsigned workerCount() const noexcept {
+    return pool_.workers();
+  }
 
   // --- recorded series (inputs to the benches) ---------------------------
 
@@ -78,6 +122,13 @@ class FluidEngine {
   }
 
  private:
+  struct AppCache;
+
+  [[nodiscard]] bool cacheValid(AppId app, const AppCache& c) const;
+  void computeApp(AppCache& c, std::span<const VipWeight> shares);
+  void descend(VipId vip, double rps, PathRef prefix, int depth,
+               AppCache& c);
+
   Simulation& sim_;
   const Topology& topo_;
   AppRegistry& apps_;
@@ -89,6 +140,28 @@ class FluidEngine {
   const DemandModel& demand_;
   const VipRipManager& viprip_;
   Options options_;
+  bool demandInvariant_;
+  bool multiCore_;  // gates the sharded link emission (see step())
+
+  PathArena arena_;
+  ThreadPool pool_;
+  std::vector<AppCache> cache_;           // indexed by AppId
+  std::vector<std::size_t> dirty_;        // app indices to re-descend
+  std::vector<std::vector<VipWeight>> dirtyShares_;  // parallel to dirty_
+
+  // Flat per-epoch accumulators (reused across steps).
+  std::vector<double> linkOffered_;
+  std::vector<double> vmOffered_;   // by VmId index, epoch-stamped
+  std::vector<double> vmNetRps_;
+  std::vector<std::uint64_t> vmStamp_;
+  std::uint64_t epochStamp_ = 0;
+  std::vector<VmRecord*> touchedVms_;     // reset targets for next epoch
+  // Per-shard (link slot, gbps) entries; applied in shard order so the
+  // parallel accumulation replays the sequential addition sequence.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> shardOffered_;
+
+  std::uint64_t totalRecomputed_ = 0;
+  std::uint64_t totalCached_ = 0;
 
   EpochReport latest_;
   TimeSeries linkImbalance_{"link-imbalance(max/mean)"};

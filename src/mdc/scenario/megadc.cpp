@@ -146,6 +146,8 @@ MegaDcConfig paperScaleConfig() {
   cfg.instancesPerApp = 2;  // grown toward ~20 by the managers
   cfg.numPods = 60;         // 5,000 servers per pod (§III-A)
   cfg.manager.vipsPerApp = 3;
+  // At 300k apps the epoch fan-out is the hot loop; shard it.
+  cfg.engine.workers = 4;
   return cfg;
 }
 

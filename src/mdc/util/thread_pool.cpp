@@ -1,0 +1,118 @@
+#include "mdc/util/thread_pool.hpp"
+
+#include <cstdlib>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+ThreadPool::ThreadPool(unsigned workers) : workers_(workers) {
+  MDC_EXPECT(workers >= 1, "thread pool needs at least one worker");
+  threads_.reserve(workers - 1);
+  for (unsigned i = 0; i + 1 < workers; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+unsigned ThreadPool::resolveWorkers(unsigned requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("MDC_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return static_cast<unsigned>(n);
+  }
+  return 1;
+}
+
+void ThreadPool::runJobs(std::uint64_t round) {
+  // Tickets are drawn in chunks so fine-grained job lists (thousands of
+  // per-app descents) do not serialize on the mutex; the locked draw
+  // still makes cross-round races impossible: a straggler from an
+  // earlier round fails the round check and simply goes back to sleep.
+  for (;;) {
+    std::size_t lo;
+    std::size_t hi;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (round != round_ || next_ >= jobs_) return;
+      lo = next_;
+      hi = lo + chunk_ < jobs_ ? lo + chunk_ : jobs_;
+      next_ = hi;
+    }
+    // fn_ stays valid here: the caller cannot leave parallelFor while
+    // this drawn-but-unfinished chunk keeps pending_ above zero.
+    std::exception_ptr error;
+    for (std::size_t i = lo; i < hi && !error; ++i) {
+      try {
+        (*fn_)(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (error && !firstError_) firstError_ = error;
+      pending_ -= hi - lo;  // skipped-after-throw jobs count as done
+      if (pending_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::uint64_t seenRound = 0;
+  for (;;) {
+    std::uint64_t round;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] { return shutdown_ || round_ != seenRound; });
+      if (shutdown_) return;
+      seenRound = round = round_;
+    }
+    runJobs(round);
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t jobs,
+                             const std::function<void(std::size_t)>& fn) {
+  if (jobs == 0) return;
+  if (threads_.empty() || jobs == 1) {
+    for (std::size_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+  std::uint64_t round;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    jobs_ = jobs;
+    next_ = 0;
+    // ~8 chunks per worker: coarse enough to keep the mutex quiet, fine
+    // enough that an uneven job mix still load-balances.
+    chunk_ = jobs / (static_cast<std::size_t>(workers_) * 8) + 1;
+    pending_ = jobs;
+    firstError_ = nullptr;
+    round = ++round_;
+  }
+  wake_.notify_all();
+  runJobs(round);  // the caller is a worker too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&] { return pending_ == 0; });
+    jobs_ = 0;
+    next_ = 0;
+    fn_ = nullptr;
+    error = firstError_;
+    firstError_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace mdc

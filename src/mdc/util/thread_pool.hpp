@@ -1,0 +1,71 @@
+// A small fixed worker pool for the epoch engine's per-app fan-out.
+//
+// The simulation kernel stays single-threaded; the pool exists only so a
+// *pure* computation inside one step — independent per-app work with no
+// shared mutable state — can be sharded across cores.  parallelFor() is a
+// fork/join primitive: the calling thread participates, jobs are handed
+// out through an atomic cursor, and the call returns only when every job
+// has finished, so no worker ever touches engine state outside the call.
+//
+// Exceptions thrown by a job (MDC_EXPECT violations included) are caught,
+// the first one is remembered, and it is rethrown on the calling thread
+// after the join, preserving the contract-checking behaviour of the
+// sequential code path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mdc {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers - 1` helper threads (the caller of parallelFor is
+  /// the remaining worker).  Precondition: workers >= 1.
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned workers() const noexcept { return workers_; }
+
+  /// Runs fn(0) .. fn(jobs - 1), each exactly once, on the pool plus the
+  /// calling thread; blocks until all jobs completed.  Job order across
+  /// threads is unspecified — callers must make jobs independent.
+  void parallelFor(std::size_t jobs, const std::function<void(std::size_t)>& fn);
+
+  /// Resolves a worker-count knob: 0 means "use the MDC_THREADS
+  /// environment variable, else 1"; anything else is taken literally.
+  [[nodiscard]] static unsigned resolveWorkers(unsigned requested);
+
+ private:
+  void workerLoop();
+  void runJobs(std::uint64_t round);
+
+  const unsigned workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;   // signals helpers: new round or shutdown
+  std::condition_variable done_;   // signals the caller: round finished
+  bool shutdown_ = false;
+  std::uint64_t round_ = 0;        // generation counter of parallelFor calls
+
+  // State of the active round, all guarded by mu_ (fn_ is dereferenced
+  // outside the lock, but only for a job drawn while the round was live,
+  // which keeps pending_ > 0 and therefore the caller — and fn — alive).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t jobs_ = 0;
+  std::size_t next_ = 0;
+  std::size_t chunk_ = 1;  // tickets drawn per lock acquisition
+  std::size_t pending_ = 0;
+  std::exception_ptr firstError_;
+};
+
+}  // namespace mdc
