@@ -66,6 +66,27 @@ struct EpochReport {
   std::uint64_t ctrlDriftLastAudit = 0;
   std::uint64_t ctrlRepairsIssued = 0;
 
+  /// Manager-tier fault-tolerance snapshot (E16): the current fencing
+  /// term, leader liveness, live instances (leader + standbys), and the
+  /// cumulative failover / pod-manager-restart / fencing counters.
+  std::uint64_t managerTerm = 1;
+  bool managerLeaderUp = true;
+  std::uint32_t managerAlive = 2;
+  std::uint64_t managerFailovers = 0;
+  std::uint64_t podManagerRestarts = 0;
+  /// Commands a switch agent refused because they carried a dead
+  /// leader's term, and commands cancelled by a manager crash/takeover.
+  std::uint64_t ctrlStaleTermRejections = 0;
+  std::uint64_t ctrlCancelledCommands = 0;
+
+  /// Fault-replay handle: the injector's plan seed plus its cumulative
+  /// injected/repaired counters — enough to reproduce a chaos run from
+  /// the report alone (the storm schedule is a pure function of the
+  /// seed and the storm options).
+  std::uint64_t faultPlanSeed = 0;
+  std::uint64_t faultsInjected = 0;
+  std::uint64_t faultRepairsApplied = 0;
+
   [[nodiscard]] double totalDemandRps() const {
     double d = 0.0;
     for (const auto& [app, rps] : appDemandRps) d += rps;

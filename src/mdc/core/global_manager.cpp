@@ -1,6 +1,7 @@
 #include "mdc/core/global_manager.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace mdc {
@@ -92,6 +93,10 @@ Status GlobalManager::deployApp(AppId app, std::uint32_t instances,
 void GlobalManager::start() {
   MDC_EXPECT(!started_, "start() called twice");
   started_ = true;
+  // Balancer rounds are leader work: while no leader is up, no
+  // datacenter-scale decision (and no journal write) may happen, so the
+  // loops are registered here behind the leadership gate instead of via
+  // the components' own start().
   if (options_.enableInterPodBalancer && !pods_.empty()) {
     std::vector<PodManager*> raw;
     raw.reserve(pods_.size());
@@ -99,7 +104,11 @@ void GlobalManager::start() {
     interPod_ = std::make_unique<InterPodBalancer>(
         sim_, hosts_, apps_, fleet_, *viprip_, podRegistry_,
         std::move(raw), options_.interPod);
-    interPod_->start(options_.interPod.period * 0.5);
+    sim_.every(options_.interPod.period,
+               [this] {
+                 if (leaderUp_) interPod_->runOnce();
+               },
+               options_.interPod.period * 0.5);
   }
   if (options_.enablePodLoops) {
     double phase = 0.0;
@@ -108,9 +117,19 @@ void GlobalManager::start() {
       phase += options_.pod.controlPeriod / (static_cast<double>(pods_.size()) + 1.0);
     }
   }
-  if (options_.enableLinkBalancer) linkBalancer_->start(options_.link.period * 0.25);
+  if (options_.enableLinkBalancer) {
+    sim_.every(options_.link.period,
+               [this] {
+                 if (leaderUp_) linkBalancer_->runOnce();
+               },
+               options_.link.period * 0.25);
+  }
   if (options_.enableSwitchBalancer) {
-    switchBalancer_->start(options_.switchBalancer.period * 0.75);
+    sim_.every(options_.switchBalancer.period,
+               [this] {
+                 if (leaderUp_) switchBalancer_->runOnce();
+               },
+               options_.switchBalancer.period * 0.75);
   }
   if (options_.enableReconciler) {
     Reconciler::Hooks hooks;
@@ -125,11 +144,78 @@ void GlobalManager::start() {
         sim_, fleet_, viprip_->intent(), viprip_->ctrlSender(),
         std::move(hooks), options_.reconciler);
     viprip_->attachReconciler(reconciler_.get());
+    reconciler_->setActiveCheck([this] { return leaderUp_; });
     reconciler_->start(options_.reconciler.periodSeconds * 0.4);
+  }
+  if (options_.failover.enable) {
+    MDC_EXPECT(options_.failover.leaseSeconds > 0.0 &&
+                   options_.failover.renewSeconds > 0.0,
+               "lease and renew periods must be positive");
+    leaseExpiry_ = sim_.now() + options_.failover.leaseSeconds;
+    sim_.every(options_.failover.renewSeconds, [this] { leaseTick(); });
   }
 }
 
+void GlobalManager::leaseTick() {
+  if (leaderUp_) {
+    leaseExpiry_ = sim_.now() + options_.failover.leaseSeconds;
+    return;
+  }
+  if (standbys_ == 0) return;             // nobody left to promote
+  if (sim_.now() < leaseExpiry_) return;  // fencing: wait out the old lease
+  // Promotion: the standby becomes leader under a strictly higher term.
+  --standbys_;
+  leaderUp_ = true;
+  ++term_;
+  ++failovers_;
+  leaseExpiry_ = sim_.now() + options_.failover.leaseSeconds;
+  // Recover from the durable state: new fencing term (agents will reject
+  // anything older), journal replay, reopened serialization queue...
+  viprip_->recoverAsLeader(term_);
+  // ...and an immediate audit re-derives pending work from the rebuilt
+  // IntentStore instead of waiting out the periodic round.
+  if (reconciler_ != nullptr) reconciler_->auditRound();
+}
+
+void GlobalManager::crashLeader() {
+  MDC_EXPECT(leaderUp_, "crashLeader() with no live leader");
+  leaderUp_ = false;
+  // Everything queued or awaiting an ack dies with the process; each
+  // submitter sees Cancelled exactly once and nothing retries into the
+  // dead term.
+  viprip_->crash();
+}
+
+void GlobalManager::reviveInstance() {
+  MDC_EXPECT(aliveManagers() < 2, "both manager instances already alive");
+  ++standbys_;
+}
+
+void GlobalManager::crashPod(PodId pod) {
+  MDC_EXPECT(pod.valid() && pod.index() < pods_.size(), "unknown pod");
+  pods_[pod.index()]->crash();
+}
+
+void GlobalManager::restartPod(PodId pod) {
+  MDC_EXPECT(pod.valid() && pod.index() < pods_.size(), "unknown pod");
+  ++podRestarts_;
+  pods_[pod.index()]->restart(
+      [this](VmId vm) { return intendedVmWeight(vm); });
+}
+
+double GlobalManager::intendedVmWeight(VmId vm) const {
+  double total = 0.0;
+  for (const VipRipManager::RipRef& ref : viprip_->ripsOf(vm)) {
+    const VipIntent* in = viprip_->intent().find(ref.vip);
+    if (in == nullptr) continue;
+    const RipEntry* rip = in->findRip(ref.rip);
+    if (rip != nullptr) total += rip->weight;
+  }
+  return total;
+}
+
 void GlobalManager::observe(const EpochReport& report) {
+  if (!leaderUp_) return;  // a dead manager observes nothing
   linkBalancer_->observe(report);
   switchBalancer_->observe(report);
   if (interPod_ != nullptr) interPod_->observe(report);
@@ -179,23 +265,78 @@ void GlobalManager::observe(const EpochReport& report) {
   }
 }
 
+namespace {
+
+/// Failure codes produced by a crashed manager rather than by the
+/// request itself; the work is still wanted and must be retried against
+/// the recovered leader.
+bool crashTransient(const Status& s) {
+  const std::string& code = s.error().code;
+  return code == "manager_down" || code == "cancelled" ||
+         code == "ctrl_timeout";
+}
+
+SimTime retryBackoff(std::uint32_t attempt) {
+  return std::min(60.0, 5.0 * std::pow(2.0, static_cast<double>(attempt)));
+}
+
+}  // namespace
+
 void GlobalManager::requestNewRip(AppId app, VmId vm, double weight) {
+  submitNewRip(app, vm, weight, 0);
+}
+
+void GlobalManager::submitNewRip(AppId app, VmId vm, double weight,
+                                 std::uint32_t attempt) {
   VipRipRequest req;
   req.op = VipRipOp::NewRip;
   req.app = app;
   req.vm = vm;
   req.weight = weight;
   req.priority = 1;  // capacity-bringing requests go first
+  req.done = [this, app, vm, weight, attempt](Status s) {
+    if (s.ok() || !crashTransient(s)) return;
+    // The registration died with a crashed manager.  A VM without a RIP
+    // serves nothing forever, so keep trying while it is still a managed
+    // instance of the app.
+    sim_.after(retryBackoff(attempt), [this, app, vm, weight, attempt] {
+      if (!hosts_.vmExists(vm)) return;
+      const auto& instances = apps_.app(app).instances;
+      if (std::find(instances.begin(), instances.end(), vm) ==
+          instances.end()) {
+        return;  // retired meanwhile
+      }
+      if (!viprip_->ripsOf(vm).empty()) return;  // someone else bound it
+      submitNewRip(app, vm, weight, attempt + 1);
+    });
+  };
   viprip_->submit(std::move(req));
 }
 
 void GlobalManager::requestRipRemoval(VmId vm, std::function<void()> onDone) {
+  submitRipRemoval(vm, std::move(onDone), 0);
+}
+
+void GlobalManager::submitRipRemoval(VmId vm, std::function<void()> onDone,
+                                     std::uint32_t attempt) {
   VipRipRequest req;
   req.op = VipRipOp::DeleteRip;
   req.vm = vm;
-  if (onDone) {
-    req.done = [onDone = std::move(onDone)](Status) { onDone(); };
-  }
+  req.done = [this, vm, onDone = std::move(onDone),
+              attempt](Status s) mutable {
+    if (s.ok()) {
+      if (onDone) onDone();
+      return;
+    }
+    // `onDone` destroys the VM — that must not happen while switch
+    // tables may still reference it.  DeleteRip only fails when the
+    // manager died around it; retry against the recovered leader.
+    sim_.after(retryBackoff(attempt),
+               [this, vm, onDone = std::move(onDone), attempt]() mutable {
+                 if (!hosts_.vmExists(vm)) return;  // monitor cleaned it up
+                 submitRipRemoval(vm, std::move(onDone), attempt + 1);
+               });
+  };
   viprip_->submit(std::move(req));
 }
 
@@ -204,6 +345,19 @@ void GlobalManager::requestRipWeight(VmId vm, double weight) {
   req.op = VipRipOp::SetWeight;
   req.vm = vm;
   req.weight = weight;
+  req.done = [this, vm, weight](Status s) {
+    if (s.ok() || s.error().code != "vm_has_no_rips") return;
+    if (!hosts_.vmExists(vm)) return;
+    // The VM lost (or never got) its RIP — typically a NewRip that died
+    // with a crashed manager.  Re-bind it so its capacity serves again.
+    const AppId app = hosts_.vm(vm).app;
+    const auto& instances = apps_.app(app).instances;
+    if (std::find(instances.begin(), instances.end(), vm) ==
+        instances.end()) {
+      return;  // being retired; DeleteRip owns it
+    }
+    submitNewRip(app, vm, weight, 0);
+  };
   viprip_->submit(std::move(req));
 }
 

@@ -25,6 +25,20 @@ namespace mdc {
 
 class GlobalManager final : public RipRequestSink {
  public:
+  /// Warm-standby failover policy (E16).  The manager tier is modeled as
+  /// two logical instances sharing the durable state (the write-ahead
+  /// IntentJournal): one leader and one warm standby.  The leader renews
+  /// a lease every `renewSeconds`; if it dies, the standby waits out the
+  /// lease (fencing — the old leader could still have commands in the
+  /// channel) and then promotes itself under a strictly higher term.
+  struct FailoverOptions {
+    bool enable = true;
+    /// Lease TTL the standby must wait out before promoting itself.
+    SimTime leaseSeconds = 6.0;
+    /// Lease-renewal / standby-watch period.
+    SimTime renewSeconds = 2.0;
+  };
+
   struct Options {
     PodManager::Options pod;
     VipRipManager::Options viprip;
@@ -33,6 +47,7 @@ class GlobalManager final : public RipRequestSink {
     InterPodBalancer::Options interPod;
     /// Anti-entropy audit of intended vs. actual VIP/RIP state (E14).
     Reconciler::Options reconciler;
+    FailoverOptions failover;
     bool enableReconciler = true;
     bool enableLinkBalancer = true;
     bool enableSwitchBalancer = true;
@@ -65,8 +80,38 @@ class GlobalManager final : public RipRequestSink {
   void start();
 
   /// Fan out the latest fluid-engine observation to all components, and
-  /// push per-pod demand into the pod managers.
+  /// push per-pod demand into the pod managers.  A no-op while no leader
+  /// is up: a dead manager observes nothing.
   void observe(const EpochReport& report);
+
+  // --- manager-tier fault tolerance (E16) ----------------------------------
+
+  /// The leader instance crashes mid-operation: queued and in-flight
+  /// VIP/RIP work completes with Cancelled, the serialization queue
+  /// closes, balancer/reconciler rounds and observations stop.  The
+  /// warm standby (if alive) takes over after the lease expires.
+  void crashLeader();
+
+  /// Repairs one dead manager instance.  It joins as a *standby* — a
+  /// revived ex-leader never resumes leadership (its term is fenced
+  /// out); promotion only happens through the lease watch.
+  void reviveInstance();
+
+  /// Crash/restart of a pod's manager process (checkpoint recovery:
+  /// HostFleet residency + intended weights replayed from the journal).
+  void crashPod(PodId pod);
+  void restartPod(PodId pod);
+
+  [[nodiscard]] std::uint64_t term() const noexcept { return term_; }
+  [[nodiscard]] bool leaderUp() const noexcept { return leaderUp_; }
+  /// Live manager instances (leader + standbys), 0..2.
+  [[nodiscard]] std::uint32_t aliveManagers() const noexcept {
+    return standbys_ + (leaderUp_ ? 1u : 0u);
+  }
+  [[nodiscard]] std::uint64_t failovers() const noexcept { return failovers_; }
+  [[nodiscard]] std::uint64_t podRestarts() const noexcept {
+    return podRestarts_;
+  }
 
   // --- RipRequestSink ------------------------------------------------------
 
@@ -97,6 +142,16 @@ class GlobalManager final : public RipRequestSink {
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
  private:
+  /// Lease renewal (leader) / takeover watch (standby); runs every
+  /// failover.renewSeconds.
+  void leaseTick();
+  /// Intended total serving weight of `vm` (sum of its RIP weights in
+  /// the IntentStore) — the pod-restart checkpoint source.
+  [[nodiscard]] double intendedVmWeight(VmId vm) const;
+  void submitRipRemoval(VmId vm, std::function<void()> onDone,
+                        std::uint32_t attempt);
+  void submitNewRip(AppId app, VmId vm, double weight, std::uint32_t attempt);
+
   Simulation& sim_;
   const Topology& topo_;
   HostFleet& hosts_;
@@ -114,6 +169,15 @@ class GlobalManager final : public RipRequestSink {
   std::vector<std::unique_ptr<PodManager>> pods_;
   std::uint32_t nextDeployPod_ = 0;
   bool started_ = false;
+
+  /// Leadership state (E16): monotonic fencing term, leader liveness,
+  /// warm-standby count, and the lease the standby must wait out.
+  std::uint64_t term_ = 1;
+  bool leaderUp_ = true;
+  std::uint32_t standbys_ = 1;
+  SimTime leaseExpiry_ = 0.0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t podRestarts_ = 0;
 };
 
 }  // namespace mdc

@@ -372,4 +372,33 @@ void PodManager::start(SimTime phase) {
   sim_.every(options_.controlPeriod, [this] { runControlLoop(); }, phase);
 }
 
+void PodManager::crash() {
+  online_ = false;
+  ++crashes_;
+  // The process's soft state is gone.  Resident VMs (HostFleet) and the
+  // intended RIP weights (IntentJournal) are the durable state a restart
+  // rebuilds from.
+  demand_.clear();
+  lastWeight_.clear();
+  vacating_.clear();
+}
+
+void PodManager::restart(const std::function<double(VmId)>& intendedWeight) {
+  MDC_EXPECT(!online_, "restart() of a pod manager that is not down");
+  ++restarts_;
+  // Checkpoint recovery: resident VMs come back from the HostFleet, their
+  // last-applied weights from the replayed intent.  Without this seed the
+  // first control round would re-push (and churn) every weight whose
+  // demand sits inside the deadband.
+  for (ServerId s : servers()) {
+    for (VmId vm : hosts_.vmsOn(s)) {
+      if (!hosts_.vmExists(vm)) continue;
+      const VmRecord& rec = hosts_.vm(vm);
+      if (!isManagedInstance(rec.app, vm)) continue;
+      lastWeight_[vm] = intendedWeight ? intendedWeight(vm) : 0.0;
+    }
+  }
+  online_ = true;
+}
+
 }  // namespace mdc

@@ -145,6 +145,25 @@ class PodManager {
   void setOnline(bool online) noexcept { online_ = online; }
   [[nodiscard]] bool online() const noexcept { return online_; }
 
+  /// The pod-manager *process* crashes: unlike a pod outage (setOnline),
+  /// its in-memory soft state — observed demand, the last-applied weight
+  /// checkpoint, vacate tracking — is lost, not merely paused.  Resident
+  /// VMs keep serving.
+  void crash();
+
+  /// Restart after crash(): placement state is rebuilt from the
+  /// HostFleet (resident VMs are re-discovered each control round
+  /// anyway), and the per-VM weight checkpoint is re-seeded from
+  /// `intendedWeight` — the global manager backs this with the replayed
+  /// IntentJournal, so the restarted manager resumes from the intended
+  /// weights instead of re-pushing every weight on its first round.
+  /// Demand refills from the next epoch's observe fan-out, which also
+  /// re-registers the pod with the global manager's distribution.
+  void restart(const std::function<double(VmId)>& intendedWeight);
+
+  [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+  [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_; }
+
   [[nodiscard]] const PodStats& stats() const noexcept { return stats_; }
 
   /// Apps currently covering this pod (instance resident here).
@@ -174,6 +193,8 @@ class PodManager {
   std::unordered_map<VmId, double> lastWeight_;
   std::unordered_set<ServerId> vacating_;
   bool online_ = true;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t restarts_ = 0;
   PodStats stats_;
 };
 

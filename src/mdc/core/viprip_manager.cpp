@@ -38,6 +38,14 @@ struct CmdBarrier {
   }
 };
 
+/// A "cancelled" outcome means the issuing manager died, not that the
+/// switch rejected the command: the continuation must NOT unwind intent
+/// (the write-ahead journal is the durable truth the next leader replays)
+/// — it only forwards the outcome.
+bool isCancelled(const Status& s) {
+  return !s.ok() && s.error().code == "cancelled";
+}
+
 }  // namespace
 
 VipRipManager::VipRipManager(Simulation& sim, SwitchFleet& fleet,
@@ -75,6 +83,12 @@ void VipRipManager::intend(IntentRecord record) {
 }
 
 void VipRipManager::submit(VipRipRequest request) {
+  if (!online_) {
+    // The manager process is down; callers see the failure immediately
+    // and retry against the recovered leader (with their own backoff).
+    if (request.done) request.done(Status::fail("manager_down"));
+    return;
+  }
   // Coalesce weight updates: a newer SetWeight for the same VM supersedes
   // a queued one — pods re-decide every period and only the latest weight
   // matters, so this keeps the serialized queue from ballooning.
@@ -104,8 +118,13 @@ void VipRipManager::submit(VipRipRequest request) {
   }
 }
 
+void VipRipManager::cancelPending(Pending p) {
+  ++cancelledRequests_;
+  if (p.req.done) p.req.done(Status::fail("cancelled"));
+}
+
 void VipRipManager::pump() {
-  if (queue_.empty()) {
+  if (!online_ || queue_.empty()) {
     pumping_ = false;
     return;
   }
@@ -116,6 +135,12 @@ void VipRipManager::pump() {
   // programmatic reconfiguration then proceeds on the target switch while
   // the manager moves on to the next request.
   sim_.after(options_.processSeconds, [this, p = std::move(p)]() mutable {
+    if (!online_) {
+      // The manager died while "thinking" about this request.
+      cancelPending(std::move(p));
+      pumping_ = false;
+      return;
+    }
     SimTime reconfig = options_.reconfigSeconds;
     if (reconfig < 0.0) {
       // Every switch in the fleet shares one limits profile in practice;
@@ -125,6 +150,10 @@ void VipRipManager::pump() {
                             : 0.0;
     }
     sim_.after(reconfig, [this, p = std::move(p)]() mutable {
+      if (!online_) {
+        cancelPending(std::move(p));
+        return;
+      }
       // The guard travels through every asynchronous command flow; no
       // matter which path settles the request — ack, rejection, channel
       // timeout, or a dropped continuation — the accounting and the
@@ -232,6 +261,11 @@ void VipRipManager::applyNewVip(const VipRipRequest& req, DoneGuard done) {
   sender_.send(*sw, cmd,
                [this, vip, app = req.app, ar, done](Status s) mutable {
                  if (s.ok()) return done.fire(Status::okStatus());
+                 if (isCancelled(s)) {
+                   // Manager died mid-placement: the journaled intent
+                   // survives for the next leader; don't unwind.
+                   return done.fire(std::move(s));
+                 }
                  // The switch rejected (or the channel gave up on) the
                  // placement: unwind the directories and the intent so
                  // the submitter can simply retry.
@@ -301,7 +335,7 @@ void VipRipManager::applyNewRip(const VipRipRequest& req, DoneGuard done) {
                [this, vip = bestVip, vm = req.vm, rip = entry.rip,
                 done](Status s) mutable {
                  if (!s.ok()) {
-                   dropRipIntent(vip, rip, vm);
+                   if (!isCancelled(s)) dropRipIntent(vip, rip, vm);
                    return done.fire(std::move(s));
                  }
                  syncVipDnsWeight(vip);
@@ -425,6 +459,7 @@ void VipRipManager::applyDeleteRip(const VipRipRequest& req, DoneGuard done) {
 }
 
 bool VipRipManager::refillVip(VipId vip, AppId app, VmId excluding) {
+  if (!online_) return false;  // a dead manager issues no new commands
   const VipIntent* in = intent_.find(vip);
   if (in == nullptr) return false;
   const SwitchId sw = in->sw;
@@ -460,7 +495,7 @@ bool VipRipManager::refillVip(VipId vip, AppId app, VmId excluding) {
     cmd.rip = entry;
     sender_.send(sw, cmd, [this, vip, vm, rip = entry.rip](Status s) {
       if (!s.ok()) {
-        dropRipIntent(vip, rip, vm);
+        if (!isCancelled(s)) dropRipIntent(vip, rip, vm);
         return;
       }
       syncVipDnsWeight(vip);
@@ -623,6 +658,12 @@ void VipRipManager::applyRestoreVip(const VipRipRequest& req, DoneGuard done) {
         // re-back it with any live instance so TTL-lingering clients
         // stop black-holing.
         DoneGuard epilogue([this, vip, app, done](Status) mutable {
+          if (!online_) {
+            // The manager died between the ConfigureVip ack and the RIP
+            // fan-out settling; the health monitor's retry finishes the
+            // restore against the recovered leader.
+            return done.fire(Status::fail("cancelled"));
+          }
           const VipIntent* in = intent_.find(vip);
           if (in != nullptr && in->rips.empty()) {
             (void)refillVip(vip, app, VmId{});
@@ -639,7 +680,7 @@ void VipRipManager::applyRestoreVip(const VipRipRequest& req, DoneGuard done) {
           cmd.rip = r;
           barrier->add();
           sender_.send(target, cmd, [this, vip, r, barrier](Status rs) {
-            if (!rs.ok()) {
+            if (!rs.ok() && !isCancelled(rs)) {
               dropRipIntent(vip, r.rip, r.targetsVm() ? r.vm : VmId{});
             }
             barrier->complete(rs);
@@ -691,6 +732,24 @@ void VipRipManager::adoptRipWeight(VipId vip, RipId rip, double actual) {
   rec.rip.rip = rip;
   rec.weight = actual;
   intend(rec);
+}
+
+void VipRipManager::crash() {
+  online_ = false;
+  // Queued requests die with the process; each submitter's callback sees
+  // Cancelled exactly once.  Drain before cancelling the sender: a
+  // cancellation callback that reentrantly submits must find the queue
+  // closed ("manager_down"), not append to a dead manager's queue.
+  std::deque<Pending> doomed = std::move(queue_);
+  queue_.clear();
+  for (Pending& p : doomed) cancelPending(std::move(p));
+  sender_.cancelInflight();
+}
+
+void VipRipManager::recoverAsLeader(std::uint64_t term) {
+  sender_.beginTerm(term);
+  rebuildIntentFromJournal();
+  online_ = true;
 }
 
 void VipRipManager::rebuildIntentFromJournal() {

@@ -162,8 +162,31 @@ class VipRipManager {
   /// the write-ahead journal.  Exposure factors are balancer policy, not
   /// placement intent, and are not journaled: a rebuilt manager starts
   /// neutral until the balancers re-decide.  Call on a quiesced manager
-  /// (no commands awaiting acks).
+  /// (no commands awaiting acks) — or use crash()/recoverAsLeader() for
+  /// the full mid-flight failure sequence.
   void rebuildIntentFromJournal();
+
+  // --- manager-tier fault tolerance (E16) --------------------------------
+
+  /// The serializing manager process dies mid-operation: every queued
+  /// request and every command awaiting its ack completes exactly once
+  /// with "cancelled" (no retry may fire into a dead term), and further
+  /// submissions are refused with "manager_down" until recovery.  The
+  /// write-ahead journal — the durable state — survives.
+  void crash();
+
+  /// A standby takes over under a strictly higher fencing term: leftover
+  /// in-flight commands are cancelled, the per-switch sequence spaces
+  /// restart, the intended state is rebuilt by replaying the journal, and
+  /// the serialization queue reopens.  Pending work is re-derived from
+  /// the rebuilt IntentStore by the reconciler's next audit.
+  void recoverAsLeader(std::uint64_t term);
+
+  [[nodiscard]] bool online() const noexcept { return online_; }
+  /// Requests that died with a crashed manager (queued or mid-flight).
+  [[nodiscard]] std::uint64_t cancelledRequests() const noexcept {
+    return cancelledRequests_;
+  }
 
   /// Lets the epoch reporter read reconciler gauges alongside the channel
   /// and sender stats (the reconciler lives in the GlobalManager).
@@ -204,6 +227,8 @@ class VipRipManager {
   };
 
   void pump();
+  /// Settles a request that died with the crashed manager.
+  void cancelPending(Pending p);
   void apply(const VipRipRequest& req, DoneGuard done);
   void applyNewVip(const VipRipRequest& req, DoneGuard done);
   void applyNewRip(const VipRipRequest& req, DoneGuard done);
@@ -258,6 +283,10 @@ class VipRipManager {
   std::unordered_map<VipId, double> exposureFactor_;
   std::deque<Pending> queue_;
   bool pumping_ = false;
+  /// False while the manager process is down (between crash() and
+  /// recoverAsLeader()); gates the queue and every apply continuation.
+  bool online_ = true;
+  std::uint64_t cancelledRequests_ = 0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t processed_ = 0;
   std::uint64_t rejected_ = 0;

@@ -41,12 +41,21 @@ struct SwitchCommand {
   /// Piggybacked sender watermark: every seq below this has been acked,
   /// so the receiver can prune its completed-command cache.
   std::uint64_t ackedBelow = 0;
+  /// Fencing token: the leadership term of the manager that issued the
+  /// command.  Agents reject commands from terms older than the highest
+  /// they have seen, so a deposed leader (or a delayed copy of one of its
+  /// commands) can never mutate switch state after a failover.
+  std::uint64_t term = 1;
 };
 
 /// The switch's reply: the outcome of applying (or re-acking) `seq`.
 struct CommandAck {
   std::uint64_t seq = 0;
   Status status;
+  /// Echo of the command's term so the sender can discard acks addressed
+  /// to a previous leadership term (their seq numbers are meaningless in
+  /// the current term's sequence space).
+  std::uint64_t term = 1;
 };
 
 }  // namespace mdc

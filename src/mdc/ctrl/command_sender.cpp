@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <utility>
+#include <vector>
 
 #include "mdc/util/expect.hpp"
 
@@ -27,10 +28,50 @@ CommandSender::Link& CommandSender::link(SwitchId sw) {
 
 SwitchAgent& CommandSender::agentOf(SwitchId sw) { return *link(sw).agent; }
 
+std::uint64_t CommandSender::staleTermRejections() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [sw, l] : links_) total += l.agent->staleTermRejections();
+  return total;
+}
+
+std::uint64_t CommandSender::maxAgentTerm() const noexcept {
+  std::uint64_t best = 0;
+  for (const auto& [sw, l] : links_) best = std::max(best, l.agent->term());
+  return best;
+}
+
+void CommandSender::cancelInflight() {
+  // Collect keys first: complete() mutates the maps, and a completion
+  // callback may reentrantly submit (and immediately settle) commands.
+  std::vector<std::pair<SwitchId, std::uint64_t>> pending;
+  for (const auto& [sw, l] : links_) {
+    for (const auto& [seq, out] : l.outstanding) pending.emplace_back(sw, seq);
+  }
+  for (const auto& [sw, seq] : pending) {
+    Link& l = link(sw);
+    if (!l.outstanding.contains(seq)) continue;  // settled reentrantly
+    ++cancelled_;
+    complete(sw, seq, Status::fail("cancelled"));
+  }
+}
+
+void CommandSender::beginTerm(std::uint64_t term) {
+  MDC_EXPECT(term > term_, "fencing terms must be monotonically increasing");
+  cancelInflight();
+  term_ = term;
+  // Fresh sequence space per term; agents reset their dedupe cache when
+  // they first see the new term.
+  for (auto& [sw, l] : links_) {
+    l.nextSeq = 0;
+    l.ackedBelow = 0;
+  }
+}
+
 void CommandSender::send(SwitchId sw, SwitchCommand cmd, Completion done) {
   Link& l = link(sw);
   const std::uint64_t seq = l.nextSeq++;
   cmd.seq = seq;
+  cmd.term = term_;
   Outstanding out;
   out.cmd = cmd;
   out.done = std::move(done);
@@ -85,6 +126,7 @@ void CommandSender::armRetry(SwitchId sw, std::uint64_t seq) {
 }
 
 void CommandSender::onAck(SwitchId sw, const CommandAck& ack) {
+  if (ack.term != term_) return;  // ack addressed to a previous term
   Link& l = link(sw);
   if (!l.outstanding.contains(ack.seq)) return;  // stale duplicate ack
   ++acks_;

@@ -40,7 +40,21 @@ class CommandSender {
 
   /// Sends `cmd` to `sw`; `done` fires exactly once with the outcome.
   /// On a reliable channel the whole round trip completes inline.
+  /// The command is stamped with the current leadership term.
   void send(SwitchId sw, SwitchCommand cmd, Completion done);
+
+  /// Cancels every in-flight command: retry timers are disarmed and each
+  /// completion fires exactly once with "cancelled".  Used when the
+  /// issuing manager dies — nothing may keep retrying into a dead term.
+  void cancelInflight();
+
+  /// Starts a new leadership term (must be strictly greater than the
+  /// current one): cancels any leftover in-flight commands and restarts
+  /// every link's sequence space from zero.  Agents adopt the new term on
+  /// first contact and fence out anything older.
+  void beginTerm(std::uint64_t term);
+
+  [[nodiscard]] std::uint64_t currentTerm() const noexcept { return term_; }
 
   /// Whether any command touching `vip` is still awaiting its ack.  The
   /// reconciler skips busy VIPs: their state is mid-flight, not drifted.
@@ -57,6 +71,14 @@ class CommandSender {
     return retransmits_;
   }
   [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  /// Commands cancelled by `cancelInflight()`/`beginTerm()`.
+  [[nodiscard]] std::uint64_t cancelledCommands() const noexcept {
+    return cancelled_;
+  }
+  /// Sum of stale-term rejections across all switch agents.
+  [[nodiscard]] std::uint64_t staleTermRejections() const noexcept;
+  /// Highest term any attached agent has adopted (≤ currentTerm()).
+  [[nodiscard]] std::uint64_t maxAgentTerm() const noexcept;
 
   /// The switch-side endpoint of `sw`'s link (tests, drift probes).
   [[nodiscard]] SwitchAgent& agentOf(SwitchId sw);
@@ -92,10 +114,12 @@ class CommandSender {
   std::unordered_map<SwitchId, Link> links_;
   std::unordered_map<VipId, std::uint32_t> busyVips_;
   std::uint32_t inflight_ = 0;
+  std::uint64_t term_ = 1;
   std::uint64_t sent_ = 0;
   std::uint64_t acks_ = 0;
   std::uint64_t retransmits_ = 0;
   std::uint64_t timeouts_ = 0;
+  std::uint64_t cancelled_ = 0;
 };
 
 }  // namespace mdc

@@ -22,7 +22,15 @@ Reconciler::Reconciler(Simulation& sim, SwitchFleet& fleet,
 }
 
 void Reconciler::start(SimTime phase) {
-  sim_.every(options_.periodSeconds, [this] { auditRound(); }, phase);
+  sim_.every(options_.periodSeconds,
+             [this] {
+               if (activeCheck_ && !activeCheck_()) {
+                 ++roundsSkipped_;
+                 return;
+               }
+               auditRound();
+             },
+             phase);
 }
 
 bool Reconciler::frozen(VipId vip) const {

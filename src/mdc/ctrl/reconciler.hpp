@@ -64,6 +64,21 @@ class Reconciler {
   /// One audit round (normally driven by start(); public for tests).
   void auditRound();
 
+  /// Gate on the periodic loop: audits (which issue repair commands on
+  /// behalf of the leader) are skipped while the check returns false.  A
+  /// deposed or crashed manager must not keep repairing — the fencing
+  /// terms would reject its commands anyway, but it must not try.  The
+  /// failover path still calls auditRound() directly to re-derive pending
+  /// work from the rebuilt IntentStore.
+  void setActiveCheck(std::function<bool()> check) {
+    activeCheck_ = std::move(check);
+  }
+
+  /// Rounds skipped by the active-check gate (manager-down windows).
+  [[nodiscard]] std::uint64_t roundsSkipped() const noexcept {
+    return roundsSkipped_;
+  }
+
   // --- introspection ------------------------------------------------------
 
   [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
@@ -113,7 +128,9 @@ class Reconciler {
   Hooks hooks_;
   Options options_;
 
+  std::function<bool()> activeCheck_;
   std::uint32_t cursor_ = 0;
+  std::uint64_t roundsSkipped_ = 0;
   std::uint64_t rounds_ = 0;
   std::uint64_t lastRoundDrift_ = 0;
   std::uint64_t driftDetected_ = 0;

@@ -19,6 +19,22 @@ const char* toString(CmdKind kind) noexcept {
 }
 
 void SwitchAgent::deliver(const SwitchCommand& cmd, const AckFn& sendAck) {
+  if (cmd.term < term_) {
+    // Fencing: a command from a deposed leadership term.  Refuse without
+    // touching the tables; the ack echoes the stale term so only the old
+    // sender (if it still exists) would consume it.
+    ++staleRejected_;
+    sendAck(CommandAck{cmd.seq, Status::fail("stale_term"), cmd.term});
+    return;
+  }
+  if (cmd.term > term_) {
+    // A new leader has taken over.  Its sequence numbers restart from
+    // zero in a fresh space, so the old term's outcome cache and prune
+    // watermark no longer apply.
+    term_ = cmd.term;
+    completed_.clear();
+    prunedBelow_ = 0;
+  }
   // Prune outcomes the sender has confirmed receiving acks for.
   while (prunedBelow_ < cmd.ackedBelow) {
     completed_.erase(prunedBelow_);
@@ -35,13 +51,13 @@ void SwitchAgent::deliver(const SwitchCommand& cmd, const AckFn& sendAck) {
     // Retransmit (or duplicate) of an applied command: same ack, no
     // table mutation — application is exactly-once.
     ++duplicates_;
-    sendAck(CommandAck{cmd.seq, it->second});
+    sendAck(CommandAck{cmd.seq, it->second, cmd.term});
     return;
   }
   const Status outcome = apply(cmd);
   completed_.emplace(cmd.seq, outcome);
   ++applied_;
-  sendAck(CommandAck{cmd.seq, outcome});
+  sendAck(CommandAck{cmd.seq, outcome, cmd.term});
 }
 
 Status SwitchAgent::apply(const SwitchCommand& cmd) {

@@ -40,6 +40,12 @@ class SwitchAgent {
   [[nodiscard]] std::size_t outcomeCacheSize() const noexcept {
     return completed_.size();
   }
+  /// Highest leadership term observed on this link (fencing watermark).
+  [[nodiscard]] std::uint64_t term() const noexcept { return term_; }
+  /// Commands refused because they carried a term older than `term()`.
+  [[nodiscard]] std::uint64_t staleTermRejections() const noexcept {
+    return staleRejected_;
+  }
 
  private:
   Status apply(const SwitchCommand& cmd);
@@ -50,8 +56,11 @@ class SwitchAgent {
   std::unordered_map<std::uint64_t, Status> completed_;
   /// Everything below this has been pruned (the sender saw the ack).
   std::uint64_t prunedBelow_ = 0;
+  /// Highest term seen; commands below it are fenced out.
+  std::uint64_t term_ = 1;
   std::uint64_t applied_ = 0;
   std::uint64_t duplicates_ = 0;
+  std::uint64_t staleRejected_ = 0;
 };
 
 }  // namespace mdc

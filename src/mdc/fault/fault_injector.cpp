@@ -1,5 +1,6 @@
 #include "mdc/fault/fault_injector.hpp"
 
+#include "mdc/core/global_manager.hpp"
 #include "mdc/core/pod.hpp"
 #include "mdc/ctrl/control_channel.hpp"
 #include "mdc/util/expect.hpp"
@@ -10,7 +11,7 @@ FaultInjector::FaultInjector(Simulation& sim, Topology& topo,
                              SwitchFleet& fleet, HostFleet& hosts,
                              Options options)
     : sim_(sim), topo_(topo), fleet_(fleet), hosts_(hosts),
-      rng_(options.seed) {}
+      seed_(options.seed), rng_(options.seed) {}
 
 void FaultInjector::attachPods(std::vector<PodManager*> pods) {
   for (const PodManager* p : pods) {
@@ -22,6 +23,11 @@ void FaultInjector::attachPods(std::vector<PodManager*> pods) {
 void FaultInjector::attachChannel(ControlChannel* channel) {
   MDC_EXPECT(channel != nullptr, "null control channel");
   channel_ = channel;
+}
+
+void FaultInjector::attachManager(GlobalManager* manager) {
+  MDC_EXPECT(manager != nullptr, "null global manager");
+  manager_ = manager;
 }
 
 PodManager* FaultInjector::podById(PodId pod) const {
@@ -155,6 +161,48 @@ void FaultInjector::partitionChannel(SwitchId sw, SimTime at,
   });
 }
 
+void FaultInjector::crashPodManager(PodId pod, SimTime at,
+                                    SimTime repairAfter) {
+  MDC_EXPECT(manager_ != nullptr, "crashPodManager: no manager attached");
+  sim_.at(at, [this, pod, repairAfter] {
+    PodManager* p = podById(pod);
+    MDC_EXPECT(p != nullptr, "pod-manager crash: pod not attached");
+    if (!p->online()) return;  // already down (crash or outage)
+    manager_->crashPod(pod);
+    ++faults_;
+    history_.push_back(FaultRecord{
+        FaultKind::PodManagerCrash, pod.value(), sim_.now(),
+        repairAfter >= 0.0 ? sim_.now() + repairAfter : kNoRepair});
+    if (repairAfter >= 0.0) {
+      sim_.after(repairAfter, [this, pod] {
+        PodManager* mgr = podById(pod);
+        if (mgr == nullptr || mgr->online()) return;
+        manager_->restartPod(pod);
+        ++repairs_;
+      });
+    }
+  });
+}
+
+void FaultInjector::crashGlobalManager(SimTime at, SimTime repairAfter) {
+  MDC_EXPECT(manager_ != nullptr, "crashGlobalManager: no manager attached");
+  sim_.at(at, [this, repairAfter] {
+    if (!manager_->leaderUp()) return;  // already leaderless
+    manager_->crashLeader();
+    ++faults_;
+    history_.push_back(FaultRecord{
+        FaultKind::GlobalManagerCrash, 0, sim_.now(),
+        repairAfter >= 0.0 ? sim_.now() + repairAfter : kNoRepair});
+    if (repairAfter >= 0.0) {
+      sim_.after(repairAfter, [this] {
+        if (manager_->aliveManagers() >= 2) return;  // nothing to revive
+        manager_->reviveInstance();
+        ++repairs_;
+      });
+    }
+  });
+}
+
 void FaultInjector::schedulePlan(const RandomPlan& plan) {
   MDC_EXPECT(plan.end > plan.start, "plan window must be non-empty");
   auto when = [&] { return rng_.uniform(plan.start, plan.end); };
@@ -186,6 +234,14 @@ void FaultInjector::schedulePlan(const RandomPlan& plan) {
     partitionChannel(SwitchId{static_cast<SwitchId::value_type>(
                          rng_.uniformInt(fleet_.size()))},
                      when(), plan.repairAfter);
+  }
+  for (std::uint32_t i = 0; i < plan.podManagerCrashes; ++i) {
+    MDC_EXPECT(!pods_.empty(), "plan: no pods attached");
+    crashPodManager(pods_[rng_.uniformInt(pods_.size())]->id(), when(),
+                    plan.repairAfter);
+  }
+  for (std::uint32_t i = 0; i < plan.globalManagerCrashes; ++i) {
+    crashGlobalManager(when(), plan.repairAfter);
   }
 }
 

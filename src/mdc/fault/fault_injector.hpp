@@ -25,6 +25,7 @@
 namespace mdc {
 
 class ControlChannel;
+class GlobalManager;
 class PodManager;
 
 enum class FaultKind : std::uint8_t {
@@ -33,7 +34,13 @@ enum class FaultKind : std::uint8_t {
   LinkCut,
   LinkDegrade,
   PodOutage,
-  ChannelPartition
+  ChannelPartition,
+  /// The pod-manager *process* crashes (soft state lost, checkpoint
+  /// recovery on repair) — vs. PodOutage, which only pauses the loop.
+  PodManagerCrash,
+  /// The global-manager leader crashes; the repair revives an instance
+  /// as a warm standby (promotion happens via the lease watch).
+  GlobalManagerCrash
 };
 
 /// One injected fault, in execution order (the audit trail of a run).
@@ -61,6 +68,10 @@ class FaultInjector {
     /// Control-channel partitions (manager -> one switch); needs an
     /// attached channel.
     std::uint32_t channelPartitions = 0;
+    /// Pod-manager process crashes; needs attached pods + manager.
+    std::uint32_t podManagerCrashes = 0;
+    /// Global-manager leader crashes; needs an attached manager.
+    std::uint32_t globalManagerCrashes = 0;
     /// Repair delay applied to every fault of the plan; < 0: no repair.
     SimTime repairAfter = -1.0;
   };
@@ -75,6 +86,10 @@ class FaultInjector {
 
   /// Registers the control channel targetable by ChannelPartition faults.
   void attachChannel(ControlChannel* channel);
+
+  /// Registers the global manager targetable by PodManagerCrash /
+  /// GlobalManagerCrash faults (it owns crash/restart of both tiers).
+  void attachManager(GlobalManager* manager);
 
   // --- targeted injections ------------------------------------------------
   // Each schedules the fault at absolute sim time `at` and, when
@@ -96,6 +111,13 @@ class FaultInjector {
   /// keeps forwarding traffic (control/data-plane separation).
   void partitionChannel(SwitchId sw, SimTime at,
                         SimTime repairAfter = kNoRepair);
+  /// Crashes the pod's manager process (its in-memory placement state is
+  /// lost); the repair restarts it with checkpoint recovery.
+  void crashPodManager(PodId pod, SimTime at, SimTime repairAfter = kNoRepair);
+  /// Crashes the global-manager leader (cancels its in-flight work; the
+  /// warm standby takes over after the lease).  The repair revives a dead
+  /// instance as a standby — never directly as leader.
+  void crashGlobalManager(SimTime at, SimTime repairAfter = kNoRepair);
 
   /// Schedules `plan` using the injector's seeded Rng: targets drawn
   /// uniformly (links among access links), times uniform in [start, end).
@@ -103,6 +125,9 @@ class FaultInjector {
 
   // --- introspection ------------------------------------------------------
 
+  /// The seed every plan's randomness derives from (replayability: a
+  /// chaos failure reproduces from this seed + the plan parameters).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] std::uint64_t faultsInjected() const noexcept {
     return faults_;
   }
@@ -125,6 +150,8 @@ class FaultInjector {
   HostFleet& hosts_;
   std::vector<PodManager*> pods_;
   ControlChannel* channel_ = nullptr;
+  GlobalManager* manager_ = nullptr;
+  std::uint64_t seed_ = 0;
   Rng rng_;
 
   /// Capacity to restore per cut/degraded link; presence marks the link

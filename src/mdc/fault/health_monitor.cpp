@@ -105,8 +105,15 @@ void HealthMonitor::recoverOrphans(SwitchId sw) {
           });
       if (present) dns_.setWeight(orphan.app, orphan.vip, 0.0);
     }
+    ++pendingVipRestores_;
     submitRestore(std::move(orphan), 0);
   }
+}
+
+SimTime HealthMonitor::backoff(std::uint32_t attempt) const {
+  return std::min(options_.maxBackoffSeconds,
+                  options_.retryBackoffSeconds *
+                      std::pow(2.0, static_cast<double>(attempt)));
 }
 
 void HealthMonitor::submitRestore(OrphanedVip orphan, std::uint32_t attempt) {
@@ -119,20 +126,21 @@ void HealthMonitor::submitRestore(OrphanedVip orphan, std::uint32_t attempt) {
   req.done = [this, orphan = std::move(orphan), attempt](Status s) mutable {
     if (s.ok()) {
       ++vipsRestored_;
+      MDC_ENSURE(pendingVipRestores_ > 0, "restore pending underflow");
+      --pendingVipRestores_;
       vipRecovery_.record(std::max(1e-3, sim_.now() - orphan.orphanedAt));
       return;
     }
-    // Every failure here means "no table space anywhere right now" — a
-    // transient in a fleet where drains and repairs free capacity, so
-    // retry with exponential backoff instead of abandoning the VIP.
+    // Every failure here is transient: "no table space anywhere" clears
+    // as drains and repairs free capacity, and a crashed manager's
+    // cancelled/manager_down completions clear once the new leader's
+    // queue reopens — so retry with exponential backoff instead of
+    // abandoning the VIP.
     ++restoreRetries_;
-    const SimTime backoff =
-        std::min(options_.maxBackoffSeconds,
-                 options_.retryBackoffSeconds *
-                     std::pow(2.0, static_cast<double>(attempt)));
-    sim_.after(backoff, [this, orphan = std::move(orphan), attempt]() mutable {
-      submitRestore(std::move(orphan), attempt + 1);
-    });
+    sim_.after(backoff(attempt),
+               [this, orphan = std::move(orphan), attempt]() mutable {
+                 submitRestore(std::move(orphan), attempt + 1);
+               });
   };
   viprip_.submit(std::move(req));
 }
@@ -174,19 +182,37 @@ void HealthMonitor::cleanupCasualties(ServerId server) {
     if (std::find(inst.begin(), inst.end(), c.vm) != inst.end()) {
       apps_.removeInstance(c.app, c.vm);
     }
-    // Purge its dangling RIPs: until the switch tables stop referencing
-    // the VM, its share of traffic is black-holed ("dead_vm").
-    VipRipRequest req;
-    req.op = VipRipOp::DeleteRip;
-    req.priority = options_.restorePriority;
-    req.vm = c.vm;
-    const SimTime crashedAt = c.crashedAt;
-    req.done = [this, crashedAt](Status) {
-      ++vmsCleanedUp_;
-      vmCleanup_.record(std::max(1e-3, sim_.now() - crashedAt));
-    };
-    viprip_.submit(std::move(req));
+    ++pendingVmCleanups_;
+    submitCleanup(c, 0);
   }
+}
+
+void HealthMonitor::submitCleanup(CrashedVm casualty, std::uint32_t attempt) {
+  // Purge the dead VM's dangling RIPs: until the switch tables stop
+  // referencing it, its share of traffic is black-holed ("dead_vm").
+  VipRipRequest req;
+  req.op = VipRipOp::DeleteRip;
+  req.priority = options_.restorePriority;
+  req.vm = casualty.vm;
+  req.done = [this, casualty, attempt](Status s) {
+    if (s.ok()) {
+      ++vmsCleanedUp_;
+      MDC_ENSURE(pendingVmCleanups_ > 0, "cleanup pending underflow");
+      --pendingVmCleanups_;
+      vmCleanup_.record(std::max(1e-3, sim_.now() - casualty.crashedAt));
+      return;
+    }
+    // A failure here means the manager crashed around this request
+    // (DeleteRip itself is idempotent and cannot fail on table state).
+    // Dropping it would leak the dead VM's RIPs forever *invisibly*:
+    // intent still matches actual, so the reconciler never flags the
+    // drift.  Resubmit until the purge lands.
+    ++cleanupRetries_;
+    sim_.after(backoff(attempt), [this, casualty, attempt] {
+      submitCleanup(casualty, attempt + 1);
+    });
+  };
+  viprip_.submit(std::move(req));
 }
 
 void HealthMonitor::probePods() {

@@ -114,6 +114,19 @@ class HealthMonitor {
   [[nodiscard]] std::uint64_t restoreRetries() const noexcept {
     return restoreRetries_;
   }
+  [[nodiscard]] std::uint64_t cleanupRetries() const noexcept {
+    return cleanupRetries_;
+  }
+  /// Orphaned VIPs taken for restore whose RestoreVip has not yet
+  /// succeeded (includes backoff windows between retries).  Invariant
+  /// checkers use this to distinguish "recovery in flight" from "lost".
+  [[nodiscard]] std::uint64_t pendingVipRestores() const noexcept {
+    return pendingVipRestores_;
+  }
+  /// Dead VMs taken for cleanup whose DeleteRip has not yet succeeded.
+  [[nodiscard]] std::uint64_t pendingVmCleanups() const noexcept {
+    return pendingVmCleanups_;
+  }
   /// Switch-failure declarations deferred by the hold-down timer.
   [[nodiscard]] std::uint64_t flapSuppressions() const noexcept {
     return flapSuppressions_;
@@ -127,6 +140,8 @@ class HealthMonitor {
   void recoverOrphans(SwitchId sw);
   void cleanupCasualties(ServerId server);
   void submitRestore(OrphanedVip orphan, std::uint32_t attempt);
+  void submitCleanup(CrashedVm casualty, std::uint32_t attempt);
+  [[nodiscard]] SimTime backoff(std::uint32_t attempt) const;
 
   Simulation& sim_;
   SwitchFleet& fleet_;
@@ -154,6 +169,9 @@ class HealthMonitor {
   std::uint64_t vipsRestored_ = 0;
   std::uint64_t vmsCleanedUp_ = 0;
   std::uint64_t restoreRetries_ = 0;
+  std::uint64_t cleanupRetries_ = 0;
+  std::uint64_t pendingVipRestores_ = 0;
+  std::uint64_t pendingVmCleanups_ = 0;
   std::uint64_t flapSuppressions_ = 0;
 };
 

@@ -450,6 +450,14 @@ EpochReport FluidEngine::step() {
     report.ctrlRepairsIssued = rec->repairsIssued();
   }
 
+  // Manager-tier snapshot (E16).  The sender-side gauges live here; the
+  // leadership and fault-injection gauges come from components the engine
+  // does not know, via the decorator MegaDc installs.
+  report.managerTerm = viprip_.ctrlSender().currentTerm();
+  report.ctrlStaleTermRejections = viprip_.ctrlSender().staleTermRejections();
+  report.ctrlCancelledCommands = viprip_.ctrlSender().cancelledCommands();
+  if (decorate_) decorate_(report);
+
   // Recorded series.
   const bool room =
       options_.maxSamples == 0 || satisfaction_.size() < options_.maxSamples;

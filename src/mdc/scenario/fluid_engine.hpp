@@ -81,6 +81,14 @@ class FluidEngine {
   /// Register the periodic epoch loop; each report is forwarded to `sink`.
   void start(std::function<void(const EpochReport&)> sink);
 
+  /// Installs a hook that annotates every report with gauges owned by
+  /// components the engine has no reference to (manager leadership,
+  /// fault-injector counters).  Runs inside step(), after the engine's
+  /// own fields are filled and before the report is published.
+  void setReportDecorator(std::function<void(EpochReport&)> decorate) {
+    decorate_ = std::move(decorate);
+  }
+
   [[nodiscard]] const EpochReport& latest() const noexcept { return latest_; }
 
   // --- cache observability (bench E15) -----------------------------------
@@ -162,6 +170,7 @@ class FluidEngine {
 
   std::uint64_t totalRecomputed_ = 0;
   std::uint64_t totalCached_ = 0;
+  std::function<void(EpochReport&)> decorate_;
 
   EpochReport latest_;
   TimeSeries linkImbalance_{"link-imbalance(max/mean)"};

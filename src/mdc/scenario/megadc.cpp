@@ -61,12 +61,28 @@ MegaDc::MegaDc(MegaDcConfig config)
                                            config_.fault);
   faults->attachPods(rawPods);
   faults->attachChannel(&manager->viprip().ctrlChannel());
+  faults->attachManager(manager.get());
+  decorateReports();
   if (config_.enableHealthMonitor) {
     health = std::make_unique<HealthMonitor>(sim, fleet, hosts, apps, dns,
                                              manager->viprip(),
                                              config_.health);
     health->attachPods(std::move(rawPods));
   }
+}
+
+void MegaDc::decorateReports() {
+  // Leadership and fault-replay gauges (E16) come from components the
+  // engine has no reference to.
+  engine->setReportDecorator([this](EpochReport& r) {
+    r.managerLeaderUp = manager->leaderUp();
+    r.managerAlive = manager->aliveManagers();
+    r.managerFailovers = manager->failovers();
+    r.podManagerRestarts = manager->podRestarts();
+    r.faultPlanSeed = faults->seed();
+    r.faultsInjected = faults->faultsInjected();
+    r.faultRepairsApplied = faults->repairsApplied();
+  });
 }
 
 void MegaDc::setDemandModel(std::unique_ptr<DemandModel> model) {
@@ -77,6 +93,7 @@ void MegaDc::setDemandModel(std::unique_ptr<DemandModel> model) {
   engine = std::make_unique<FluidEngine>(sim, topo, apps, dns, *resolvers,
                                          routes, fleet, hosts, *demand,
                                          manager->viprip(), config_.engine);
+  decorateReports();
 }
 
 void MegaDc::deployAllApps() {

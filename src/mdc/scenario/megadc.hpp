@@ -95,6 +95,10 @@ class MegaDc {
   std::unique_ptr<HealthMonitor> health;  // null when disabled
 
  private:
+  /// Installs the E16 report decorator on the current engine (leadership
+  /// + fault-injector gauges the engine cannot reach itself).
+  void decorateReports();
+
   MegaDcConfig config_;
   bool started_ = false;
 };

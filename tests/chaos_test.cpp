@@ -1,0 +1,339 @@
+// Manager-tier fault tolerance (E16): fenced failover, crash-recoverable
+// pod managers, cancellation of a dead manager's in-flight work, and the
+// chaos-storm harness that composes manager crashes with infrastructure
+// faults while WorldInvariants judges every epoch.
+//
+// The storm test is seeded; set MDC_CHAOS_SEED to replay a specific run
+// (the CI chaos-soak job sweeps extra seeds this way).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mdc/ctrl/command_sender.hpp"
+#include "mdc/ctrl/switch_agent.hpp"
+#include "mdc/fault/chaos.hpp"
+#include "mdc/scenario/megadc.hpp"
+
+namespace mdc {
+namespace {
+
+std::uint64_t chaosSeed() {
+  if (const char* s = std::getenv("MDC_CHAOS_SEED")) {
+    return std::strtoull(s, nullptr, 10);
+  }
+  return 1009;
+}
+
+std::string joined(const std::vector<std::string>& violations) {
+  std::string all;
+  for (const std::string& v : violations) {
+    all += "\n  - " + v;
+  }
+  return all;
+}
+
+// --- fencing (term) mechanics ---------------------------------------------
+
+TEST(Chaos, AgentFencesStaleTerms) {
+  SwitchFleet fleet;
+  const SwitchId sw = fleet.addSwitch(SwitchLimits{});
+  SwitchAgent agent{fleet, sw};
+  std::vector<CommandAck> acks;
+  const auto onAck = [&acks](const CommandAck& a) { acks.push_back(a); };
+
+  const VipId vip{1};
+  SwitchCommand cfg;
+  cfg.kind = CmdKind::ConfigureVip;
+  cfg.vip = vip;
+  cfg.app = AppId{0};
+  cfg.seq = 0;
+  cfg.term = 2;  // first contact from the term-2 leader
+  agent.deliver(cfg, onAck);
+  EXPECT_EQ(agent.term(), 2u);
+  EXPECT_TRUE(fleet.at(sw).hasVip(vip));
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_TRUE(acks.back().status.ok());
+  EXPECT_EQ(acks.back().term, 2u);
+
+  // A command from the deposed term-1 leader: refused, never applied.
+  SwitchCommand stale;
+  stale.kind = CmdKind::AddRip;
+  stale.vip = vip;
+  stale.rip = RipEntry{RipId{3}, VmId{5}, VipId{}, 2.0};
+  stale.seq = 1;
+  stale.term = 1;
+  agent.deliver(stale, onAck);
+  EXPECT_EQ(fleet.at(sw).ripCount(), 0u);
+  EXPECT_EQ(agent.staleTermRejections(), 1u);
+  ASSERT_EQ(acks.size(), 2u);
+  ASSERT_FALSE(acks.back().status.ok());
+  EXPECT_EQ(acks.back().status.error().code, "stale_term");
+  EXPECT_EQ(acks.back().term, 1u);  // echoed so the sender can drop it
+
+  // A higher term opens a fresh sequence space: seq 0 is not deduped
+  // against the old term's seq 0.
+  SwitchCommand add;
+  add.kind = CmdKind::AddRip;
+  add.vip = vip;
+  add.rip = RipEntry{RipId{3}, VmId{5}, VipId{}, 2.0};
+  add.seq = 0;
+  add.term = 3;
+  agent.deliver(add, onAck);
+  EXPECT_EQ(agent.term(), 3u);
+  EXPECT_EQ(fleet.at(sw).ripCount(), 1u);
+  EXPECT_TRUE(acks.back().status.ok());
+  EXPECT_EQ(agent.duplicatesDropped(), 0u);
+}
+
+TEST(Chaos, CancelInflightFiresCancelledExactlyOnce) {
+  Simulation sim;
+  SwitchFleet fleet;
+  const SwitchId sw = fleet.addSwitch(SwitchLimits{});
+  ControlChannel channel{sim, 11};
+  CommandSender::Options opt;
+  opt.ackTimeoutSeconds = 0.5;
+  opt.maxAttempts = 0;  // would retry forever
+  CommandSender sender{sim, channel, fleet, opt};
+  channel.setPartitioned(sw, true);  // maroon everything in flight
+
+  constexpr int kCmds = 3;
+  std::vector<int> fired(kCmds, 0);
+  std::vector<Status> outcomes(kCmds);
+  for (int i = 0; i < kCmds; ++i) {
+    SwitchCommand cfg;
+    cfg.kind = CmdKind::ConfigureVip;
+    cfg.vip = VipId{static_cast<VipId::value_type>(i + 1)};
+    cfg.app = AppId{0};
+    sender.send(sw, cfg, [&fired, &outcomes, i](Status s) {
+      ++fired[static_cast<std::size_t>(i)];
+      outcomes[static_cast<std::size_t>(i)] = std::move(s);
+    });
+  }
+  sim.runUntil(2.0);
+  ASSERT_EQ(sender.inflight(), static_cast<std::uint32_t>(kCmds));
+
+  // The issuing manager dies: every completion settles with "cancelled",
+  // and no retry timer survives to fire into the dead term.
+  sender.cancelInflight();
+  EXPECT_EQ(sender.inflight(), 0u);
+  EXPECT_EQ(sender.cancelledCommands(), static_cast<std::uint64_t>(kCmds));
+  for (int i = 0; i < kCmds; ++i) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)], 1) << "command " << i;
+    ASSERT_FALSE(outcomes[static_cast<std::size_t>(i)].ok());
+    EXPECT_EQ(outcomes[static_cast<std::size_t>(i)].error().code, "cancelled");
+  }
+  sim.runUntil(120.0);  // disarmed timers: nothing fires twice
+  for (int i = 0; i < kCmds; ++i) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)], 1) << "command " << i;
+  }
+
+  // The successor begins a higher term; its commands land under it.
+  sender.beginTerm(2);
+  EXPECT_EQ(sender.currentTerm(), 2u);
+  channel.setPartitioned(sw, false);
+  int ok = 0;
+  SwitchCommand cfg;
+  cfg.kind = CmdKind::ConfigureVip;
+  cfg.vip = VipId{9};
+  cfg.app = AppId{0};
+  sender.send(sw, cfg, [&ok](Status s) {
+    ++ok;
+    EXPECT_TRUE(s.ok());
+  });
+  sim.runUntil(130.0);
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(sender.agentOf(sw).term(), 2u);
+  EXPECT_EQ(sender.maxAgentTerm(), 2u);
+  EXPECT_TRUE(fleet.at(sw).hasVip(VipId{9}));
+}
+
+// --- pod-manager crash/restore --------------------------------------------
+
+TEST(Chaos, PodManagerCrashRecoversFromCheckpoint) {
+  MegaDc dc{testScaleConfig()};
+  dc.bootstrap();
+  dc.runUntil(100.0);
+
+  PodManager& pod = *dc.manager->pods().front();
+  const PodId victim = pod.id();
+  dc.faults->crashPodManager(victim, 105.0, /*repairAfter=*/20.0);
+
+  dc.runUntil(112.0);  // crashed at 105, detected within 2x2s heartbeats
+  EXPECT_FALSE(pod.online());
+  EXPECT_EQ(pod.crashes(), 1u);
+  EXPECT_TRUE(dc.health->isPodSuspect(victim));
+
+  dc.runUntil(130.0);  // restarted at 125 with checkpoint recovery
+  EXPECT_TRUE(pod.online());
+  EXPECT_EQ(pod.restarts(), 1u);
+  EXPECT_EQ(dc.manager->podRestarts(), 1u);
+
+  // The suspect entry must clear once the pod reports back in — a leaked
+  // suspect would freeze inter-pod moves against it forever.
+  dc.runUntil(140.0);
+  EXPECT_FALSE(dc.health->isPodSuspect(victim));
+
+  // Recovered state is usable: demand through the pod keeps being served.
+  dc.runUntil(200.0);
+  const EpochReport& r = dc.engine->latest();
+  EXPECT_GT(r.totalServedRps() / r.totalDemandRps(), 0.9);
+  EXPECT_EQ(r.podManagerRestarts, 1u);
+}
+
+// --- global-manager failover ----------------------------------------------
+
+TEST(Chaos, LeaderCrashFailsOverUnderHigherTerm) {
+  MegaDc dc{testScaleConfig()};
+  dc.bootstrap();
+  dc.runUntil(100.0);
+  ASSERT_EQ(dc.manager->term(), 1u);
+  ASSERT_TRUE(dc.manager->leaderUp());
+  ASSERT_EQ(dc.manager->aliveManagers(), 2u);
+
+  dc.faults->crashGlobalManager(105.0, /*repairAfter=*/30.0);
+
+  dc.runUntil(106.0);
+  EXPECT_FALSE(dc.manager->leaderUp());
+  EXPECT_FALSE(dc.manager->viprip().online());
+  // A dead manager refuses new work instead of queueing into the void.
+  int refused = 0;
+  VipRipRequest req;
+  req.op = VipRipOp::NewVip;
+  req.app = dc.apps.all().front().id;
+  req.done = [&refused](Status s) {
+    ++refused;
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.error().code, "manager_down");
+  };
+  dc.manager->viprip().submit(std::move(req));
+  EXPECT_EQ(refused, 1);
+
+  // The standby waits out the lease (6s) and promotes under term 2.
+  dc.runUntil(120.0);
+  EXPECT_TRUE(dc.manager->leaderUp());
+  EXPECT_TRUE(dc.manager->viprip().online());
+  EXPECT_EQ(dc.manager->term(), 2u);
+  EXPECT_EQ(dc.manager->failovers(), 1u);
+  EXPECT_EQ(dc.manager->viprip().ctrlSender().currentTerm(), 2u);
+
+  // The repair revives the dead instance as a standby, never as leader.
+  dc.runUntil(140.0);
+  EXPECT_EQ(dc.manager->aliveManagers(), 2u);
+  EXPECT_EQ(dc.manager->term(), 2u);  // no second takeover
+
+  // Post-failover the new leader converges the world: journal replay plus
+  // one audit round re-derive everything the dead leader had in flight.
+  dc.runUntil(240.0);
+  const Reconciler& rec = dc.manager->reconciler();
+  EXPECT_EQ(rec.divergenceLastRound(), 0u);
+  const EpochReport& r = dc.engine->latest();
+  EXPECT_GT(r.totalServedRps() / r.totalDemandRps(), 0.9);
+  EXPECT_EQ(r.managerTerm, 2u);
+  EXPECT_TRUE(r.managerLeaderUp);
+  EXPECT_EQ(r.managerAlive, 2u);
+  EXPECT_EQ(r.managerFailovers, 1u);
+  EXPECT_EQ(r.faultPlanSeed, dc.faults->seed());
+  EXPECT_EQ(r.faultsInjected, 1u);
+  EXPECT_EQ(r.faultRepairsApplied, 1u);
+}
+
+// --- the chaos storm -------------------------------------------------------
+
+TEST(Chaos, StormHoldsInvariantsEveryEpochAndQuiescesExactlyOnce) {
+  const std::uint64_t seed = chaosSeed();
+  SCOPED_TRACE("MDC_CHAOS_SEED=" + std::to_string(seed));
+
+  MegaDcConfig cfg = testScaleConfig();
+  cfg.seed = seed;
+  cfg.fault.seed = seed * 0x9e3779b97f4a7c15ull + 0xe16u;
+  // A mildly lossy command channel underneath the storm, so manager
+  // crashes compose with retransmits and late-landing commands.
+  cfg.ctrlFaults.dropRate = 0.05;
+  cfg.ctrlFaults.delaySeconds = 0.02;
+  cfg.ctrlFaults.delayJitterSeconds = 0.05;
+  MegaDc dc{cfg};
+  dc.bootstrap();
+
+  WorldInvariants inv{dc.topo, dc.apps,          dc.dns,          dc.fleet,
+                      dc.hosts, *dc.manager,     dc.health.get()};
+
+  // >= 200 epochs of composed storm at the 2s test epoch.
+  const SimTime epoch = cfg.engine.epoch;
+  const SimTime stormStart = dc.sim.now() + 10.0;
+  const SimTime stormEnd = stormStart + 420.0;
+  ChaosStorm::Options sopt;
+  sopt.seed = seed;
+  sopt.start = stormStart;
+  sopt.end = stormEnd;
+  sopt.waves = 8;
+  sopt.maxSwitchCrashes = 1;
+  sopt.maxServerCrashes = 2;
+  sopt.maxLinkCuts = 1;
+  sopt.maxPodOutages = 1;
+  sopt.maxChannelPartitions = 1;
+  sopt.maxPodManagerCrashes = 1;
+  sopt.maxGlobalManagerCrashes = 1;
+  sopt.minRepairSeconds = 5.0;
+  sopt.maxRepairSeconds = 25.0;
+  ChaosStorm storm{sopt};
+  storm.schedule(*dc.faults);
+  EXPECT_EQ(storm.waves().size(), 8u);
+  // One leader crash is injected deterministically so the failover path
+  // runs under every seed, whatever the storm happens to draw.
+  dc.faults->crashGlobalManager(stormStart + 37.0, /*repairAfter=*/15.0);
+
+  // Storm phase: the tolerant invariants must hold at every epoch.
+  std::uint64_t epochsInStorm = 0;
+  while (dc.sim.now() < stormEnd) {
+    dc.runUntil(dc.sim.now() + epoch);
+    ++epochsInStorm;
+    const auto violations = inv.checkEpoch();
+    ASSERT_TRUE(violations.empty())
+        << "epoch invariants broken at t=" << dc.sim.now()
+        << joined(violations);
+  }
+  EXPECT_GE(epochsInStorm, 200u);
+  EXPECT_GT(dc.faults->faultsInjected(), 0u);
+  EXPECT_GE(dc.manager->failovers(), 1u);
+  EXPECT_GT(dc.manager->term(), 1u);
+
+  // Quiesce phase: heal the channel, let repairs land and anti-entropy
+  // converge; epoch invariants keep holding throughout.
+  dc.manager->viprip().ctrlChannel().setFaults(ChannelFaults{});
+  bool quiesced = false;
+  std::vector<std::string> lastQuiesce;
+  for (int round = 0; round < 60 && !quiesced; ++round) {
+    for (int e = 0; e < 5; ++e) {
+      dc.runUntil(dc.sim.now() + epoch);
+      const auto violations = inv.checkEpoch();
+      ASSERT_TRUE(violations.empty())
+          << "epoch invariants broken during quiesce at t=" << dc.sim.now()
+          << joined(violations);
+    }
+    lastQuiesce = inv.checkQuiesced();
+    quiesced = lastQuiesce.empty();
+  }
+  EXPECT_TRUE(quiesced) << "world never quiesced:" << joined(lastQuiesce);
+
+  // Failover stayed bounded: with a standby available, leaderless spells
+  // are capped by lease TTL + watch period (8s = 4 epochs, plus slack).
+  EXPECT_LE(inv.maxLeaderlessRun(), 6u);
+
+  // Fencing held: no agent ever ran ahead of the leader's term, and every
+  // stale-term command was refused, not applied.
+  const CommandSender& sender = dc.manager->viprip().ctrlSender();
+  EXPECT_LE(sender.maxAgentTerm(), sender.currentTerm());
+  EXPECT_EQ(sender.currentTerm(), dc.manager->term());
+
+  // Replayability: the epoch report carries the full replay handle.
+  const EpochReport& r = dc.engine->latest();
+  EXPECT_EQ(r.faultPlanSeed, cfg.fault.seed);
+  EXPECT_EQ(r.faultsInjected, dc.faults->faultsInjected());
+  EXPECT_EQ(r.managerTerm, dc.manager->term());
+  EXPECT_GE(r.managerFailovers, 1u);
+}
+
+}  // namespace
+}  // namespace mdc

@@ -532,5 +532,48 @@ TEST(CtrlPlane, HoldDownDampsFlappingSwitch) {
   EXPECT_EQ(dc.fleet.pendingOrphans(), 0u);
 }
 
+TEST(CtrlPlane, RepairInsideHoldDownNeitherRedeclaresNorLeaks) {
+  MegaDcConfig cfg = testScaleConfig();
+  cfg.health.holdDownSeconds = 30.0;
+  MegaDc dc{cfg};
+  dc.bootstrap();
+  dc.runUntil(100.0);
+
+  const SwitchId victim{0};
+  std::size_t hosted = 0;
+  for (const Application& a : dc.apps.all()) {
+    for (VipId vip : a.vips) {
+      if (dc.fleet.ownerOf(vip) == victim) ++hosted;
+    }
+  }
+  ASSERT_GT(hosted, 0u);
+
+  // Crash at 100.6 -> declared at ~104.5, hold-down runs to ~134.5.  The
+  // repair lands at 125.6, *inside* the window.
+  dc.faults->crashSwitch(victim, 100.6, /*repairAfter=*/25.0);
+  dc.runUntil(126.0);
+  EXPECT_TRUE(dc.fleet.isUp(victim));
+  EXPECT_EQ(dc.health->switchFailuresDetected(), 1u);
+  EXPECT_EQ(dc.health->vipsRestored(), hosted);
+
+  // Through the hold-down expiry: a switch repaired inside its window
+  // must not be re-declared failed when the window lapses (that would
+  // re-submit recovery for a healthy switch), and the orphan bookkeeping
+  // must not retain a stale batch.
+  dc.runUntil(160.0);
+  EXPECT_EQ(dc.health->switchFailuresDetected(), 1u);
+  EXPECT_EQ(dc.health->vipsRestored(), hosted);
+  EXPECT_EQ(dc.fleet.pendingOrphans(), 0u);
+
+  // And detection re-armed: a fresh crash after the window is declared
+  // within the ordinary detection bound, not suppressed by leftover
+  // hold-down state.
+  dc.faults->crashSwitch(victim, 165.0, /*repairAfter=*/40.0);
+  dc.runUntil(165.0 + dc.health->detectionDelayBound() + 1.0);
+  EXPECT_EQ(dc.health->switchFailuresDetected(), 2u);
+  dc.runUntil(260.0);
+  EXPECT_EQ(dc.fleet.pendingOrphans(), 0u);
+}
+
 }  // namespace
 }  // namespace mdc
