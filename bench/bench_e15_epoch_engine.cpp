@@ -17,6 +17,7 @@
 //                     when omitted: print to stdout only)
 //   --baseline FILE   compare smoke checks against a previous JSON; exit
 //                     non-zero on a >30% regression
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -31,6 +32,7 @@
 
 #include "mdc/core/viprip_manager.hpp"
 #include "mdc/metrics/table.hpp"
+#include "mdc/obs/phase_profiler.hpp"
 #include "mdc/scenario/fluid_engine.hpp"
 #include "mdc/util/stats.hpp"
 
@@ -328,11 +330,16 @@ struct CellResult {
   double p99Ms = 0.0;
   double cacheHitRate = 0.0;
   double servedRps = 0.0;  // sanity: modes must agree
+  // Per-phase wall-clock breakdown (--profile; engine modes only).
+  bool profiled = false;
+  std::array<std::uint64_t, PhaseProfiler::kPhases> phaseNs{};
+  std::array<std::uint64_t, PhaseProfiler::kPhases> phaseCalls{};
 };
 
 /// Runs one (mode, apps, dirty, workers) cell on a fresh world.
 CellResult runCell(const std::string& mode, std::uint32_t numApps,
-                   double dirtyFrac, unsigned workers, int epochs) {
+                   double dirtyFrac, unsigned workers, int epochs,
+                   bool profile = false) {
   BenchWorld w(numApps);
   LegacyEngine legacy;
   std::unique_ptr<FluidEngine> engine;
@@ -344,6 +351,7 @@ CellResult runCell(const std::string& mode, std::uint32_t numApps,
                                            *w.resolvers, w.routes, w.fleet,
                                            w.hosts, *w.demand, *w.viprip,
                                            opt);
+    if (profile) engine->profiler().setEnabled(true);
   }
 
   const auto stepOnce = [&] {
@@ -355,6 +363,7 @@ CellResult runCell(const std::string& mode, std::uint32_t numApps,
     w.sim.runUntil(w.sim.now() + 1.0);
     (void)stepOnce();
   }
+  if (engine) engine->profiler().reset();  // profile the timed window only
 
   std::vector<double> stepMs;
   stepMs.reserve(static_cast<std::size_t>(epochs));
@@ -388,6 +397,14 @@ CellResult runCell(const std::string& mode, std::uint32_t numApps,
                              static_cast<double>(recomputed + cached)
                        : 0.0;
   r.servedRps = last.totalServedRps();
+  if (profile && engine) {
+    r.profiled = true;
+    for (std::size_t p = 0; p < PhaseProfiler::kPhases; ++p) {
+      const auto phase = static_cast<PhaseProfiler::Phase>(p);
+      r.phaseNs[p] = engine->profiler().ns(phase);
+      r.phaseCalls[p] = engine->profiler().calls(phase);
+    }
+  }
   return r;
 }
 
@@ -398,7 +415,17 @@ void appendJson(std::ostringstream& out, const CellResult& r, bool last) {
       << ", \"epochs_per_sec\": " << r.epochsPerSec
       << ", \"p50_ms\": " << r.p50Ms << ", \"p99_ms\": " << r.p99Ms
       << ", \"cache_hit_rate\": " << r.cacheHitRate
-      << ", \"served_rps\": " << r.servedRps << "}" << (last ? "\n" : ",\n");
+      << ", \"served_rps\": " << r.servedRps;
+  if (r.profiled) {
+    out << ", \"phase_ns\": {";
+    for (std::size_t p = 0; p < PhaseProfiler::kPhases; ++p) {
+      out << (p == 0 ? "" : ", ") << "\""
+          << PhaseProfiler::name(static_cast<PhaseProfiler::Phase>(p))
+          << "\": " << r.phaseNs[p];
+    }
+    out << "}";
+  }
+  out << "}" << (last ? "\n" : ",\n");
 }
 
 /// Hand-rolled scalar extraction: finds `"key": <number>` in a JSON blob.
@@ -412,19 +439,22 @@ double extractNumber(const std::string& json, const std::string& key) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool profile = false;
   std::string outFile = "BENCH_E15.json";
   std::string baselineFile;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--out" && i + 1 < argc) {
       outFile = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baselineFile = argv[++i];
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--smoke] [--out FILE] [--baseline FILE]\n";
+                << " [--smoke] [--profile] [--out FILE] [--baseline FILE]\n";
       return 2;
     }
   }
@@ -447,9 +477,11 @@ int main(int argc, char** argv) {
   constexpr double kSmokeDirty = 0.05;
   const int smokeEpochs = smoke ? 10 : 20;
   record(runCell("legacy", kSmokeApps, kSmokeDirty, 1, smokeEpochs));
-  record(runCell("full", kSmokeApps, kSmokeDirty, 1, smokeEpochs));
-  record(runCell("incremental", kSmokeApps, kSmokeDirty, 1, smokeEpochs));
-  record(runCell("incremental", kSmokeApps, kSmokeDirty, 4, smokeEpochs));
+  record(runCell("full", kSmokeApps, kSmokeDirty, 1, smokeEpochs, profile));
+  record(
+      runCell("incremental", kSmokeApps, kSmokeDirty, 1, smokeEpochs, profile));
+  record(
+      runCell("incremental", kSmokeApps, kSmokeDirty, 4, smokeEpochs, profile));
   const double smokeLegacy = results[0].epochsPerSec;
   const double smokeFull = results[1].epochsPerSec;
   const double smokeInc = results[3].epochsPerSec;
@@ -462,9 +494,9 @@ int main(int argc, char** argv) {
       const int epochs = apps >= 50'000 ? 16 : 20;
       for (const double dirty : {0.0, 0.05, 0.5}) {
         record(runCell("legacy", apps, dirty, 1, epochs));
-        record(runCell("full", apps, dirty, 1, epochs));
+        record(runCell("full", apps, dirty, 1, epochs, profile));
         for (const unsigned workers : {1u, 4u}) {
-          record(runCell("incremental", apps, dirty, workers, epochs));
+          record(runCell("incremental", apps, dirty, workers, epochs, profile));
         }
       }
     }
@@ -482,6 +514,27 @@ int main(int argc, char** argv) {
   }
 
   table.print(std::cout);
+  if (profile) {
+    Table phases{"E15 phase breakdown (wall ms over the timed window)",
+                 {"mode", "apps", "workers", "phase", "ms", "calls",
+                  "ms/epoch"}};
+    for (const CellResult& r : results) {
+      if (!r.profiled) continue;
+      // Validate runs exactly once per step, so its call count is the
+      // number of epochs in the timed window.
+      const double epochsTimed = static_cast<double>(r.phaseCalls[0]);
+      for (std::size_t p = 0; p < PhaseProfiler::kPhases; ++p) {
+        const auto phase = static_cast<PhaseProfiler::Phase>(p);
+        const double ms = static_cast<double>(r.phaseNs[p]) / 1e6;
+        phases.addRow({r.mode, static_cast<long long>(r.numApps),
+                       static_cast<long long>(r.workers),
+                       std::string{PhaseProfiler::name(phase)}, ms,
+                       static_cast<long long>(r.phaseCalls[p]),
+                       epochsTimed > 0.0 ? ms / epochsTimed : 0.0});
+      }
+    }
+    phases.print(std::cout);
+  }
   std::cout << "expected shape: full mode tracks legacy (flat arrays and"
                " interned paths shave constants); incremental mode scales"
                " with the dirty fraction, not the app count — at low churn"

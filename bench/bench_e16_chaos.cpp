@@ -19,6 +19,10 @@
 //   --out FILE        write machine-readable JSON (default BENCH_E16.json)
 //   --baseline FILE   compare smoke checks against a previous JSON; exit
 //                     non-zero on a >30% regression
+//   --trace FILE      run the storm smoke cell with causal tracing on and
+//                     dump the span trace as JSONL
+//   --metrics FILE    dump the storm smoke cell's metrics registry as
+//                     JSONL after quiesce
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -29,6 +33,7 @@
 
 #include "mdc/fault/chaos.hpp"
 #include "mdc/metrics/table.hpp"
+#include "mdc/obs/export.hpp"
 #include "mdc/scenario/megadc.hpp"
 #include "mdc/util/stats.hpp"
 
@@ -80,7 +85,8 @@ struct CellResult {
 
 /// Runs one (mode, apps) cell on a fresh world.
 CellResult runCell(const std::string& mode, std::uint32_t numApps,
-                   bool smoke) {
+                   bool smoke, const std::string& traceOut = "",
+                   const std::string& metricsOut = "") {
   const bool stormy = (mode == "storm");
   MegaDcConfig cfg = chaosConfig(numApps);
   if (stormy) {
@@ -88,6 +94,10 @@ CellResult runCell(const std::string& mode, std::uint32_t numApps,
     cfg.ctrlFaults.dropRate = 0.05;
     cfg.ctrlFaults.delaySeconds = 0.02;
     cfg.ctrlFaults.delayJitterSeconds = 0.05;
+  }
+  if (!traceOut.empty()) {
+    cfg.tracing.enabled = true;
+    cfg.tracing.ringCapacity = 1u << 19;
   }
   MegaDc dc{cfg};
   dc.bootstrap();
@@ -164,6 +174,18 @@ CellResult runCell(const std::string& mode, std::uint32_t numApps,
   r.maxLeaderlessRun = inv.maxLeaderlessRun();
   r.faultsInjected = dc.faults->faultsInjected();
   r.repairsApplied = dc.faults->repairsApplied();
+
+  if (!traceOut.empty()) {
+    std::ofstream out(traceOut);
+    const std::size_t lines = exportSpansJsonl(dc.tracer->ring(), out);
+    std::cout << "wrote " << traceOut << " (" << lines << " span events, "
+              << dc.tracer->ring().overwritten() << " overwritten)\n";
+  }
+  if (!metricsOut.empty()) {
+    std::ofstream out(metricsOut);
+    const std::size_t lines = exportMetricsJsonl(dc.metrics, out);
+    std::cout << "wrote " << metricsOut << " (" << lines << " samples)\n";
+  }
   return r;
 }
 
@@ -210,6 +232,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::string outFile = "BENCH_E16.json";
   std::string baselineFile;
+  std::string traceFile;
+  std::string metricsFile;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -218,9 +242,14 @@ int main(int argc, char** argv) {
       outFile = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baselineFile = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      traceFile = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metricsFile = argv[++i];
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--smoke] [--out FILE] [--baseline FILE]\n";
+                << " [--smoke] [--out FILE] [--baseline FILE]"
+                   " [--trace FILE] [--metrics FILE]\n";
       return 2;
     }
   }
@@ -244,7 +273,7 @@ int main(int argc, char** argv) {
   // against the committed full-run artifact apples-to-apples.
   constexpr std::uint32_t kSmokeApps = 2000;
   record(runCell("calm", kSmokeApps, /*smoke=*/true));
-  record(runCell("storm", kSmokeApps, /*smoke=*/true));
+  record(runCell("storm", kSmokeApps, /*smoke=*/true, traceFile, metricsFile));
   const double smokeCalm = results[0].epochsPerSec;
   const double smokeStorm = results[1].epochsPerSec;
 

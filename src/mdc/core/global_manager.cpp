@@ -90,6 +90,12 @@ Status GlobalManager::deployApp(AppId app, std::uint32_t instances,
   return Status::okStatus();
 }
 
+void GlobalManager::attachTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  viprip_->attachTracer(tracer);
+  if (reconciler_ != nullptr) reconciler_->setTracer(tracer);
+}
+
 void GlobalManager::start() {
   MDC_EXPECT(!started_, "start() called twice");
   started_ = true;
@@ -144,6 +150,7 @@ void GlobalManager::start() {
         sim_, fleet_, viprip_->intent(), viprip_->ctrlSender(),
         std::move(hooks), options_.reconciler);
     viprip_->attachReconciler(reconciler_.get());
+    reconciler_->setTracer(tracer_);
     reconciler_->setActiveCheck([this] { return leaderUp_; });
     reconciler_->start(options_.reconciler.periodSeconds * 0.4);
   }

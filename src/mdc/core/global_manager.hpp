@@ -79,6 +79,11 @@ class GlobalManager final : public RipRequestSink {
   /// Registers every periodic control loop on the simulation.
   void start();
 
+  /// Attach (or detach with nullptr) the tracer: forwarded to the VIP/RIP
+  /// manager (and through it the channel, sender, and agents) and to the
+  /// reconciler — including one built by a later start().
+  void attachTracer(Tracer* tracer);
+
   /// Fan out the latest fluid-engine observation to all components, and
   /// push per-pod demand into the pod managers.  A no-op while no leader
   /// is up: a dead manager observes nothing.
@@ -169,6 +174,7 @@ class GlobalManager final : public RipRequestSink {
   std::vector<std::unique_ptr<PodManager>> pods_;
   std::uint32_t nextDeployPod_ = 0;
   bool started_ = false;
+  Tracer* tracer_ = nullptr;
 
   /// Leadership state (E16): monotonic fencing term, leader liveness,
   /// warm-standby count, and the lease the standby must wait out.

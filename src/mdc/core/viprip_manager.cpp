@@ -46,6 +46,24 @@ bool isCancelled(const Status& s) {
   return !s.ok() && s.error().code == "cancelled";
 }
 
+const char* opName(VipRipOp op) noexcept {
+  switch (op) {
+    case VipRipOp::NewVip:
+      return "NewVip";
+    case VipRipOp::DeleteVip:
+      return "DeleteVip";
+    case VipRipOp::NewRip:
+      return "NewRip";
+    case VipRipOp::DeleteRip:
+      return "DeleteRip";
+    case VipRipOp::SetWeight:
+      return "SetWeight";
+    case VipRipOp::RestoreVip:
+      return "RestoreVip";
+  }
+  return "?";
+}
+
 }  // namespace
 
 VipRipManager::VipRipManager(Simulation& sim, SwitchFleet& fleet,
@@ -82,12 +100,33 @@ void VipRipManager::intend(IntentRecord record) {
   intent_.apply(record);
 }
 
+void VipRipManager::attachTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  channel_.setTracer(tracer);
+  sender_.setTracer(tracer);
+}
+
 void VipRipManager::submit(VipRipRequest request) {
+  if (tracer_ != nullptr && tracer_->enabled() && request.trace == 0) {
+    request.trace = tracer_->begin();
+    request.traceSpan = tracer_->newSpan();
+  }
   if (!online_) {
     // The manager process is down; callers see the failure immediately
     // and retry against the recovered leader (with their own backoff).
+    if (tracer_ != nullptr) {
+      tracer_->record(request.trace, request.traceSpan, 0,
+                      HopKind::RequestRefused, "manager_down", 0,
+                      static_cast<std::uint64_t>(request.op));
+    }
     if (request.done) request.done(Status::fail("manager_down"));
     return;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->record(request.trace, request.traceSpan, 0,
+                    HopKind::RequestSubmitted, opName(request.op),
+                    request.vip.valid() ? request.vip.index() : 0,
+                    static_cast<std::uint64_t>(request.priority));
   }
   // Coalesce weight updates: a newer SetWeight for the same VM supersedes
   // a queued one — pods re-decide every period and only the latest weight
@@ -96,6 +135,10 @@ void VipRipManager::submit(VipRipRequest request) {
     for (Pending& other : queue_) {
       if (other.req.op == VipRipOp::SetWeight && other.req.vm == request.vm) {
         other.req.weight = request.weight;
+        if (tracer_ != nullptr) {
+          tracer_->record(request.trace, request.traceSpan, 0,
+                          HopKind::RequestDone, "coalesced");
+        }
         if (request.done) request.done(Status::okStatus());
         return;
       }
@@ -120,6 +163,10 @@ void VipRipManager::submit(VipRipRequest request) {
 
 void VipRipManager::cancelPending(Pending p) {
   ++cancelledRequests_;
+  if (tracer_ != nullptr) {
+    tracer_->record(p.req.trace, p.req.traceSpan, 0, HopKind::RequestDone,
+                    "cancelled");
+  }
   if (p.req.done) p.req.done(Status::fail("cancelled"));
 }
 
@@ -159,16 +206,24 @@ void VipRipManager::pump() {
       // timeout, or a dropped continuation — the accounting and the
       // submitter's callback run exactly once.
       DoneGuard done(
-          [this, submitted = p.submitted,
-           user = std::move(p.req.done)](Status s) {
+          [this, submitted = p.submitted, trace = p.req.trace,
+           span = p.req.traceSpan, user = std::move(p.req.done)](Status s) {
             ++processed_;
             if (!s.ok()) {
               ++rejected_;
               ++rejectionsByCode_[s.error().code];
             }
             latency_.record(std::max(1e-3, sim_.now() - submitted));
+            if (tracer_ != nullptr) {
+              tracer_->record(trace, span, 0, HopKind::RequestDone,
+                              s.ok() ? "ok" : s.error().code.c_str());
+            }
             if (user) user(std::move(s));
           });
+      if (tracer_ != nullptr) {
+        tracer_->record(p.req.trace, p.req.traceSpan, 0,
+                        HopKind::RequestApplied, opName(p.req.op));
+      }
       apply(p.req, std::move(done));
     });
     pump();
@@ -258,6 +313,8 @@ void VipRipManager::applyNewVip(const VipRipRequest& req, DoneGuard done) {
   cmd.kind = CmdKind::ConfigureVip;
   cmd.vip = vip;
   cmd.app = req.app;
+  cmd.trace = req.trace;
+  cmd.parentSpan = req.traceSpan;
   sender_.send(*sw, cmd,
                [this, vip, app = req.app, ar, done](Status s) mutable {
                  if (s.ok()) return done.fire(Status::okStatus());
@@ -331,6 +388,8 @@ void VipRipManager::applyNewRip(const VipRipRequest& req, DoneGuard done) {
   cmd.kind = CmdKind::AddRip;
   cmd.vip = bestVip;
   cmd.rip = entry;
+  cmd.trace = req.trace;
+  cmd.parentSpan = req.traceSpan;
   sender_.send(target, cmd,
                [this, vip = bestVip, vm = req.vm, rip = entry.rip,
                 done](Status s) mutable {
@@ -404,6 +463,8 @@ void VipRipManager::applyDeleteVip(const VipRipRequest& req, DoneGuard done) {
   SwitchCommand cmd;
   cmd.kind = CmdKind::RemoveVip;
   cmd.vip = req.vip;
+  cmd.trace = req.trace;
+  cmd.parentSpan = req.traceSpan;
   sender_.send(sw, cmd, [done](Status s) mutable {
     // The goal is "entry gone": an unknown VIP or a crashed switch
     // (tables wiped) already satisfies it.
@@ -441,6 +502,8 @@ void VipRipManager::applyDeleteRip(const VipRipRequest& req, DoneGuard done) {
     cmd.kind = CmdKind::RemoveRip;
     cmd.vip = ref.vip;
     cmd.rip.rip = ref.rip;
+    cmd.trace = req.trace;
+    cmd.parentSpan = req.traceSpan;
     barrier->add();
     sender_.send(sw, cmd, [this, vip = ref.vip, barrier](Status s) {
       if (s.ok()) syncVipDnsWeight(vip);
@@ -452,13 +515,14 @@ void VipRipManager::applyDeleteRip(const VipRipRequest& req, DoneGuard done) {
       // re-back it with another live instance of the application; with no
       // backing its capacity term — and hence its DNS weight — drops to
       // zero.
-      (void)refillVip(ref.vip, app, req.vm);
+      (void)refillVip(ref.vip, app, req.vm, req.trace, req.traceSpan);
     }
   }
   barrier->seal();
 }
 
-bool VipRipManager::refillVip(VipId vip, AppId app, VmId excluding) {
+bool VipRipManager::refillVip(VipId vip, AppId app, VmId excluding,
+                              TraceId trace, SpanId parentSpan) {
   if (!online_) return false;  // a dead manager issues no new commands
   const VipIntent* in = intent_.find(vip);
   if (in == nullptr) return false;
@@ -493,6 +557,8 @@ bool VipRipManager::refillVip(VipId vip, AppId app, VmId excluding) {
     cmd.kind = CmdKind::AddRip;
     cmd.vip = vip;
     cmd.rip = entry;
+    cmd.trace = trace;
+    cmd.parentSpan = parentSpan;
     sender_.send(sw, cmd, [this, vip, vm, rip = entry.rip](Status s) {
       if (!s.ok()) {
         if (!isCancelled(s)) dropRipIntent(vip, rip, vm);
@@ -548,6 +614,8 @@ void VipRipManager::applySetWeight(const VipRipRequest& req, DoneGuard done) {
     cmd.vip = ref.vip;
     cmd.rip.rip = ref.rip;
     cmd.weight = perRip;
+    cmd.trace = req.trace;
+    cmd.parentSpan = req.traceSpan;
     barrier->add();
     sender_.send(in->sw, cmd, [this, vip = ref.vip, barrier](Status s) {
       if (s.ok()) syncVipDnsWeight(vip);
@@ -644,10 +712,12 @@ void VipRipManager::applyRestoreVip(const VipRipRequest& req, DoneGuard done) {
   cfg.kind = CmdKind::ConfigureVip;
   cfg.vip = req.vip;
   cfg.app = req.app;
+  cfg.trace = req.trace;
+  cfg.parentSpan = req.traceSpan;
   sender_.send(
       *sw, cfg,
       [this, vip = req.vip, app = req.app, target = *sw, desired,
-       done](Status s) mutable {
+       trace = req.trace, span = req.traceSpan, done](Status s) mutable {
         if (!s.ok()) {
           // No rollback: the intent keeps naming the new home and the
           // health monitor's retry (or the reconciler) finishes the job.
@@ -657,7 +727,8 @@ void VipRipManager::applyRestoreVip(const VipRipRequest& req, DoneGuard done) {
         // entry, like the seed); then, if nothing could back the VIP,
         // re-back it with any live instance so TTL-lingering clients
         // stop black-holing.
-        DoneGuard epilogue([this, vip, app, done](Status) mutable {
+        DoneGuard epilogue([this, vip, app, trace, span, done](
+                               Status) mutable {
           if (!online_) {
             // The manager died between the ConfigureVip ack and the RIP
             // fan-out settling; the health monitor's retry finishes the
@@ -666,7 +737,7 @@ void VipRipManager::applyRestoreVip(const VipRipRequest& req, DoneGuard done) {
           }
           const VipIntent* in = intent_.find(vip);
           if (in != nullptr && in->rips.empty()) {
-            (void)refillVip(vip, app, VmId{});
+            (void)refillVip(vip, app, VmId{}, trace, span);
           }
           syncVipDnsWeight(vip);
           done.fire(Status::okStatus());
@@ -678,6 +749,8 @@ void VipRipManager::applyRestoreVip(const VipRipRequest& req, DoneGuard done) {
           cmd.kind = CmdKind::AddRip;
           cmd.vip = vip;
           cmd.rip = r;
+          cmd.trace = trace;
+          cmd.parentSpan = span;
           barrier->add();
           sender_.send(target, cmd, [this, vip, r, barrier](Status rs) {
             if (!rs.ok() && !isCancelled(rs)) {

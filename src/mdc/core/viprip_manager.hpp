@@ -72,6 +72,11 @@ struct VipRipRequest {
   /// Optional completion callback with the outcome.  Fires exactly once
   /// per request, on every path — including drops and channel timeouts.
   std::function<void(Status)> done;
+  /// Causal trace context.  Left at 0 with tracing enabled, submit()
+  /// mints a fresh trace whose root span is the request; every switch
+  /// command the request fans out into becomes a child span.
+  TraceId trace = 0;
+  SpanId traceSpan = 0;
 };
 
 class VipRipManager {
@@ -97,6 +102,12 @@ class VipRipManager {
 
   /// Enqueues a request; processing is asynchronous and serialized.
   void submit(VipRipRequest request);
+
+  /// Attach (or detach with nullptr) the tracer; forwarded to the
+  /// channel and sender so request, channel, agent, and completion hops
+  /// all land in the same ring.
+  void attachTracer(Tracer* tracer);
+  [[nodiscard]] Tracer* tracer() const noexcept { return tracer_; }
 
   /// Installs a VM-liveness predicate.  Requests can sit in the serialized
   /// queue for a long time; a NewRip applied after its VM died would
@@ -256,7 +267,8 @@ class VipRipManager {
   /// Re-backs a VIP that lost its last RIP with another live instance of
   /// `app` (excluding the VM being retired).  Returns false if no
   /// instance or no table space was available.
-  bool refillVip(VipId vip, AppId app, VmId excluding);
+  bool refillVip(VipId vip, AppId app, VmId excluding, TraceId trace = 0,
+                 SpanId parentSpan = 0);
   /// Recomputes the VIP's DNS weight as
   ///   (serving capacity behind it, i.e. sum of RIP weights) x
   ///   (its exposure factor).
@@ -278,6 +290,7 @@ class VipRipManager {
   IntentStore intent_;
   IntentJournal journal_;
   const Reconciler* reconciler_ = nullptr;
+  Tracer* tracer_ = nullptr;
 
   std::function<bool(VmId)> vmAlive_;
   std::unordered_map<VipId, double> exposureFactor_;

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "mdc/lb/lb_switch.hpp"
+#include "mdc/obs/trace.hpp"
 #include "mdc/util/ids.hpp"
 #include "mdc/util/result.hpp"
 
@@ -46,6 +47,14 @@ struct SwitchCommand {
   /// they have seen, so a deposed leader (or a delayed copy of one of its
   /// commands) can never mutate switch state after a failover.
   std::uint64_t term = 1;
+
+  /// Causal trace context (0 = untraced): the trace groups everything a
+  /// request caused, `span` is this command's own span (minted at send),
+  /// `parentSpan` is the originating request's span.  Carried on the wire
+  /// so agent-side events land on the right span even for late copies.
+  TraceId trace = 0;
+  SpanId span = 0;
+  SpanId parentSpan = 0;
 };
 
 /// The switch's reply: the outcome of applying (or re-acking) `seq`.

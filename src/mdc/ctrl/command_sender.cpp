@@ -22,8 +22,14 @@ CommandSender::Link& CommandSender::link(SwitchId sw) {
   if (it == links_.end()) {
     it = links_.emplace(sw, Link{}).first;
     it->second.agent = std::make_unique<SwitchAgent>(fleet_, sw);
+    it->second.agent->setTracer(tracer_);
   }
   return it->second;
+}
+
+void CommandSender::setTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& [sw, l] : links_) l.agent->setTracer(tracer);
 }
 
 SwitchAgent& CommandSender::agentOf(SwitchId sw) { return *link(sw).agent; }
@@ -72,6 +78,11 @@ void CommandSender::send(SwitchId sw, SwitchCommand cmd, Completion done) {
   const std::uint64_t seq = l.nextSeq++;
   cmd.seq = seq;
   cmd.term = term_;
+  if (tracer_ != nullptr && cmd.trace != 0) {
+    cmd.span = tracer_->newSpan();
+    tracer_->record(cmd.trace, cmd.span, cmd.parentSpan, HopKind::CmdSend,
+                    toString(cmd.kind), seq, term_);
+  }
   Outstanding out;
   out.cmd = cmd;
   out.done = std::move(done);
@@ -89,11 +100,21 @@ void CommandSender::transmit(SwitchId sw, std::uint64_t seq) {
   if (it == l.outstanding.end()) return;  // settled while queued
   SwitchCommand cmd = it->second.cmd;
   cmd.ackedBelow = l.ackedBelow;
-  channel_.send(sw, [this, sw, cmd] {
-    link(sw).agent->deliver(cmd, [this, sw](const CommandAck& ack) {
-      channel_.send(sw, [this, sw, ack] { onAck(sw, ack); });
-    });
-  });
+  if (tracer_ != nullptr) {
+    tracer_->record(cmd.trace, cmd.span, cmd.parentSpan, HopKind::CmdTransmit,
+                    nullptr, seq, it->second.attempt);
+  }
+  channel_.send(
+      sw,
+      [this, sw, cmd] {
+        link(sw).agent->deliver(
+            cmd, [this, sw, trace = cmd.trace,
+                  span = cmd.span](const CommandAck& ack) {
+              channel_.send(
+                  sw, [this, sw, ack] { onAck(sw, ack); }, trace, span);
+            });
+      },
+      cmd.trace, cmd.span);
   // On a reliable channel the ack already came back inside send(); only
   // arm the retransmit timer if the command is still unsettled.
   if (l.outstanding.contains(seq)) armRetry(sw, seq);
@@ -128,8 +149,15 @@ void CommandSender::armRetry(SwitchId sw, std::uint64_t seq) {
 void CommandSender::onAck(SwitchId sw, const CommandAck& ack) {
   if (ack.term != term_) return;  // ack addressed to a previous term
   Link& l = link(sw);
-  if (!l.outstanding.contains(ack.seq)) return;  // stale duplicate ack
+  const auto it = l.outstanding.find(ack.seq);
+  if (it == l.outstanding.end()) return;  // stale duplicate ack
   ++acks_;
+  if (tracer_ != nullptr) {
+    const SwitchCommand& cmd = it->second.cmd;
+    tracer_->record(cmd.trace, cmd.span, cmd.parentSpan, HopKind::AckReceived,
+                    ack.status.ok() ? "ok" : ack.status.error().code.c_str(),
+                    ack.seq, ack.term);
+  }
   complete(sw, ack.seq, ack.status);
 }
 
@@ -138,6 +166,24 @@ void CommandSender::complete(SwitchId sw, std::uint64_t seq, Status outcome) {
   const auto it = l.outstanding.find(seq);
   MDC_ENSURE(it != l.outstanding.end(), "completing settled command");
   sim_.cancel(it->second.retryTimer);
+  if (tracer_ != nullptr) {
+    // Exactly one terminal hop per command span, classified by outcome.
+    const SwitchCommand& cmd = it->second.cmd;
+    HopKind terminal = HopKind::CmdAcked;
+    const char* code = "acked";
+    if (!outcome.ok()) {
+      code = outcome.error().code.c_str();
+      if (outcome.error().code == "cancelled") {
+        terminal = HopKind::CmdCancelled;
+      } else if (outcome.error().code == "ctrl_timeout") {
+        terminal = HopKind::CmdTimeout;
+      } else if (outcome.error().code == "stale_term") {
+        terminal = HopKind::CmdStaleTerm;
+      }
+    }
+    tracer_->record(cmd.trace, cmd.span, cmd.parentSpan, terminal, code, seq,
+                    cmd.term);
+  }
   Completion done = std::move(it->second.done);
   const VipId vip = it->second.vip;
   l.outstanding.erase(it);

@@ -40,8 +40,15 @@ class CommandSender {
 
   /// Sends `cmd` to `sw`; `done` fires exactly once with the outcome.
   /// On a reliable channel the whole round trip completes inline.
-  /// The command is stamped with the current leadership term.
+  /// The command is stamped with the current leadership term.  If
+  /// `cmd.trace` is set, the command gets its own span (child of
+  /// `cmd.parentSpan`) and every attempt, ack, and its terminal
+  /// completion are recorded on it.
   void send(SwitchId sw, SwitchCommand cmd, Completion done);
+
+  /// Attach (or detach with nullptr) the tracer; forwarded to every
+  /// switch agent, including ones created after this call.
+  void setTracer(Tracer* tracer);
 
   /// Cancels every in-flight command: retry timers are disarmed and each
   /// completion fires exactly once with "cancelled".  Used when the
@@ -111,6 +118,7 @@ class CommandSender {
   ControlChannel& channel_;
   SwitchFleet& fleet_;
   Options options_;
+  Tracer* tracer_ = nullptr;
   std::unordered_map<SwitchId, Link> links_;
   std::unordered_map<VipId, std::uint32_t> busyVips_;
   std::uint32_t inflight_ = 0;

@@ -12,10 +12,15 @@ void ControlChannel::setPartitioned(SwitchId sw, bool partitioned) {
   }
 }
 
-void ControlChannel::send(SwitchId sw, std::function<void()> deliver) {
+void ControlChannel::send(SwitchId sw, std::function<void()> deliver,
+                          TraceId trace, SpanId span) {
   ++sent_;
   if (partitioned_.contains(sw)) {
     ++dropped_;
+    if (tracer_ != nullptr) {
+      tracer_->record(trace, span, 0, HopKind::ChanDrop, "partition",
+                      sw.index());
+    }
     return;
   }
   if (faults_.reliable()) {
@@ -24,15 +29,28 @@ void ControlChannel::send(SwitchId sw, std::function<void()> deliver) {
   }
   if (rng_.bernoulli(faults_.dropRate)) {
     ++dropped_;
+    if (tracer_ != nullptr) {
+      tracer_->record(trace, span, 0, HopKind::ChanDrop, "drop", sw.index());
+    }
     return;
   }
   const bool duplicate = rng_.bernoulli(faults_.duplicateRate);
   const bool reorder = rng_.bernoulli(faults_.reorderRate);
   if (duplicate) {
     ++duplicated_;
+    if (tracer_ != nullptr) {
+      tracer_->record(trace, span, 0, HopKind::ChanDuplicate, nullptr,
+                      sw.index());
+    }
     dispatch(deliver, reorder);
   }
-  if (reorder) ++reordered_;
+  if (reorder) {
+    ++reordered_;
+    if (tracer_ != nullptr) {
+      tracer_->record(trace, span, 0, HopKind::ChanReorder, nullptr,
+                      sw.index());
+    }
+  }
   dispatch(std::move(deliver), reorder);
 }
 

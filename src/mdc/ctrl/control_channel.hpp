@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "mdc/obs/trace.hpp"
 #include "mdc/sim/rng.hpp"
 #include "mdc/sim/simulation.hpp"
 #include "mdc/util/ids.hpp"
@@ -65,8 +66,14 @@ class ControlChannel {
 
   /// Sends a message over `sw`'s link; `deliver` runs when (each copy of)
   /// the message arrives.  On a reliable, unpartitioned link this calls
-  /// `deliver` inline.
-  void send(SwitchId sw, std::function<void()> deliver);
+  /// `deliver` inline.  The optional trace context lets the channel record
+  /// its verdict (drop / duplicate / reorder) on the message's span; it
+  /// never changes delivery behavior or randomness.
+  void send(SwitchId sw, std::function<void()> deliver, TraceId trace = 0,
+            SpanId span = 0);
+
+  /// Attach (or detach with nullptr) the tracer channel verdicts go to.
+  void setTracer(Tracer* tracer) noexcept { tracer_ = tracer; }
 
   // --- introspection ------------------------------------------------------
 
@@ -87,6 +94,7 @@ class ControlChannel {
   Simulation& sim_;
   Rng rng_;
   ChannelFaults faults_;
+  Tracer* tracer_ = nullptr;
   std::unordered_set<SwitchId> partitioned_;
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;

@@ -51,6 +51,21 @@ void Reconciler::noteDrift(const char* kind) {
   ++driftByKind_[kind];
 }
 
+void Reconciler::stampRepair(SwitchCommand& cmd, const char* kind) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  cmd.trace = tracer_->begin();
+  cmd.parentSpan = tracer_->newSpan();
+  tracer_->record(cmd.trace, cmd.parentSpan, 0, HopKind::ReconcileRepair, kind,
+                  cmd.vip.index());
+}
+
+void Reconciler::noteAdopt(const char* what, std::uint64_t a, std::uint64_t b) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  const TraceId t = tracer_->begin();
+  tracer_->record(t, tracer_->newSpan(), 0, HopKind::ReconcileAdopt, what, a,
+                  b);
+}
+
 void Reconciler::auditRound() {
   ++rounds_;
   lastRoundDrift_ = 0;
@@ -134,10 +149,12 @@ void Reconciler::auditSwitch(SwitchId sw) {
 
   for (const WeightFix& fix : weightFixes) {
     ++weightsAdopted_;
+    noteAdopt("rip_weight", fix.vip.index(), fix.rip.index());
     if (hooks_.adoptRipWeight) hooks_.adoptRipWeight(fix.vip, fix.rip, fix.weight);
   }
   for (VipId vip : adoptions) {
     ++placementsAdopted_;
+    noteAdopt("placement", vip.index(), sw.index());
     if (hooks_.adoptPlacement) hooks_.adoptPlacement(vip, sw);
   }
   for (VipId vip : strays) issueRemoveVip(sw, vip);
@@ -147,6 +164,7 @@ void Reconciler::auditSwitch(SwitchId sw) {
     cmd.kind = CmdKind::RemoveRip;
     cmd.vip = fix.vip;
     cmd.rip.rip = fix.rip;
+    stampRepair(cmd, "orphan_rip");
     sender_.send(sw, cmd, [this, vip = fix.vip](Status status) {
       if (!status.ok()) {
         ++repairsFailed_;
@@ -173,6 +191,7 @@ void Reconciler::auditIntent(VipId vip, const VipIntent& intent) {
     cmd.kind = CmdKind::ConfigureVip;
     cmd.vip = vip;
     cmd.app = intent.app;
+    stampRepair(cmd, "missing_vip");
     const SwitchId sw = intent.sw;
     const std::vector<RipEntry> rips = intent.rips;
     sender_.send(sw, cmd, [this, sw, vip, rips](Status status) {
@@ -204,6 +223,7 @@ void Reconciler::issueRemoveVip(SwitchId sw, VipId vip) {
   // A stray must not survive because sessions still pin it: severing
   // them is the lesser evil vs. two switches both owning the VIP.
   cmd.dropConnections = true;
+  stampRepair(cmd, "stray_vip");
   sender_.send(sw, cmd, [this](Status status) {
     if (status.ok()) {
       ++repairsSucceeded_;
@@ -219,6 +239,7 @@ void Reconciler::issueAddRip(SwitchId sw, VipId vip, const RipEntry& rip) {
   cmd.kind = CmdKind::AddRip;
   cmd.vip = vip;
   cmd.rip = rip;
+  stampRepair(cmd, "missing_rip");
   sender_.send(sw, cmd, [this, vip](Status status) {
     if (!status.ok()) {
       ++repairsFailed_;

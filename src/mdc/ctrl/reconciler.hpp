@@ -61,6 +61,11 @@ class Reconciler {
   /// Registers the periodic audit on the simulation.
   void start(SimTime phase = 0.0);
 
+  /// Attach (or detach with nullptr) the tracer.  Each repair command
+  /// gets its own trace rooted at a ReconcileRepair hop; adoptions are
+  /// recorded as single-event ReconcileAdopt traces.
+  void setTracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+
   /// One audit round (normally driven by start(); public for tests).
   void auditRound();
 
@@ -120,6 +125,9 @@ class Reconciler {
   void noteDrift(const char* kind);
   void issueRemoveVip(SwitchId sw, VipId vip);
   void issueAddRip(SwitchId sw, VipId vip, const RipEntry& rip);
+  /// Roots a fresh trace on `cmd` (no-op when tracing is off).
+  void stampRepair(SwitchCommand& cmd, const char* kind);
+  void noteAdopt(const char* what, std::uint64_t a, std::uint64_t b);
 
   Simulation& sim_;
   SwitchFleet& fleet_;
@@ -127,6 +135,7 @@ class Reconciler {
   CommandSender& sender_;
   Hooks hooks_;
   Options options_;
+  Tracer* tracer_ = nullptr;
 
   std::function<bool()> activeCheck_;
   std::uint32_t cursor_ = 0;

@@ -24,6 +24,11 @@ void SwitchAgent::deliver(const SwitchCommand& cmd, const AckFn& sendAck) {
     // touching the tables; the ack echoes the stale term so only the old
     // sender (if it still exists) would consume it.
     ++staleRejected_;
+    if (tracer_ != nullptr) {
+      tracer_->record(cmd.trace, cmd.span, cmd.parentSpan,
+                      HopKind::AgentStaleTerm, "stale_term", cmd.seq,
+                      cmd.term);
+    }
     sendAck(CommandAck{cmd.seq, Status::fail("stale_term"), cmd.term});
     return;
   }
@@ -44,6 +49,10 @@ void SwitchAgent::deliver(const SwitchCommand& cmd, const AckFn& sendAck) {
     // A late copy of a fully settled command: the sender no longer waits
     // for this ack, so don't even reply.
     ++duplicates_;
+    if (tracer_ != nullptr) {
+      tracer_->record(cmd.trace, cmd.span, cmd.parentSpan,
+                      HopKind::AgentDuplicate, "settled", cmd.seq);
+    }
     return;
   }
   const auto it = completed_.find(cmd.seq);
@@ -51,12 +60,22 @@ void SwitchAgent::deliver(const SwitchCommand& cmd, const AckFn& sendAck) {
     // Retransmit (or duplicate) of an applied command: same ack, no
     // table mutation — application is exactly-once.
     ++duplicates_;
+    if (tracer_ != nullptr) {
+      tracer_->record(cmd.trace, cmd.span, cmd.parentSpan,
+                      HopKind::AgentDuplicate, "reacked", cmd.seq);
+    }
     sendAck(CommandAck{cmd.seq, it->second, cmd.term});
     return;
   }
   const Status outcome = apply(cmd);
   completed_.emplace(cmd.seq, outcome);
   ++applied_;
+  if (tracer_ != nullptr) {
+    tracer_->record(cmd.trace, cmd.span, cmd.parentSpan,
+                    HopKind::AgentApplied,
+                    outcome.ok() ? "ok" : outcome.error().code.c_str(),
+                    cmd.seq);
+  }
   sendAck(CommandAck{cmd.seq, outcome, cmd.term});
 }
 

@@ -30,6 +30,9 @@ class SwitchAgent {
   /// duplicate of a command the sender already saw acked).
   void deliver(const SwitchCommand& cmd, const AckFn& sendAck);
 
+  /// Attach (or detach with nullptr) the tracer agent-side hops go to.
+  void setTracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+
   [[nodiscard]] SwitchId switchId() const noexcept { return sw_; }
   [[nodiscard]] std::uint64_t commandsApplied() const noexcept {
     return applied_;
@@ -52,6 +55,7 @@ class SwitchAgent {
 
   SwitchFleet& fleet_;
   SwitchId sw_;
+  Tracer* tracer_ = nullptr;
   /// Outcome per applied seq, for re-acking retransmits.
   std::unordered_map<std::uint64_t, Status> completed_;
   /// Everything below this has been pruned (the sender saw the ack).

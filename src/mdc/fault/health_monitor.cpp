@@ -34,6 +34,7 @@ void HealthMonitor::attachPods(std::vector<PodManager*> pods) {
   }
   pods_ = std::move(pods);
   missedPod_.assign(pods_.size(), 0);
+  podWasOnline_.assign(pods_.size(), 1);
 }
 
 void HealthMonitor::start(SimTime phase) {
@@ -150,7 +151,18 @@ void HealthMonitor::probeServers() {
   for (std::uint32_t i = 0; i < missedServer_.size(); ++i) {
     const ServerId s{i};
     if (!hosts_.serverUp(s)) {
-      if (++missedServer_[i] == options_.missedHeartbeats) {
+      const std::uint32_t missed = ++missedServer_[i];
+      if (missed == options_.missedHeartbeats) {
+        ++serverFailuresDetected_;
+        cleanupCasualties(s);
+      } else if (missed > options_.missedHeartbeats &&
+                 hosts_.crashCasualties().contains(s)) {
+        // Repair + re-crash between probes: the counter sailed past the
+        // threshold (the == trigger cannot re-fire) and the blip sweep
+        // below only looks at servers that are up, so the re-crash's
+        // casualty batch — and the pending-cleanup gauge with it — would
+        // be stranded forever.  A fresh batch on a past-threshold server
+        // is proof of a new failure; collect it now.
         ++serverFailuresDetected_;
         cleanupCasualties(s);
       }
@@ -219,6 +231,7 @@ void HealthMonitor::probePods() {
   for (std::size_t i = 0; i < pods_.size(); ++i) {
     PodManager* p = pods_[i];
     if (!p->online()) {
+      podWasOnline_[i] = 0;
       if (++missedPod_[i] == options_.missedHeartbeats) {
         ++podFailuresDetected_;
         suspectPods_.insert(p->id());
@@ -226,6 +239,21 @@ void HealthMonitor::probePods() {
     } else {
       missedPod_[i] = 0;
       suspectPods_.erase(p->id());
+      if (podWasOnline_[i] == 0) {
+        podWasOnline_[i] = 1;
+        // Pod-outage repair path: a pod-manager restart replays intended
+        // weights, not VM liveness, so servers that crashed and came back
+        // during the outage still hold uncollected casualty batches.
+        // Purge them on repair instead of waiting out another detection
+        // delay, so pendingVmCleanups_ rises and falls through the normal
+        // submitCleanup path.
+        for (const ServerId s : p->servers()) {
+          if (hosts_.serverUp(s) && hosts_.crashCasualties().contains(s)) {
+            ++serverFailuresDetected_;
+            cleanupCasualties(s);
+          }
+        }
+      }
     }
   }
 }

@@ -155,6 +155,9 @@ class HealthMonitor {
   std::vector<std::uint32_t> missedSwitch_;
   std::vector<std::uint32_t> missedServer_;
   std::vector<std::uint32_t> missedPod_;
+  /// Per-pod online state at the last probe, for the offline->online
+  /// repair-path casualty sweep (uint8 because vector<bool> proxies).
+  std::vector<std::uint8_t> podWasOnline_;
   /// Per-switch hold-down expiry (absolute sim time).
   std::vector<SimTime> switchHoldDown_;
   std::unordered_set<PodId> suspectPods_;

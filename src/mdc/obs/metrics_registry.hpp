@@ -1,0 +1,124 @@
+// One registration API for every gauge in the system.
+//
+// The repo grew its observability organically: EpochReport fields,
+// Reconciler counters, HealthMonitor gauges, engine cache stats — each
+// bolted onto its component with its own getter.  The registry absorbs
+// them behind named metrics with optional labels, in two flavors:
+//
+//  * owned metrics — Counter / Gauge / Histogram cells the registry
+//    allocates; new instrumentation writes these directly;
+//  * callback gauges — a read function over an existing component
+//    counter.  Migrating a legacy gauge means registering a callback
+//    that reads it, so the component's own arithmetic (and everything
+//    consuming it, EpochReport included) stays bit-identical while the
+//    metric becomes visible under the common naming scheme.
+//
+// Naming convention (DESIGN.md §10): `mdc.<subsystem>.<metric>` in
+// snake_case; enumerable breakdowns use labels, not name suffixes
+// (e.g. mdc.reconciler.drift{kind=stray_vip}).
+//
+// Snapshots evaluate every callback at call time and return samples in
+// deterministic (sorted-key) order, so two snapshots of identical worlds
+// compare equal sample-for-sample.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mdc/metrics/histogram.hpp"
+
+namespace mdc {
+
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic owned counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Owned point-in-time value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double d) noexcept { value_ += d; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  enum class Kind : std::uint8_t { Counter, Gauge, Callback, Histogram };
+
+  struct Sample {
+    std::string key;   // name{label=value,...}
+    std::string name;  // bare metric name
+    MetricLabels labels;
+    Kind kind = Kind::Gauge;
+    double value = 0.0;            // counter/gauge/callback value,
+                                   // histogram observation count
+    const Histogram* hist = nullptr;  // set for histograms only
+  };
+
+  /// Owned metrics: returns the existing cell when (name, labels) was
+  /// already registered, so call sites need no registration phase.
+  Counter& counter(const std::string& name, const MetricLabels& labels = {});
+  Gauge& gauge(const std::string& name, const MetricLabels& labels = {});
+  /// Histogram geometry is fixed at first registration.
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t buckets = 64,
+                       const MetricLabels& labels = {});
+
+  /// Absorbs a legacy component counter: `read` is evaluated at snapshot
+  /// time.  Re-registering the same key replaces the callback (components
+  /// get rebuilt — e.g. the engine when the demand model is swapped).
+  void registerGauge(const std::string& name, std::function<double()> read,
+                     const MetricLabels& labels = {});
+
+  /// Current value of one metric (counter/gauge/callback; histogram
+  /// observation count).  Precondition: the metric exists.
+  [[nodiscard]] double value(const std::string& name,
+                             const MetricLabels& labels = {}) const;
+  [[nodiscard]] bool has(const std::string& name,
+                         const MetricLabels& labels = {}) const;
+
+  /// All metrics, callbacks evaluated, sorted by key.
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  [[nodiscard]] std::size_t metricCount() const noexcept {
+    return metrics_.size();
+  }
+
+  /// Canonical key: name + labels sorted by label key.
+  [[nodiscard]] static std::string keyOf(const std::string& name,
+                                         const MetricLabels& labels);
+
+ private:
+  struct Metric {
+    std::string name;
+    MetricLabels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::function<double()> read;
+    std::unique_ptr<Histogram> hist;
+  };
+
+  [[nodiscard]] double valueOf(const Metric& m) const;
+
+  // std::map: snapshot order == sorted key order, deterministically.
+  std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace mdc

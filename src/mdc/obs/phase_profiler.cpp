@@ -1,0 +1,34 @@
+#include "mdc/obs/phase_profiler.hpp"
+
+namespace mdc {
+
+const char* PhaseProfiler::name(Phase p) noexcept {
+  switch (p) {
+    case Phase::Validate:
+      return "a0_validate";
+    case Phase::Descent:
+      return "a1_descent";
+    case Phase::EmitShard:
+      return "b_emit_shard";
+    case Phase::Emit:
+      return "b_emit";
+    case Phase::Serve:
+      return "c_serve";
+  }
+  return "?";
+}
+
+void PhaseProfiler::registerWith(MetricsRegistry& registry) const {
+  for (std::size_t i = 0; i < kPhases; ++i) {
+    const auto p = static_cast<Phase>(i);
+    const MetricLabels labels{{"phase", name(p)}};
+    registry.registerGauge(
+        "mdc.engine.phase_ns",
+        [this, p] { return static_cast<double>(ns(p)); }, labels);
+    registry.registerGauge(
+        "mdc.engine.phase_calls",
+        [this, p] { return static_cast<double>(calls(p)); }, labels);
+  }
+}
+
+}  // namespace mdc

@@ -1,0 +1,83 @@
+#include "mdc/obs/trace.hpp"
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+const char* toString(HopKind hop) noexcept {
+  switch (hop) {
+    case HopKind::RequestSubmitted:
+      return "request_submitted";
+    case HopKind::RequestRefused:
+      return "request_refused";
+    case HopKind::RequestApplied:
+      return "request_applied";
+    case HopKind::RequestDone:
+      return "request_done";
+    case HopKind::CmdSend:
+      return "cmd_send";
+    case HopKind::CmdTransmit:
+      return "cmd_transmit";
+    case HopKind::ChanDrop:
+      return "chan_drop";
+    case HopKind::ChanDuplicate:
+      return "chan_duplicate";
+    case HopKind::ChanReorder:
+      return "chan_reorder";
+    case HopKind::AgentApplied:
+      return "agent_applied";
+    case HopKind::AgentDuplicate:
+      return "agent_duplicate";
+    case HopKind::AgentStaleTerm:
+      return "agent_stale_term";
+    case HopKind::AckReceived:
+      return "ack_received";
+    case HopKind::CmdAcked:
+      return "cmd_acked";
+    case HopKind::CmdCancelled:
+      return "cmd_cancelled";
+    case HopKind::CmdStaleTerm:
+      return "cmd_stale_term";
+    case HopKind::CmdTimeout:
+      return "cmd_timeout";
+    case HopKind::ReconcileAdopt:
+      return "reconcile_adopt";
+    case HopKind::ReconcileRepair:
+      return "reconcile_repair";
+  }
+  return "?";
+}
+
+namespace {
+std::size_t roundUpPow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+TraceRing::TraceRing(std::size_t capacity)
+    : slots_(roundUpPow2(capacity)), mask_(slots_.size() - 1) {}
+
+std::size_t TraceRing::size() const noexcept {
+  const std::uint64_t t = total();
+  return t < slots_.size() ? static_cast<std::size_t>(t) : slots_.size();
+}
+
+std::uint64_t TraceRing::overwritten() const noexcept {
+  return total() - size();
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  const std::uint64_t t = total();
+  const std::size_t n = size();
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  // Oldest retained event is at index total - n.
+  for (std::uint64_t i = t - n; i < t; ++i) {
+    out.push_back(slots_[i & mask_]);
+  }
+  return out;
+}
+
+}  // namespace mdc

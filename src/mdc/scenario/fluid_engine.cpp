@@ -254,35 +254,39 @@ EpochReport FluidEngine::step() {
   // and validation is nothing but dense version-array loads.
   const bool incremental = options_.incremental;
   dirty_.clear();
-  for (std::size_t i = 0; i < n; ++i) {
-    const Application& app = appList[i];
-    AppCache& c = cache_[app.id.index()];
-    const double d = (incremental && c.valid && demandInvariant_)
-                         ? c.demandRps
-                         : demand_.rps(app.id, now);
-    if (incremental && c.valid && d == c.demandRps && cacheValid(app.id, c)) {
-      continue;
-    }
-    c.demandRps = d;
-    c.hadDns = false;
-    std::vector<VipWeight> shares;
-    if (d > kEpsRps) {
-      c.hadDns = dns_.hasApp(app.id);
-      if (c.hadDns) {
-        shares = resolvers_.shares(app.id);
-        // Read the version after shares(): a first call materialises the
-        // pool and moves the version.
-        c.sharesDep = resolvers_.sharesVersion(app.id);
-      } else {
-        c.dnsTopoDep = dns_.topologyVersion();
+  {
+    const auto prof = profiler_.time(PhaseProfiler::Phase::Validate);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Application& app = appList[i];
+      AppCache& c = cache_[app.id.index()];
+      const double d = (incremental && c.valid && demandInvariant_)
+                           ? c.demandRps
+                           : demand_.rps(app.id, now);
+      if (incremental && c.valid && d == c.demandRps &&
+          cacheValid(app.id, c)) {
+        continue;
       }
-    }
-    const std::size_t k = dirty_.size();
-    dirty_.push_back(app.id.index());
-    if (k < dirtyShares_.size()) {
-      dirtyShares_[k] = std::move(shares);
-    } else {
-      dirtyShares_.push_back(std::move(shares));
+      c.demandRps = d;
+      c.hadDns = false;
+      std::vector<VipWeight> shares;
+      if (d > kEpsRps) {
+        c.hadDns = dns_.hasApp(app.id);
+        if (c.hadDns) {
+          shares = resolvers_.shares(app.id);
+          // Read the version after shares(): a first call materialises the
+          // pool and moves the version.
+          c.sharesDep = resolvers_.sharesVersion(app.id);
+        } else {
+          c.dnsTopoDep = dns_.topologyVersion();
+        }
+      }
+      const std::size_t k = dirty_.size();
+      dirty_.push_back(app.id.index());
+      if (k < dirtyShares_.size()) {
+        dirtyShares_[k] = std::move(shares);
+      } else {
+        dirtyShares_.push_back(std::move(shares));
+      }
     }
   }
   if (incremental) {
@@ -296,9 +300,12 @@ EpochReport FluidEngine::step() {
   // Workers write only their own app's cache slot; all store reads are
   // const.  The join below is the barrier the lock-free arena walks in
   // phases B/C rely on.
-  pool_.parallelFor(dirty_.size(), [&](std::size_t k) {
-    computeApp(cache_[dirty_[k]], dirtyShares_[k]);
-  });
+  {
+    const auto prof = profiler_.time(PhaseProfiler::Phase::Descent);
+    pool_.parallelFor(dirty_.size(), [&](std::size_t k) {
+      computeApp(cache_[dirty_[k]], dirtyShares_[k]);
+    });
+  }
 
   // --- Phase B: emit every app's tree into the report ------------------
   // Always in application order, so per-accumulator addition sequences —
@@ -309,57 +316,61 @@ EpochReport FluidEngine::step() {
   report.vipDemandGbps.reserve(fleet_.totalVips());
   linkOffered_.assign(topo_.network().linkCount(), 0.0);
 
-  const std::size_t shards = (n + kEmitShardApps - 1) / kEmitShardApps;
-  const bool shardedEmit = pool_.workers() > 1 && shards > 1 && multiCore_;
-  if (shardedEmit) {
-    if (shardOffered_.size() < shards) shardOffered_.resize(shards);
-    pool_.parallelFor(shards, [&](std::size_t s) {
-      auto& out = shardOffered_[s];
-      out.clear();
-      const std::size_t lo = s * kEmitShardApps;
-      const std::size_t hi = std::min(n, lo + kEmitShardApps);
-      for (std::size_t i = lo; i < hi; ++i) {
-        const Application& app = appList[i];
-        const AppCache& c = cache_[app.id.index()];
-        const double gbpsPerKrps = app.sla.gbpsPerKrps;
+  {
+    const auto prof = profiler_.time(PhaseProfiler::Phase::Emit);
+    const std::size_t shards = (n + kEmitShardApps - 1) / kEmitShardApps;
+    const bool shardedEmit = pool_.workers() > 1 && shards > 1 && multiCore_;
+    if (shardedEmit) {
+      if (shardOffered_.size() < shards) shardOffered_.resize(shards);
+      pool_.parallelFor(shards, [&](std::size_t s) {
+        const auto shardProf = profiler_.time(PhaseProfiler::Phase::EmitShard);
+        auto& out = shardOffered_[s];
+        out.clear();
+        const std::size_t lo = s * kEmitShardApps;
+        const std::size_t hi = std::min(n, lo + kEmitShardApps);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Application& app = appList[i];
+          const AppCache& c = cache_[app.id.index()];
+          const double gbpsPerKrps = app.sla.gbpsPerKrps;
+          for (const AppCache::Flow& f : c.flows) {
+            const double gbps = f.rps * gbpsPerKrps / 1000.0;
+            arena_.forEach(f.path, [&](LinkId l) {
+              out.emplace_back(static_cast<std::uint32_t>(l.index()), gbps);
+            });
+          }
+        }
+      });
+      // Deterministic merge: shard order x in-shard order == app order, so
+      // every link slot sees the exact addition sequence of the sequential
+      // path below.
+      for (std::size_t s = 0; s < shards; ++s) {
+        for (const auto& [slot, gbps] : shardOffered_[s]) {
+          linkOffered_[slot] += gbps;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const Application& app = appList[i];
+      const AppCache& c = cache_[app.id.index()];
+      const double gbpsPerKrps = app.sla.gbpsPerKrps;  // hoisted per app
+      report.appDemandRps[app.id] = c.demandRps;
+      for (const auto& [cause, rps] : c.unrouted) {
+        report.unroutedRps += rps;
+        report.unroutedByCause[kCauseNames[cause]] += rps;
+      }
+      for (const auto& [vip, rps] : c.vipDemandRps) {
+        report.vipDemandGbps[vip] += rps * gbpsPerKrps / 1000.0;
+      }
+      for (const double rps : c.degradedRps) {
+        report.degradedRoutedRps += rps;
+      }
+      if (!shardedEmit) {
         for (const AppCache::Flow& f : c.flows) {
           const double gbps = f.rps * gbpsPerKrps / 1000.0;
           arena_.forEach(f.path, [&](LinkId l) {
-            out.emplace_back(static_cast<std::uint32_t>(l.index()), gbps);
+            linkOffered_[l.index()] += gbps;
           });
         }
-      }
-    });
-    // Deterministic merge: shard order x in-shard order == app order, so
-    // every link slot sees the exact addition sequence of the sequential
-    // path below.
-    for (std::size_t s = 0; s < shards; ++s) {
-      for (const auto& [slot, gbps] : shardOffered_[s]) {
-        linkOffered_[slot] += gbps;
-      }
-    }
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    const Application& app = appList[i];
-    const AppCache& c = cache_[app.id.index()];
-    const double gbpsPerKrps = app.sla.gbpsPerKrps;  // hoisted per app
-    report.appDemandRps[app.id] = c.demandRps;
-    for (const auto& [cause, rps] : c.unrouted) {
-      report.unroutedRps += rps;
-      report.unroutedByCause[kCauseNames[cause]] += rps;
-    }
-    for (const auto& [vip, rps] : c.vipDemandRps) {
-      report.vipDemandGbps[vip] += rps * gbpsPerKrps / 1000.0;
-    }
-    for (const double rps : c.degradedRps) {
-      report.degradedRoutedRps += rps;
-    }
-    if (!shardedEmit) {
-      for (const AppCache::Flow& f : c.flows) {
-        const double gbps = f.rps * gbpsPerKrps / 1000.0;
-        arena_.forEach(f.path, [&](LinkId l) {
-          linkOffered_[l.index()] += gbps;
-        });
       }
     }
   }
@@ -367,6 +378,9 @@ EpochReport FluidEngine::step() {
   // --- Phase C: serving — network fraction first, then VM capacity -----
   // Flat VmId-indexed accumulators with an epoch stamp; only the VMs a
   // flow touched are visited, instead of a fleet-wide gauge sweep.
+  // The scope runs to the end of step(), so "c_serve" covers serving,
+  // utilization, the snapshot sections, and publishing the report.
+  const auto serveProf = profiler_.time(PhaseProfiler::Phase::Serve);
   ++epochStamp_;
   const std::size_t vmBound = hosts_.vmIndexBound();
   if (vmOffered_.size() < vmBound) {

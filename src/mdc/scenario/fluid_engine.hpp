@@ -40,6 +40,7 @@
 #include "mdc/lb/switch_fleet.hpp"
 #include "mdc/metrics/timeseries.hpp"
 #include "mdc/net/path_arena.hpp"
+#include "mdc/obs/phase_profiler.hpp"
 #include "mdc/route/route_registry.hpp"
 #include "mdc/sim/simulation.hpp"
 #include "mdc/topo/topology.hpp"
@@ -108,6 +109,14 @@ class FluidEngine {
     return pool_.workers();
   }
 
+  /// Per-phase wall-clock profile of the step() hot path (disabled by
+  /// default; enable via profiler().setEnabled(true)).  Pure
+  /// observability: never feeds back into simulation state.
+  [[nodiscard]] PhaseProfiler& profiler() noexcept { return profiler_; }
+  [[nodiscard]] const PhaseProfiler& profiler() const noexcept {
+    return profiler_;
+  }
+
   // --- recorded series (inputs to the benches) ---------------------------
 
   [[nodiscard]] const TimeSeries& linkImbalance() const noexcept {
@@ -170,6 +179,7 @@ class FluidEngine {
 
   std::uint64_t totalRecomputed_ = 0;
   std::uint64_t totalCached_ = 0;
+  PhaseProfiler profiler_;
   std::function<void(EpochReport&)> decorate_;
 
   EpochReport latest_;

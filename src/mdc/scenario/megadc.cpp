@@ -41,6 +41,12 @@ MegaDc::MegaDc(MegaDcConfig config)
       sim, topo, hosts, apps, fleet, dns, routes, podRegistry,
       std::make_shared<PlacementController>(), config_.manager);
 
+  // Tracer before pods/agents exist: the manager forwards it to the
+  // channel, sender, every (lazily created) agent, and the reconciler —
+  // including one built by a later start().
+  tracer = std::make_unique<Tracer>(sim, config_.tracing);
+  manager->attachTracer(tracer.get());
+
   // Pods: servers striped round-robin.
   std::vector<std::vector<ServerId>> podServers(config_.numPods);
   for (std::uint32_t s = 0; s < config_.topology.numServers; ++s) {
@@ -69,6 +75,7 @@ MegaDc::MegaDc(MegaDcConfig config)
                                              config_.health);
     health->attachPods(std::move(rawPods));
   }
+  registerStandardMetrics();
 }
 
 void MegaDc::decorateReports() {
@@ -85,6 +92,207 @@ void MegaDc::decorateReports() {
   });
 }
 
+void MegaDc::registerStandardMetrics() {
+  auto u64 = [](std::uint64_t v) { return static_cast<double>(v); };
+
+  // Control channel + command sender (E14).
+  const auto& vr = manager->viprip();
+  metrics.registerGauge("mdc.ctrl.messages_sent", [&vr, u64] {
+    return u64(vr.ctrlChannel().messagesSent());
+  });
+  metrics.registerGauge("mdc.ctrl.messages_dropped", [&vr, u64] {
+    return u64(vr.ctrlChannel().messagesDropped());
+  });
+  metrics.registerGauge("mdc.ctrl.messages_duplicated", [&vr, u64] {
+    return u64(vr.ctrlChannel().messagesDuplicated());
+  });
+  metrics.registerGauge("mdc.ctrl.messages_reordered", [&vr, u64] {
+    return u64(vr.ctrlChannel().messagesReordered());
+  });
+  metrics.registerGauge("mdc.ctrl.partitioned_links", [&vr] {
+    return static_cast<double>(vr.ctrlChannel().partitionedLinks());
+  });
+  metrics.registerGauge("mdc.ctrl.commands_sent", [&vr, u64] {
+    return u64(vr.ctrlSender().commandsSent());
+  });
+  metrics.registerGauge("mdc.ctrl.acks_received", [&vr, u64] {
+    return u64(vr.ctrlSender().acksReceived());
+  });
+  metrics.registerGauge("mdc.ctrl.retransmits", [&vr, u64] {
+    return u64(vr.ctrlSender().retransmits());
+  });
+  metrics.registerGauge("mdc.ctrl.timeouts", [&vr, u64] {
+    return u64(vr.ctrlSender().timeouts());
+  });
+  metrics.registerGauge("mdc.ctrl.inflight", [&vr] {
+    return static_cast<double>(vr.ctrlSender().inflight());
+  });
+  metrics.registerGauge("mdc.ctrl.cancelled_commands", [&vr, u64] {
+    return u64(vr.ctrlSender().cancelledCommands());
+  });
+  metrics.registerGauge("mdc.ctrl.stale_term_rejections", [&vr, u64] {
+    return u64(vr.ctrlSender().staleTermRejections());
+  });
+
+  // Manager tier (E16) and the serialized VIP/RIP queue (§III-C).
+  metrics.registerGauge("mdc.manager.term",
+                        [this, u64] { return u64(manager->term()); });
+  metrics.registerGauge("mdc.manager.leader_up", [this] {
+    return manager->leaderUp() ? 1.0 : 0.0;
+  });
+  metrics.registerGauge("mdc.manager.alive_instances", [this] {
+    return static_cast<double>(manager->aliveManagers());
+  });
+  metrics.registerGauge("mdc.manager.failovers",
+                        [this, u64] { return u64(manager->failovers()); });
+  metrics.registerGauge("mdc.manager.pod_restarts",
+                        [this, u64] { return u64(manager->podRestarts()); });
+  metrics.registerGauge("mdc.manager.queue_length", [&vr] {
+    return static_cast<double>(vr.queueLength());
+  });
+  metrics.registerGauge("mdc.manager.processed_requests", [&vr, u64] {
+    return u64(vr.processedRequests());
+  });
+  metrics.registerGauge("mdc.manager.rejected_requests", [&vr, u64] {
+    return u64(vr.rejectedRequests());
+  });
+  metrics.registerGauge("mdc.manager.cancelled_requests", [&vr, u64] {
+    return u64(vr.cancelledRequests());
+  });
+
+  // Anti-entropy reconciler (E14) — built at start(); 0 until then.
+  auto rec = [&vr]() { return vr.reconciler(); };
+  metrics.registerGauge("mdc.reconciler.rounds", [rec, u64] {
+    return rec() ? u64(rec()->rounds()) : 0.0;
+  });
+  metrics.registerGauge("mdc.reconciler.rounds_skipped", [rec, u64] {
+    return rec() ? u64(rec()->roundsSkipped()) : 0.0;
+  });
+  metrics.registerGauge("mdc.reconciler.drift_detected", [rec, u64] {
+    return rec() ? u64(rec()->driftDetected()) : 0.0;
+  });
+  metrics.registerGauge("mdc.reconciler.divergence_last_round", [rec, u64] {
+    return rec() ? u64(rec()->divergenceLastRound()) : 0.0;
+  });
+  metrics.registerGauge("mdc.reconciler.repairs_issued", [rec, u64] {
+    return rec() ? u64(rec()->repairsIssued()) : 0.0;
+  });
+  metrics.registerGauge("mdc.reconciler.repairs_succeeded", [rec, u64] {
+    return rec() ? u64(rec()->repairsSucceeded()) : 0.0;
+  });
+  metrics.registerGauge("mdc.reconciler.repairs_failed", [rec, u64] {
+    return rec() ? u64(rec()->repairsFailed()) : 0.0;
+  });
+  metrics.registerGauge("mdc.reconciler.placements_adopted", [rec, u64] {
+    return rec() ? u64(rec()->placementsAdopted()) : 0.0;
+  });
+  metrics.registerGauge("mdc.reconciler.weights_adopted", [rec, u64] {
+    return rec() ? u64(rec()->weightsAdopted()) : 0.0;
+  });
+  for (const char* kind : {"stray_vip", "duplicate_vip", "wrong_switch",
+                           "missing_vip", "orphan_rip", "missing_rip"}) {
+    metrics.registerGauge(
+        "mdc.reconciler.drift",
+        [rec, kind, u64]() -> double {
+          if (rec() == nullptr) return 0.0;
+          const auto& byKind = rec()->driftByKind();
+          const auto it = byKind.find(kind);
+          return it == byKind.end() ? 0.0 : u64(it->second);
+        },
+        {{"kind", kind}});
+  }
+
+  // Failure detection + self-healing (E13) — null when disabled.
+  metrics.registerGauge("mdc.health.switch_failures_detected", [this, u64] {
+    return health ? u64(health->switchFailuresDetected()) : 0.0;
+  });
+  metrics.registerGauge("mdc.health.server_failures_detected", [this, u64] {
+    return health ? u64(health->serverFailuresDetected()) : 0.0;
+  });
+  metrics.registerGauge("mdc.health.pod_failures_detected", [this, u64] {
+    return health ? u64(health->podFailuresDetected()) : 0.0;
+  });
+  metrics.registerGauge("mdc.health.vips_restored", [this, u64] {
+    return health ? u64(health->vipsRestored()) : 0.0;
+  });
+  metrics.registerGauge("mdc.health.vms_cleaned_up", [this, u64] {
+    return health ? u64(health->vmsCleanedUp()) : 0.0;
+  });
+  metrics.registerGauge("mdc.health.restore_retries", [this, u64] {
+    return health ? u64(health->restoreRetries()) : 0.0;
+  });
+  metrics.registerGauge("mdc.health.cleanup_retries", [this, u64] {
+    return health ? u64(health->cleanupRetries()) : 0.0;
+  });
+  metrics.registerGauge("mdc.health.pending_vip_restores", [this, u64] {
+    return health ? u64(health->pendingVipRestores()) : 0.0;
+  });
+  metrics.registerGauge("mdc.health.pending_vm_cleanups", [this, u64] {
+    return health ? u64(health->pendingVmCleanups()) : 0.0;
+  });
+  metrics.registerGauge("mdc.health.flap_suppressions", [this, u64] {
+    return health ? u64(health->flapSuppressions()) : 0.0;
+  });
+  metrics.registerGauge("mdc.health.unavailability_rps_seconds", [this] {
+    return health ? health->unavailabilityRpsSeconds() : 0.0;
+  });
+
+  // Fault injector.
+  metrics.registerGauge("mdc.fault.injected", [this, u64] {
+    return u64(faults->faultsInjected());
+  });
+  metrics.registerGauge("mdc.fault.repairs_applied", [this, u64] {
+    return u64(faults->repairsApplied());
+  });
+
+  // Fleet failure state (the EpochReport's failure snapshot).
+  metrics.registerGauge("mdc.fleet.down_switches", [this] {
+    return static_cast<double>(fleet.size() - fleet.upCount());
+  });
+  metrics.registerGauge("mdc.fleet.orphaned_vips", [this] {
+    return static_cast<double>(fleet.pendingOrphans());
+  });
+  metrics.registerGauge("mdc.hosts.down_servers", [this] {
+    return static_cast<double>(hosts.downServers());
+  });
+
+  // Epoch engine: cache effectiveness + per-phase wall-clock profile.
+  // Deliberately dereferences `engine` (and its profiler) inside the
+  // callback so the gauges survive the rebuild in setDemandModel().
+  metrics.registerGauge("mdc.engine.apps_recomputed", [this, u64] {
+    return u64(engine->appsRecomputed());
+  });
+  metrics.registerGauge("mdc.engine.apps_from_cache", [this, u64] {
+    return u64(engine->appsFromCache());
+  });
+  metrics.registerGauge("mdc.engine.path_arena_size", [this] {
+    return static_cast<double>(engine->pathArenaSize());
+  });
+  metrics.registerGauge("mdc.engine.workers", [this] {
+    return static_cast<double>(engine->workerCount());
+  });
+  for (std::size_t p = 0; p < PhaseProfiler::kPhases; ++p) {
+    const auto phase = static_cast<PhaseProfiler::Phase>(p);
+    const MetricLabels labels{{"phase", PhaseProfiler::name(phase)}};
+    metrics.registerGauge(
+        "mdc.engine.phase_ns",
+        [this, phase, u64] { return u64(engine->profiler().ns(phase)); },
+        labels);
+    metrics.registerGauge(
+        "mdc.engine.phase_calls",
+        [this, phase, u64] { return u64(engine->profiler().calls(phase)); },
+        labels);
+  }
+
+  // The tracer's own ring.
+  metrics.registerGauge("mdc.trace.events_total", [this, u64] {
+    return u64(tracer->ring().total());
+  });
+  metrics.registerGauge("mdc.trace.events_overwritten", [this, u64] {
+    return u64(tracer->ring().overwritten());
+  });
+}
+
 void MegaDc::setDemandModel(std::unique_ptr<DemandModel> model) {
   MDC_EXPECT(model != nullptr, "null demand model");
   MDC_EXPECT(!started_, "cannot swap demand model after start()");
@@ -94,6 +302,7 @@ void MegaDc::setDemandModel(std::unique_ptr<DemandModel> model) {
                                          routes, fleet, hosts, *demand,
                                          manager->viprip(), config_.engine);
   decorateReports();
+  registerStandardMetrics();
 }
 
 void MegaDc::deployAllApps() {

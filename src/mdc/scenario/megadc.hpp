@@ -13,6 +13,8 @@
 #include "mdc/ctrl/control_channel.hpp"
 #include "mdc/fault/fault_injector.hpp"
 #include "mdc/fault/health_monitor.hpp"
+#include "mdc/obs/metrics_registry.hpp"
+#include "mdc/obs/trace.hpp"
 #include "mdc/scenario/fluid_engine.hpp"
 #include "mdc/workload/demand.hpp"
 
@@ -51,6 +53,11 @@ struct MegaDcConfig {
   /// so the bootstrap path stays on a reliable channel; the default is
   /// the seed's lossless behavior.
   ChannelFaults ctrlFaults;
+
+  /// Causal command tracing.  Compiled in but disabled by default; flip
+  /// `tracing.enabled` (or `tracer->setEnabled(true)` at any time) to
+  /// record every control-plane hop into the ring.
+  Tracer::Options tracing;
 };
 
 /// The assembled world.  Construction wires everything; call
@@ -80,6 +87,13 @@ class MegaDc {
 
   // Component access, in dependency order.
   Simulation sim;
+  /// Unified metrics registry: every legacy gauge in the world is
+  /// registered here as a callback (see registerStandardMetrics()), so
+  /// one snapshot() sees the control plane, engine, faults, and health.
+  MetricsRegistry metrics;
+  /// Control-plane tracer, attached through the manager to the channel,
+  /// sender, agents, and reconciler.  Never null after construction.
+  std::unique_ptr<Tracer> tracer;
   Topology topo;
   AppRegistry apps;
   AuthoritativeDns dns;
@@ -98,6 +112,11 @@ class MegaDc {
   /// Installs the E16 report decorator on the current engine (leadership
   /// + fault-injector gauges the engine cannot reach itself).
   void decorateReports();
+
+  /// Registers callback gauges for every component counter under the
+  /// `mdc.<subsystem>.<metric>` convention.  Idempotent (re-registration
+  /// replaces the callback), so it is re-run after engine rebuilds.
+  void registerStandardMetrics();
 
   MegaDcConfig config_;
   bool started_ = false;

@@ -7,13 +7,18 @@
 // (the CI chaos-soak job sweeps extra seeds this way).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <map>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mdc/ctrl/command_sender.hpp"
 #include "mdc/ctrl/switch_agent.hpp"
 #include "mdc/fault/chaos.hpp"
+#include "mdc/obs/export.hpp"
 #include "mdc/scenario/megadc.hpp"
 
 namespace mdc {
@@ -333,6 +338,98 @@ TEST(Chaos, StormHoldsInvariantsEveryEpochAndQuiescesExactlyOnce) {
   EXPECT_EQ(r.faultsInjected, dc.faults->faultsInjected());
   EXPECT_EQ(r.managerTerm, dc.manager->term());
   EXPECT_GE(r.managerFailovers, 1u);
+}
+
+// --- acceptance: causal tracing under a chaos storm ------------------------
+
+// Every switch command submitted during a storm must leave a span tree in
+// the JSONL trace that terminates in exactly one of {acked, cancelled,
+// stale_term} — no span may end twice, dangle forever, or time out.
+TEST(Chaos, StormTraceSpansTerminateExactlyOnce) {
+  const std::uint64_t seed = chaosSeed();
+  SCOPED_TRACE("MDC_CHAOS_SEED=" + std::to_string(seed));
+
+  MegaDcConfig cfg = testScaleConfig();
+  cfg.seed = seed;
+  cfg.fault.seed = seed * 0x9e3779b97f4a7c15ull + 0x0b5u;
+  cfg.ctrlFaults.dropRate = 0.05;
+  cfg.ctrlFaults.delaySeconds = 0.02;
+  cfg.ctrlFaults.delayJitterSeconds = 0.05;
+  cfg.tracing.enabled = true;
+  cfg.tracing.ringCapacity = 1u << 19;
+  MegaDc dc{cfg};
+  dc.bootstrap();
+
+  ChaosStorm::Options sopt;
+  sopt.seed = seed;
+  sopt.start = dc.sim.now() + 10.0;
+  sopt.end = sopt.start + 240.0;
+  sopt.waves = 6;
+  sopt.maxSwitchCrashes = 1;
+  sopt.maxServerCrashes = 2;
+  sopt.maxLinkCuts = 1;
+  sopt.maxPodOutages = 1;
+  // No channel partitions: a partition can outlast the retry budget and
+  // end a span in cmd_timeout, which the acceptance set excludes.  (At a
+  // 5% drop rate a timeout needs eight straight losses — negligible.)
+  sopt.maxChannelPartitions = 0;
+  sopt.maxPodManagerCrashes = 1;
+  sopt.maxGlobalManagerCrashes = 1;
+  ChaosStorm storm{sopt};
+  storm.schedule(*dc.faults);
+  // Deterministic leader crash so the fencing/cancellation paths appear
+  // in the trace under every seed.
+  dc.faults->crashGlobalManager(sopt.start + 37.0, /*repairAfter=*/15.0);
+
+  dc.runUntil(sopt.end);
+  // Drain: heal the channel and give the slowest retry backoff (capped
+  // at 30s) room to land, so no span is still in flight when we judge.
+  dc.manager->viprip().ctrlChannel().setFaults(ChannelFaults{});
+  dc.runUntil(sopt.end + 120.0);
+
+  const TraceRing& ring = dc.tracer->ring();
+  ASSERT_EQ(ring.overwritten(), 0u) << "trace ring too small for storm";
+
+  // The acceptance artifact: the storm's full JSONL trace.
+  std::ostringstream jsonl;
+  EXPECT_EQ(exportSpansJsonl(ring, jsonl), ring.size());
+  EXPECT_NE(jsonl.str().find("\"hop\":\"cmd_acked\""), std::string::npos);
+
+  const std::vector<TraceEvent> events = ring.snapshot();
+  std::map<std::pair<TraceId, SpanId>, std::vector<const TraceEvent*>> spans;
+  for (const TraceEvent& e : events) {
+    spans[{e.trace, e.span}].push_back(&e);
+  }
+  std::uint64_t commands = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t stale = 0;
+  for (const auto& [key, evs] : spans) {
+    const bool isCommand =
+        std::any_of(evs.begin(), evs.end(), [](const TraceEvent* e) {
+          return e->hop == HopKind::CmdSend;
+        });
+    if (!isCommand) continue;  // request root spans / reconcile adoptions
+    ++commands;
+    std::vector<HopKind> terminals;
+    for (const TraceEvent* e : evs) {
+      if (isCommandTerminal(e->hop)) terminals.push_back(e->hop);
+    }
+    ASSERT_EQ(terminals.size(), 1u)
+        << "trace " << key.first << " span " << key.second << " ended "
+        << terminals.size() << " times";
+    switch (terminals.front()) {
+      case HopKind::CmdAcked: ++acked; break;
+      case HopKind::CmdCancelled: ++cancelled; break;
+      case HopKind::CmdStaleTerm: ++stale; break;
+      default:
+        FAIL() << "trace " << key.first << " span " << key.second
+               << " ended in " << toString(terminals.front());
+    }
+  }
+  EXPECT_EQ(commands, acked + cancelled + stale);
+  EXPECT_GT(commands, 100u);
+  EXPECT_GT(acked, 0u);
 }
 
 }  // namespace

@@ -72,6 +72,79 @@ TEST(Provisioning, LbLayerBottleneckWhenExternalShareGrows) {
   EXPECT_TRUE(check.bottleneck);
 }
 
+TEST(Provisioning, E2ShapeRipConstraintCrossesOverAtFourRipsPerVip) {
+  // maxRips/maxVips = 4, so with k VIPs/app the RIP constraint takes over
+  // exactly at r = 4k.  The paper's E2 point (k=3, r=20) sits firmly on
+  // the RIP-bound side of that crossover.
+  ProvisioningDemand d;  // 300k apps, k = 3
+  d.ripsPerApp = 12.0;   // r = 4k: the two constraints tie
+  EXPECT_EQ(minSwitchesForVips(d, catalyst()), 225u);
+  EXPECT_EQ(minSwitchesForRips(d, catalyst()), 225u);
+  EXPECT_EQ(minSwitches(d, catalyst()), 225u);
+  d.ripsPerApp = 8.0;    // below crossover: VIP tables bind
+  EXPECT_EQ(minSwitchesForRips(d, catalyst()), 150u);
+  EXPECT_EQ(minSwitches(d, catalyst()), 225u);
+  d.ripsPerApp = 20.0;   // E2's published point: RIP tables bind
+  EXPECT_EQ(minSwitches(d, catalyst()), 375u);
+  EXPECT_DOUBLE_EQ(aggregateGbps(375, catalyst()), 1500.0);
+}
+
+TEST(Provisioning, ZeroAppDataCenterNeedsNoSwitches) {
+  ProvisioningDemand d;
+  d.applications = 0;
+  EXPECT_EQ(minSwitchesForVips(d, catalyst()), 0u);
+  EXPECT_EQ(minSwitchesForRips(d, catalyst()), 0u);
+  EXPECT_EQ(minSwitches(d, catalyst()), 0u);
+  EXPECT_DOUBLE_EQ(aggregateGbps(0, catalyst()), 0.0);
+}
+
+TEST(Provisioning, SingleSwitchFleetIsExactlyFullAtDatasheetRatios) {
+  // 1,000 apps x 4 VIPs x 16 RIPs saturate one Catalyst on both tables
+  // at once; one more app of the same shape forces a second switch.
+  ProvisioningDemand d;
+  d.applications = 1000;
+  d.vipsPerApp = 4.0;
+  d.ripsPerApp = 16.0;
+  EXPECT_EQ(minSwitchesForVips(d, catalyst()), 1u);
+  EXPECT_EQ(minSwitchesForRips(d, catalyst()), 1u);
+  EXPECT_EQ(minSwitches(d, catalyst()), 1u);
+  d.applications = 1001;
+  EXPECT_EQ(minSwitches(d, catalyst()), 2u);
+}
+
+TEST(Provisioning, RealSwitchTablesFillToTheExactLimitsThenReject) {
+  // The arithmetic above must agree with the device model it plans for:
+  // a real LbSwitch accepts exactly 4,000 VIPs and 16,000 RIPs, then
+  // rejects with the branchable table-full codes.
+  LbSwitch sw{SwitchId{0}, catalyst()};
+  for (std::uint32_t v = 0; v < 4000; ++v) {
+    ASSERT_TRUE(sw.configureVip(VipId{v}, AppId{v / 4}).ok());
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      RipEntry e;
+      e.rip = RipId{v * 4 + r};
+      e.vm = VmId{v * 4 + r};
+      ASSERT_TRUE(sw.addRip(VipId{v}, e).ok());
+    }
+  }
+  EXPECT_EQ(sw.vipCount(), 4000u);
+  EXPECT_EQ(sw.ripCount(), 16000u);
+  EXPECT_EQ(sw.spareVips(), 0u);
+  EXPECT_EQ(sw.spareRips(), 0u);
+
+  EXPECT_EQ(sw.configureVip(VipId{4000}, AppId{1000}).error().code,
+            "vip_table_full");
+  RipEntry extra;
+  extra.rip = RipId{16000};
+  extra.vm = VmId{16000};
+  EXPECT_EQ(sw.addRip(VipId{0}, extra).error().code, "rip_table_full");
+
+  // Freeing one row reopens exactly one slot.
+  ASSERT_TRUE(sw.removeRip(VipId{0}, RipId{0}).ok());
+  EXPECT_EQ(sw.spareRips(), 1u);
+  EXPECT_TRUE(sw.addRip(VipId{0}, extra).ok());
+  EXPECT_EQ(sw.spareRips(), 0u);
+}
+
 TEST(Provisioning, Validation) {
   ProvisioningDemand d;
   SwitchLimits zero = catalyst();

@@ -88,6 +88,71 @@ TEST(RouteRegistry, UpdateCounting) {
   EXPECT_EQ(reg.routeUpdates(), 3u);
 }
 
+TEST(RouteRegistry, WithdrawDuringAnnounceNeverActivates) {
+  RouteRegistry reg{10.0};
+  reg.advertise(kVip, kAr0, 0.0);
+  reg.withdraw(kVip, kAr0, 5.0);  // before the announcement converged
+  EXPECT_FALSE(reg.isReachable(kVip, kAr0));
+  reg.settle(10.0);  // the announcement's original convergence time
+  EXPECT_FALSE(reg.isActive(kVip, kAr0));
+  reg.settle(15.0);  // withdrawal converges: entry is gone
+  EXPECT_TRUE(reg.activeRouters(kVip).empty());
+  EXPECT_TRUE(reg.reachableRouters(kVip).empty());
+  // A fresh advertisement after the withdrawal behaves like day one.
+  reg.advertise(kVip, kAr0, 20.0);
+  reg.settle(30.0);
+  EXPECT_TRUE(reg.isActive(kVip, kAr0));
+}
+
+TEST(RouteRegistry, AccessRouterWithdrawalDrainsEveryVipItServed) {
+  // Decommissioning an access router withdraws every VIP it advertises;
+  // new sessions keep landing on the surviving router throughout.
+  RouteRegistry reg{5.0};
+  const VipId vips[] = {VipId{1}, VipId{2}, VipId{3}};
+  for (const VipId v : vips) {
+    reg.advertise(v, kAr0, 0.0);
+    reg.advertise(v, kAr1, 0.0);
+  }
+  reg.settle(5.0);
+  for (const VipId v : vips) reg.withdraw(v, kAr0, 10.0);
+  reg.settle(12.0);  // withdrawals still propagating
+  for (const VipId v : vips) {
+    EXPECT_FALSE(reg.isReachable(v, kAr0));
+    EXPECT_TRUE(reg.isActive(v, kAr1));
+  }
+  reg.settle(15.0);
+  for (const VipId v : vips) {
+    const auto active = reg.activeRouters(v);
+    ASSERT_EQ(active.size(), 1u);
+    EXPECT_EQ(active[0], kAr1);
+  }
+  EXPECT_EQ(reg.routeUpdates(), 9u);  // 6 advertisements + 3 withdrawals
+}
+
+TEST(RouteRegistry, RouteVersionBumpsOnUpdatesAndConvergence) {
+  RouteRegistry reg{10.0};
+  EXPECT_EQ(reg.routeVersion(kVip), 0u);  // never advertised
+  reg.advertise(kVip, kAr0, 0.0);
+  EXPECT_EQ(reg.routeVersion(kVip), 1u);
+  reg.settle(5.0);  // nothing converges yet
+  EXPECT_EQ(reg.routeVersion(kVip), 1u);
+  reg.settle(10.0);  // Announcing -> Active
+  EXPECT_EQ(reg.routeVersion(kVip), 2u);
+  reg.settle(11.0);  // settled table: no spurious bump
+  EXPECT_EQ(reg.routeVersion(kVip), 2u);
+  reg.pad(kVip, kAr0, 12.0);  // takes effect immediately, no transition
+  EXPECT_EQ(reg.routeVersion(kVip), 3u);
+  reg.settle(30.0);
+  EXPECT_EQ(reg.routeVersion(kVip), 3u);
+  reg.advertise(kVip, kAr0, 30.0);  // un-pad: fresh announcement
+  reg.settle(40.0);
+  EXPECT_EQ(reg.routeVersion(kVip), 5u);  // update + convergence
+  reg.withdraw(kVip, kAr0, 40.0);
+  reg.settle(50.0);  // Withdrawing -> erased
+  EXPECT_EQ(reg.routeVersion(kVip), 7u);
+  EXPECT_EQ(reg.routeVersion(VipId{2}), 0u);  // other VIPs untouched
+}
+
 TEST(RouteRegistry, PadUnknownRouteThrows) {
   RouteRegistry reg{5.0};
   EXPECT_THROW(reg.pad(kVip, kAr0, 0.0), PreconditionError);

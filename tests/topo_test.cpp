@@ -90,6 +90,101 @@ TEST(Topology, TraditionalFabricAddsSiloUplinks) {
   EXPECT_EQ(same.size(), 2u);
 }
 
+TEST(Topology, LinkCutStarvesOnlyFlowsThroughIt) {
+  // Cut a trunk that carries live traffic: its flow drops to zero while
+  // flows on other switches keep their full allocation, and restoring
+  // the capacity heals the path.
+  Topology topo{smallConfig()};
+  const std::vector<Flow> flows{
+      {0.8, topo.externalPath(0, SwitchId{0}, ServerId{0})},
+      {0.8, topo.externalPath(1, SwitchId{1}, ServerId{1})},
+  };
+  const FlowAllocation before = topo.network().allocate(flows);
+  EXPECT_DOUBLE_EQ(before.flowRate[0], 0.8);
+  EXPECT_DOUBLE_EQ(before.flowRate[1], 0.8);
+
+  const LinkId trunk0 = topo.switchTrunk(SwitchId{0});
+  topo.network().setCapacity(trunk0, 0.0);  // link down
+  const FlowAllocation cut = topo.network().allocate(flows);
+  EXPECT_DOUBLE_EQ(cut.flowRate[0], 0.0);
+  EXPECT_DOUBLE_EQ(cut.flowRate[1], 0.8);
+  // Offered load still counts the demand aimed at the dead link; served
+  // load through it is zero.
+  EXPECT_DOUBLE_EQ(cut.linkOffered[trunk0.index()], 0.8);
+  EXPECT_DOUBLE_EQ(cut.linkServed[trunk0.index()], 0.0);
+
+  topo.network().setCapacity(trunk0, smallConfig().switchTrunkGbps);
+  const FlowAllocation healed = topo.network().allocate(flows);
+  EXPECT_DOUBLE_EQ(healed.flowRate[0], 0.8);
+}
+
+TEST(Topology, TraditionalTreeContendsWhereVl2DoesNot) {
+  // Four cross-silo server-to-server flows of 1 Gbps each.  On the
+  // traditional tree they all squeeze through 2 Gbps silo uplinks and
+  // max-min fairness gives each 0.5 Gbps; on the modern non-blocking
+  // fabric only the NICs constrain them and all four are fully served.
+  TopologyConfig cfg = smallConfig();
+  cfg.fabric = FabricKind::TraditionalTree;
+  cfg.siloCount = 4;
+  cfg.siloUplinkGbps = 2.0;
+  Topology trad{cfg};
+  Topology modern{smallConfig()};
+
+  std::vector<Flow> tradFlows;
+  std::vector<Flow> vl2Flows;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    // Servers stripe over silos: 4i sits in silo 0, 4i+1 in silo 1.
+    const ServerId from{i * 4};
+    const ServerId to{i * 4 + 1};
+    tradFlows.push_back({1.0, trad.internalPath(from, to)});
+    vl2Flows.push_back({1.0, modern.internalPath(from, to)});
+  }
+
+  const FlowAllocation tradAlloc = trad.network().allocate(tradFlows);
+  for (const double rate : tradAlloc.flowRate) EXPECT_DOUBLE_EQ(rate, 0.5);
+  EXPECT_DOUBLE_EQ(tradAlloc.totalServed(), 2.0);
+  // The source silo's uplink is the saturated bottleneck.
+  EXPECT_DOUBLE_EQ(tradAlloc.linkServed[trad.siloUplink(0).index()], 2.0);
+
+  const FlowAllocation vl2Alloc = modern.network().allocate(vl2Flows);
+  for (const double rate : vl2Alloc.flowRate) EXPECT_DOUBLE_EQ(rate, 1.0);
+  EXPECT_DOUBLE_EQ(vl2Alloc.totalServed(), 4.0);
+}
+
+TEST(Topology, FabricPathInvariants) {
+  // Structural contrast the paper's §III argument rests on: the modern
+  // fabric contributes no intermediate hops, the traditional tree always
+  // inserts the destination silo's uplink.
+  Topology modern{smallConfig()};
+  TopologyConfig tcfg = smallConfig();
+  tcfg.fabric = FabricKind::TraditionalTree;
+  Topology trad{tcfg};
+
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    for (std::uint32_t srv = 0; srv < 20; srv += 7) {
+      const auto mExt = modern.externalPath(0, SwitchId{s}, ServerId{srv});
+      ASSERT_EQ(mExt.size(), 3u);
+      EXPECT_EQ(mExt.back(), modern.server(ServerId{srv}).nic);
+
+      const auto tExt = trad.externalPath(0, SwitchId{s}, ServerId{srv});
+      ASSERT_EQ(tExt.size(), 4u);
+      const std::uint32_t silo = trad.server(ServerId{srv}).silo;
+      EXPECT_EQ(tExt[2], trad.siloUplink(silo));
+    }
+  }
+  // Internal paths: the modern fabric never exceeds two links; the
+  // traditional tree only matches that within a silo.
+  EXPECT_EQ(modern.internalPath(ServerId{0}, ServerId{1}).size(), 2u);
+  EXPECT_EQ(trad.internalPath(ServerId{0}, ServerId{4}).size(), 2u);
+  EXPECT_EQ(trad.internalPath(ServerId{0}, ServerId{1}).size(), 4u);
+  // Trunk links carry the paper's 4 Gbps L4 capacity on both fabrics.
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(
+        modern.network().link(modern.switchTrunk(SwitchId{s})).capacityGbps,
+        4.0);
+  }
+}
+
 TEST(Topology, SiloUplinkUnavailableOnModernFabric) {
   Topology topo{smallConfig()};
   EXPECT_THROW((void)topo.siloUplink(0), PreconditionError);
