@@ -87,6 +87,19 @@ struct EpochReport {
   std::uint64_t faultsInjected = 0;
   std::uint64_t faultRepairsApplied = 0;
 
+  /// Durable-state snapshot (E17): changelog/snapshot health of the
+  /// manager's deterministic state machine.  `stateRecordsSinceSnapshot`
+  /// is the current replay bound; the cumulative recovery counters say
+  /// how much corruption-tolerant recovery has actually happened.
+  std::uint64_t stateChangelogRecords = 0;
+  std::uint64_t stateSnapshotsTaken = 0;
+  std::uint64_t stateRecordsSinceSnapshot = 0;
+  std::uint64_t stateRecoveries = 0;
+  std::uint64_t stateReplayedRecords = 0;
+  std::uint64_t stateTruncatedBytes = 0;
+  std::uint64_t stateSnapshotsRejected = 0;
+  std::uint64_t stateCompactedRecords = 0;
+
   [[nodiscard]] double totalDemandRps() const {
     double d = 0.0;
     for (const auto& [app, rps] : appDemandRps) d += rps;
@@ -98,5 +111,20 @@ struct EpochReport {
     return d;
   }
 };
+
+namespace state {
+class ByteWriter;
+class ByteReader;
+}  // namespace state
+
+/// Canonical binary encoding of a report: fixed field order, maps
+/// emitted key-sorted — two equal reports encode to identical bytes.
+void encodeEpochReport(const EpochReport& rep, state::ByteWriter& w);
+EpochReport decodeEpochReport(state::ByteReader& r);
+
+/// fnv1a64 over the canonical encoding.  Two runs of the same seeded
+/// scenario must produce reports with equal hashes — the end-to-end
+/// deterministic-replay invariant.
+[[nodiscard]] std::uint64_t hashEpochReport(const EpochReport& rep);
 
 }  // namespace mdc

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 
 namespace mdc {
 
@@ -161,6 +162,48 @@ void GlobalManager::start() {
     leaseExpiry_ = sim_.now() + options_.failover.leaseSeconds;
     sim_.every(options_.failover.renewSeconds, [this] { leaseTick(); });
   }
+  if (options_.snapshot.enable) {
+    MDC_EXPECT(options_.snapshot.periodSeconds > 0.0,
+               "snapshot period must be positive");
+    viprip_->setSnapshotAdvisoryHooks(
+        [this](state::ByteWriter& w) { buildPodAdvisory(w); },
+        [this](state::ByteReader& r) { installPodAdvisory(r); });
+    // Snapshots are leader work like every other durable write; the
+    // phase offset keeps them clear of the balancer rounds.
+    sim_.every(options_.snapshot.periodSeconds,
+               [this] {
+                 if (leaderUp_) viprip_->snapshotNow(term_);
+               },
+               options_.snapshot.periodSeconds * 0.6);
+  }
+}
+
+void GlobalManager::buildPodAdvisory(state::ByteWriter& w) const {
+  w.u64(pods_.size());
+  for (const auto& pod : pods_) {
+    const std::map<VmId, double> sorted(pod->weightCheckpoint().begin(),
+                                        pod->weightCheckpoint().end());
+    w.u64(sorted.size());
+    for (const auto& [vm, weight] : sorted) {
+      w.id(vm);
+      w.f64(weight);
+    }
+  }
+}
+
+void GlobalManager::installPodAdvisory(state::ByteReader& r) {
+  snapshotPodWeights_.clear();
+  const std::uint64_t podCount = r.u64();
+  for (std::uint64_t p = 0; p < podCount && r.ok(); ++p) {
+    const std::uint64_t entries = r.u64();
+    for (std::uint64_t i = 0; i < entries && r.ok(); ++i) {
+      const VmId vm = r.id<VmId>();
+      const double weight = r.f64();
+      if (r.ok()) snapshotPodWeights_[vm] = weight;
+    }
+  }
+  // Advisory bytes are best-effort by design: on any decode trouble the
+  // entries that parsed are kept and the rest is dropped.
 }
 
 void GlobalManager::leaseTick() {
@@ -179,6 +222,20 @@ void GlobalManager::leaseTick() {
   // Recover from the durable state: new fencing term (agents will reject
   // anything older), journal replay, reopened serialization queue...
   viprip_->recoverAsLeader(term_);
+  // Replay can resurrect a RIP binding whose DeleteRip record died with
+  // the damaged journal tail; the VM behind it may be long gone, and the
+  // reconciler would trust the rebuilt intent forever.  Purge such
+  // bindings through the normal journaled path.
+  std::vector<VmId> deadVms;
+  viprip_->intent().forEach([&](VipId, const VipIntent& in) {
+    for (const RipEntry& r : in.rips) {
+      if (r.targetsVm() && !hosts_.vmExists(r.vm)) deadVms.push_back(r.vm);
+    }
+  });
+  std::sort(deadVms.begin(), deadVms.end(),
+            [](VmId a, VmId b) { return a.value() < b.value(); });
+  deadVms.erase(std::unique(deadVms.begin(), deadVms.end()), deadVms.end());
+  for (VmId vm : deadVms) requestRipRemoval(vm, nullptr);
   // ...and an immediate audit re-derives pending work from the rebuilt
   // IntentStore instead of waiting out the periodic round.
   if (reconciler_ != nullptr) reconciler_->auditRound();
@@ -207,7 +264,7 @@ void GlobalManager::restartPod(PodId pod) {
   MDC_EXPECT(pod.valid() && pod.index() < pods_.size(), "unknown pod");
   ++podRestarts_;
   pods_[pod.index()]->restart(
-      [this](VmId vm) { return intendedVmWeight(vm); });
+      [this](VmId vm) { return checkpointVmWeight(vm); });
 }
 
 double GlobalManager::intendedVmWeight(VmId vm) const {
@@ -219,6 +276,15 @@ double GlobalManager::intendedVmWeight(VmId vm) const {
     if (rip != nullptr) total += rip->weight;
   }
   return total;
+}
+
+double GlobalManager::checkpointVmWeight(VmId vm) const {
+  // Intent is authoritative; the snapshot's advisory checkpoint only
+  // fills in when the VM has no journaled RIP weight at all (e.g. its
+  // binding raced the crash).
+  if (!viprip_->ripsOf(vm).empty()) return intendedVmWeight(vm);
+  const auto it = snapshotPodWeights_.find(vm);
+  return it == snapshotPodWeights_.end() ? 0.0 : it->second;
 }
 
 void GlobalManager::observe(const EpochReport& report) {

@@ -39,6 +39,16 @@ class GlobalManager final : public RipRequestSink {
     SimTime renewSeconds = 2.0;
   };
 
+  /// Periodic whole-DC snapshots of the durable state machine (E17).
+  /// Each snapshot captures the intent store, id watermarks, and fencing
+  /// term (hash-covered), plus advisory pod weight checkpoints; the
+  /// changelog is compacted behind it, bounding recovery replay to at
+  /// most one snapshot period of records.
+  struct SnapshotOptions {
+    bool enable = true;
+    SimTime periodSeconds = 60.0;
+  };
+
   struct Options {
     PodManager::Options pod;
     VipRipManager::Options viprip;
@@ -48,6 +58,7 @@ class GlobalManager final : public RipRequestSink {
     /// Anti-entropy audit of intended vs. actual VIP/RIP state (E14).
     Reconciler::Options reconciler;
     FailoverOptions failover;
+    SnapshotOptions snapshot;
     bool enableReconciler = true;
     bool enableLinkBalancer = true;
     bool enableSwitchBalancer = true;
@@ -153,6 +164,12 @@ class GlobalManager final : public RipRequestSink {
   /// Intended total serving weight of `vm` (sum of its RIP weights in
   /// the IntentStore) — the pod-restart checkpoint source.
   [[nodiscard]] double intendedVmWeight(VmId vm) const;
+  /// Pod-restart weight seed: intent first, advisory snapshot second.
+  [[nodiscard]] double checkpointVmWeight(VmId vm) const;
+  /// Serializes/installs every pod's weight checkpoint — the advisory
+  /// section of whole-DC snapshots.
+  void buildPodAdvisory(state::ByteWriter& w) const;
+  void installPodAdvisory(state::ByteReader& r);
   void submitRipRemoval(VmId vm, std::function<void()> onDone,
                         std::uint32_t attempt);
   void submitNewRip(AppId app, VmId vm, double weight, std::uint32_t attempt);
@@ -184,6 +201,11 @@ class GlobalManager final : public RipRequestSink {
   SimTime leaseExpiry_ = 0.0;
   std::uint64_t failovers_ = 0;
   std::uint64_t podRestarts_ = 0;
+
+  /// Advisory pod weight checkpoints recovered from the last accepted
+  /// snapshot; consulted when a pod restarts and the intent store has
+  /// no RIP-derived weight for a VM.
+  std::unordered_map<VmId, double> snapshotPodWeights_;
 };
 
 }  // namespace mdc

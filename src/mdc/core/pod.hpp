@@ -164,6 +164,15 @@ class PodManager {
   [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
   [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_; }
 
+  /// The last-applied per-VM weight checkpoint — the advisory section of
+  /// whole-DC snapshots (E17).  Losing it costs one cold first control
+  /// round after restart, not correctness, so it is snapshot-only state
+  /// excluded from the deterministic hash.
+  [[nodiscard]] const std::unordered_map<VmId, double>& weightCheckpoint()
+      const noexcept {
+    return lastWeight_;
+  }
+
   [[nodiscard]] const PodStats& stats() const noexcept { return stats_; }
 
   /// Apps currently covering this pod (instance resident here).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <memory>
 #include <unordered_set>
 #include <utility>
@@ -78,9 +79,11 @@ VipRipManager::VipRipManager(Simulation& sim, SwitchFleet& fleet,
       topo_(topo),
       options_(options),
       channel_(sim, options.channelSeed),
-      sender_(sim, channel_, fleet, options.ctrl) {
+      sender_(sim, channel_, fleet, options.ctrl),
+      machine_(journal_.changelog(), state::DurableStateMachine::Options{}) {
   MDC_EXPECT(options.processSeconds >= 0.0, "negative process time");
   routerVipCount_.assign(topo.accessLinkCount(), 0);
+  setupStateMachine();
   // Balancers move VIPs directly (SwitchFleet::transferVip); the journal
   // learns those placements here so intent tracks reality synchronously.
   fleet_.setTransferListener([this](VipId vip, SwitchId /*from*/,
@@ -821,12 +824,139 @@ void VipRipManager::crash() {
 
 void VipRipManager::recoverAsLeader(std::uint64_t term) {
   sender_.beginTerm(term);
-  rebuildIntentFromJournal();
+  recoverFromDurable();
+  // Fencing across restarts: the durable state remembers the highest
+  // term that ever wrote to it, and a new leader must exceed it — a
+  // deposed leader recovering under its old term would un-fence every
+  // switch agent that already rejected it.
+  MDC_EXPECT(term > durableTerm_,
+             "recoverAsLeader: term must exceed recovered durable term");
+  durableTerm_ = term;
+  journal_.appendTermChange(term);
   online_ = true;
 }
 
-void VipRipManager::rebuildIntentFromJournal() {
-  intent_ = journal_.replay();
+void VipRipManager::rebuildIntentFromJournal() { recoverFromDurable(); }
+
+void VipRipManager::setupStateMachine() {
+  state::DurableStateMachine::Hooks hooks;
+  hooks.buildDeterministic = [this](state::ByteWriter& w) {
+    serializeDurable(w);
+  };
+  hooks.reset = [this] {
+    intent_ = IntentStore{};
+    durableTerm_ = 0;
+    vipIds_ = IdAllocator<VipId>{};
+    ripIds_ = IdAllocator<RipId>{};
+  };
+  hooks.installDeterministic = [this](state::ByteReader& r) {
+    durableTerm_ = r.u64();
+    const std::uint32_t vipNext = r.u32();
+    const std::uint32_t ripNext = r.u32();
+    if (!r.ok()) return false;
+    if (vipNext > 0) vipIds_.ensureBeyond(VipId{vipNext - 1});
+    if (ripNext > 0) ripIds_.ensureBeyond(RipId{ripNext - 1});
+    // The intent store is rebuilt through the same apply() the live
+    // path and replay use, so snapshot-install can never diverge from
+    // a from-scratch replay of the same state.
+    const std::uint64_t nVips = r.u64();
+    for (std::uint64_t i = 0; i < nVips; ++i) {
+      IntentRecord add;
+      add.op = IntentOp::AddVip;
+      add.vip = r.id<VipId>();
+      add.app = r.id<AppId>();
+      add.sw = r.id<SwitchId>();
+      add.router = r.id<AccessRouterId>();
+      const std::uint64_t nRips = r.u64();
+      if (!r.ok() || !intent_.canApply(add)) return false;
+      intent_.apply(add);
+      for (std::uint64_t j = 0; j < nRips; ++j) {
+        IntentRecord bind;
+        bind.op = IntentOp::AddRip;
+        bind.vip = add.vip;
+        bind.rip.rip = r.id<RipId>();
+        bind.rip.vm = r.id<VmId>();
+        bind.rip.mvip = r.id<VipId>();
+        bind.rip.weight = r.f64();
+        if (!r.ok() || !intent_.canApply(bind)) return false;
+        intent_.apply(bind);
+      }
+    }
+    return r.ok();
+  };
+  hooks.applyMutation = [this](std::span<const std::uint8_t> payload) {
+    JournalEntry entry;
+    if (!decodeJournalEntry(payload, entry)) return false;
+    if (entry.tag == kJournalTagTermChange) {
+      durableTerm_ = std::max(durableTerm_, entry.term);
+      return true;
+    }
+    // A CRC-valid record the store cannot legally apply marks the end
+    // of the trustworthy prefix (it can only arise from data damage).
+    if (!intent_.canApply(entry.record)) return false;
+    intent_.apply(entry.record);
+    vipIds_.ensureBeyond(entry.record.vip);
+    ripIds_.ensureBeyond(entry.record.rip.rip);
+    return true;
+  };
+  hooks.buildAdvisory = [this](state::ByteWriter& w) {
+    if (advisoryBuild_) advisoryBuild_(w);
+  };
+  hooks.installAdvisory = [this](state::ByteReader& r) {
+    if (advisoryInstall_) advisoryInstall_(r);
+  };
+  machine_.setHooks(std::move(hooks));
+}
+
+void VipRipManager::serializeDurable(state::ByteWriter& w) const {
+  w.u64(durableTerm_);
+  w.u32(vipIds_.allocated());
+  w.u32(ripIds_.allocated());
+  // Canonical order: VIPs sorted by id; each VIP's RIPs in intent
+  // (append) order, which is itself a pure function of the mutation
+  // history.  Equal states therefore serialize to identical bytes.
+  std::map<VipId, const VipIntent*> sorted;
+  intent_.forEach([&](VipId vip, const VipIntent& in) {
+    sorted.emplace(vip, &in);
+  });
+  w.u64(sorted.size());
+  for (const auto& [vip, in] : sorted) {
+    w.id(vip);
+    w.id(in->app);
+    w.id(in->sw);
+    w.id(in->router);
+    w.u64(in->rips.size());
+    for (const RipEntry& r : in->rips) {
+      w.id(r.rip);
+      w.id(r.vm);
+      w.id(r.mvip);
+      w.f64(r.weight);
+    }
+  }
+}
+
+void VipRipManager::setSnapshotAdvisoryHooks(
+    std::function<void(state::ByteWriter&)> build,
+    std::function<void(state::ByteReader&)> install) {
+  advisoryBuild_ = std::move(build);
+  advisoryInstall_ = std::move(install);
+}
+
+state::DurableStateMachine::SnapshotResult VipRipManager::snapshotNow(
+    std::uint64_t term) {
+  const auto res = machine_.takeSnapshot(term, sim_.now());
+  if (res.taken && tracer_ != nullptr) {
+    tracer_->record(tracer_->begin(), tracer_->newSpan(), 0,
+                    HopKind::SnapshotTaken, "snapshot", res.index,
+                    res.compactedRecords);
+  }
+  return res;
+}
+
+void VipRipManager::recoverFromDurable() {
+  const state::DurableStateMachine::RecoveryStats stats =
+      machine_.recover(sim_.now());
+  journal_.resyncFromDurable();
   queue_.clear();  // queued requests die with the crashed manager
   vipRouter_.clear();
   vmRips_.clear();
@@ -841,11 +971,69 @@ void VipRipManager::rebuildIntentFromJournal() {
       if (r.targetsVm()) vmRips_[r.vm].push_back(RipRef{vip, r.rip});
     }
   });
-  // Never re-issue an id any journal record ever mentioned.
-  for (const IntentRecord& rec : journal_.records()) {
-    vipIds_.ensureBeyond(rec.vip);
-    ripIds_.ensureBeyond(rec.rip.rip);
+  resyncExternalFromIntent();
+  if (tracer_ != nullptr) {
+    const TraceId trace = tracer_->begin();
+    tracer_->record(trace, tracer_->newSpan(), 0, HopKind::StateRecovered,
+                    stats.usedSnapshot ? "snapshot_tail" : "full_replay",
+                    stats.replayedRecords, stats.truncatedBytes);
+    if (stats.snapshotsRejected > 0) {
+      tracer_->record(trace, tracer_->newSpan(), 0,
+                      HopKind::SnapshotRejected, "invalid",
+                      stats.snapshotsRejected, 0);
+    }
   }
+}
+
+void VipRipManager::resyncExternalFromIntent() {
+  const SimTime now = sim_.now();
+  // Retract VIPs the world still shows but the recovered intent does
+  // not know (an AddVip lost with the journal tail): an exposed VIP no
+  // manager intends is a black hole the reconciler can only half-heal —
+  // it removes the switch-table entry but will not touch DNS for a VIP
+  // it has no intent for.
+  for (const Application& a : apps_.all()) {
+    const std::vector<VipId> attached = a.vips;  // copy: we mutate below
+    for (VipId vip : attached) {
+      if (intent_.find(vip) != nullptr) continue;
+      apps_.removeVip(a.id, vip);
+      for (const VipWeight& vw : dns_.vips(a.id)) {
+        if (vw.vip == vip) {
+          dns_.removeVip(a.id, vip);
+          break;
+        }
+      }
+      for (AccessRouterId router : routes_.advertisedRouters(vip)) {
+        routes_.withdraw(vip, router, now);
+      }
+    }
+  }
+  // Restore the exposure of VIPs the recovered intent knows but the
+  // world lost (a RemoveVip lost with the tail): in the recovered
+  // history the VIP was never deleted, so its DNS record and route
+  // must come back too.
+  intent_.forEach([&](VipId vip, const VipIntent& in) {
+    const auto& attached = apps_.app(in.app).vips;
+    if (std::find(attached.begin(), attached.end(), vip) ==
+        attached.end()) {
+      apps_.addVip(in.app, vip);
+    }
+    if (!dns_.hasApp(in.app)) dns_.registerApp(in.app);
+    bool exposed = false;
+    for (const VipWeight& vw : dns_.vips(in.app)) {
+      if (vw.vip == vip) {
+        exposed = true;
+        break;
+      }
+    }
+    if (!exposed) {
+      dns_.addVip(in.app, vip, 0.0);
+      syncVipDnsWeight(vip);
+    }
+    if (in.router.valid() && !routes_.isActive(vip, in.router)) {
+      routes_.advertise(vip, in.router, now);
+    }
+  });
 }
 
 void VipRipManager::moveVipRoute(VipId vip, AccessRouterId to) {

@@ -42,6 +42,7 @@
 #include "mdc/metrics/histogram.hpp"
 #include "mdc/route/route_registry.hpp"
 #include "mdc/sim/simulation.hpp"
+#include "mdc/state/state_machine.hpp"
 #include "mdc/topo/topology.hpp"
 #include "mdc/util/ids.hpp"
 
@@ -161,6 +162,36 @@ class VipRipManager {
     return journal_;
   }
 
+  // --- durable state machine (E17) ---------------------------------------
+
+  /// The hydra-style snapshot+changelog machine behind the journal.
+  [[nodiscard]] state::DurableStateMachine& stateMachine() noexcept {
+    return machine_;
+  }
+  [[nodiscard]] const state::DurableStateMachine& stateMachine()
+      const noexcept {
+    return machine_;
+  }
+
+  /// Highest fencing term the durable state has seen (recovered from
+  /// snapshot + tail; recoverAsLeader() must always exceed it).
+  [[nodiscard]] std::uint64_t durableTerm() const noexcept {
+    return durableTerm_;
+  }
+
+  /// Owner-supplied advisory snapshot section (pod weight checkpoints).
+  /// Advisory bytes ride inside every snapshot but are excluded from the
+  /// deterministic state hash: losing them costs warm-start quality, not
+  /// correctness.
+  void setSnapshotAdvisoryHooks(
+      std::function<void(state::ByteWriter&)> build,
+      std::function<void(state::ByteReader&)> install);
+
+  /// Takes a whole-DC snapshot (intent, id watermarks, fencing term,
+  /// advisory pod checkpoints) and compacts the changelog behind it.
+  state::DurableStateMachine::SnapshotResult snapshotNow(
+      std::uint64_t term);
+
   /// Reconciler hooks: accept observed reality into the intent journal.
   void adoptPlacement(VipId vip, SwitchId actual);
   void adoptRipWeight(VipId vip, RipId rip, double actual);
@@ -269,6 +300,18 @@ class VipRipManager {
   /// instance or no table space was available.
   bool refillVip(VipId vip, AppId app, VmId excluding, TraceId trace = 0,
                  SpanId parentSpan = 0);
+  /// Installs the state-machine hooks (serialize/install/apply) that
+  /// bind the generic DurableStateMachine to this manager's state.
+  void setupStateMachine();
+  /// Serializes the replayable state: fencing term, id watermarks, and
+  /// the intent store in canonical (id-sorted) order.
+  void serializeDurable(state::ByteWriter& w) const;
+  /// Rebuilds intent/directories from snapshot + tail replay, then
+  /// re-syncs the externally visible side effects (DNS records, route
+  /// advertisements) with the recovered intent — a lost tail record must
+  /// not leave a deleted VIP exposed or a recovered VIP unreachable.
+  void recoverFromDurable();
+  void resyncExternalFromIntent();
   /// Recomputes the VIP's DNS weight as
   ///   (serving capacity behind it, i.e. sum of RIP weights) x
   ///   (its exposure factor).
@@ -289,6 +332,10 @@ class VipRipManager {
   CommandSender sender_;
   IntentStore intent_;
   IntentJournal journal_;
+  state::DurableStateMachine machine_;
+  std::uint64_t durableTerm_ = 0;
+  std::function<void(state::ByteWriter&)> advisoryBuild_;
+  std::function<void(state::ByteReader&)> advisoryInstall_;
   const Reconciler* reconciler_ = nullptr;
   Tracer* tracer_ = nullptr;
 

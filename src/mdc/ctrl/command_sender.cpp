@@ -15,6 +15,8 @@ CommandSender::CommandSender(Simulation& sim, ControlChannel& channel,
   MDC_EXPECT(options.ackTimeoutSeconds > 0.0, "ack timeout must be positive");
   MDC_EXPECT(options.maxBackoffSeconds >= options.ackTimeoutSeconds,
              "max backoff below first timeout");
+  MDC_EXPECT(options.backoffJitter >= 0.0 && options.backoffJitter < 1.0,
+             "backoff jitter must be in [0, 1)");
 }
 
 CommandSender::Link& CommandSender::link(SwitchId sw) {
@@ -23,6 +25,9 @@ CommandSender::Link& CommandSender::link(SwitchId sw) {
     it = links_.emplace(sw, Link{}).first;
     it->second.agent = std::make_unique<SwitchAgent>(fleet_, sw);
     it->second.agent->setTracer(tracer_);
+    it->second.jitter.emplace(
+        options_.jitterSeed ^
+        (0x9e3779b97f4a7c15ull * (std::uint64_t{sw.value()} + 1)));
   }
   return it->second;
 }
@@ -125,10 +130,15 @@ void CommandSender::armRetry(SwitchId sw, std::uint64_t seq) {
   const auto it = l.outstanding.find(seq);
   MDC_ENSURE(it != l.outstanding.end(), "arming retry for settled command");
   Outstanding& out = it->second;
-  const SimTime backoff =
+  SimTime backoff =
       std::min(options_.maxBackoffSeconds,
                options_.ackTimeoutSeconds *
                    std::pow(2.0, static_cast<double>(out.attempt)));
+  if (options_.backoffJitter > 0.0) {
+    // Outside the clamp on purpose: see Options::backoffJitter.
+    const double j = options_.backoffJitter;
+    backoff *= (1.0 - j) + 2.0 * j * l.jitter->uniform();
+  }
   out.retryTimer = sim_.after(backoff, [this, sw, seq] {
     Link& lk = link(sw);
     const auto o = lk.outstanding.find(seq);

@@ -14,11 +14,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "mdc/ctrl/command.hpp"
 #include "mdc/ctrl/control_channel.hpp"
 #include "mdc/ctrl/switch_agent.hpp"
+#include "mdc/sim/rng.hpp"
 #include "mdc/sim/simulation.hpp"
 
 namespace mdc {
@@ -31,6 +33,17 @@ class CommandSender {
     SimTime maxBackoffSeconds = 30.0;
     /// Attempts before giving up with "ctrl_timeout"; 0 = never give up.
     std::uint32_t maxAttempts = 8;
+    /// Multiplicative retransmit jitter: each armed retry timer is
+    /// scaled by a uniform factor in [1-j, 1+j].  Applied *outside* the
+    /// max-backoff clamp, so links stay decorrelated even once their
+    /// deterministic backoff saturates — a mass timeout (partition heal,
+    /// switch reboot) must not resynchronize every link into one retry
+    /// storm.  0 disables jitter.  Must be < 1.
+    double backoffJitter = 0.1;
+    /// Base seed of the per-link jitter streams.  Each link derives an
+    /// independent stream from (seed, switch id), so one link's retry
+    /// count never perturbs another's schedule.
+    std::uint64_t jitterSeed = 0x6a177e50c3b1u;
   };
 
   using Completion = std::function<void(Status)>;
@@ -100,6 +113,8 @@ class CommandSender {
   };
   struct Link {
     std::unique_ptr<SwitchAgent> agent;
+    /// Per-link jitter stream (seeded from options + switch id).
+    std::optional<Rng> jitter;
     std::uint64_t nextSeq = 0;
     /// Every seq below this has been completed (acked or timed out);
     /// piggybacked on sends so the agent can prune its outcome cache.

@@ -1,6 +1,7 @@
 #include "mdc/ctrl/intent.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "mdc/util/expect.hpp"
 
@@ -19,6 +20,55 @@ double VipIntent::totalWeight() const {
   return w;
 }
 
+void encodeIntentRecord(const IntentRecord& record, state::ByteWriter& w) {
+  w.u8(kJournalTagIntent);
+  w.u8(static_cast<std::uint8_t>(record.op));
+  w.id(record.vip);
+  w.id(record.app);
+  w.id(record.sw);
+  w.id(record.router);
+  w.id(record.rip.rip);
+  w.id(record.rip.vm);
+  w.id(record.rip.mvip);
+  w.f64(record.rip.weight);
+  w.f64(record.weight);
+  w.f64(record.at);
+}
+
+bool decodeJournalEntry(std::span<const std::uint8_t> payload,
+                        JournalEntry& out) {
+  state::ByteReader r(payload);
+  out.tag = r.u8();
+  if (!r.ok()) return false;
+  switch (out.tag) {
+    case kJournalTagIntent: {
+      const std::uint8_t op = r.u8();
+      if (op > static_cast<std::uint8_t>(IntentOp::SetRipWeight)) {
+        return false;
+      }
+      out.record.op = static_cast<IntentOp>(op);
+      out.record.vip = r.id<VipId>();
+      out.record.app = r.id<AppId>();
+      out.record.sw = r.id<SwitchId>();
+      out.record.router = r.id<AccessRouterId>();
+      out.record.rip.rip = r.id<RipId>();
+      out.record.rip.vm = r.id<VmId>();
+      out.record.rip.mvip = r.id<VipId>();
+      out.record.rip.weight = r.f64();
+      out.record.weight = r.f64();
+      out.record.at = r.f64();
+      return r.exhausted() && std::isfinite(out.record.rip.weight) &&
+             std::isfinite(out.record.weight) &&
+             std::isfinite(out.record.at);
+    }
+    case kJournalTagTermChange:
+      out.term = r.u64();
+      return r.exhausted();
+    default:
+      return false;
+  }
+}
+
 const VipIntent* IntentStore::find(VipId vip) const {
   const auto it = vips_.find(vip);
   return it == vips_.end() ? nullptr : &it->second;
@@ -32,6 +82,24 @@ std::uint32_t IntentStore::vipsOn(SwitchId sw) const {
 std::uint32_t IntentStore::ripsOn(SwitchId sw) const {
   const auto it = ripCount_.find(sw);
   return it == ripCount_.end() ? 0 : it->second;
+}
+
+bool IntentStore::canApply(const IntentRecord& record) const {
+  switch (record.op) {
+    case IntentOp::AddVip:
+      return !vips_.contains(record.vip);
+    case IntentOp::AddRip: {
+      const VipIntent* in = find(record.vip);
+      return in != nullptr && in->findRip(record.rip.rip) == nullptr;
+    }
+    case IntentOp::RemoveVip:
+    case IntentOp::MoveVip:
+    case IntentOp::MoveRoute:
+    case IntentOp::RemoveRip:
+    case IntentOp::SetRipWeight:
+      return vips_.contains(record.vip);
+  }
+  return false;
 }
 
 void IntentStore::apply(const IntentRecord& record) {
@@ -109,10 +177,47 @@ void IntentStore::forEach(
   for (const auto& [vip, intent] : vips_) fn(vip, intent);
 }
 
+void IntentJournal::append(IntentRecord record) {
+  state::ByteWriter w;
+  encodeIntentRecord(record, w);
+  log_.append(w.bytes());
+  records_.push_back(std::move(record));
+}
+
+void IntentJournal::appendTermChange(std::uint64_t term) {
+  state::ByteWriter w;
+  w.u8(kJournalTagTermChange);
+  w.u64(term);
+  log_.append(w.bytes());
+  lastTerm_ = term;
+}
+
 IntentStore IntentJournal::replay() const {
   IntentStore store;
-  for (const IntentRecord& r : records_) store.apply(r);
+  const state::Changelog::Replay rep = log_.replay();
+  for (const auto& payload : rep.records) {
+    JournalEntry entry;
+    if (!decodeJournalEntry(payload, entry)) break;
+    if (entry.tag != kJournalTagIntent) continue;
+    if (!store.canApply(entry.record)) break;
+    store.apply(entry.record);
+  }
   return store;
+}
+
+void IntentJournal::resyncFromDurable() {
+  records_.clear();
+  lastTerm_ = 0;
+  const state::Changelog::Replay rep = log_.replay();
+  for (const auto& payload : rep.records) {
+    JournalEntry entry;
+    if (!decodeJournalEntry(payload, entry)) break;
+    if (entry.tag == kJournalTagIntent) {
+      records_.push_back(entry.record);
+    } else if (entry.tag == kJournalTagTermChange) {
+      lastTerm_ = entry.term;
+    }
+  }
 }
 
 }  // namespace mdc

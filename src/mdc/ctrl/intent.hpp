@@ -10,9 +10,13 @@
 // the difference.
 //
 // Every intent mutation is a small IntentRecord appended to the journal
-// *before* it is applied to the store (write-ahead).  Replaying the
-// journal therefore rebuilds the exact intended state after a simulated
-// manager crash; the switches' actual tables never need to be trusted.
+// *before* it is applied to the store (write-ahead).  The journal's
+// durable form is a checksummed state::Changelog: each record is framed
+// with a length prefix and CRC32, so replay after a simulated crash
+// trusts only the longest valid prefix of the bytes — a torn tail or a
+// corrupted record is cut off, never replayed as garbage.  Fencing-term
+// changes are journaled too (as their own record tag), so the recovered
+// state knows the highest term that ever wrote to it.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "mdc/lb/lb_switch.hpp"
+#include "mdc/state/changelog.hpp"
 #include "mdc/util/ids.hpp"
 #include "mdc/util/units.hpp"
 
@@ -58,6 +63,25 @@ struct IntentRecord {
   SimTime at = 0.0;
 };
 
+// Changelog payload tags: first byte of every journal record.
+inline constexpr std::uint8_t kJournalTagIntent = 0;
+inline constexpr std::uint8_t kJournalTagTermChange = 1;
+
+/// One decoded changelog payload: an intent mutation or a term change.
+struct JournalEntry {
+  std::uint8_t tag = kJournalTagIntent;
+  IntentRecord record;    // valid when tag == kJournalTagIntent
+  std::uint64_t term = 0; // valid when tag == kJournalTagTermChange
+};
+
+void encodeIntentRecord(const IntentRecord& record, state::ByteWriter& w);
+
+/// Strict decode of one changelog payload: unknown tag, out-of-range op,
+/// non-finite weight, or leftover bytes all fail — a CRC-valid but
+/// semantically malformed record must stop replay, not corrupt state.
+[[nodiscard]] bool decodeJournalEntry(std::span<const std::uint8_t> payload,
+                                      JournalEntry& out);
+
 class IntentStore {
  public:
   [[nodiscard]] const VipIntent* find(VipId vip) const;
@@ -67,6 +91,11 @@ class IntentStore {
   /// commands, where actual tables lag intent).
   [[nodiscard]] std::uint32_t vipsOn(SwitchId sw) const;
   [[nodiscard]] std::uint32_t ripsOn(SwitchId sw) const;
+
+  /// Whether apply() would accept the record.  The live path asserts on
+  /// the same conditions (a malformed live mutation is a bug); replay
+  /// checks first and treats a refusal as end-of-valid-journal.
+  [[nodiscard]] bool canApply(const IntentRecord& record) const;
 
   /// Applies one mutation.  The same function serves live updates and
   /// journal replay, so the two can never diverge.
@@ -81,19 +110,43 @@ class IntentStore {
   std::unordered_map<SwitchId, std::uint32_t> ripCount_;
 };
 
+/// Write-ahead journal over a checksummed changelog.  The in-memory
+/// record cache mirrors the durable bytes for cheap iteration; replay
+/// and recovery always parse the bytes.
 class IntentJournal {
  public:
-  void append(IntentRecord record) { records_.push_back(std::move(record)); }
+  void append(IntentRecord record);
+  /// Journals a fencing-term change (not an intent mutation: term
+  /// records are invisible to records()/size()).
+  void appendTermChange(std::uint64_t term);
+
   [[nodiscard]] const std::vector<IntentRecord>& records() const noexcept {
     return records_;
   }
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
 
-  /// Rebuilds the intended state by replaying every record in order.
+  /// Rebuilds the intended state by replaying the longest valid prefix
+  /// of the durable bytes — stops at the first malformed record instead
+  /// of asserting or propagating garbage.
   [[nodiscard]] IntentStore replay() const;
 
+  /// Re-derives the record cache (and the highest journaled term) from
+  /// the durable valid prefix.  Called after recovery truncated the
+  /// changelog, so records() never shows records replay would reject.
+  void resyncFromDurable();
+
+  /// Highest term ever journaled (0 before the first term change).
+  [[nodiscard]] std::uint64_t lastTerm() const noexcept { return lastTerm_; }
+
+  [[nodiscard]] state::Changelog& changelog() noexcept { return log_; }
+  [[nodiscard]] const state::Changelog& changelog() const noexcept {
+    return log_;
+  }
+
  private:
+  state::Changelog log_;
   std::vector<IntentRecord> records_;
+  std::uint64_t lastTerm_ = 0;
 };
 
 }  // namespace mdc

@@ -65,6 +65,9 @@ void ChaosStorm::schedule(FaultInjector& injector) {
     plan.channelPartitions = draw(options_.maxChannelPartitions);
     plan.podManagerCrashes = draw(options_.maxPodManagerCrashes);
     plan.globalManagerCrashes = draw(options_.maxGlobalManagerCrashes);
+    plan.journalTornWrites = draw(options_.maxJournalTornWrites);
+    plan.journalCorruptRecords = draw(options_.maxJournalCorruptRecords);
+    plan.snapshotCorruptions = draw(options_.maxSnapshotCorruptions);
     plan.repairAfter =
         rng_.uniform(options_.minRepairSeconds, options_.maxRepairSeconds);
     waves_.push_back(plan);

@@ -59,6 +59,11 @@ class ChaosStorm {
     std::uint32_t maxChannelPartitions = 2;
     std::uint32_t maxPodManagerCrashes = 1;
     std::uint32_t maxGlobalManagerCrashes = 1;
+    /// Durable-state faults (E17): leader crashes that tear or corrupt
+    /// the changelog tail, and latent snapshot-image bit flips.
+    std::uint32_t maxJournalTornWrites = 1;
+    std::uint32_t maxJournalCorruptRecords = 1;
+    std::uint32_t maxSnapshotCorruptions = 1;
     /// Every fault is repaired after a delay drawn from this range —
     /// storms test recovery, so nothing stays broken forever.
     SimTime minRepairSeconds = 5.0;

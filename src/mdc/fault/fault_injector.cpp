@@ -203,6 +203,67 @@ void FaultInjector::crashGlobalManager(SimTime at, SimTime repairAfter) {
   });
 }
 
+void FaultInjector::tornJournalWrite(SimTime at, SimTime repairAfter) {
+  MDC_EXPECT(manager_ != nullptr, "tornJournalWrite: no manager attached");
+  // Entropy drawn at schedule time so the plan stays a pure function of
+  // the seed regardless of how many faults get skipped at run time.
+  const std::uint64_t entropy = rng_.nextU64();
+  sim_.at(at, [this, entropy, repairAfter] {
+    if (!manager_->leaderUp()) return;  // nobody mid-append
+    auto& machine = manager_->viprip().stateMachine();
+    if (machine.changelog().size() == 0) return;  // nothing to tear
+    manager_->crashLeader();
+    machine.changelog().tearTail(entropy);
+    ++faults_;
+    history_.push_back(FaultRecord{
+        FaultKind::JournalTornWrite, 0, sim_.now(),
+        repairAfter >= 0.0 ? sim_.now() + repairAfter : kNoRepair});
+    if (repairAfter >= 0.0) {
+      sim_.after(repairAfter, [this] {
+        if (manager_->aliveManagers() >= 2) return;
+        manager_->reviveInstance();
+        ++repairs_;
+      });
+    }
+  });
+}
+
+void FaultInjector::corruptJournalRecord(SimTime at, SimTime repairAfter) {
+  MDC_EXPECT(manager_ != nullptr, "corruptJournalRecord: no manager attached");
+  const std::uint64_t entropy = rng_.nextU64();
+  sim_.at(at, [this, entropy, repairAfter] {
+    if (!manager_->leaderUp()) return;
+    auto& machine = manager_->viprip().stateMachine();
+    if (machine.changelog().size() == 0) return;  // nothing to corrupt
+    manager_->crashLeader();
+    machine.changelog().corruptTail(entropy);
+    ++faults_;
+    history_.push_back(FaultRecord{
+        FaultKind::JournalCorruptRecord, 0, sim_.now(),
+        repairAfter >= 0.0 ? sim_.now() + repairAfter : kNoRepair});
+    if (repairAfter >= 0.0) {
+      sim_.after(repairAfter, [this] {
+        if (manager_->aliveManagers() >= 2) return;
+        manager_->reviveInstance();
+        ++repairs_;
+      });
+    }
+  });
+}
+
+void FaultInjector::corruptSnapshot(SimTime at) {
+  MDC_EXPECT(manager_ != nullptr, "corruptSnapshot: no manager attached");
+  const std::uint64_t entropy = rng_.nextU64();
+  sim_.at(at, [this, entropy] {
+    auto& store = manager_->viprip().stateMachine().snapshots();
+    if (store.count() == 0) return;  // nothing taken yet
+    store.corruptLatest(entropy);
+    ++faults_;
+    history_.push_back(
+        FaultRecord{FaultKind::SnapshotCorrupt, 0, sim_.now(), kNoRepair});
+  });
+}
+
 void FaultInjector::schedulePlan(const RandomPlan& plan) {
   MDC_EXPECT(plan.end > plan.start, "plan window must be non-empty");
   auto when = [&] { return rng_.uniform(plan.start, plan.end); };
@@ -242,6 +303,15 @@ void FaultInjector::schedulePlan(const RandomPlan& plan) {
   }
   for (std::uint32_t i = 0; i < plan.globalManagerCrashes; ++i) {
     crashGlobalManager(when(), plan.repairAfter);
+  }
+  for (std::uint32_t i = 0; i < plan.journalTornWrites; ++i) {
+    tornJournalWrite(when(), plan.repairAfter);
+  }
+  for (std::uint32_t i = 0; i < plan.journalCorruptRecords; ++i) {
+    corruptJournalRecord(when(), plan.repairAfter);
+  }
+  for (std::uint32_t i = 0; i < plan.snapshotCorruptions; ++i) {
+    corruptSnapshot(when());
   }
 }
 

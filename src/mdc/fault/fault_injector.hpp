@@ -40,7 +40,16 @@ enum class FaultKind : std::uint8_t {
   PodManagerCrash,
   /// The global-manager leader crashes; the repair revives an instance
   /// as a warm standby (promotion happens via the lease watch).
-  GlobalManagerCrash
+  GlobalManagerCrash,
+  /// Leader crash mid-append: the changelog's last record is left torn
+  /// (a random prefix of its frame).  Recovery must truncate it.
+  JournalTornWrite,
+  /// Leader crash plus a flipped bit in the last changelog record's
+  /// crc/payload.  Recovery must stop at the bad record, not apply it.
+  JournalCorruptRecord,
+  /// A flipped bit in the latest on-"disk" snapshot image.  The next
+  /// recovery must reject it and fall back (older snapshot or replay).
+  SnapshotCorrupt
 };
 
 /// One injected fault, in execution order (the audit trail of a run).
@@ -72,6 +81,12 @@ class FaultInjector {
     std::uint32_t podManagerCrashes = 0;
     /// Global-manager leader crashes; needs an attached manager.
     std::uint32_t globalManagerCrashes = 0;
+    /// Leader crashes that leave a torn changelog tail; needs a manager.
+    std::uint32_t journalTornWrites = 0;
+    /// Leader crashes that leave a corrupt last changelog record.
+    std::uint32_t journalCorruptRecords = 0;
+    /// Bit flips in the latest snapshot image; needs a manager.
+    std::uint32_t snapshotCorruptions = 0;
     /// Repair delay applied to every fault of the plan; < 0: no repair.
     SimTime repairAfter = -1.0;
   };
@@ -118,6 +133,21 @@ class FaultInjector {
   /// warm standby takes over after the lease).  The repair revives a dead
   /// instance as a standby — never directly as leader.
   void crashGlobalManager(SimTime at, SimTime repairAfter = kNoRepair);
+  /// Crashes the leader mid-append: after the crash the intent
+  /// changelog's last record is truncated to a random prefix of its
+  /// frame (possibly zero bytes — the record wholly lost).  Skipped if
+  /// there is no leader or the changelog is empty.  The repair revives
+  /// a dead instance as a standby, like crashGlobalManager.
+  void tornJournalWrite(SimTime at, SimTime repairAfter = kNoRepair);
+  /// Crashes the leader and flips one bit in the last changelog
+  /// record's crc or payload (never its length field).  Same skip and
+  /// repair rules as tornJournalWrite.
+  void corruptJournalRecord(SimTime at, SimTime repairAfter = kNoRepair);
+  /// Flips one bit in the latest snapshot image.  No process crashes
+  /// and there is no repair: the damage is latent until the next
+  /// recovery, which must reject the image and fall back.  Skipped if
+  /// no snapshot has been taken yet.
+  void corruptSnapshot(SimTime at);
 
   /// Schedules `plan` using the injector's seeded Rng: targets drawn
   /// uniformly (links among access links), times uniform in [start, end).

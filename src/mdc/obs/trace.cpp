@@ -44,6 +44,12 @@ const char* toString(HopKind hop) noexcept {
       return "reconcile_adopt";
     case HopKind::ReconcileRepair:
       return "reconcile_repair";
+    case HopKind::SnapshotTaken:
+      return "snapshot_taken";
+    case HopKind::SnapshotRejected:
+      return "snapshot_rejected";
+    case HopKind::StateRecovered:
+      return "state_recovered";
   }
   return "?";
 }

@@ -66,6 +66,11 @@ enum class HopKind : std::uint8_t {
   // Anti-entropy hops.
   ReconcileAdopt,   // reconciler adopted actual state; code = what
   ReconcileRepair,  // reconciler issued a repair command; code = kind
+
+  // Durable-state hops (E17).
+  SnapshotTaken,     // whole-DC snapshot landed; a=index, b=compacted
+  SnapshotRejected,  // invalid snapshot(s) skipped on recovery; a=count
+  StateRecovered,    // snapshot+tail recovery done; a=replayed, b=cut bytes
 };
 
 [[nodiscard]] const char* toString(HopKind hop) noexcept;

@@ -111,6 +111,18 @@ std::vector<AccessRouterId> RouteRegistry::reachableRouters(VipId vip) const {
   return out;
 }
 
+std::vector<AccessRouterId> RouteRegistry::advertisedRouters(
+    VipId vip) const {
+  std::vector<AccessRouterId> out;
+  for (auto it = routes_.lower_bound(Key{vip, AccessRouterId{0}});
+       it != routes_.end() && it->first.first == vip; ++it) {
+    if (it->second.state != RouteState::Withdrawing) {
+      out.push_back(it->second.router);
+    }
+  }
+  return out;
+}
+
 bool RouteRegistry::isActive(VipId vip, AccessRouterId router) const {
   const RouteEntry* e = find(vip, router);
   return e != nullptr && e->state == RouteState::Active;

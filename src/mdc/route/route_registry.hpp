@@ -68,6 +68,12 @@ class RouteRegistry {
   /// (includes padded routes).
   [[nodiscard]] std::vector<AccessRouterId> reachableRouters(VipId vip) const;
 
+  /// Routers with any advertisement in place or in flight (every state
+  /// but Withdrawing).  Crash recovery uses this to retract a VIP whose
+  /// creation record was lost with the journal tail.
+  [[nodiscard]] std::vector<AccessRouterId> advertisedRouters(
+      VipId vip) const;
+
   [[nodiscard]] bool isActive(VipId vip, AccessRouterId router) const;
   [[nodiscard]] bool isReachable(VipId vip, AccessRouterId router) const;
 

@@ -89,6 +89,16 @@ void MegaDc::decorateReports() {
     r.faultPlanSeed = faults->seed();
     r.faultsInjected = faults->faultsInjected();
     r.faultRepairsApplied = faults->repairsApplied();
+    // Durable-state machine (E17).
+    auto& machine = manager->viprip().stateMachine();
+    r.stateChangelogRecords = machine.changelog().size();
+    r.stateSnapshotsTaken = machine.snapshotsTaken();
+    r.stateRecordsSinceSnapshot = machine.recordsSinceSnapshot();
+    r.stateRecoveries = machine.recoveries();
+    r.stateReplayedRecords = machine.replayedRecordsTotal();
+    r.stateTruncatedBytes = machine.truncatedBytesTotal();
+    r.stateSnapshotsRejected = machine.snapshotsRejectedTotal();
+    r.stateCompactedRecords = machine.compactedRecordsTotal();
   });
 }
 
@@ -158,6 +168,43 @@ void MegaDc::registerStandardMetrics() {
   });
   metrics.registerGauge("mdc.manager.cancelled_requests", [&vr, u64] {
     return u64(vr.cancelledRequests());
+  });
+
+  // Durable state machine: snapshots, changelog, recovery (E17).
+  auto machine = [this]() -> state::DurableStateMachine& {
+    return manager->viprip().stateMachine();
+  };
+  metrics.registerGauge("mdc.state.changelog_records", [machine, u64] {
+    return u64(machine().changelog().size());
+  });
+  metrics.registerGauge("mdc.state.changelog_bytes", [machine, u64] {
+    return u64(machine().changelog().bytes());
+  });
+  metrics.registerGauge("mdc.state.snapshots_taken", [machine, u64] {
+    return u64(machine().snapshotsTaken());
+  });
+  metrics.registerGauge("mdc.state.records_since_snapshot", [machine, u64] {
+    return u64(machine().recordsSinceSnapshot());
+  });
+  metrics.registerGauge("mdc.state.snapshot_age_seconds", [this, machine] {
+    return machine().snapshotsTaken() > 0
+               ? sim.now() - machine().lastSnapshotAt()
+               : 0.0;
+  });
+  metrics.registerGauge("mdc.state.recoveries", [machine, u64] {
+    return u64(machine().recoveries());
+  });
+  metrics.registerGauge("mdc.state.replayed_records", [machine, u64] {
+    return u64(machine().replayedRecordsTotal());
+  });
+  metrics.registerGauge("mdc.state.truncated_bytes", [machine, u64] {
+    return u64(machine().truncatedBytesTotal());
+  });
+  metrics.registerGauge("mdc.state.snapshots_rejected", [machine, u64] {
+    return u64(machine().snapshotsRejectedTotal());
+  });
+  metrics.registerGauge("mdc.state.compacted_records", [machine, u64] {
+    return u64(machine().compactedRecordsTotal());
   });
 
   // Anti-entropy reconciler (E14) — built at start(); 0 until then.

@@ -1,0 +1,125 @@
+// Checksummed, length-prefixed changelog for durable manager state.
+//
+// The changelog is the write-ahead half of the hydra-style deterministic
+// state machine: every mutation is appended as one framed record
+//
+//     [u32 payloadLen][u32 crc32(payload)][payload bytes]
+//
+// and recovery replays the longest valid prefix of those frames.  The
+// framing is self-describing on purpose — replay() trusts only the bytes,
+// never the in-memory bookkeeping, so a torn tail (a crash mid-append) or
+// a corrupted record (bit rot, fault injection) is detected by frame/CRC
+// validation and cut off instead of being replayed as garbage.
+//
+// Records carry monotonically increasing global indices that survive
+// compaction: after compactTo(i) the first retained record still has its
+// original index, so snapshot metadata ("state through index S") keeps
+// meaning across the changelog's whole lifetime.
+//
+// This models the durable byte device in-memory (the simulator has no
+// real disk); tearTail()/corruptTail()/flipBitInRecord() are the fault
+// injector's hooks for the failure modes a real log file exhibits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mdc/state/codec.hpp"
+
+namespace mdc::state {
+
+class Changelog {
+ public:
+  /// Frames larger than this fail validation — a torn length field must
+  /// not make replay trust gigabytes of garbage.
+  static constexpr std::uint32_t kMaxRecordBytes = 1u << 24;
+  static constexpr std::size_t kFrameHeaderBytes = 8;
+
+  /// Result of parsing the durable bytes.  Record i has global index
+  /// firstIndex + i; spans alias the changelog's buffer and are
+  /// invalidated by any mutation of it.
+  struct Replay {
+    std::vector<std::span<const std::uint8_t>> records;
+    std::uint64_t firstIndex = 0;
+    /// Bytes after the valid prefix (torn tail or corrupt record).
+    std::uint64_t trailingBytes = 0;
+    bool truncatedTail = false;
+  };
+
+  /// Appends one record; returns its global index.
+  std::uint64_t append(std::span<const std::uint8_t> payload);
+
+  /// Parses the durable bytes into the longest valid prefix of records.
+  /// Pure read: bookkeeping is not consulted and not repaired.
+  [[nodiscard]] Replay replay() const;
+
+  /// Cuts the durable bytes down to the longest valid prefix (at most
+  /// `maxRecords` records), resynchronizing bookkeeping with what replay
+  /// would actually see.  Returns the number of bytes removed.  Called
+  /// by recovery so post-recovery appends land after the good prefix,
+  /// never on top of a torn frame.
+  std::uint64_t truncateToValidPrefix(
+      std::uint64_t maxRecords = std::uint64_t(-1));
+
+  /// Drops all records with global index < `index` (clamped to the valid
+  /// prefix).  Returns the number of records dropped.  Called after a
+  /// snapshot lands: records the snapshot covers are dead weight.
+  std::uint64_t compactTo(std::uint64_t index);
+
+  /// Recovery resync for when an accepted snapshot outruns the surviving
+  /// tail (the crash damaged records the snapshot already covers): drops
+  /// every retained record and restarts the index space at `index`, so
+  /// the next append never reuses a global index the snapshot owns.
+  /// Precondition: index >= endIndex().  Returns the records dropped.
+  std::uint64_t resetTo(std::uint64_t index);
+
+  // -- Fault-injection hooks (model real log-file failure modes) --------
+
+  /// Tears the tail: removes 1..frameLen-1 trailing bytes of the last
+  /// frame, as a crash mid-append would.  `entropy` picks the cut point.
+  /// Returns false when the log is empty.
+  bool tearTail(std::uint64_t entropy);
+
+  /// Flips one bit inside the last frame's CRC-covered region (payload
+  /// or checksum — never the length field, so the frame still parses and
+  /// fails the CRC check instead).  Returns false when the log is empty.
+  bool corruptTail(std::uint64_t entropy);
+
+  // -- Introspection ----------------------------------------------------
+
+  /// Global index of the first retained record.
+  [[nodiscard]] std::uint64_t baseIndex() const noexcept {
+    return baseIndex_;
+  }
+  /// One past the global index of the last appended record.
+  [[nodiscard]] std::uint64_t endIndex() const noexcept {
+    return endIndex_;
+  }
+  /// Records currently retained (per bookkeeping; damage not counted
+  /// until truncateToValidPrefix()).
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return endIndex_ - baseIndex_;
+  }
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return bytes_.size();
+  }
+  [[nodiscard]] std::uint64_t compactedRecords() const noexcept {
+    return compactedRecords_;
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& raw() const noexcept {
+    return bytes_;
+  }
+
+ private:
+  /// Parses one frame at `pos`; returns payload length or -1 if the
+  /// frame is malformed (short, oversized, or CRC mismatch).
+  [[nodiscard]] std::int64_t parseFrameAt(std::size_t pos) const noexcept;
+
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t baseIndex_ = 0;
+  std::uint64_t endIndex_ = 0;
+  std::uint64_t compactedRecords_ = 0;
+};
+
+}  // namespace mdc::state

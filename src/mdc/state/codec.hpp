@@ -1,0 +1,155 @@
+// Canonical binary codec for durable manager state.
+//
+// Every byte that reaches the changelog or a snapshot goes through
+// ByteWriter/ByteReader, so the encoding rules live in exactly one
+// place and stay platform-independent:
+//  * integers are little-endian, fixed width (no varints — replay cost
+//    and record sizes stay predictable);
+//  * doubles are bit_cast to u64 (bit-identical roundtrip, NaNs and
+//    signed zeros included — required for deterministic state hashes);
+//  * strings and ids are length-/sentinel-prefixed so a reader can
+//    always resynchronize at a record boundary.
+//
+// ByteReader is fail-soft: reading past the end (or a malformed
+// length) clears ok() and yields zero values instead of throwing, so
+// corruption-tolerant replay can probe a record and discard it without
+// unwinding.  Callers must check ok() before trusting decoded values.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mdc/util/ids.hpp"
+
+namespace mdc::state {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void b(bool v) { u8(v ? 1 : 0); }
+
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  /// Strong ids encode their raw value; the invalid sentinel rides
+  /// along unchanged so optional references roundtrip.
+  template <typename Id>
+  void id(Id v) {
+    u32(v.value());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return bytes_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(bytes_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  void clear() noexcept { bytes_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) noexcept
+      : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() noexcept {
+    if (!take(1)) return 0;
+    return bytes_[pos_ - 1];
+  }
+
+  [[nodiscard]] std::uint32_t u32() noexcept {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_ - 4 + i]) << (8 * i);
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() noexcept {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_ - 8 + i]) << (8 * i);
+    }
+    return v;
+  }
+
+  [[nodiscard]] double f64() noexcept {
+    return std::bit_cast<double>(u64());
+  }
+
+  [[nodiscard]] bool b() noexcept { return u8() != 0; }
+
+  [[nodiscard]] std::string str() {
+    const std::uint32_t n = u32();
+    if (!take(n)) return {};
+    return std::string(reinterpret_cast<const char*>(&bytes_[pos_ - n]),
+                       n);
+  }
+
+  template <typename Id>
+  [[nodiscard]] Id id() noexcept {
+    return Id{u32()};
+  }
+
+  /// False once any read ran past the end; all subsequent reads yield
+  /// zero values.
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+  /// ok() and every byte consumed — a strict decoder's exit check.
+  [[nodiscard]] bool exhausted() const noexcept {
+    return ok_ && pos_ == bytes_.size();
+  }
+
+ private:
+  bool take(std::size_t n) noexcept {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.  Guards every changelog
+/// record and snapshot payload against torn writes and bit rot.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
+
+/// FNV-1a 64-bit hash.  Used for deterministic state fingerprints —
+/// cheap, order-sensitive, and stable across platforms.
+[[nodiscard]] std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace mdc::state

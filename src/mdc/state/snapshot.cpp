@@ -1,0 +1,110 @@
+#include "mdc/state/snapshot.hpp"
+
+namespace mdc::state {
+
+void SnapshotStore::install(const SnapshotMeta& meta,
+                            std::span<const std::uint8_t> deterministic,
+                            std::span<const std::uint8_t> advisory) {
+  ByteWriter payload;
+  payload.u32(static_cast<std::uint32_t>(deterministic.size()));
+  for (std::uint8_t b : deterministic) payload.u8(b);
+  for (std::uint8_t b : advisory) payload.u8(b);
+
+  ByteWriter body;
+  body.u64(meta.index);
+  body.u64(meta.term);
+  body.f64(meta.takenAt);
+  body.u64(meta.stateHash);
+  body.u32(static_cast<std::uint32_t>(payload.size()));
+  for (std::uint8_t b : payload.bytes()) body.u8(b);
+
+  ByteWriter image;
+  image.u32(kMagic);
+  image.u32(kVersion);
+  image.u32(crc32(body.bytes()));
+  for (std::uint8_t b : body.bytes()) image.u8(b);
+
+  std::vector<std::uint8_t> staged = image.take();
+  if (tornArmed_) {
+    // The swap happened against a half-written staging file: publish a
+    // truncated image.  Validation on load rejects it.
+    staged.resize(staged.size() / 2);
+    tornArmed_ = false;
+  }
+  images_.push_back(std::move(staged));
+  ++installed_;
+  prune();
+}
+
+bool SnapshotStore::corruptLatest(std::uint64_t entropy) {
+  if (images_.empty()) return false;
+  std::vector<std::uint8_t>& raw = images_.back();
+  if (raw.empty()) return false;
+  // Damage anywhere past the magic/version prefix: the body CRC covers
+  // metadata and payload alike, and flipping the CRC field itself just
+  // makes the check fail the other way around.
+  const std::size_t lo = raw.size() > 8 ? 8 : 0;
+  const std::size_t byteAt = lo + (entropy % (raw.size() - lo));
+  raw[byteAt] ^= static_cast<std::uint8_t>(1u << ((entropy >> 32) % 8));
+  return true;
+}
+
+bool SnapshotStore::decode(const std::vector<std::uint8_t>& raw,
+                           SnapshotImage& out) {
+  ByteReader r(raw);
+  if (r.u32() != kMagic) return false;
+  if (r.u32() != kVersion) return false;
+  const std::uint32_t want = r.u32();
+  if (!r.ok()) return false;
+  const std::span<const std::uint8_t> body(raw.data() + 12, raw.size() - 12);
+  if (crc32(body) != want) return false;
+  out.meta.index = r.u64();
+  out.meta.term = r.u64();
+  out.meta.takenAt = r.f64();
+  out.meta.stateHash = r.u64();
+  const std::uint32_t payloadLen = r.u32();
+  if (!r.ok() || r.remaining() != payloadLen) return false;
+  const std::span<const std::uint8_t> payload(
+      raw.data() + (raw.size() - payloadLen), payloadLen);
+
+  ByteReader p(payload);
+  const std::uint32_t detLen = p.u32();
+  if (!p.ok() || detLen > p.remaining()) return false;
+  const std::uint8_t* det = payload.data() + 4;
+  out.deterministic.assign(det, det + detLen);
+  out.advisory.assign(det + detLen, payload.data() + payload.size());
+  return true;
+}
+
+std::vector<SnapshotImage> SnapshotStore::loadAllValid(
+    std::uint64_t* rejected) const {
+  std::vector<SnapshotImage> out;
+  for (auto it = images_.rbegin(); it != images_.rend(); ++it) {
+    SnapshotImage img;
+    if (decode(*it, img)) {
+      out.push_back(std::move(img));
+    } else if (rejected != nullptr) {
+      ++*rejected;
+    }
+  }
+  return out;
+}
+
+void SnapshotStore::prune() {
+  auto validCount = [this] {
+    std::size_t n = 0;
+    for (const auto& raw : images_) {
+      SnapshotImage img;
+      if (decode(raw, img)) ++n;
+    }
+    return n;
+  };
+  // Drop oldest-first while strictly more than `keep` valid images
+  // remain; torn/corrupt images in front of them go too (they are
+  // older than every image we keep), but never count toward `keep`.
+  while (!images_.empty() && validCount() > options_.keep) {
+    images_.erase(images_.begin());
+  }
+}
+
+}  // namespace mdc::state

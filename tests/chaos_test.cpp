@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "mdc/core/epoch_report.hpp"
 #include "mdc/ctrl/command_sender.hpp"
 #include "mdc/ctrl/switch_agent.hpp"
 #include "mdc/fault/chaos.hpp"
@@ -338,6 +339,54 @@ TEST(Chaos, StormHoldsInvariantsEveryEpochAndQuiescesExactlyOnce) {
   EXPECT_EQ(r.faultsInjected, dc.faults->faultsInjected());
   EXPECT_EQ(r.managerTerm, dc.manager->term());
   EXPECT_GE(r.managerFailovers, 1u);
+}
+
+// --- acceptance: deterministic chaos replay (E17) ---------------------------
+
+// The whole stack — demand, engine, fault plan, storm schedule, command
+// retry jitter, durable-state recovery — derives from seeds, so running
+// the same seeded storm twice must reproduce the final EpochReport down
+// to the bit, asserted by its canonical-encoding hash.  This is the
+// invariant that makes any chaos failure replayable from its seed.
+TEST(Chaos, StormReplayProducesIdenticalEpochReportHash) {
+  const std::uint64_t seed = chaosSeed();
+  SCOPED_TRACE("MDC_CHAOS_SEED=" + std::to_string(seed));
+
+  const auto finalReportHash = [seed] {
+    MegaDcConfig cfg = testScaleConfig();
+    cfg.seed = seed;
+    cfg.fault.seed = seed * 0x9e3779b97f4a7c15ull + 0xe17u;
+    cfg.ctrlFaults.dropRate = 0.05;
+    cfg.ctrlFaults.delaySeconds = 0.02;
+    cfg.ctrlFaults.delayJitterSeconds = 0.05;
+    MegaDc dc{cfg};
+    dc.bootstrap();
+
+    ChaosStorm::Options sopt;
+    sopt.seed = seed;
+    sopt.start = dc.sim.now() + 10.0;
+    sopt.end = sopt.start + 150.0;
+    sopt.waves = 4;
+    sopt.maxSwitchCrashes = 1;
+    sopt.maxServerCrashes = 2;
+    sopt.maxLinkCuts = 1;
+    sopt.maxPodOutages = 1;
+    sopt.maxChannelPartitions = 1;
+    sopt.maxPodManagerCrashes = 1;
+    sopt.maxGlobalManagerCrashes = 1;
+    ChaosStorm storm{sopt};
+    storm.schedule(*dc.faults);
+    // A deterministic torn-write crash, so the recovery path itself is
+    // inside the replayed schedule under every seed.
+    dc.faults->tornJournalWrite(sopt.start + 41.0, /*repairAfter=*/15.0);
+
+    dc.runUntil(sopt.end + 60.0);
+    return hashEpochReport(dc.engine->latest());
+  };
+
+  const std::uint64_t first = finalReportHash();
+  const std::uint64_t second = finalReportHash();
+  EXPECT_EQ(first, second) << "same seed + same storm diverged";
 }
 
 // --- acceptance: causal tracing under a chaos storm ------------------------
