@@ -6,9 +6,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "mdc/util/flat_map.hpp"
 #include "mdc/util/ids.hpp"
 #include "mdc/util/units.hpp"
 
@@ -22,12 +22,14 @@ struct EpochReport {
   /// Offered utilization per LB switch.
   std::vector<double> switchUtil;
 
-  /// Demand and service, aggregated per application.
-  std::unordered_map<AppId, double> appDemandRps;
-  std::unordered_map<AppId, double> appServedRps;
+  /// Demand and service, aggregated per application.  FlatMaps (sorted
+  /// vectors): the engine fills them in ascending app order, so building
+  /// them is an append loop and the canonical encoder needs no sorting.
+  FlatMap<AppId, double> appDemandRps;
+  FlatMap<AppId, double> appServedRps;
 
   /// Offered demand per VIP (Gbps) — what the switch balancer reasons on.
-  std::unordered_map<VipId, double> vipDemandGbps;
+  FlatMap<VipId, double> vipDemandGbps;
 
   double externalOfferedGbps = 0.0;
   double externalServedGbps = 0.0;
@@ -35,7 +37,7 @@ struct EpochReport {
   double unroutedRps = 0.0;
   /// Why it was dropped: "no_dns", "no_shares", "no_route", "no_owner",
   /// "no_rips", "depth", "dead_vm".
-  std::unordered_map<std::string, double> unroutedByCause;
+  FlatMap<std::string, double> unroutedByCause;
   /// Demand routed only via reachable (padded/draining) routes because
   /// the VIP had no Active route — E4 separates this fallback share from
   /// healthy routing.

@@ -97,6 +97,21 @@ VipRipManager::VipRipManager(Simulation& sim, SwitchFleet& fleet,
   });
 }
 
+VipRipManager::~VipRipManager() {
+  // The fleet outlives the manager; drop the this-capturing listener.
+  fleet_.setTransferListener({});
+  // Destruction is a process death: reuse the crash path so the queue
+  // and every command awaiting its ack complete exactly once with
+  // "cancelled" while the whole object is still alive.
+  crash();
+  // A cancellation callback may reentrantly send compensating commands;
+  // on a lossy channel those stay outstanding, so sweep until quiet —
+  // ~CommandSender must never be the one to fire a completion.
+  for (int i = 0; i < 8 && sender_.inflight() > 0; ++i) {
+    sender_.cancelInflight();
+  }
+}
+
 void VipRipManager::intend(IntentRecord record) {
   record.at = sim_.now();
   journal_.append(record);

@@ -100,6 +100,12 @@ class VipRipManager {
   VipRipManager(Simulation& sim, SwitchFleet& fleet, AuthoritativeDns& dns,
                 RouteRegistry& routes, AppRegistry& apps,
                 const Topology& topo, Options options);
+  /// Settles every queued request and in-flight command (with
+  /// "cancelled") before any member dies: sender_ is destroyed before
+  /// the stats and intent members declared after it, and destroying an
+  /// outstanding completion fires its DoneGuard — which must not land in
+  /// freed members.
+  ~VipRipManager();
 
   /// Enqueues a request; processing is asynchronous and serialized.
   void submit(VipRipRequest request);

@@ -6,28 +6,36 @@
 // made the descent allocation-bound at mega-DC scale.  The arena stores
 // paths as a trie of (link, parent) nodes instead: extending a path is a
 // hash probe, flows carry a 4-byte PathRef, and shared prefixes (every
-// flow behind the same access link and switch) are stored exactly once.
+// flow behind the same access link and switch) are stored exactly once
+// per segment.
 //
 // Node ids are an implementation detail — two arenas built in different
 // orders intern the same *links*, so anything computed by iterating a
 // path (offered load, bottleneck fractions) is independent of interning
 // order.  That is what makes the parallel descent deterministic: workers
-// may race to intern, but never to disagree about a path's contents.
+// never disagree about a path's contents.
 //
-// Thread safety: concurrent root()/extend() calls are safe (interning
-// takes a shared lock for the lookup and upgrades to exclusive on a
-// miss).  forEach()/links()/length() are deliberately lock-free: they
-// must not run concurrently with interning.  The epoch engine honours
-// this by construction — interning happens only in the parallel descent
-// phase, path walks only in the accumulation phases after the fork/join
-// barrier — and it keeps the per-flow walk, the hottest loop in the
-// engine, free of any synchronisation cost.
+// Thread safety by partitioning, not locking.  The arena is split into
+// kSegments independent segments; a PathRef packs (segment, node index).
+// During the parallel descent each worker slot interns exclusively into
+// its own segment — root()/extend() take the owner's segment id and
+// touch no shared state, so interning needs no mutex at all.  The cost
+// is bounded duplication: the same prefix re-descended by different
+// workers across epochs may be interned in up to kSegments segments.
+// The contract, which the engine satisfies by construction:
+//
+//   * concurrent root()/extend() calls must use distinct `seg` values
+//     (ThreadPool::parallelRanges slots — at most one live job per slot);
+//   * extend()'s prefix must be a ref the same call chain just interned
+//     into the same segment (a descent never crosses segments);
+//   * forEach()/links()/length()/size() read freely across segments but
+//     must not run concurrently with interning.  The engine honours this
+//     by construction: interning happens only in the descent phase, path
+//     walks only in the accumulation phases after the fork/join barrier.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -36,13 +44,14 @@
 
 namespace mdc {
 
-/// Index of an interned path inside a PathArena; invalid() = empty path.
+/// Handle to an interned path inside a PathArena; invalid() = empty path.
+/// Packs a 4-bit segment id and a 28-bit node index into 32 bits.
 class PathRef {
  public:
   constexpr PathRef() noexcept = default;
 
   [[nodiscard]] constexpr bool valid() const noexcept {
-    return node_ != kInvalid;
+    return packed_ != kInvalid;
   }
   [[nodiscard]] static constexpr PathRef invalid() noexcept { return {}; }
 
@@ -50,27 +59,35 @@ class PathRef {
 
  private:
   friend class PathArena;
-  constexpr explicit PathRef(std::uint32_t node) noexcept : node_(node) {}
+  constexpr explicit PathRef(std::uint32_t packed) noexcept
+      : packed_(packed) {}
   static constexpr std::uint32_t kInvalid = 0xffffffffu;
-  std::uint32_t node_ = kInvalid;
+  std::uint32_t packed_ = kInvalid;
 };
 
 class PathArena {
  public:
-  /// Interns the single-link path [link].
-  [[nodiscard]] PathRef root(LinkId link) {
-    return intern(PathRef::kInvalid, link);
+  /// Segment count; must cover ThreadPool::kMaxWorkers so every worker
+  /// slot owns a private segment.
+  static constexpr unsigned kSegments = 16;
+
+  /// Interns the single-link path [link] into segment `seg`.
+  [[nodiscard]] PathRef root(LinkId link, unsigned seg = 0) {
+    return intern(PathRef::kInvalid, link, seg);
   }
 
-  /// Interns prefix + [link].
-  [[nodiscard]] PathRef extend(PathRef prefix, LinkId link) {
-    return intern(prefix.node_, link);
+  /// Interns prefix + [link] into segment `seg`.  When interning runs in
+  /// parallel, prefix must itself live in `seg` (descents never cross
+  /// segments).
+  [[nodiscard]] PathRef extend(PathRef prefix, LinkId link,
+                               unsigned seg = 0) {
+    return intern(prefix.packed_, link, seg);
   }
 
   /// Number of links on the path.  Not concurrent with interning.
   [[nodiscard]] std::uint32_t length(PathRef ref) const {
     if (!ref.valid()) return 0;
-    return nodes_[ref.node_].depth;
+    return node(ref.packed_).depth;
   }
 
   /// Visits the path's links in leaf-to-root order (NIC first, access
@@ -79,11 +96,11 @@ class PathArena {
   /// concurrent with interning.
   template <typename Fn>
   void forEach(PathRef ref, Fn&& fn) const {
-    std::uint32_t node = ref.node_;
-    while (node != PathRef::kInvalid) {
-      const Node& n = nodes_[node];
+    std::uint32_t packed = ref.packed_;
+    while (packed != PathRef::kInvalid) {
+      const Node& n = node(packed);
       fn(n.link);
-      node = n.parent;
+      packed = n.parent;
     }
   }
 
@@ -95,39 +112,53 @@ class PathArena {
     return out;
   }
 
-  /// Interned node count.  Not concurrent with interning.
-  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  /// Interned node count across all segments.  Not concurrent with
+  /// interning.
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const Segment& s : segments_) n += s.nodes.size();
+    return n;
+  }
 
  private:
+  static constexpr unsigned kSegmentShift = 28;
+  static constexpr std::uint32_t kIndexMask = (1u << kSegmentShift) - 1;
+
   struct Node {
     LinkId link;
-    std::uint32_t parent;
+    std::uint32_t parent;  // packed PathRef of the prefix, or kInvalid
     std::uint32_t depth;
   };
 
-  [[nodiscard]] PathRef intern(std::uint32_t parent, LinkId link) {
-    MDC_EXPECT(link.valid(), "path arena: invalid link");
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(parent) << 32) | link.value();
-    {
-      const std::shared_lock<std::shared_mutex> lock(mu_);
-      const auto it = index_.find(key);
-      if (it != index_.end()) return PathRef{it->second};
-    }
-    const std::unique_lock<std::shared_mutex> lock(mu_);
-    const auto [it, inserted] =
-        index_.try_emplace(key, static_cast<std::uint32_t>(nodes_.size()));
-    if (inserted) {
-      const std::uint32_t depth =
-          parent == PathRef::kInvalid ? 1 : nodes_[parent].depth + 1;
-      nodes_.push_back(Node{link, parent, depth});
-    }
-    return PathRef{it->second};
+  struct Segment {
+    std::vector<Node> nodes;
+    std::unordered_map<std::uint64_t, std::uint32_t> index;
+  };
+
+  [[nodiscard]] const Node& node(std::uint32_t packed) const {
+    return segments_[packed >> kSegmentShift].nodes[packed & kIndexMask];
   }
 
-  mutable std::shared_mutex mu_;
-  std::vector<Node> nodes_;
-  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+  [[nodiscard]] PathRef intern(std::uint32_t parent, LinkId link,
+                               unsigned seg) {
+    MDC_EXPECT(link.valid(), "path arena: invalid link");
+    MDC_EXPECT(seg < kSegments, "path arena: segment out of range");
+    Segment& s = segments_[seg];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(parent) << 32) | link.value();
+    const auto [it, inserted] =
+        s.index.try_emplace(key, static_cast<std::uint32_t>(s.nodes.size()));
+    if (inserted) {
+      MDC_ENSURE(s.nodes.size() < kIndexMask,
+                 "path arena: segment node index overflow");
+      const std::uint32_t depth =
+          parent == PathRef::kInvalid ? 1 : node(parent).depth + 1;
+      s.nodes.push_back(Node{link, parent, depth});
+    }
+    return PathRef{(seg << kSegmentShift) | it->second};
+  }
+
+  Segment segments_[kSegments];
 };
 
 }  // namespace mdc

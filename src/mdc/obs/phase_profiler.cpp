@@ -8,10 +8,12 @@ const char* PhaseProfiler::name(Phase p) noexcept {
       return "a0_validate";
     case Phase::Descent:
       return "a1_descent";
-    case Phase::EmitShard:
-      return "b_emit_shard";
     case Phase::Emit:
       return "b_emit";
+    case Phase::EmitShard:
+      return "b1_emit_buckets";
+    case Phase::Merge:
+      return "b2_merge";
     case Phase::Serve:
       return "c_serve";
   }

@@ -1,8 +1,9 @@
 // Scoped wall-clock timers for the epoch hot path.
 //
 // The fluid engine's step() has a fixed phase structure (DESIGN.md §8):
-// cache validation, the parallel AppCache re-descent, link emission
-// (optionally sharded across workers), and serving.  The profiler hangs
+// cache validation, the parallel AppCache re-descent, report emission,
+// the parallel bucketed link emission + merge, and serving.  The profiler
+// hangs
 // a scoped timer on each phase and accumulates wall nanoseconds + call
 // counts per phase, so a bench can answer "where did the epoch go"
 // without instrumenting ad hoc.
@@ -29,12 +30,13 @@ class PhaseProfiler {
  public:
   enum class Phase : std::uint8_t {
     Validate,    // A0: cache validation + dirty-input snapshot
-    Descent,     // A1: parallel AppCache re-descent
-    EmitShard,   // B: per-shard link emission (on workers; sum of shards)
-    Emit,        // B: report emission in app order (+ shard merge)
+    Descent,     // A1: parallel AppCache re-descent (per-worker arenas)
+    Emit,        // B: serial report emission in app order
+    EmitShard,   // B1: parallel per-worker bucketed link emission
+    Merge,       // B2: parallel slot-order bucket merge into linkOffered
     Serve,       // C: serving, utilization, snapshots
   };
-  static constexpr std::size_t kPhases = 5;
+  static constexpr std::size_t kPhases = 6;
 
   [[nodiscard]] static const char* name(Phase p) noexcept;
 

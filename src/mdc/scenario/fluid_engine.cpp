@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <cstdlib>
 #include <string>
-#include <thread>
 #include <utility>
 
 #include "mdc/core/viprip_manager.hpp"
@@ -31,11 +29,6 @@ constexpr std::uint8_t kDeadVm = 6;
 const std::array<std::string, 7> kCauseNames = {
     "no_dns", "no_shares", "no_route", "depth",
     "no_owner", "no_rips", "dead_vm"};
-
-// Apps per parallel emission shard.  The shard boundaries are fixed (not
-// derived from the worker count), so the produced per-link addition
-// sequence is the same for any pool size.
-constexpr std::size_t kEmitShardApps = 512;
 }  // namespace
 
 // One application's resolved flow tree plus the config versions it was
@@ -104,12 +97,9 @@ FluidEngine::FluidEngine(Simulation& sim, const Topology& topo,
       viprip_(viprip),
       options_(options),
       demandInvariant_(demand.timeInvariant()),
-      // Sharded link emission produces the same bits as the sequential
-      // path but does strictly more work (pair lists + a merge); it only
-      // pays off when shards genuinely run concurrently.  The env knob
-      // lets tests exercise the merge on single-core machines.
-      multiCore_(std::thread::hardware_concurrency() > 1 ||
-                 std::getenv("MDC_FORCE_SHARDED_EMIT") != nullptr),
+      // resolveWorkers clamps to physical cores (unless the caller set
+      // MDC_ALLOW_OVERSUBSCRIBE), so workers() > 1 implies the parallel
+      // phases genuinely run concurrently — no further gating needed.
       pool_(ThreadPool::resolveWorkers(options.workers)) {
   MDC_EXPECT(options.epoch > 0.0, "epoch must be positive");
 }
@@ -141,9 +131,10 @@ bool FluidEngine::cacheValid(AppId app, const AppCache& c) const {
 // the two-LB-layer architecture (§V-B).  `prefix` is the interned path of
 // links already crossed (access link + upstream switch trunks).  Runs on
 // pool workers for disjoint apps: every store access is a const read, and
-// the arena locks its own interning.
-void FluidEngine::descend(VipId vip, double rps, PathRef prefix, int depth,
-                          AppCache& c) {
+// interning goes into the worker's private arena segment `seg`, so the
+// descent needs no synchronisation at all.
+void FluidEngine::descend(AppId app, VipId vip, double rps, PathRef prefix,
+                          int depth, AppCache& c, unsigned seg) {
   if (rps <= kEpsRps) return;
   if (depth >= kMaxVipDepth) {
     c.unrouted.emplace_back(kDepth, rps);
@@ -164,7 +155,8 @@ void FluidEngine::descend(VipId vip, double rps, PathRef prefix, int depth,
     return;
   }
   c.vipDemandRps.emplace_back(vip, rps);
-  const PathRef withTrunk = arena_.extend(prefix, topo_.switchTrunk(*owner));
+  const PathRef withTrunk =
+      arena_.extend(prefix, topo_.switchTrunk(*owner), seg);
   const bool traditional =
       topo_.config().fabric == FabricKind::TraditionalTree;
   for (const RipEntry& rip : entry->rips) {
@@ -177,18 +169,26 @@ void FluidEngine::descend(VipId vip, double rps, PathRef prefix, int depth,
         continue;
       }
       VmRecord& rec = hosts_.vmMutable(rip.vm);
+      // The serving phase partitions VM writes by application: every VM
+      // must be reached through its own app's VIPs only.
+      MDC_ENSURE(rec.app == app,
+                 "RIP routes one app's demand to another app's VM");
       const ServerInfo& srv = topo_.server(rec.server);
       PathRef path = withTrunk;
-      if (traditional) path = arena_.extend(path, topo_.siloUplink(srv.silo));
-      path = arena_.extend(path, srv.nic);
+      if (traditional) {
+        path = arena_.extend(path, topo_.siloUplink(srv.silo), seg);
+      }
+      path = arena_.extend(path, srv.nic, seg);
       c.flows.push_back(AppCache::Flow{&rec, ripRps, path});
     } else {
-      descend(rip.mvip, ripRps, withTrunk, depth + 1, c);
+      descend(app, rip.mvip, ripRps, withTrunk, depth + 1, c, seg);
     }
   }
 }
 
-void FluidEngine::computeApp(AppCache& c, std::span<const VipWeight> shares) {
+void FluidEngine::computeApp(AppId app, AppCache& c,
+                             std::span<const VipWeight> shares,
+                             unsigned seg) {
   using Stage = AppCache::Stage;
   c.clearOutcome();
   c.valid = true;
@@ -231,8 +231,8 @@ void FluidEngine::computeApp(AppCache& c, std::span<const VipWeight> shares) {
     if (degraded) c.degradedRps.push_back(vipRps);
     const double perRouter = vipRps / static_cast<double>(routers.size());
     for (AccessRouterId ar : routers) {
-      descend(sh.vip, perRouter,
-              arena_.root(topo_.accessLinkFor(ar).link), 0, c);
+      descend(app, sh.vip, perRouter,
+              arena_.root(topo_.accessLinkFor(ar).link, seg), 0, c, seg);
     }
   }
 }
@@ -297,58 +297,44 @@ EpochReport FluidEngine::step() {
   }
 
   // --- Phase A1: re-descend dirty apps on the pool ---------------------
-  // Workers write only their own app's cache slot; all store reads are
-  // const.  The join below is the barrier the lock-free arena walks in
-  // phases B/C rely on.
+  // Static contiguous ranges over the dirty list; each worker slot writes
+  // only its own apps' cache slots and interns paths into its own arena
+  // segment, so the fan-out runs with zero synchronisation.  The join
+  // below is the barrier the lock-free arena walks in phases B/C rely on.
   {
     const auto prof = profiler_.time(PhaseProfiler::Phase::Descent);
-    pool_.parallelFor(dirty_.size(), [&](std::size_t k) {
-      computeApp(cache_[dirty_[k]], dirtyShares_[k]);
-    });
+    pool_.parallelRanges(
+        dirty_.size(), [&](unsigned slot, std::size_t lo, std::size_t hi) {
+          for (std::size_t k = lo; k < hi; ++k) {
+            const AppId app{static_cast<AppId::value_type>(dirty_[k])};
+            computeApp(app, cache_[dirty_[k]], dirtyShares_[k], slot);
+          }
+        });
   }
 
+  ++epochStamp_;
+  if (appServed_.size() < n) {
+    appServed_.resize(n, 0.0);
+    appServedStamp_.resize(n, 0);
+  }
+  linkOffered_.assign(topo_.network().linkCount(), 0.0);
+  const unsigned workers = pool_.workers();
+  // With a single worker the pair-buffer emission is strictly more work
+  // than adding in place; resolveWorkers guarantees workers > 1 only
+  // when the phases genuinely run concurrently.
+  const bool parallelEmit = workers > 1 && n > 0;
+
   // --- Phase B: emit every app's tree into the report ------------------
-  // Always in application order, so per-accumulator addition sequences —
-  // and therefore the floating-point results — are independent of which
-  // apps happened to be cached and of the worker count.
+  // Serial, always in application order, so per-accumulator addition
+  // sequences — and therefore the floating-point results — are
+  // independent of which apps happened to be cached and of the worker
+  // count.  Per-VIP demand accumulates into a dense epoch-stamped array
+  // (apps may share a VIP, so this stays out of the parallel phases) and
+  // is scanned into the sorted report map afterwards.
   report.appDemandRps.reserve(n);
   report.appServedRps.reserve(n);
-  report.vipDemandGbps.reserve(fleet_.totalVips());
-  linkOffered_.assign(topo_.network().linkCount(), 0.0);
-
   {
     const auto prof = profiler_.time(PhaseProfiler::Phase::Emit);
-    const std::size_t shards = (n + kEmitShardApps - 1) / kEmitShardApps;
-    const bool shardedEmit = pool_.workers() > 1 && shards > 1 && multiCore_;
-    if (shardedEmit) {
-      if (shardOffered_.size() < shards) shardOffered_.resize(shards);
-      pool_.parallelFor(shards, [&](std::size_t s) {
-        const auto shardProf = profiler_.time(PhaseProfiler::Phase::EmitShard);
-        auto& out = shardOffered_[s];
-        out.clear();
-        const std::size_t lo = s * kEmitShardApps;
-        const std::size_t hi = std::min(n, lo + kEmitShardApps);
-        for (std::size_t i = lo; i < hi; ++i) {
-          const Application& app = appList[i];
-          const AppCache& c = cache_[app.id.index()];
-          const double gbpsPerKrps = app.sla.gbpsPerKrps;
-          for (const AppCache::Flow& f : c.flows) {
-            const double gbps = f.rps * gbpsPerKrps / 1000.0;
-            arena_.forEach(f.path, [&](LinkId l) {
-              out.emplace_back(static_cast<std::uint32_t>(l.index()), gbps);
-            });
-          }
-        }
-      });
-      // Deterministic merge: shard order x in-shard order == app order, so
-      // every link slot sees the exact addition sequence of the sequential
-      // path below.
-      for (std::size_t s = 0; s < shards; ++s) {
-        for (const auto& [slot, gbps] : shardOffered_[s]) {
-          linkOffered_[slot] += gbps;
-        }
-      }
-    }
     for (std::size_t i = 0; i < n; ++i) {
       const Application& app = appList[i];
       const AppCache& c = cache_[app.id.index()];
@@ -359,12 +345,21 @@ EpochReport FluidEngine::step() {
         report.unroutedByCause[kCauseNames[cause]] += rps;
       }
       for (const auto& [vip, rps] : c.vipDemandRps) {
-        report.vipDemandGbps[vip] += rps * gbpsPerKrps / 1000.0;
+        const std::size_t vi = vip.index();
+        if (vi >= vipGbps_.size()) {
+          vipGbps_.resize(vi + 1, 0.0);
+          vipStamp_.resize(vi + 1, 0);
+        }
+        if (vipStamp_[vi] != epochStamp_) {
+          vipStamp_[vi] = epochStamp_;
+          vipGbps_[vi] = 0.0;
+        }
+        vipGbps_[vi] += rps * gbpsPerKrps / 1000.0;
       }
       for (const double rps : c.degradedRps) {
         report.degradedRoutedRps += rps;
       }
-      if (!shardedEmit) {
+      if (!parallelEmit) {
         for (const AppCache::Flow& f : c.flows) {
           const double gbps = f.rps * gbpsPerKrps / 1000.0;
           arena_.forEach(f.path, [&](LinkId l) {
@@ -373,56 +368,143 @@ EpochReport FluidEngine::step() {
         }
       }
     }
+    report.vipDemandGbps.reserve(fleet_.totalVips());
+    for (std::size_t vi = 0; vi < vipGbps_.size(); ++vi) {
+      if (vipStamp_[vi] == epochStamp_) {
+        report.vipDemandGbps[VipId{
+            static_cast<VipId::value_type>(vi)}] = vipGbps_[vi];
+      }
+    }
+  }
+
+  // --- Phases B1+B2: parallel link emission and merge ------------------
+  // B1: each worker walks a static contiguous app range and appends
+  // (link slot, gbps) into its own bucketed struct-of-arrays buffers
+  // (bucket = block-cyclic slice of the link index space).  B2: one job
+  // per bucket adds the buffered entries into linkOffered_, scanning the
+  // workers in slot order.  Bucket contents partition the link slots, so
+  // B2 jobs never write the same entry, and slot order x in-range order
+  // equals application order — every link sees the exact addition
+  // sequence of the sequential path above, hence bit-identical results
+  // for any worker count.
+  if (parallelEmit) {
+    const std::size_t activeSlots =
+        n < static_cast<std::size_t>(workers) ? n : workers;
+    if (emit_.size() < activeSlots) emit_.resize(activeSlots);
+    {
+      const auto prof = profiler_.time(PhaseProfiler::Phase::EmitShard);
+      pool_.parallelRanges(
+          n, [&](unsigned slot, std::size_t lo, std::size_t hi) {
+            WorkerEmit& e = emit_[slot];
+            for (unsigned b = 0; b < kMergeBuckets; ++b) {
+              e.slots[b].clear();
+              e.gbps[b].clear();
+            }
+            for (std::size_t i = lo; i < hi; ++i) {
+              const Application& app = appList[i];
+              const AppCache& c = cache_[app.id.index()];
+              const double gbpsPerKrps = app.sla.gbpsPerKrps;
+              for (const AppCache::Flow& f : c.flows) {
+                const double gbps = f.rps * gbpsPerKrps / 1000.0;
+                arena_.forEach(f.path, [&](LinkId l) {
+                  const auto ls = static_cast<std::uint32_t>(l.index());
+                  const unsigned b =
+                      (ls >> kMergeBlockShift) & (kMergeBuckets - 1);
+                  e.slots[b].push_back(ls);
+                  e.gbps[b].push_back(gbps);
+                });
+              }
+            }
+          });
+    }
+    {
+      const auto prof = profiler_.time(PhaseProfiler::Phase::Merge);
+      pool_.parallelFor(kMergeBuckets, [&](std::size_t b) {
+        for (std::size_t s = 0; s < activeSlots; ++s) {
+          const std::vector<std::uint32_t>& slots = emit_[s].slots[b];
+          const std::vector<double>& gbps = emit_[s].gbps[b];
+          for (std::size_t k = 0; k < slots.size(); ++k) {
+            linkOffered_[slots[k]] += gbps[k];
+          }
+        }
+      });
+    }
   }
 
   // --- Phase C: serving — network fraction first, then VM capacity -----
-  // Flat VmId-indexed accumulators with an epoch stamp; only the VMs a
-  // flow touched are visited, instead of a fleet-wide gauge sweep.
+  // Parallel over static app ranges.  Safe because descend() enforces
+  // that a VM is only ever reached through its own application's VIPs:
+  // the VmId-indexed accumulators, the VmRecord gauges, and the per-app
+  // served totals are all partitioned by application, which is exactly
+  // how the ranges partition the work.  Per-flow served fractions read
+  // the (now frozen) linkOffered_ array; per-app served sums accumulate
+  // in flow order, so results stay bit-identical for any worker count.
   // The scope runs to the end of step(), so "c_serve" covers serving,
   // utilization, the snapshot sections, and publishing the report.
   const auto serveProf = profiler_.time(PhaseProfiler::Phase::Serve);
-  ++epochStamp_;
   const std::size_t vmBound = hosts_.vmIndexBound();
   if (vmOffered_.size() < vmBound) {
     vmOffered_.resize(vmBound, 0.0);
     vmNetRps_.resize(vmBound, 0.0);
     vmStamp_.resize(vmBound, 0);
   }
-  for (VmRecord* vm : touchedVms_) {  // gauges of last epoch's targets
-    vm->offeredRps = 0.0;
-    vm->servedRps = 0.0;
-  }
-  touchedVms_.clear();
-  const Network& net = topo_.network();
-  for (std::size_t i = 0; i < n; ++i) {
-    const AppCache& c = cache_[appList[i].id.index()];
-    for (const AppCache::Flow& f : c.flows) {
-      double fraction = 1.0;
-      arena_.forEach(f.path, [&](LinkId l) {
-        const double cap = net.link(l).capacityGbps;
-        const double off = linkOffered_[l.index()];
-        if (off > cap) {
-          fraction = std::min(fraction, cap > 0.0 ? cap / off : 0.0);
-        }
-      });
-      const std::size_t vi = f.vm->id.index();
-      if (vmStamp_[vi] != epochStamp_) {
-        vmStamp_[vi] = epochStamp_;
-        vmOffered_[vi] = 0.0;
-        vmNetRps_[vi] = 0.0;
-        touchedVms_.push_back(f.vm);
-      }
-      vmOffered_[vi] += f.rps;
-      vmNetRps_[vi] += f.rps * fraction;
+  if (touched_.size() < workers) touched_.resize(workers);
+  for (WorkerTouched& wt : touched_) {  // gauges of last epoch's targets
+    for (VmRecord* vm : wt.vms) {
+      vm->offeredRps = 0.0;
+      vm->servedRps = 0.0;
     }
+    wt.vms.clear();
   }
-  for (VmRecord* vm : touchedVms_) {
-    const std::size_t vi = vm->id.index();
-    vm->offeredRps = vmOffered_[vi];
-    const AppSla& sla = apps_.app(vm->app).sla;
-    const double capRps = sla.servableRps(vm->effectiveSlice);
-    vm->servedRps = std::min(vmNetRps_[vi], capRps);
-    report.appServedRps[vm->app] += vm->servedRps;
+  const Network& net = topo_.network();
+  pool_.parallelRanges(n, [&](unsigned slot, std::size_t lo,
+                              std::size_t hi) {
+    std::vector<VmRecord*>& myTouched = touched_[slot].vms;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Application& app = appList[i];
+      const AppCache& c = cache_[app.id.index()];
+      const std::size_t firstTouched = myTouched.size();
+      for (const AppCache::Flow& f : c.flows) {
+        double fraction = 1.0;
+        arena_.forEach(f.path, [&](LinkId l) {
+          const double cap = net.link(l).capacityGbps;
+          const double off = linkOffered_[l.index()];
+          if (off > cap) {
+            fraction = std::min(fraction, cap > 0.0 ? cap / off : 0.0);
+          }
+        });
+        const std::size_t vi = f.vm->id.index();
+        if (vmStamp_[vi] != epochStamp_) {
+          vmStamp_[vi] = epochStamp_;
+          vmOffered_[vi] = 0.0;
+          vmNetRps_[vi] = 0.0;
+          myTouched.push_back(f.vm);
+        }
+        vmOffered_[vi] += f.rps;
+        vmNetRps_[vi] += f.rps * fraction;
+      }
+      if (firstTouched == myTouched.size()) continue;
+      // All of this app's flows are in, so its VMs' accumulators are
+      // final: apply the VM serving limit and total the app right here.
+      double served = 0.0;
+      for (std::size_t t = firstTouched; t < myTouched.size(); ++t) {
+        VmRecord* vm = myTouched[t];
+        const std::size_t vi = vm->id.index();
+        vm->offeredRps = vmOffered_[vi];
+        const double capRps = app.sla.servableRps(vm->effectiveSlice);
+        vm->servedRps = std::min(vmNetRps_[vi], capRps);
+        served += vm->servedRps;
+      }
+      appServed_[app.id.index()] = served;
+      appServedStamp_[app.id.index()] = epochStamp_;
+    }
+  });
+  // Apps are id-dense, so the ascending scan appends the sorted map.
+  for (std::size_t ai = 0; ai < n; ++ai) {
+    if (appServedStamp_[ai] == epochStamp_) {
+      report.appServedRps[AppId{static_cast<AppId::value_type>(ai)}] =
+          appServed_[ai];
+    }
   }
 
   // Link and switch utilization.

@@ -19,18 +19,19 @@
 // together with the config versions it was derived from (DNS shares,
 // route table, VIP/RIP tables, VM liveness, demand value); an epoch
 // re-descends only the applications whose inputs moved and replays every
-// other tree from the cache.  The dirty-app fan-out is sharded across a
-// small worker pool, but the emission into the report and the serving
-// phase run in a fixed application order, so every mode — incremental or
+// other tree from the cache.  The dirty-app fan-out, the link emission,
+// and the serving pass run on a small worker pool over static contiguous
+// app ranges; every per-accumulator addition sequence is arranged to
+// equal the sequential application order, so every mode — incremental or
 // full, 1 worker or N — produces bit-identical EpochReports.  The
 // virtual-time Simulation loop itself stays single-threaded; only the
 // pure computation inside one step() parallelizes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "mdc/app/app_registry.hpp"
@@ -63,6 +64,10 @@ class FluidEngine {
     bool incremental = true;
     /// Worker threads for the per-app fan-out inside one step().
     /// 0 = take the MDC_THREADS environment variable, defaulting to 1.
+    /// Resolved through ThreadPool::resolveWorkers: clamped to
+    /// hardware_concurrency (oversubscription is pure fork/join overhead)
+    /// unless MDC_ALLOW_OVERSUBSCRIBE is set, and to
+    /// ThreadPool::kMaxWorkers always.
     unsigned workers = 0;
   };
 
@@ -141,10 +146,30 @@ class FluidEngine {
  private:
   struct AppCache;
 
+  /// Per-link emission buckets: a link slot belongs to bucket
+  /// (slot >> 6) & (kMergeBuckets - 1), i.e. cache-line-aligned 64-slot
+  /// blocks dealt round-robin, so merge workers never write neighbouring
+  /// linkOffered_ entries (no false sharing) while the bucket count still
+  /// spreads hot links across workers.
+  static constexpr unsigned kMergeBuckets = 16;
+  static constexpr unsigned kMergeBlockShift = 6;
+
+  /// Per-worker emission arena, cache-line aligned so workers appending
+  /// concurrently never share a line of vector headers.  Struct-of-arrays:
+  /// link slots and gbps values in separate vectors per bucket.
+  struct alignas(64) WorkerEmit {
+    std::array<std::vector<std::uint32_t>, kMergeBuckets> slots;
+    std::array<std::vector<double>, kMergeBuckets> gbps;
+  };
+  struct alignas(64) WorkerTouched {
+    std::vector<VmRecord*> vms;
+  };
+
   [[nodiscard]] bool cacheValid(AppId app, const AppCache& c) const;
-  void computeApp(AppCache& c, std::span<const VipWeight> shares);
-  void descend(VipId vip, double rps, PathRef prefix, int depth,
-               AppCache& c);
+  void computeApp(AppId app, AppCache& c, std::span<const VipWeight> shares,
+                  unsigned seg);
+  void descend(AppId app, VipId vip, double rps, PathRef prefix, int depth,
+               AppCache& c, unsigned seg);
 
   Simulation& sim_;
   const Topology& topo_;
@@ -158,7 +183,6 @@ class FluidEngine {
   const VipRipManager& viprip_;
   Options options_;
   bool demandInvariant_;
-  bool multiCore_;  // gates the sharded link emission (see step())
 
   PathArena arena_;
   ThreadPool pool_;
@@ -166,16 +190,24 @@ class FluidEngine {
   std::vector<std::size_t> dirty_;        // app indices to re-descend
   std::vector<std::vector<VipWeight>> dirtyShares_;  // parallel to dirty_
 
-  // Flat per-epoch accumulators (reused across steps).
+  // Flat per-epoch accumulators (reused across steps).  The vm/vip/app
+  // arrays are epoch-stamped so only the entries a flow actually touched
+  // are ever reset; stamps also mark which entries belong to this epoch
+  // when the dense arrays are scanned into the report's FlatMaps.
   std::vector<double> linkOffered_;
   std::vector<double> vmOffered_;   // by VmId index, epoch-stamped
   std::vector<double> vmNetRps_;
   std::vector<std::uint64_t> vmStamp_;
+  std::vector<double> vipGbps_;     // by VipId index, epoch-stamped
+  std::vector<std::uint64_t> vipStamp_;
+  std::vector<double> appServed_;   // by AppId index, epoch-stamped
+  std::vector<std::uint64_t> appServedStamp_;
   std::uint64_t epochStamp_ = 0;
-  std::vector<VmRecord*> touchedVms_;     // reset targets for next epoch
-  // Per-shard (link slot, gbps) entries; applied in shard order so the
-  // parallel accumulation replays the sequential addition sequence.
-  std::vector<std::vector<std::pair<std::uint32_t, double>>> shardOffered_;
+  // Per-worker state, indexed by the parallelRanges slot: bucketed link
+  // emission buffers and the touched-VM lists (next epoch's gauge-reset
+  // targets).
+  std::vector<WorkerEmit> emit_;
+  std::vector<WorkerTouched> touched_;
 
   std::uint64_t totalRecomputed_ = 0;
   std::uint64_t totalCached_ = 0;

@@ -419,7 +419,10 @@ MegaDcConfig paperScaleConfig() {
   cfg.instancesPerApp = 2;  // grown toward ~20 by the managers
   cfg.numPods = 60;         // 5,000 servers per pod (§III-A)
   cfg.manager.vipsPerApp = 3;
-  // At 300k apps the epoch fan-out is the hot loop; shard it.
+  // At 300k apps the epoch fan-out is the hot loop; fan it out.  The
+  // request is clamped to hardware_concurrency by resolveWorkers, so
+  // on a 1-core box this degrades to a serial engine instead of paying
+  // oversubscribed fork/join overhead.
   cfg.engine.workers = 4;
   return cfg;
 }

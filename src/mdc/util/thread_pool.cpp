@@ -1,10 +1,34 @@
 #include "mdc/util/thread_pool.hpp"
 
+#include <atomic>
 #include <cstdlib>
+#include <iostream>
 
 #include "mdc/util/expect.hpp"
 
 namespace mdc {
+
+namespace {
+// True while the current thread is executing a parallelFor job — set on
+// every thread that runs jobs (helpers and the participating caller),
+// so a nested fork from inside a job is refused deterministically.
+thread_local bool tlInParallelJob = false;
+
+struct JobGuard {
+  JobGuard() noexcept { tlInParallelJob = true; }
+  ~JobGuard() { tlInParallelJob = false; }
+};
+
+void warnOnce(const char* what, unsigned requested, unsigned granted) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::cerr << "mdc: ThreadPool clamping " << what << " workers "
+              << requested << " -> " << granted
+              << " (hardware_concurrency; set MDC_ALLOW_OVERSUBSCRIBE to "
+                 "override)\n";
+  }
+}
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned workers) : workers_(workers) {
   MDC_EXPECT(workers >= 1, "thread pool needs at least one worker");
@@ -24,12 +48,30 @@ ThreadPool::~ThreadPool() {
 }
 
 unsigned ThreadPool::resolveWorkers(unsigned requested) {
-  if (requested != 0) return requested;
-  if (const char* env = std::getenv("MDC_THREADS")) {
-    const long n = std::strtol(env, nullptr, 10);
-    if (n >= 1) return static_cast<unsigned>(n);
+  unsigned n = requested;
+  const char* source = "requested";
+  if (n == 0) {
+    n = 1;
+    if (const char* env = std::getenv("MDC_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 1) {
+        n = static_cast<unsigned>(parsed);
+        source = "MDC_THREADS";
+      }
+    }
   }
-  return 1;
+  if (n > kMaxWorkers) {
+    warnOnce(source, n, kMaxWorkers);
+    n = kMaxWorkers;
+  }
+  if (std::getenv("MDC_ALLOW_OVERSUBSCRIBE") != nullptr) return n;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;  // unknown: assume a single core, the safe floor
+  if (n > hw) {
+    warnOnce(source, n, hw);
+    n = hw;
+  }
+  return n;
 }
 
 void ThreadPool::runJobs(std::uint64_t round) {
@@ -50,11 +92,14 @@ void ThreadPool::runJobs(std::uint64_t round) {
     // fn_ stays valid here: the caller cannot leave parallelFor while
     // this drawn-but-unfinished chunk keeps pending_ above zero.
     std::exception_ptr error;
-    for (std::size_t i = lo; i < hi && !error; ++i) {
-      try {
-        (*fn_)(i);
-      } catch (...) {
-        error = std::current_exception();
+    {
+      const JobGuard guard;
+      for (std::size_t i = lo; i < hi && !error; ++i) {
+        try {
+          (*fn_)(i);
+        } catch (...) {
+          error = std::current_exception();
+        }
       }
     }
     {
@@ -81,9 +126,12 @@ void ThreadPool::workerLoop() {
 }
 
 void ThreadPool::parallelFor(std::size_t jobs,
-                             const std::function<void(std::size_t)>& fn) {
+                             FunctionRef<void(std::size_t)> fn) {
+  MDC_EXPECT(!tlInParallelJob,
+             "nested parallelFor: the pool is not re-entrant");
   if (jobs == 0) return;
   if (threads_.empty() || jobs == 1) {
+    const JobGuard guard;
     for (std::size_t i = 0; i < jobs; ++i) fn(i);
     return;
   }
@@ -113,6 +161,23 @@ void ThreadPool::parallelFor(std::size_t jobs,
     firstError_ = nullptr;
   }
   if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::parallelRanges(
+    std::size_t items,
+    FunctionRef<void(unsigned slot, std::size_t lo, std::size_t hi)> fn) {
+  if (items == 0) return;
+  const std::size_t slots =
+      items < static_cast<std::size_t>(workers_) ? items : workers_;
+  // One job per slot: the static-range dispatch.  Ranges are contiguous
+  // and ascending in the slot index, so a slot-order concatenation of
+  // per-range output replays the sequential item order exactly — the
+  // property the engine's deterministic merges are built on.
+  parallelFor(slots, [&](std::size_t s) {
+    const std::size_t lo = s * items / slots;
+    const std::size_t hi = (s + 1) * items / slots;
+    fn(static_cast<unsigned>(s), lo, hi);
+  });
 }
 
 }  // namespace mdc

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <random>
 #include <string>
@@ -99,6 +100,10 @@ struct TriWorld {
            double rpsLo = 500.0, double rpsHi = 4000.0, int fanout = 2)
       : topo(topoConfig(servers, switches)),
         hosts(topo, sim, HostCostModel{}) {
+    // The equivalence property under test is "any worker count produces
+    // the same bits", which needs real multi-worker pools even on
+    // single-core CI machines — skip the hardware clamp.
+    ::setenv("MDC_ALLOW_OVERSUBSCRIBE", "1", 1);
     std::mt19937 rng(seed);
     for (std::uint32_t i = 0; i < switches; ++i) {
       fleet.addSwitch(SwitchLimits{});
@@ -244,21 +249,56 @@ TEST(EpochCacheEquivalence, RandomizedChurn) {
   EXPECT_EQ(w.full->latest().engineAppsCached, 0u);
 }
 
-TEST(EpochCacheEquivalence, ShardedEmissionMatchesSequential) {
-  // Enough apps that the parallel engine takes the sharded link-emission
-  // path (several shards of 512 apps); the merge must replay the
-  // sequential addition order bit-for-bit.  The env knob forces the
-  // sharded path even on single-core machines, where the engine would
-  // otherwise skip it as unprofitable.
-  ::setenv("MDC_FORCE_SHARDED_EMIT", "1", 1);
+TEST(EpochCacheEquivalence, BucketedEmissionMatchesSequential) {
+  // Enough apps that the parallel engine's bucketed link emission and
+  // slot-order merge carry real volume; the merge must replay the
+  // sequential addition order bit-for-bit.
   TriWorld w(1200, 32, 8, /*seed=*/0xE15 + 1, /*rpsLo=*/200.0,
              /*rpsHi=*/600.0, /*fanout=*/1);
-  ::unsetenv("MDC_FORCE_SHARDED_EMIT");
   for (int round = 0; round < 3; ++round) {
     w.sim.runUntil(w.sim.now() + 1.0);
-    (void)w.stepAll("sharded round " + std::to_string(round));
+    (void)w.stepAll("bucketed round " + std::to_string(round));
   }
   EXPECT_EQ(w.par->workerCount(), 3u);
+}
+
+TEST(EpochCacheEquivalence, BitIdenticalAcrossWorkerCountsUnderChurn) {
+  // The PR-3 invariant at every pool size the engine supports: engines
+  // with 2 and 8 workers (static ranges, per-worker arena segments,
+  // bucketed merges) must reproduce the single-worker reference
+  // bit-for-bit through 50 randomized mutation epochs.
+  TriWorld w(32, 16, 6, /*seed=*/0xE15 + 2);
+  auto eng2 = std::make_unique<FluidEngine>(
+      w.sim, w.topo, w.apps, w.dns, *w.resolvers, w.routes, w.fleet,
+      w.hosts, *w.demand, *w.viprip, engineOptions(true, 2));
+  auto eng8 = std::make_unique<FluidEngine>(
+      w.sim, w.topo, w.apps, w.dns, *w.resolvers, w.routes, w.fleet,
+      w.hosts, *w.demand, *w.viprip, engineOptions(true, 8));
+  ASSERT_EQ(eng2->workerCount(), 2u);
+  ASSERT_EQ(eng8->workerCount(), 8u);
+
+  std::mt19937 rng(0x5EED + 1);
+  std::uniform_real_distribution<double> weightDist(0.0, 3.0);
+  std::uniform_int_distribution<std::size_t> appPick(0, w.appIds.size() - 1);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t a = appPick(rng);
+    const std::vector<VipId>& vips = w.appVips[a];
+    const VipId vip = vips[rng() % vips.size()];
+    if (round % 3 == 0) {
+      w.dns.setWeight(w.appIds[a], vip, weightDist(rng));
+    } else {
+      (void)w.fleet.setRipWeight(vip, RipId{vip.value() * 16},
+                                 weightDist(rng));
+    }
+    w.sim.runUntil(w.sim.now() + 1.0);
+    const EpochReport ref = w.full->step();
+    const EpochReport two = eng2->step();
+    const EpochReport eight = eng8->step();
+    const std::string what = "workers round " + std::to_string(round);
+    expectSameReport(ref, two, what + " [2 workers]");
+    expectSameReport(ref, eight, what + " [8 workers]");
+    if (HasFatalFailure() || HasNonfatalFailure()) break;  // don't spam
+  }
 }
 
 // --- Targeted invalidation-matrix tests --------------------------------

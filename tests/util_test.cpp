@@ -2,11 +2,13 @@
 // statistics helpers, and the epoch engine's worker pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -227,11 +229,36 @@ TEST(ThreadPool, PropagatesJobExceptions) {
 }
 
 TEST(ThreadPool, ResolveWorkersHonoursEnv) {
+  // Oversubscription escape hatch makes the expectations machine-
+  // independent; the clamp itself is tested below.
+  ::setenv("MDC_ALLOW_OVERSUBSCRIBE", "1", 1);
   EXPECT_EQ(ThreadPool::resolveWorkers(3), 3u);
   ::setenv("MDC_THREADS", "5", 1);
   EXPECT_EQ(ThreadPool::resolveWorkers(0), 5u);
   ::unsetenv("MDC_THREADS");
   EXPECT_EQ(ThreadPool::resolveWorkers(0), 1u);
+  ::unsetenv("MDC_ALLOW_OVERSUBSCRIBE");
+}
+
+TEST(ThreadPool, ResolveWorkersClampsToHardware) {
+  ::unsetenv("MDC_ALLOW_OVERSUBSCRIBE");
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  const unsigned cap = std::min(hw, ThreadPool::kMaxWorkers);
+  // A request beyond the machine is clamped, never oversubscribed.
+  EXPECT_EQ(ThreadPool::resolveWorkers(cap + 8), cap);
+  ::setenv("MDC_THREADS", "64", 1);
+  EXPECT_EQ(ThreadPool::resolveWorkers(0), cap);
+  ::unsetenv("MDC_THREADS");
+  // 1 worker is always granted as-is.
+  EXPECT_EQ(ThreadPool::resolveWorkers(1), 1u);
+}
+
+TEST(ThreadPool, ResolveWorkersCapsAtMaxEvenWhenOversubscribed) {
+  ::setenv("MDC_ALLOW_OVERSUBSCRIBE", "1", 1);
+  EXPECT_EQ(ThreadPool::resolveWorkers(ThreadPool::kMaxWorkers + 4),
+            ThreadPool::kMaxWorkers);
+  ::unsetenv("MDC_ALLOW_OVERSUBSCRIBE");
 }
 
 }  // namespace
