@@ -5,6 +5,10 @@
 // programmatic reconfiguration.  We measure sustained throughput, queue
 // growth, and request latency percentiles across offered request rates,
 // plus the effect of priorities.
+//
+// This bench pins admission.pipelined = false to keep measuring the
+// paper's serialized baseline; the serialized-vs-pipelined comparison
+// (and the E12a headline number) now lives in bench_e18_command_plane.
 #include <iostream>
 
 #include "mdc/core/viprip_manager.hpp"
@@ -36,6 +40,8 @@ struct World {
                  mdc::VipRipManager::Options o;
                  o.processSeconds = 0.5;
                  o.reconfigSeconds = reconfigSeconds;
+                 // The serialized baseline: batching moved to E18.
+                 o.admission.pipelined = false;
                  return o;
                }()) {
     for (int i = 0; i < 8; ++i) fleet.addSwitch(mdc::SwitchLimits{});

@@ -153,6 +153,9 @@ void GlobalManager::start() {
     viprip_->attachReconciler(reconciler_.get());
     reconciler_->setTracer(tracer_);
     reconciler_->setActiveCheck([this] { return leaderUp_; });
+    reconciler_->setOverloadCheck([this]() -> double {
+      return viprip_->overloaded() ? viprip_->suggestedRetryAfter() : 0.0;
+    });
     reconciler_->start(options_.reconciler.periodSeconds * 0.4);
   }
   if (options_.failover.enable) {
@@ -340,13 +343,16 @@ void GlobalManager::observe(const EpochReport& report) {
 
 namespace {
 
-/// Failure codes produced by a crashed manager rather than by the
-/// request itself; the work is still wanted and must be retried against
-/// the recovered leader.
+/// Failure codes produced by a crashed or overloaded manager rather than
+/// by the request itself; the work is still wanted and must be retried
+/// against the recovered (or drained) leader.  "overloaded" and
+/// "deadline_expired" are the admission layer's backpressure (E18): the
+/// request was valid, the control plane just could not take it in time.
 bool crashTransient(const Status& s) {
   const std::string& code = s.error().code;
   return code == "manager_down" || code == "cancelled" ||
-         code == "ctrl_timeout";
+         code == "ctrl_timeout" || code == "overloaded" ||
+         code == "deadline_expired";
 }
 
 SimTime retryBackoff(std::uint32_t attempt) {
@@ -354,6 +360,17 @@ SimTime retryBackoff(std::uint32_t attempt) {
 }
 
 }  // namespace
+
+SimTime GlobalManager::retryDelayFor(const Status& s,
+                                     std::uint32_t attempt) const {
+  // A shed request carries an explicit retry-after hint sized to the
+  // admission queue's drain rate; honor whichever is longer so retries
+  // neither hammer a full queue nor sleep past a drained one.
+  if (s.error().code == "overloaded") {
+    return std::max(retryBackoff(attempt), viprip_->suggestedRetryAfter());
+  }
+  return retryBackoff(attempt);
+}
 
 void GlobalManager::requestNewRip(AppId app, VmId vm, double weight) {
   submitNewRip(app, vm, weight, 0);
@@ -369,10 +386,10 @@ void GlobalManager::submitNewRip(AppId app, VmId vm, double weight,
   req.priority = 1;  // capacity-bringing requests go first
   req.done = [this, app, vm, weight, attempt](Status s) {
     if (s.ok() || !crashTransient(s)) return;
-    // The registration died with a crashed manager.  A VM without a RIP
-    // serves nothing forever, so keep trying while it is still a managed
-    // instance of the app.
-    sim_.after(retryBackoff(attempt), [this, app, vm, weight, attempt] {
+    // The registration died with a crashed (or overloaded) manager.  A VM
+    // without a RIP serves nothing forever, so keep trying while it is
+    // still a managed instance of the app.
+    sim_.after(retryDelayFor(s, attempt), [this, app, vm, weight, attempt] {
       if (!hosts_.vmExists(vm)) return;
       const auto& instances = apps_.app(app).instances;
       if (std::find(instances.begin(), instances.end(), vm) ==
@@ -398,13 +415,26 @@ void GlobalManager::submitRipRemoval(VmId vm, std::function<void()> onDone,
   req.done = [this, vm, onDone = std::move(onDone),
               attempt](Status s) mutable {
     if (s.ok()) {
+      if (!viprip_->ripsOf(vm).empty()) {
+        // A concurrent NewRip re-bound the VM between our DeleteRip's
+        // commit and its switch acks (command storms race retirements).
+        // Destroying now would leave a reconciler-blind RIP to a dead
+        // VM; purge again until the VM is provably unreferenced.
+        sim_.after(retryBackoff(attempt),
+                   [this, vm, onDone = std::move(onDone),
+                    attempt]() mutable {
+                     if (!hosts_.vmExists(vm)) return;
+                     submitRipRemoval(vm, std::move(onDone), attempt + 1);
+                   });
+        return;
+      }
       if (onDone) onDone();
       return;
     }
     // `onDone` destroys the VM — that must not happen while switch
     // tables may still reference it.  DeleteRip only fails when the
-    // manager died around it; retry against the recovered leader.
-    sim_.after(retryBackoff(attempt),
+    // manager died (or shed it) around it; retry until it lands.
+    sim_.after(retryDelayFor(s, attempt),
                [this, vm, onDone = std::move(onDone), attempt]() mutable {
                  if (!hosts_.vmExists(vm)) return;  // monitor cleaned it up
                  submitRipRemoval(vm, std::move(onDone), attempt + 1);

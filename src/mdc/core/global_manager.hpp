@@ -173,6 +173,10 @@ class GlobalManager final : public RipRequestSink {
   void submitRipRemoval(VmId vm, std::function<void()> onDone,
                         std::uint32_t attempt);
   void submitNewRip(AppId app, VmId vm, double weight, std::uint32_t attempt);
+  /// Retry delay for a transiently failed request: exponential backoff,
+  /// stretched to the admission layer's retry-after hint when shed.
+  [[nodiscard]] SimTime retryDelayFor(const Status& s,
+                                      std::uint32_t attempt) const;
 
   Simulation& sim_;
   const Topology& topo_;

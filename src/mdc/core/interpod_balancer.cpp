@@ -51,6 +51,20 @@ PodManager* InterPodBalancer::coldestPod(PodId excluding) const {
 void InterPodBalancer::runOnce() {
   if (!haveReport_) return;
 
+  // Command-plane backpressure (E18): when the admission queue is near
+  // capacity, every knob here would submit more VIP/RIP work into an
+  // already-saturated pipeline and get shed.  Skip the round and honor
+  // the admission layer's retry-after hint.
+  if (sim_.now() < resumeAt_) {
+    ++overloadSkips_;
+    return;
+  }
+  if (viprip_.overloaded()) {
+    ++overloadSkips_;
+    resumeAt_ = sim_.now() + viprip_.suggestedRetryAfter();
+    return;
+  }
+
   if (options_.enableElephantAvoidance) {
     for (PodManager* p : pods_) {
       if (frozen(p->id())) continue;
@@ -229,10 +243,37 @@ void InterPodBalancer::scaleInOverprovisioned() {
 
     apps_.removeInstance(a.id, busiestPodVm);
     const VmId doomed = busiestPodVm;
+    const AppId doomedApp = a.id;
     VipRipRequest req;
     req.op = VipRipOp::DeleteRip;
     req.vm = doomed;
-    req.done = [this, doomed](Status) {
+    req.done = [this, doomed, doomedApp](Status s) {
+      if (!s.ok()) {
+        // The RIPs are still in the switch tables (shed, deadline, or
+        // cancellation); destroying the VM now would strand live RIPs.
+        // Re-register the instance and let a later round retry.
+        if (hosts_.vmExists(doomed)) {
+          const auto& inst = apps_.app(doomedApp).instances;
+          if (std::find(inst.begin(), inst.end(), doomed) == inst.end()) {
+            apps_.addInstance(doomedApp, doomed);
+          }
+        }
+        return;
+      }
+      if (!viprip_.ripsOf(doomed).empty()) {
+        // A concurrent NewRip re-bound the VM between our DeleteRip's
+        // commit and its switch acks (command storms make this real).
+        // Destroying now would leave intent and actual agreeing on a
+        // RIP to a dead VM — reconciler-blind.  Hand the VM back; a
+        // later round re-decides whether it still wants it gone.
+        if (hosts_.vmExists(doomed)) {
+          const auto& inst = apps_.app(doomedApp).instances;
+          if (std::find(inst.begin(), inst.end(), doomed) == inst.end()) {
+            apps_.addInstance(doomedApp, doomed);
+          }
+        }
+        return;
+      }
       if (hosts_.vmExists(doomed) &&
           hosts_.vm(doomed).state != VmState::Migrating) {
         hosts_.destroyVm(doomed);

@@ -97,6 +97,12 @@ class InterPodBalancer {
   [[nodiscard]] std::uint64_t elephantSheds() const noexcept {
     return elephantSheds_;
   }
+  /// Rounds skipped because the command-plane admission queue was near
+  /// capacity (E18 backpressure): reconfiguration-heavy knobs would only
+  /// feed the storm, so the balancer backs off for the retry-after hint.
+  [[nodiscard]] std::uint64_t overloadSkips() const noexcept {
+    return overloadSkips_;
+  }
 
  private:
   [[nodiscard]] bool frozen(PodId pod) const {
@@ -128,6 +134,9 @@ class InterPodBalancer {
   std::uint64_t scaleInActions_ = 0;
   std::uint64_t serverTransfers_ = 0;
   std::uint64_t elephantSheds_ = 0;
+  std::uint64_t overloadSkips_ = 0;
+  /// Back-off horizon while the admission layer reports overload.
+  SimTime resumeAt_ = 0.0;
 };
 
 }  // namespace mdc

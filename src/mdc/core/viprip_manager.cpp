@@ -65,6 +65,15 @@ const char* opName(VipRipOp op) noexcept {
   return "?";
 }
 
+/// The retry-after hint is sized to the queue's drain rate, which is the
+/// manager's per-round decision cost.
+AdmissionController::Options admissionOptionsFor(
+    const VipRipManager::Options& o) {
+  AdmissionController::Options a = o.admission;
+  if (o.processSeconds > 0.0) a.roundSeconds = o.processSeconds;
+  return a;
+}
+
 }  // namespace
 
 VipRipManager::VipRipManager(Simulation& sim, SwitchFleet& fleet,
@@ -80,7 +89,8 @@ VipRipManager::VipRipManager(Simulation& sim, SwitchFleet& fleet,
       options_(options),
       channel_(sim, options.channelSeed),
       sender_(sim, channel_, fleet, options.ctrl),
-      machine_(journal_.changelog(), state::DurableStateMachine::Options{}) {
+      machine_(journal_.changelog(), state::DurableStateMachine::Options{}),
+      admission_(admissionOptionsFor(options)) {
   MDC_EXPECT(options.processSeconds >= 0.0, "negative process time");
   routerVipCount_.assign(topo.accessLinkCount(), 0);
   setupStateMachine();
@@ -124,7 +134,7 @@ void VipRipManager::attachTracer(Tracer* tracer) {
   sender_.setTracer(tracer);
 }
 
-void VipRipManager::submit(VipRipRequest request) {
+SubmitResult VipRipManager::submit(VipRipRequest request) {
   if (tracer_ != nullptr && tracer_->enabled() && request.trace == 0) {
     request.trace = tracer_->begin();
     request.traceSpan = tracer_->newSpan();
@@ -138,7 +148,7 @@ void VipRipManager::submit(VipRipRequest request) {
                       static_cast<std::uint64_t>(request.op));
     }
     if (request.done) request.done(Status::fail("manager_down"));
-    return;
+    return SubmitResult{false, false, 0.0, "manager_down"};
   }
   if (tracer_ != nullptr) {
     tracer_->record(request.trace, request.traceSpan, 0,
@@ -148,38 +158,29 @@ void VipRipManager::submit(VipRipRequest request) {
   }
   // Coalesce weight updates: a newer SetWeight for the same VM supersedes
   // a queued one — pods re-decide every period and only the latest weight
-  // matters, so this keeps the serialized queue from ballooning.
-  if (request.op == VipRipOp::SetWeight) {
-    for (Pending& other : queue_) {
-      if (other.req.op == VipRipOp::SetWeight && other.req.vm == request.vm) {
-        other.req.weight = request.weight;
-        if (tracer_ != nullptr) {
-          tracer_->record(request.trace, request.traceSpan, 0,
-                          HopKind::RequestDone, "coalesced");
-        }
-        if (request.done) request.done(Status::okStatus());
-        return;
-      }
+  // matters, so this keeps the admission queue from ballooning.
+  if (request.op == VipRipOp::SetWeight &&
+      admission_.coalesceSetWeight(request.vm, request.weight)) {
+    if (tracer_ != nullptr) {
+      tracer_->record(request.trace, request.traceSpan, 0,
+                      HopKind::RequestDone, "coalesced");
     }
+    if (request.done) request.done(Status::okStatus());
+    return SubmitResult{true, false, 0.0, "coalesced"};
   }
-  Pending p;
-  p.req = std::move(request);
-  p.submitted = sim_.now();
-  p.seq = nextSeq_++;
-  // Insert keeping the queue sorted by (priority desc, seq asc): a stable
-  // priority queue that processes equal priorities FIFO.
-  const auto pos = std::find_if(
-      queue_.begin(), queue_.end(), [&](const Pending& other) {
-        return other.req.priority < p.req.priority;
+  const SubmitResult res = admission_.offer(
+      std::move(request), sim_.now(),
+      [this](AdmissionController::Entry&& e, SimTime retryAfter) {
+        shedEntry(std::move(e), retryAfter);
       });
-  queue_.insert(pos, std::move(p));
-  if (!pumping_) {
+  if (res.accepted && !pumping_) {
     pumping_ = true;
     sim_.after(0.0, [this] { pump(); });
   }
+  return res;
 }
 
-void VipRipManager::cancelPending(Pending p) {
+void VipRipManager::cancelPending(AdmissionController::Entry p) {
   ++cancelledRequests_;
   if (tracer_ != nullptr) {
     tracer_->record(p.req.trace, p.req.traceSpan, 0, HopKind::RequestDone,
@@ -188,21 +189,143 @@ void VipRipManager::cancelPending(Pending p) {
   if (p.req.done) p.req.done(Status::fail("cancelled"));
 }
 
+void VipRipManager::shedEntry(AdmissionController::Entry e,
+                              SimTime retryAfter) {
+  // Terminal for the request span: a shed request fans out into no
+  // command spans, so the exactly-one-terminal invariant over command
+  // spans is untouched.
+  if (tracer_ != nullptr) {
+    tracer_->record(e.req.trace, e.req.traceSpan, 0, HopKind::RequestShed,
+                    "overloaded", static_cast<std::uint64_t>(e.cls),
+                    static_cast<std::uint64_t>(retryAfter));
+  }
+  if (e.req.done) e.req.done(Status::fail("overloaded"));
+}
+
+void VipRipManager::expireEntry(AdmissionController::Entry e) {
+  // The request spent its whole deadline budget queued; applying it now
+  // would reconfigure a world that has moved on.  Expiry counts as a
+  // processed rejection (it was admitted, unlike a shed).
+  ++processed_;
+  ++rejected_;
+  ++rejectionsByCode_["deadline_expired"];
+  latency_.record(std::max(1e-3, sim_.now() - e.submitted));
+  if (tracer_ != nullptr) {
+    tracer_->record(e.req.trace, e.req.traceSpan, 0, HopKind::RequestDone,
+                    "deadline_expired");
+  }
+  if (e.req.done) e.req.done(Status::fail("deadline_expired"));
+}
+
+void VipRipManager::intendAdmission(const AdmissionRoundRecord& rec) {
+  journal_.appendAdmission(rec);
+  ++admissionTotals_.rounds;
+  admissionTotals_.admitted += rec.admitted;
+  admissionTotals_.shed += rec.shed;
+  admissionTotals_.expired += rec.expired;
+  admissionTotals_.deferred += rec.deferred;
+}
+
+void VipRipManager::computeFootprint(const VipRipRequest& req,
+                                     FootprintSet& fp) const {
+  using K = FootprintSet::Kind;
+  switch (req.op) {
+    case VipRipOp::NewVip:
+      // Grows the app's VIP set, which NewRip placement reads.
+      fp.write(K::App, req.app.index());
+      break;
+    case VipRipOp::DeleteVip: {
+      fp.write(K::Vip, req.vip.index());
+      const VipIntent* in = intent_.find(req.vip);
+      if (in != nullptr) {
+        fp.write(K::App, in->app.index());
+        fp.write(K::Switch, in->sw.index());
+      }
+      break;
+    }
+    case VipRipOp::NewRip:
+      fp.read(K::App, req.app.index());
+      fp.write(K::Vm, req.vm.index());
+      break;
+    case VipRipOp::DeleteRip: {
+      fp.write(K::Vm, req.vm.index());
+      const auto it = vmRips_.find(req.vm);
+      if (it != vmRips_.end()) {
+        for (const RipRef& ref : it->second) {
+          fp.write(K::Vip, ref.vip.index());
+          const VipIntent* in = intent_.find(ref.vip);
+          // The refill path reads the app's instance list.
+          if (in != nullptr) fp.read(K::App, in->app.index());
+        }
+      }
+      break;
+    }
+    case VipRipOp::SetWeight: {
+      fp.write(K::Vm, req.vm.index());
+      const auto it = vmRips_.find(req.vm);
+      if (it != vmRips_.end()) {
+        // Weight changes on distinct RIPs of a shared VIP commute (each
+        // recomputes the VIP's DNS weight from the full intent), so the
+        // bound VIPs are read keys: SetWeights batch with each other but
+        // serialize against DeleteVip/RestoreVip on the same VIP.
+        for (const RipRef& ref : it->second) fp.read(K::Vip, ref.vip.index());
+      }
+      break;
+    }
+    case VipRipOp::RestoreVip: {
+      fp.write(K::Vip, req.vip.index());
+      fp.write(K::App, req.app.index());
+      for (const RipEntry& r : req.rips) {
+        if (r.targetsVm()) fp.write(K::Vm, r.vm.index());
+      }
+      break;
+    }
+  }
+}
+
 void VipRipManager::pump() {
-  if (!online_ || queue_.empty()) {
+  if (!online_) {
     pumping_ = false;
     return;
   }
-  Pending p = std::move(queue_.front());
-  queue_.pop_front();
+  admission_.observeSender(sender_.commandsSent(), sender_.timeouts(),
+                           sim_.now());
+  AdmissionController::Round round = admission_.formRound(
+      sim_.now(), [this](const VipRipRequest& r, FootprintSet& fp) {
+        computeFootprint(r, fp);
+      });
+  for (AdmissionController::Entry& e : round.expired) {
+    expireEntry(std::move(e));
+  }
+  // Write-ahead journal the round's admission decisions before anything
+  // commits, so a recovered manager replays the same admission history
+  // into its deterministic state hash.
+  const std::uint32_t shedDelta = admission_.takeShedDelta();
+  if (!round.batch.empty() || !round.expired.empty() || shedDelta > 0) {
+    AdmissionRoundRecord rec;
+    rec.admitted = static_cast<std::uint32_t>(round.batch.size());
+    rec.shed = shedDelta;
+    rec.expired = static_cast<std::uint32_t>(round.expired.size());
+    rec.deferred = round.deferred;
+    intendAdmission(rec);
+  }
+  if (round.batch.empty()) {
+    // An empty batch means the queue drained (the first live entry always
+    // fits an empty footprint set).
+    pumping_ = false;
+    return;
+  }
 
-  // Only the manager's *decision* is serialized (§III-C); the switch-side
-  // programmatic reconfiguration then proceeds on the target switch while
-  // the manager moves on to the next request.
-  sim_.after(options_.processSeconds, [this, p = std::move(p)]() mutable {
+  // Only the manager's *decision* is serialized (§III-C) — one bounded
+  // round cost, amortized over the batch; the switch-side programmatic
+  // reconfigurations of the whole batch then proceed on their target
+  // switches while the manager forms the next round.
+  sim_.after(options_.processSeconds, [this,
+                                       batch = std::move(round.batch)]()
+                                          mutable {
     if (!online_) {
-      // The manager died while "thinking" about this request.
-      cancelPending(std::move(p));
+      // The manager died while "thinking" about this round.
+      for (AdmissionController::Entry& e : batch) cancelPending(std::move(e));
       pumping_ = false;
       return;
     }
@@ -214,35 +337,42 @@ void VipRipManager::pump() {
           fleet_.size() > 0 ? fleet_.at(SwitchId{0}).limits().reconfigSeconds
                             : 0.0;
     }
-    sim_.after(reconfig, [this, p = std::move(p)]() mutable {
+    sim_.after(reconfig, [this, batch = std::move(batch)]() mutable {
       if (!online_) {
-        cancelPending(std::move(p));
+        for (AdmissionController::Entry& e : batch) {
+          cancelPending(std::move(e));
+        }
         return;
       }
-      // The guard travels through every asynchronous command flow; no
-      // matter which path settles the request — ack, rejection, channel
-      // timeout, or a dropped continuation — the accounting and the
-      // submitter's callback run exactly once.
-      DoneGuard done(
-          [this, submitted = p.submitted, trace = p.req.trace,
-           span = p.req.traceSpan, user = std::move(p.req.done)](Status s) {
-            ++processed_;
-            if (!s.ok()) {
-              ++rejected_;
-              ++rejectionsByCode_[s.error().code];
-            }
-            latency_.record(std::max(1e-3, sim_.now() - submitted));
-            if (tracer_ != nullptr) {
-              tracer_->record(trace, span, 0, HopKind::RequestDone,
-                              s.ok() ? "ok" : s.error().code.c_str());
-            }
-            if (user) user(std::move(s));
-          });
-      if (tracer_ != nullptr) {
-        tracer_->record(p.req.trace, p.req.traceSpan, 0,
-                        HopKind::RequestApplied, opName(p.req.op));
+      // Commit the batch in admission order (priority desc, FIFO ties) —
+      // the same order the fully serialized seed would have applied, so
+      // the intent mutation history is identical for conflicting work.
+      for (AdmissionController::Entry& p : batch) {
+        // The guard travels through every asynchronous command flow; no
+        // matter which path settles the request — ack, rejection, channel
+        // timeout, or a dropped continuation — the accounting and the
+        // submitter's callback run exactly once.
+        DoneGuard done(
+            [this, submitted = p.submitted, trace = p.req.trace,
+             span = p.req.traceSpan, user = std::move(p.req.done)](Status s) {
+              ++processed_;
+              if (!s.ok()) {
+                ++rejected_;
+                ++rejectionsByCode_[s.error().code];
+              }
+              latency_.record(std::max(1e-3, sim_.now() - submitted));
+              if (tracer_ != nullptr) {
+                tracer_->record(trace, span, 0, HopKind::RequestDone,
+                                s.ok() ? "ok" : s.error().code.c_str());
+              }
+              if (user) user(std::move(s));
+            });
+        if (tracer_ != nullptr) {
+          tracer_->record(p.req.trace, p.req.traceSpan, 0,
+                          HopKind::RequestApplied, opName(p.req.op));
+        }
+        apply(p.req, std::move(done));
       }
-      apply(p.req, std::move(done));
     });
     pump();
   });
@@ -831,9 +961,8 @@ void VipRipManager::crash() {
   // Cancelled exactly once.  Drain before cancelling the sender: a
   // cancellation callback that reentrantly submits must find the queue
   // closed ("manager_down"), not append to a dead manager's queue.
-  std::deque<Pending> doomed = std::move(queue_);
-  queue_.clear();
-  for (Pending& p : doomed) cancelPending(std::move(p));
+  std::vector<AdmissionController::Entry> doomed = admission_.drain();
+  for (AdmissionController::Entry& p : doomed) cancelPending(std::move(p));
   sender_.cancelInflight();
 }
 
@@ -861,11 +990,17 @@ void VipRipManager::setupStateMachine() {
   hooks.reset = [this] {
     intent_ = IntentStore{};
     durableTerm_ = 0;
+    admissionTotals_ = AdmissionTotals{};
     vipIds_ = IdAllocator<VipId>{};
     ripIds_ = IdAllocator<RipId>{};
   };
   hooks.installDeterministic = [this](state::ByteReader& r) {
     durableTerm_ = r.u64();
+    admissionTotals_.rounds = r.u64();
+    admissionTotals_.admitted = r.u64();
+    admissionTotals_.shed = r.u64();
+    admissionTotals_.expired = r.u64();
+    admissionTotals_.deferred = r.u64();
     const std::uint32_t vipNext = r.u32();
     const std::uint32_t ripNext = r.u32();
     if (!r.ok()) return false;
@@ -906,6 +1041,14 @@ void VipRipManager::setupStateMachine() {
       durableTerm_ = std::max(durableTerm_, entry.term);
       return true;
     }
+    if (entry.tag == kJournalTagAdmission) {
+      ++admissionTotals_.rounds;
+      admissionTotals_.admitted += entry.admission.admitted;
+      admissionTotals_.shed += entry.admission.shed;
+      admissionTotals_.expired += entry.admission.expired;
+      admissionTotals_.deferred += entry.admission.deferred;
+      return true;
+    }
     // A CRC-valid record the store cannot legally apply marks the end
     // of the trustworthy prefix (it can only arise from data damage).
     if (!intent_.canApply(entry.record)) return false;
@@ -925,6 +1068,13 @@ void VipRipManager::setupStateMachine() {
 
 void VipRipManager::serializeDurable(state::ByteWriter& w) const {
   w.u64(durableTerm_);
+  // Admission history is part of the deterministic section: the same
+  // submission sequence must recover to the same totals bit-for-bit.
+  w.u64(admissionTotals_.rounds);
+  w.u64(admissionTotals_.admitted);
+  w.u64(admissionTotals_.shed);
+  w.u64(admissionTotals_.expired);
+  w.u64(admissionTotals_.deferred);
   w.u32(vipIds_.allocated());
   w.u32(ripIds_.allocated());
   // Canonical order: VIPs sorted by id; each VIP's RIPs in intent
@@ -972,7 +1122,7 @@ void VipRipManager::recoverFromDurable() {
   const state::DurableStateMachine::RecoveryStats stats =
       machine_.recover(sim_.now());
   journal_.resyncFromDurable();
-  queue_.clear();  // queued requests die with the crashed manager
+  admission_.clearSilently();  // queued requests die with the crashed manager
   vipRouter_.clear();
   vmRips_.clear();
   exposureFactor_.clear();
@@ -986,6 +1136,20 @@ void VipRipManager::recoverFromDurable() {
       if (r.targetsVm()) vmRips_[r.vm].push_back(RipRef{vip, r.rip});
     }
   });
+  // The mirror of the lost-AddVip repair below: a RemoveRip whose switch
+  // acks landed (so the caller destroyed the VM) but whose journal tail
+  // did not survive the crash is resurrected by replay.  Left alone, the
+  // reconciler would faithfully re-program the dead VM's RIP onto the
+  // switch and both sides would agree on a permanently dangling entry.
+  // Re-remove it here, write-ahead, so the repair itself is durable.
+  if (vmAlive_) {
+    std::vector<std::pair<VmId, RipRef>> dead;
+    for (const auto& [vm, refs] : vmRips_) {
+      if (vmAlive_(vm)) continue;
+      for (const RipRef& ref : refs) dead.emplace_back(vm, ref);
+    }
+    for (const auto& [vm, ref] : dead) dropRipIntent(ref.vip, ref.rip, vm);
+  }
   resyncExternalFromIntent();
   if (tracer_ != nullptr) {
     const TraceId trace = tracer_->begin();

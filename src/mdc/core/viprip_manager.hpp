@@ -2,9 +2,14 @@
 //
 // All LB switches are a globally shared resource; every component that
 // wants to (re)configure a VIP or RIP on any switch submits a request
-// here.  Requests are processed strictly serially in priority order (ties
-// by submission time), at a bounded processing rate, and each applied
-// operation additionally pays the switch's multi-second programmatic
+// here.  Requests are admitted in scheduling rounds through the
+// AdmissionController: each round forms a batch — highest priority
+// first, ties FIFO — of requests whose read/write footprints are
+// mutually disjoint, pays one bounded decision cost for the round, and
+// commits the batch concurrently; requests that conflict on a key stay
+// queued and serialize across rounds in exactly the order the seed's
+// fully serialized queue would have given them.  Each applied operation
+// additionally pays the switch's multi-second programmatic
 // reconfiguration latency.  Placement policy:
 //
 //  * new VIP  -> the most underloaded switch (fewest VIPs, then lowest
@@ -33,6 +38,7 @@
 #include <vector>
 
 #include "mdc/app/app_registry.hpp"
+#include "mdc/ctrl/admission.hpp"
 #include "mdc/ctrl/command_sender.hpp"
 #include "mdc/ctrl/control_channel.hpp"
 #include "mdc/ctrl/done_guard.hpp"
@@ -50,35 +56,9 @@ namespace mdc {
 
 class Reconciler;
 
-enum class VipRipOp : std::uint8_t {
-  NewVip,      // allocate + place a new VIP for app
-  DeleteVip,   // remove a VIP everywhere
-  NewRip,      // bind vm to one of app's VIPs
-  DeleteRip,   // remove all RIPs of vm
-  SetWeight,   // change the weight of vm's RIPs
-  RestoreVip   // re-host an orphaned VIP (switch crash) with its RIP set
-};
-
-struct VipRipRequest {
-  VipRipOp op = VipRipOp::NewVip;
-  int priority = 0;  // higher first
-  AppId app;
-  VmId vm;
-  VipId vip;
-  double weight = 1.0;
-  /// RestoreVip payload: the orphan's last-known RIP set.  Entries are
-  /// re-added under their original ids (so RIP bookkeeping stays
-  /// coherent); RIPs of VMs that died with the switch are dropped.
-  std::vector<RipEntry> rips;
-  /// Optional completion callback with the outcome.  Fires exactly once
-  /// per request, on every path — including drops and channel timeouts.
-  std::function<void(Status)> done;
-  /// Causal trace context.  Left at 0 with tracing enabled, submit()
-  /// mints a fresh trace whose root span is the request; every switch
-  /// command the request fans out into becomes a child span.
-  TraceId trace = 0;
-  SpanId traceSpan = 0;
-};
+// VipRipOp / VipRipRequest / SubmitResult live with the admission layer
+// (mdc/ctrl/admission.hpp) — the request struct is the admission
+// currency and the two headers would otherwise be circular.
 
 class VipRipManager {
  public:
@@ -95,6 +75,10 @@ class VipRipManager {
     std::uint64_t channelSeed = 0x6d646314u;
     /// Ack/retry policy of the manager->switch command links.
     CommandSender::Options ctrl;
+    /// Batched admission + overload policy (E18).  Defaults keep the
+    /// seed's unbounded queue and no deadlines; `roundSeconds` is
+    /// overwritten with processSeconds at construction.
+    AdmissionController::Options admission;
   };
 
   VipRipManager(Simulation& sim, SwitchFleet& fleet, AuthoritativeDns& dns,
@@ -107,8 +91,11 @@ class VipRipManager {
   /// freed members.
   ~VipRipManager();
 
-  /// Enqueues a request; processing is asynchronous and serialized.
-  void submit(VipRipRequest request);
+  /// Enqueues a request; processing is asynchronous, in batched rounds.
+  /// The result reports admission only: a shed request (bounded queue
+  /// full) has already been settled with "overloaded" and the caller
+  /// should back off for `retryAfterSeconds` before resubmitting.
+  SubmitResult submit(VipRipRequest request);
 
   /// Attach (or detach with nullptr) the tracer; forwarded to the
   /// channel and sender so request, channel, agent, and completion hops
@@ -245,10 +232,40 @@ class VipRipManager {
     return reconciler_;
   }
 
+  // --- admission & overload (E18) ----------------------------------------
+
+  /// The batched admission layer: queue bounds, priority classes,
+  /// deadlines, brownout, and the shed/deferred/expired counters.
+  [[nodiscard]] const AdmissionController& admission() const noexcept {
+    return admission_;
+  }
+  /// Whether periodic callers (balancers, reconciler) should back off
+  /// before submitting more work.
+  [[nodiscard]] bool overloaded() const noexcept {
+    return admission_.overloaded();
+  }
+  /// Backoff hint for overloaded callers, sized to the drain rate.
+  [[nodiscard]] SimTime suggestedRetryAfter() const noexcept {
+    return admission_.retryAfterHint();
+  }
+  /// Durable admission aggregates: the journaled per-round counts summed
+  /// over the manager's history.  Part of the deterministic state hash —
+  /// a recovered manager replays to bit-identical values.
+  struct AdmissionTotals {
+    std::uint64_t rounds = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t deferred = 0;
+  };
+  [[nodiscard]] const AdmissionTotals& admissionTotals() const noexcept {
+    return admissionTotals_;
+  }
+
   // --- introspection (E12) -----------------------------------------------
 
   [[nodiscard]] std::size_t queueLength() const noexcept {
-    return queue_.size();
+    return admission_.depth();
   }
   [[nodiscard]] std::uint64_t processedRequests() const noexcept {
     return processed_;
@@ -268,15 +285,18 @@ class VipRipManager {
   }
 
  private:
-  struct Pending {
-    VipRipRequest req;
-    SimTime submitted = 0.0;
-    std::uint64_t seq = 0;
-  };
-
   void pump();
   /// Settles a request that died with the crashed manager.
-  void cancelPending(Pending p);
+  void cancelPending(AdmissionController::Entry p);
+  /// Settles a request the admission layer refused or evicted.
+  void shedEntry(AdmissionController::Entry e, SimTime retryAfter);
+  /// Settles a request whose deadline budget ran out in the queue.
+  void expireEntry(AdmissionController::Entry e);
+  /// The request's read/write key set (admission conflict detection).
+  void computeFootprint(const VipRipRequest& req, FootprintSet& fp) const;
+  /// Write-ahead journals one round's admission counts, then applies
+  /// them to the durable aggregates (mirroring intend()).
+  void intendAdmission(const AdmissionRoundRecord& rec);
   void apply(const VipRipRequest& req, DoneGuard done);
   void applyNewVip(const VipRipRequest& req, DoneGuard done);
   void applyNewRip(const VipRipRequest& req, DoneGuard done);
@@ -347,13 +367,13 @@ class VipRipManager {
 
   std::function<bool(VmId)> vmAlive_;
   std::unordered_map<VipId, double> exposureFactor_;
-  std::deque<Pending> queue_;
+  AdmissionController admission_;
+  AdmissionTotals admissionTotals_;
   bool pumping_ = false;
   /// False while the manager process is down (between crash() and
   /// recoverAsLeader()); gates the queue and every apply continuation.
   bool online_ = true;
   std::uint64_t cancelledRequests_ = 0;
-  std::uint64_t nextSeq_ = 0;
   std::uint64_t processed_ = 0;
   std::uint64_t rejected_ = 0;
   std::unordered_map<std::string, std::uint64_t> rejectionsByCode_;

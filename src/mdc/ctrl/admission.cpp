@@ -1,0 +1,266 @@
+#include "mdc/ctrl/admission.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+const char* toString(AdmissionClass cls) noexcept {
+  switch (cls) {
+    case AdmissionClass::Bulk:
+      return "bulk";
+    case AdmissionClass::Capacity:
+      return "capacity";
+    case AdmissionClass::Critical:
+      return "critical";
+  }
+  return "?";
+}
+
+bool FootprintSet::conflictsWith(const FootprintSet& other) const {
+  // Iterate the smaller side; a shared key conflicts iff either side
+  // writes it (read/read sharing commutes).
+  const FootprintSet& small = size() <= other.size() ? *this : other;
+  const FootprintSet& big = size() <= other.size() ? other : *this;
+  for (const auto& [k, bits] : small.marks_) {
+    const auto it = big.marks_.find(k);
+    if (it == big.marks_.end()) continue;
+    if (((bits | it->second) & kWrite) != 0) return true;
+  }
+  return false;
+}
+
+void FootprintSet::merge(const FootprintSet& other) {
+  for (const auto& [k, bits] : other.marks_) marks_[k] |= bits;
+}
+
+AdmissionController::AdmissionController(Options options)
+    : options_(options) {
+  MDC_EXPECT(options_.batchSize >= 1, "batch size must be at least 1");
+  MDC_EXPECT(options_.bulkShare >= 0.0 && options_.bulkShare <= 1.0,
+             "bulk share must be a fraction");
+}
+
+AdmissionClass AdmissionController::classify(const VipRipRequest& req) const {
+  if (req.op == VipRipOp::RestoreVip ||
+      req.priority >= options_.criticalPriority) {
+    return AdmissionClass::Critical;
+  }
+  if (req.op == VipRipOp::SetWeight) return AdmissionClass::Bulk;
+  return AdmissionClass::Capacity;
+}
+
+SimTime AdmissionController::budgetFor(AdmissionClass cls) const noexcept {
+  switch (cls) {
+    case AdmissionClass::Bulk:
+      return options_.bulkDeadlineSeconds;
+    case AdmissionClass::Capacity:
+      return options_.capacityDeadlineSeconds;
+    case AdmissionClass::Critical:
+      return 0.0;  // repair work stays valid until it lands
+  }
+  return 0.0;
+}
+
+void AdmissionController::insertSorted(Entry entry) {
+  ++classDepth_[static_cast<std::size_t>(entry.cls)];
+  const auto pos = std::find_if(
+      queue_.begin(), queue_.end(), [&](const Entry& other) {
+        return other.req.priority < entry.req.priority;
+      });
+  queue_.insert(pos, std::move(entry));
+}
+
+SubmitResult AdmissionController::offer(VipRipRequest&& req, SimTime now,
+                                        const ShedFn& onShed) {
+  Entry entry;
+  entry.cls = classify(req);
+  entry.req = std::move(req);
+  entry.seq = nextSeq_++;
+  entry.submitted = now;
+  entry.budget = budgetFor(entry.cls);
+
+  const std::size_t bound = options_.maxQueueDepth;
+  if (bound == 0) {
+    insertSorted(std::move(entry));
+    ++admitted_;
+    return SubmitResult{};
+  }
+
+  const SimTime retryAfter = retryAfterHint();
+  const auto shedThis = [&]() -> SubmitResult {
+    ++shedByClass_[static_cast<std::size_t>(entry.cls)];
+    ++pendingShed_;
+    if (onShed) onShed(std::move(entry), retryAfter);
+    return SubmitResult{false, true, retryAfter, "overloaded"};
+  };
+
+  switch (entry.cls) {
+    case AdmissionClass::Critical: {
+      // Never shed.  A full queue evicts its newest bulk entry — the
+      // displaced resize retries after the storm; the repair cannot.
+      if (queue_.size() >= bound &&
+          classDepth_[static_cast<std::size_t>(AdmissionClass::Bulk)] > 0) {
+        for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
+          if (it->cls != AdmissionClass::Bulk) continue;
+          Entry evicted = std::move(*it);
+          queue_.erase(std::next(it).base());
+          noteRemoved(AdmissionClass::Bulk);
+          ++evictions_;
+          ++shedByClass_[static_cast<std::size_t>(AdmissionClass::Bulk)];
+          ++pendingShed_;
+          if (onShed) onShed(std::move(evicted), retryAfter);
+          break;
+        }
+      }
+      break;
+    }
+    case AdmissionClass::Capacity: {
+      if (queue_.size() >= bound) return shedThis();
+      break;
+    }
+    case AdmissionClass::Bulk: {
+      const auto bulkCap = static_cast<std::size_t>(
+          options_.bulkShare * static_cast<double>(bound));
+      if (queue_.size() >= bound ||
+          classDepth_[static_cast<std::size_t>(AdmissionClass::Bulk)] >=
+              std::max<std::size_t>(1, bulkCap)) {
+        return shedThis();
+      }
+      break;
+    }
+  }
+  insertSorted(std::move(entry));
+  ++admitted_;
+  return SubmitResult{};
+}
+
+bool AdmissionController::coalesceSetWeight(VmId vm, double weight) {
+  for (Entry& other : queue_) {
+    if (other.req.op == VipRipOp::SetWeight && other.req.vm == vm) {
+      other.req.weight = weight;
+      ++coalesced_;
+      return true;
+    }
+  }
+  return false;
+}
+
+AdmissionController::Round AdmissionController::formRound(
+    SimTime now, const FootprintFn& footprintOf) {
+  Round round;
+  if (queue_.empty()) return round;
+  const std::size_t cap = effectiveBatchSize();
+  const double scale = brownout_ ? options_.brownoutDeadlineFactor : 1.0;
+  // One claimed set covers both batched and deferred footprints: a
+  // request conflicting with a *deferred* one must wait too, or it would
+  // overtake an earlier request on a shared key.
+  FootprintSet claimed;
+  FootprintSet fp;
+  for (auto it = queue_.begin();
+       it != queue_.end() && round.batch.size() < cap;) {
+    if (it->budget > 0.0 && now - it->submitted > it->budget * scale) {
+      noteRemoved(it->cls);
+      ++deadlineExpired_;
+      round.expired.push_back(std::move(*it));
+      it = queue_.erase(it);
+      continue;
+    }
+    fp.clear();
+    if (footprintOf) footprintOf(it->req, fp);
+    if (options_.pipelined && fp.conflictsWith(claimed)) {
+      claimed.merge(fp);
+      ++round.deferred;
+      ++conflictDeferred_;
+      ++it;
+      continue;
+    }
+    claimed.merge(fp);
+    noteRemoved(it->cls);
+    round.batch.push_back(std::move(*it));
+    it = queue_.erase(it);
+  }
+  if (!round.batch.empty() || !round.expired.empty()) ++rounds_;
+  return round;
+}
+
+void AdmissionController::observeSender(std::uint64_t commandsSent,
+                                        std::uint64_t timeouts, SimTime now) {
+  if (windowStart_ < 0.0) {
+    windowStart_ = now;
+    windowSent_ = commandsSent;
+    windowTimeouts_ = timeouts;
+    return;
+  }
+  if (now - windowStart_ < options_.brownoutWindowSeconds) return;
+  const std::uint64_t dSent = commandsSent - windowSent_;
+  const std::uint64_t dTimeout = timeouts - windowTimeouts_;
+  const double rate =
+      dSent == 0 ? 0.0
+                 : static_cast<double>(dTimeout) / static_cast<double>(dSent);
+  if (!brownout_ && dSent > 0 &&
+      rate >= options_.brownoutEnterTimeoutRate) {
+    brownout_ = true;
+    ++brownoutEntries_;
+  } else if (brownout_ && rate <= options_.brownoutExitTimeoutRate) {
+    brownout_ = false;
+  }
+  windowStart_ = now;
+  windowSent_ = commandsSent;
+  windowTimeouts_ = timeouts;
+}
+
+std::vector<AdmissionController::Entry> AdmissionController::drain() {
+  std::vector<Entry> out(std::make_move_iterator(queue_.begin()),
+                         std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  for (std::size_t& d : classDepth_) d = 0;
+  return out;
+}
+
+void AdmissionController::clearSilently() {
+  queue_.clear();
+  for (std::size_t& d : classDepth_) d = 0;
+}
+
+std::uint32_t AdmissionController::takeShedDelta() noexcept {
+  return std::exchange(pendingShed_, 0u);
+}
+
+SimTime AdmissionController::oldestAgeSeconds(SimTime now) const noexcept {
+  SimTime oldest = 0.0;
+  for (const Entry& e : queue_) {
+    oldest = std::max(oldest, now - e.submitted);
+  }
+  return oldest;
+}
+
+std::size_t AdmissionController::effectiveBatchSize() const noexcept {
+  if (!options_.pipelined) return 1;
+  const std::size_t batch = options_.batchSize;
+  return brownout_ ? std::max<std::size_t>(1, batch / 2) : batch;
+}
+
+bool AdmissionController::overloaded() const noexcept {
+  if (options_.maxQueueDepth == 0) return false;
+  return queue_.size() * 5 >= options_.maxQueueDepth * 4;
+}
+
+SimTime AdmissionController::retryAfterHint() const noexcept {
+  const auto eff = static_cast<double>(effectiveBatchSize());
+  const double roundsToDrain =
+      static_cast<double>(queue_.size()) / std::max(1.0, eff) + 1.0;
+  return std::clamp(roundsToDrain * options_.roundSeconds,
+                    options_.minRetryAfterSeconds,
+                    options_.maxRetryAfterSeconds);
+}
+
+std::uint64_t AdmissionController::shed() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : shedByClass_) total += s;
+  return total;
+}
+
+}  // namespace mdc

@@ -64,6 +64,12 @@ bool decodeJournalEntry(std::span<const std::uint8_t> payload,
     case kJournalTagTermChange:
       out.term = r.u64();
       return r.exhausted();
+    case kJournalTagAdmission:
+      out.admission.admitted = r.u32();
+      out.admission.shed = r.u32();
+      out.admission.expired = r.u32();
+      out.admission.deferred = r.u32();
+      return r.exhausted();
     default:
       return false;
   }
@@ -190,6 +196,16 @@ void IntentJournal::appendTermChange(std::uint64_t term) {
   w.u64(term);
   log_.append(w.bytes());
   lastTerm_ = term;
+}
+
+void IntentJournal::appendAdmission(const AdmissionRoundRecord& round) {
+  state::ByteWriter w;
+  w.u8(kJournalTagAdmission);
+  w.u32(round.admitted);
+  w.u32(round.shed);
+  w.u32(round.expired);
+  w.u32(round.deferred);
+  log_.append(w.bytes());
 }
 
 IntentStore IntentJournal::replay() const {

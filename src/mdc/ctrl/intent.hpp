@@ -66,12 +66,27 @@ struct IntentRecord {
 // Changelog payload tags: first byte of every journal record.
 inline constexpr std::uint8_t kJournalTagIntent = 0;
 inline constexpr std::uint8_t kJournalTagTermChange = 1;
+inline constexpr std::uint8_t kJournalTagAdmission = 2;
 
-/// One decoded changelog payload: an intent mutation or a term change.
+/// One scheduling round's admission decisions (E18): how many requests
+/// were admitted to the batch, shed for overload since the previous
+/// round, expired on their deadline budget, and deferred on a footprint
+/// conflict.  Journaled write-ahead like intent mutations, so the
+/// recovered state hash covers the admission history bit-identically.
+struct AdmissionRoundRecord {
+  std::uint32_t admitted = 0;
+  std::uint32_t shed = 0;
+  std::uint32_t expired = 0;
+  std::uint32_t deferred = 0;
+};
+
+/// One decoded changelog payload: an intent mutation, a term change, or
+/// an admission round.
 struct JournalEntry {
   std::uint8_t tag = kJournalTagIntent;
   IntentRecord record;    // valid when tag == kJournalTagIntent
   std::uint64_t term = 0; // valid when tag == kJournalTagTermChange
+  AdmissionRoundRecord admission;  // valid when tag == kJournalTagAdmission
 };
 
 void encodeIntentRecord(const IntentRecord& record, state::ByteWriter& w);
@@ -119,6 +134,9 @@ class IntentJournal {
   /// Journals a fencing-term change (not an intent mutation: term
   /// records are invisible to records()/size()).
   void appendTermChange(std::uint64_t term);
+  /// Journals one scheduling round's admission counts (invisible to
+  /// records()/size(), like term changes).
+  void appendAdmission(const AdmissionRoundRecord& round);
 
   [[nodiscard]] const std::vector<IntentRecord>& records() const noexcept {
     return records_;

@@ -28,6 +28,18 @@ void Reconciler::start(SimTime phase) {
                  ++roundsSkipped_;
                  return;
                }
+               if (sim_.now() < overloadResumeAt_) {
+                 ++roundsDeferred_;
+                 return;
+               }
+               if (overloadCheck_) {
+                 const double retryAfter = overloadCheck_();
+                 if (retryAfter > 0.0) {
+                   ++roundsDeferred_;
+                   overloadResumeAt_ = sim_.now() + retryAfter;
+                   return;
+                 }
+               }
                auditRound();
              },
              phase);

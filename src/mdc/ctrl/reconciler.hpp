@@ -84,6 +84,20 @@ class Reconciler {
     return roundsSkipped_;
   }
 
+  /// Overload gate (E18): the check returns the admission layer's
+  /// retry-after hint in seconds, or 0 when the command plane has
+  /// headroom.  Periodic audits defer while it is positive — repair
+  /// commands would only feed an already-saturated pipeline.  Direct
+  /// auditRound() calls (failover re-derivation) are not gated.
+  void setOverloadCheck(std::function<double()> check) {
+    overloadCheck_ = std::move(check);
+  }
+
+  /// Rounds deferred by the overload gate.
+  [[nodiscard]] std::uint64_t roundsDeferred() const noexcept {
+    return roundsDeferred_;
+  }
+
   // --- introspection ------------------------------------------------------
 
   [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
@@ -138,8 +152,11 @@ class Reconciler {
   Tracer* tracer_ = nullptr;
 
   std::function<bool()> activeCheck_;
+  std::function<double()> overloadCheck_;
+  SimTime overloadResumeAt_ = 0.0;
   std::uint32_t cursor_ = 0;
   std::uint64_t roundsSkipped_ = 0;
+  std::uint64_t roundsDeferred_ = 0;
   std::uint64_t rounds_ = 0;
   std::uint64_t lastRoundDrift_ = 0;
   std::uint64_t driftDetected_ = 0;

@@ -68,6 +68,9 @@ void ChaosStorm::schedule(FaultInjector& injector) {
     plan.journalTornWrites = draw(options_.maxJournalTornWrites);
     plan.journalCorruptRecords = draw(options_.maxJournalCorruptRecords);
     plan.snapshotCorruptions = draw(options_.maxSnapshotCorruptions);
+    plan.commandStorms = draw(options_.maxCommandStorms);
+    plan.stormBurst = options_.stormBurst;
+    plan.stormWindowSeconds = options_.stormWindowSeconds;
     plan.repairAfter =
         rng_.uniform(options_.minRepairSeconds, options_.maxRepairSeconds);
     waves_.push_back(plan);
@@ -98,6 +101,7 @@ std::vector<std::string> WorldInvariants::checkEpoch() {
   std::vector<std::string> out;
   checkStructural(out, /*strict=*/false);
   checkLeadership(out);
+  checkAdmission(out);
   return out;
 }
 
@@ -105,6 +109,7 @@ std::vector<std::string> WorldInvariants::checkQuiesced() const {
   std::vector<std::string> out;
   Report report(out);
   checkStructural(out, /*strict=*/true);
+  checkAdmission(out);
 
   // Nothing may still be in flight: the serialized queue is drained, no
   // command is awaiting an ack, and no recovery work is pending.
@@ -212,8 +217,8 @@ void WorldInvariants::checkStructural(std::vector<std::string>& out,
         const bool reconcilerBlind =
             vi != nullptr && vi->findRip(r.rip) != nullptr;
         if (strict || (reconcilerBlind && !cleanupInFlight)) {
-          report.add("switch ", sw.id(), " vip ", vip,
-                     " rip references destroyed vm ", r.vm,
+          report.add("switch ", sw.id(), " vip ", vip, " rip ", r.rip,
+                     " references destroyed vm ", r.vm,
                      reconcilerBlind ? " (reconciler-blind)" : "");
         }
       }
@@ -319,6 +324,19 @@ void WorldInvariants::checkStructural(std::vector<std::string>& out,
                    hosts_.vm(vm).app);
       }
     }
+  }
+}
+
+void WorldInvariants::checkAdmission(std::vector<std::string>& out) const {
+  Report report(out);
+  const AdmissionController& adm = manager_.viprip().admission();
+  // Load shedding must never touch the repair path: a shed RestoreVip
+  // would strand an orphaned VIP, a shed cleanup would leak its RIPs.
+  // (The structural checks above would eventually catch the stranding
+  // itself; this catches the cause at the admission layer.)
+  if (adm.shedOf(AdmissionClass::Critical) != 0) {
+    report.add("critical (repair/restore) requests shed: ",
+               adm.shedOf(AdmissionClass::Critical));
   }
 }
 

@@ -64,6 +64,11 @@ class ChaosStorm {
     std::uint32_t maxJournalTornWrites = 1;
     std::uint32_t maxJournalCorruptRecords = 1;
     std::uint32_t maxSnapshotCorruptions = 1;
+    /// Command storms (E18): bursts of conflicting VIP/RIP requests that
+    /// overload the admission queue while infrastructure faults land.
+    std::uint32_t maxCommandStorms = 1;
+    std::uint32_t stormBurst = 64;
+    SimTime stormWindowSeconds = 5.0;
     /// Every fault is repaired after a delay drawn from this range —
     /// storms test recovery, so nothing stays broken forever.
     SimTime minRepairSeconds = 5.0;
@@ -125,6 +130,8 @@ class WorldInvariants {
  private:
   void checkStructural(std::vector<std::string>& out, bool strict) const;
   void checkLeadership(std::vector<std::string>& out);
+  /// Shedding-correctness (E18): the critical class is never shed.
+  void checkAdmission(std::vector<std::string>& out) const;
 
   const Topology& topo_;
   const AppRegistry& apps_;

@@ -264,6 +264,68 @@ void FaultInjector::corruptSnapshot(SimTime at) {
   });
 }
 
+void FaultInjector::commandStorm(SimTime at, std::uint32_t burst,
+                                 SimTime windowSeconds) {
+  MDC_EXPECT(manager_ != nullptr, "commandStorm: no manager attached");
+  MDC_EXPECT(windowSeconds >= 0.0, "storm window must be non-negative");
+  // Entropy drawn at schedule time so the plan stays a pure function of
+  // the seed regardless of how many faults get skipped at run time.
+  const std::uint64_t entropy = rng_.nextU64();
+  sim_.at(at, [this, entropy, burst, windowSeconds] {
+    if (!manager_->leaderUp()) return;  // a dead manager takes no requests
+    // Targets: every VM currently serving as a RIP backend.  Requests
+    // pile onto the same apps/VMs, so footprints conflict and the
+    // admission layer must serialize or shed.
+    std::vector<std::pair<AppId, VmId>> backends;
+    for (std::size_t i = 0; i < fleet_.size(); ++i) {
+      const LbSwitch& sw =
+          fleet_.at(SwitchId{static_cast<SwitchId::value_type>(i)});
+      if (!sw.up()) continue;
+      for (VipId vip : sw.vipIds()) {
+        const VipEntry* e = sw.findVip(vip);
+        if (e == nullptr) continue;
+        for (const RipEntry& r : e->rips) {
+          if (r.targetsVm()) backends.emplace_back(e->app, r.vm);
+        }
+      }
+    }
+    if (backends.empty()) return;
+    Rng storm(entropy);
+    ++faults_;
+    history_.push_back(
+        FaultRecord{FaultKind::CommandStorm, burst, sim_.now(), kNoRepair});
+    for (std::uint32_t i = 0; i < burst; ++i) {
+      const auto [app, vm] = backends[storm.uniformInt(backends.size())];
+      const SimTime when =
+          windowSeconds <= 0.0 ? 0.0 : storm.uniform(0.0, windowSeconds);
+      const double weight = storm.uniform(0.5, 4.0);
+      // Mix: mostly weight churn (conflicting SetWeights coalesce and
+      // serialize), a slice of same-app RIP adds and removals so write
+      // footprints collide across request kinds too.
+      const std::uint64_t kindDraw = storm.uniformInt(10);
+      sim_.after(when, [this, app, vm, weight, kindDraw] {
+        if (!manager_->leaderUp()) return;
+        VipRipRequest req;
+        if (kindDraw == 0) {
+          req.op = VipRipOp::DeleteRip;
+          req.vm = vm;
+        } else if (kindDraw <= 2) {
+          req.op = VipRipOp::NewRip;
+          req.app = app;
+          req.vm = vm;
+          req.weight = weight;
+        } else {
+          req.op = VipRipOp::SetWeight;
+          req.app = app;
+          req.vm = vm;
+          req.weight = weight;
+        }
+        (void)manager_->viprip().submit(std::move(req));
+      });
+    }
+  });
+}
+
 void FaultInjector::schedulePlan(const RandomPlan& plan) {
   MDC_EXPECT(plan.end > plan.start, "plan window must be non-empty");
   auto when = [&] { return rng_.uniform(plan.start, plan.end); };
@@ -312,6 +374,9 @@ void FaultInjector::schedulePlan(const RandomPlan& plan) {
   }
   for (std::uint32_t i = 0; i < plan.snapshotCorruptions; ++i) {
     corruptSnapshot(when());
+  }
+  for (std::uint32_t i = 0; i < plan.commandStorms; ++i) {
+    commandStorm(when(), plan.stormBurst, plan.stormWindowSeconds);
   }
 }
 

@@ -49,7 +49,13 @@ enum class FaultKind : std::uint8_t {
   JournalCorruptRecord,
   /// A flipped bit in the latest on-"disk" snapshot image.  The next
   /// recovery must reject it and fall back (older snapshot or replay).
-  SnapshotCorrupt
+  SnapshotCorrupt,
+  /// A burst of conflicting VIP/RIP reconfiguration requests (SetWeight /
+  /// NewRip / DeleteRip churn against live backends) slammed into the
+  /// manager's admission queue — an overload fault, not a crash.  The
+  /// admission layer must shed/serialize without stranding VIPs or
+  /// leaking RIPs (E18).
+  CommandStorm
 };
 
 /// One injected fault, in execution order (the audit trail of a run).
@@ -87,6 +93,12 @@ class FaultInjector {
     std::uint32_t journalCorruptRecords = 0;
     /// Bit flips in the latest snapshot image; needs a manager.
     std::uint32_t snapshotCorruptions = 0;
+    /// Command storms against the VIP/RIP admission queue; needs a
+    /// manager.  Each storm fires `stormBurst` conflicting requests
+    /// spread over `stormWindowSeconds`.
+    std::uint32_t commandStorms = 0;
+    std::uint32_t stormBurst = 64;
+    SimTime stormWindowSeconds = 5.0;
     /// Repair delay applied to every fault of the plan; < 0: no repair.
     SimTime repairAfter = -1.0;
   };
@@ -148,6 +160,12 @@ class FaultInjector {
   /// recovery, which must reject the image and fall back.  Skipped if
   /// no snapshot has been taken yet.
   void corruptSnapshot(SimTime at);
+  /// Fires `burst` conflicting VIP/RIP requests (weight churn on live
+  /// backends plus same-app RIP add/remove) spread uniformly over
+  /// `windowSeconds`, starting at `at`.  Skipped if no leader is up or
+  /// no RIP backends exist at fire time.  There is no repair: the storm
+  /// ends when the queue drains (or sheds).
+  void commandStorm(SimTime at, std::uint32_t burst, SimTime windowSeconds);
 
   /// Schedules `plan` using the injector's seeded Rng: targets drawn
   /// uniformly (links among access links), times uniform in [start, end).

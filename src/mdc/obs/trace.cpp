@@ -14,6 +14,8 @@ const char* toString(HopKind hop) noexcept {
       return "request_applied";
     case HopKind::RequestDone:
       return "request_done";
+    case HopKind::RequestShed:
+      return "request_shed";
     case HopKind::CmdSend:
       return "cmd_send";
     case HopKind::CmdTransmit:

@@ -45,6 +45,8 @@ enum class HopKind : std::uint8_t {
   RequestRefused,    // refused at submit; code = error ("manager_down")
   RequestApplied,    // dequeued, decision applied; code = op
   RequestDone,       // request completion; code = status ("ok"/error)
+  RequestShed,       // load-shed at admission (terminal for the request
+                     // span; no command spans follow); a=class, b=retry-after
 
   // Command-level hops (child span per switch command).
   CmdSend,      // handed to the sender; a=seq, b=term, code = kind

@@ -170,6 +170,44 @@ void MegaDc::registerStandardMetrics() {
     return u64(vr.cancelledRequests());
   });
 
+  // Command-plane admission & overload (E18).
+  const auto& adm = vr.admission();
+  metrics.registerGauge("mdc.admission.queue_depth", [&adm] {
+    return static_cast<double>(adm.depth());
+  });
+  for (std::size_t c = 0; c < kAdmissionClassCount; ++c) {
+    const auto cls = static_cast<AdmissionClass>(c);
+    const MetricLabels labels{{"class", toString(cls)}};
+    metrics.registerGauge(
+        "mdc.admission.class_depth",
+        [&adm, cls] { return static_cast<double>(adm.depthOf(cls)); }, labels);
+    metrics.registerGauge(
+        "mdc.admission.shed_requests",
+        [&adm, cls, u64] { return u64(adm.shedOf(cls)); }, labels);
+  }
+  metrics.registerGauge("mdc.admission.oldest_age_seconds",
+                        [&adm, this] { return adm.oldestAgeSeconds(sim.now()); });
+  metrics.registerGauge("mdc.admission.effective_batch_size", [&adm] {
+    return static_cast<double>(adm.effectiveBatchSize());
+  });
+  metrics.registerGauge("mdc.admission.brownout_active", [&adm] {
+    return adm.brownoutActive() ? 1.0 : 0.0;
+  });
+  metrics.registerGauge("mdc.admission.rounds",
+                        [&adm, u64] { return u64(adm.rounds()); });
+  metrics.registerGauge("mdc.admission.admitted_requests",
+                        [&adm, u64] { return u64(adm.admitted()); });
+  metrics.registerGauge("mdc.admission.deadline_expired",
+                        [&adm, u64] { return u64(adm.deadlineExpired()); });
+  metrics.registerGauge("mdc.admission.conflict_deferred",
+                        [&adm, u64] { return u64(adm.conflictDeferred()); });
+  metrics.registerGauge("mdc.admission.coalesced_requests",
+                        [&adm, u64] { return u64(adm.coalesced()); });
+  metrics.registerGauge("mdc.admission.bulk_evictions",
+                        [&adm, u64] { return u64(adm.evictions()); });
+  metrics.registerGauge("mdc.admission.brownout_entries",
+                        [&adm, u64] { return u64(adm.brownoutEntries()); });
+
   // Durable state machine: snapshots, changelog, recovery (E17).
   auto machine = [this]() -> state::DurableStateMachine& {
     return manager->viprip().stateMachine();

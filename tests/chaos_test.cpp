@@ -341,6 +341,107 @@ TEST(Chaos, StormHoldsInvariantsEveryEpochAndQuiescesExactlyOnce) {
   EXPECT_GE(r.managerFailovers, 1u);
 }
 
+// --- acceptance: command storms (E18) ---------------------------------------
+
+// A command storm floods the VIP/RIP admission queue with bulk weight
+// updates and capacity work while an infrastructure storm rages.  The
+// acceptance bar: overload sheds only the bulk/capacity classes — the
+// critical repair class is never refused (WorldInvariants::checkAdmission
+// judges that at every epoch) — and the queue drains to empty once the
+// world quiesces.
+TEST(Chaos, CommandStormShedsOnlyBulkAndQuiesces) {
+  const std::uint64_t seed = chaosSeed();
+  SCOPED_TRACE("MDC_CHAOS_SEED=" + std::to_string(seed));
+
+  MegaDcConfig cfg = testScaleConfig();
+  cfg.seed = seed;
+  cfg.fault.seed = seed * 0x9e3779b97f4a7c15ull + 0xe18u;
+  cfg.ctrlFaults.dropRate = 0.05;
+  cfg.ctrlFaults.delaySeconds = 0.02;
+  cfg.ctrlFaults.delayJitterSeconds = 0.05;
+  // A tightly bounded queue, so the bursts drive real shedding decisions
+  // instead of just deep backlogs.
+  cfg.manager.viprip.admission.maxQueueDepth = 24;
+  cfg.manager.viprip.admission.bulkShare = 0.5;
+  cfg.manager.viprip.admission.capacityDeadlineSeconds = 30.0;
+  MegaDc dc{cfg};
+  dc.bootstrap();
+
+  WorldInvariants inv{dc.topo, dc.apps,      dc.dns,          dc.fleet,
+                      dc.hosts, *dc.manager, dc.health.get()};
+
+  const SimTime epoch = cfg.engine.epoch;
+  ChaosStorm::Options sopt;
+  sopt.seed = seed;
+  sopt.start = dc.sim.now() + 10.0;
+  sopt.end = sopt.start + 420.0;
+  sopt.waves = 8;
+  sopt.maxSwitchCrashes = 1;
+  sopt.maxServerCrashes = 2;
+  sopt.maxLinkCuts = 1;
+  sopt.maxPodOutages = 1;
+  sopt.maxChannelPartitions = 1;
+  sopt.maxPodManagerCrashes = 1;
+  sopt.maxGlobalManagerCrashes = 1;
+  sopt.maxCommandStorms = 2;
+  sopt.stormBurst = 96;
+  sopt.stormWindowSeconds = 4.0;
+  sopt.minRepairSeconds = 5.0;
+  sopt.maxRepairSeconds = 25.0;
+  ChaosStorm storm{sopt};
+  storm.schedule(*dc.faults);
+  // One deterministic burst plus a leader crash, so the shed/refuse and
+  // failover paths both run under every seed, whatever the storm draws.
+  dc.faults->commandStorm(sopt.start + 25.0, /*burst=*/96,
+                          /*windowSeconds=*/4.0);
+  dc.faults->crashGlobalManager(sopt.start + 37.0, /*repairAfter=*/15.0);
+
+  std::uint64_t epochsInStorm = 0;
+  while (dc.sim.now() < sopt.end) {
+    dc.runUntil(dc.sim.now() + epoch);
+    ++epochsInStorm;
+    const auto violations = inv.checkEpoch();
+    ASSERT_TRUE(violations.empty())
+        << "epoch invariants broken at t=" << dc.sim.now()
+        << joined(violations);
+  }
+  EXPECT_GE(epochsInStorm, 200u);
+
+  // Quiesce: heal the channel and let the backlog drain.
+  dc.manager->viprip().ctrlChannel().setFaults(ChannelFaults{});
+  bool quiesced = false;
+  std::vector<std::string> lastQuiesce;
+  for (int round = 0; round < 60 && !quiesced; ++round) {
+    for (int e = 0; e < 5; ++e) {
+      dc.runUntil(dc.sim.now() + epoch);
+      const auto violations = inv.checkEpoch();
+      ASSERT_TRUE(violations.empty())
+          << "epoch invariants broken during quiesce at t=" << dc.sim.now()
+          << joined(violations);
+    }
+    lastQuiesce = inv.checkQuiesced();
+    quiesced = lastQuiesce.empty();
+  }
+  EXPECT_TRUE(quiesced) << "world never quiesced:" << joined(lastQuiesce);
+
+  // The storm actually pushed commands through admission, the critical
+  // class was never shed, and nothing is left stuck in the queue.
+  const AdmissionController& adm = dc.manager->viprip().admission();
+  EXPECT_GT(adm.rounds(), 0u);
+  EXPECT_GT(adm.admitted(), 0u);
+  EXPECT_EQ(adm.shedOf(AdmissionClass::Critical), 0u);
+  EXPECT_EQ(adm.depth(), 0u);
+  // The durable mirror the state hash covers saw the same traffic.  (It
+  // counts committed rounds only, so it can trail the controller's
+  // offer-time counters across a mid-flight leader crash — but it can
+  // never lead them.)
+  const VipRipManager::AdmissionTotals totals =
+      dc.manager->viprip().admissionTotals();
+  EXPECT_GT(totals.rounds, 0u);
+  EXPECT_GT(totals.admitted, 0u);
+  EXPECT_LE(totals.admitted, adm.admitted());
+}
+
 // --- acceptance: deterministic chaos replay (E17) ---------------------------
 
 // The whole stack — demand, engine, fault plan, storm schedule, command

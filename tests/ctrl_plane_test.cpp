@@ -5,6 +5,7 @@
 // drive intended-vs-actual drift to zero.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -573,6 +574,55 @@ TEST(CtrlPlane, RepairInsideHoldDownNeitherRedeclaresNorLeaks) {
   EXPECT_EQ(dc.health->switchFailuresDetected(), 2u);
   dc.runUntil(260.0);
   EXPECT_EQ(dc.fleet.pendingOrphans(), 0u);
+}
+
+TEST(CtrlPlane, RetryBackoffJitterStaysInWindowAndIsSeedDeterministic) {
+  // Every retransmit gap must land inside the jitter window
+  // [(1-j), (1+j)] x nominal backoff, and the whole retry timeline must
+  // be a pure function of the jitter seed.
+  auto run = [](std::uint64_t jitterSeed) {
+    Simulation sim;
+    SwitchFleet fleet;
+    const SwitchId sw = fleet.addSwitch(SwitchLimits{});
+    ControlChannel channel{sim, 7};
+    Tracer tracer{sim, Tracer::Options{1u << 12, true}};
+    CommandSender::Options opt;
+    opt.ackTimeoutSeconds = 1.0;
+    opt.maxBackoffSeconds = 8.0;
+    opt.maxAttempts = 6;
+    opt.backoffJitter = 0.1;
+    opt.jitterSeed = jitterSeed;
+    CommandSender sender{sim, channel, fleet, opt};
+    sender.setTracer(&tracer);
+    channel.setPartitioned(sw, true);  // every attempt is lost
+
+    SwitchCommand cfg;
+    cfg.kind = CmdKind::ConfigureVip;
+    cfg.vip = VipId{1};
+    cfg.app = AppId{0};
+    cfg.trace = tracer.begin();
+    sender.send(sw, cfg, [](Status) {});
+    sim.runUntil(300.0);
+
+    std::vector<double> at;
+    for (const TraceEvent& e : tracer.ring().snapshot()) {
+      if (e.hop == HopKind::CmdTransmit) at.push_back(e.at);
+    }
+    return at;
+  };
+
+  const auto at = run(0xfeedf00dull);
+  ASSERT_EQ(at.size(), 6u);  // maxAttempts transmits, then ctrl_timeout
+  for (std::size_t k = 0; k + 1 < at.size(); ++k) {
+    const double nominal =
+        std::min(8.0, std::pow(2.0, static_cast<double>(k)));
+    const double gap = at[k + 1] - at[k];
+    EXPECT_GE(gap, nominal * 0.9 - 1e-12) << "attempt " << k;
+    EXPECT_LE(gap, nominal * 1.1 + 1e-12) << "attempt " << k;
+    EXPECT_NE(gap, nominal);  // the jitter actually engaged
+  }
+  EXPECT_EQ(run(0xfeedf00dull), at);  // fixed seed: bit-identical replay
+  EXPECT_NE(run(0x12345678ull), at);  // a different seed moves the draws
 }
 
 }  // namespace

@@ -253,6 +253,47 @@ TEST(VipRipManager, PriorityJumpsTheQueue) {
   EXPECT_EQ(order, (std::vector<int>{3, 1, 2}));
 }
 
+TEST(VipRipManager, EqualPriorityFifoSurvivesCrashRecover) {
+  Fixture f;
+  const AppId app = f.makeApp();
+  std::vector<int> order;
+  std::vector<std::string> codes;
+  auto mk = [&](int tag) {
+    VipRipRequest req;
+    req.op = VipRipOp::NewVip;
+    req.app = app;
+    req.done = [&, tag](Status s) {
+      order.push_back(tag);
+      codes.push_back(s.ok() ? "ok" : s.error().code);
+    };
+    return req;
+  };
+  f.viprip.submit(mk(1));
+  f.viprip.submit(mk(2));
+  f.viprip.submit(mk(3));
+  f.sim.runUntil(1.15);  // 1 landed at 1.1; 2 and 3 are mid-flight
+  ASSERT_EQ(order, (std::vector<int>{1}));
+
+  f.viprip.crash();
+  f.sim.runUntil(2.0);
+  // The doomed requests settle as cancelled in their submission order.
+  ASSERT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(codes[1], "cancelled");
+  EXPECT_EQ(codes[2], "cancelled");
+
+  // After recovery, equal-priority work is again strictly FIFO — the
+  // admission queue's (priority, seq) order carries across the restart.
+  f.viprip.recoverAsLeader(2);
+  f.viprip.submit(mk(4));
+  f.viprip.submit(mk(5));
+  f.viprip.submit(mk(6));
+  f.sim.runUntil(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(codes[3], "ok");
+  EXPECT_EQ(codes[4], "ok");
+  EXPECT_EQ(codes[5], "ok");
+}
+
 TEST(VipRipManager, SetWeightAndDeleteRip) {
   Fixture f;
   const AppId app = f.makeApp();
