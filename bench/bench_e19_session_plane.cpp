@@ -1,0 +1,532 @@
+// E19 — session data plane at millions of live connections.
+//
+// The seed SessionEngine scheduled one simulation event per session and
+// fell over around 1M.  The sharded engine keeps per-connection state in
+// struct-of-arrays shards (one per switch) with timing-wheel expiry, so a
+// tick costs O(arrivals + expirations due), not O(live sessions).  This
+// bench proves the two acceptance claims:
+//
+//   * capacity — a paper-shaped world (256 apps x 16 switches, ~77k
+//     session arrivals/sec, 30 s mean lifetime) sustains >= 2M live
+//     connections while ticking in real time, sweeping workers 1/2/4/8
+//     with a >= 0.7 per-effective-core scaling gate (post-clamp workers,
+//     same honest accounting as E15);
+//   * equivalence — the sharded tick is bit-identical to the serialized
+//     reference tick (counters and full state hash), re-checked here on
+//     every run, not just in ctest;
+//
+// plus the paper's TTL argument in numbers: quiescent VIP drains at DNS
+// TTL 1 s / 30 s / 300 s, reporting sim-time drain-latency p50/p99 from
+// the engine's histogram (the transfer-drain gate).
+//
+// Flags:
+//   --smoke           small world, seconds not minutes (CI)
+//   --out FILE        machine-readable JSON (default BENCH_E19.json)
+//   --baseline FILE   compare against a previous JSON; exit non-zero on a
+//                     >30% connections/sec regression
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mdc/metrics/table.hpp"
+#include "mdc/scenario/session_engine.hpp"
+#include "mdc/util/stats.hpp"
+
+namespace {
+using namespace mdc;
+
+struct WorldSpec {
+  std::uint32_t numApps = 256;
+  std::uint32_t numSwitches = 16;
+  double rpsPerApp = 150'000.0;      // x2 sessions/krps = 300 arrivals/s/app
+  double meanSessionSeconds = 30.0;
+  double ttlSeconds = 60.0;
+  double lingerFraction = 0.0;
+  std::uint64_t maxActiveSessions = 4'000'000;
+  std::uint64_t seed = 0xE19;
+};
+
+/// A self-contained session world: apps, two VIPs per app striped over
+/// the switches, two RIPs per VIP, every VIP exposed at weight 1.
+struct SessionWorld {
+  Simulation sim;
+  AppRegistry apps;
+  AuthoritativeDns dns;
+  ResolverPopulation resolvers;
+  SwitchFleet fleet;
+  std::unique_ptr<StaticDemand> demand;
+  std::unique_ptr<SessionEngine> engine;
+  std::uint64_t epoch = 0;
+
+  SessionWorld(const WorldSpec& spec, bool sharded, unsigned workers)
+      : resolvers{dns,
+                  ResolverConfig{spec.ttlSeconds, spec.lingerFraction,
+                                 1800.0}} {
+    std::vector<double> rates(spec.numApps, spec.rpsPerApp);
+    std::vector<AppId> ids;
+    for (std::uint32_t a = 0; a < spec.numApps; ++a) {
+      ids.push_back(apps.create("app-" + std::to_string(a), AppSla{},
+                                spec.rpsPerApp));
+      dns.registerApp(ids.back());
+    }
+    demand = std::make_unique<StaticDemand>(rates);
+    for (std::uint32_t s = 0; s < spec.numSwitches; ++s) {
+      SwitchLimits limits;
+      limits.maxConnections = spec.maxActiveSessions;  // bench caps globally
+      fleet.addSwitch(limits);
+    }
+    std::uint32_t nextRip = 0;
+    for (std::uint32_t a = 0; a < spec.numApps; ++a) {
+      for (std::uint32_t k = 0; k < 2; ++k) {
+        const VipId vip{a * 2 + k};
+        const SwitchId sw{(a + k) % spec.numSwitches};
+        if (!fleet.configureVip(sw, vip, ids[a]).ok()) {
+          std::cerr << "bench world wiring failed at app " << a << "\n";
+          std::exit(1);
+        }
+        for (std::uint32_t j = 0; j < 2; ++j) {
+          RipEntry rip;
+          rip.rip = RipId{nextRip};
+          rip.vm = VmId{nextRip};
+          ++nextRip;
+          if (!fleet.addRip(vip, rip).ok()) {
+            std::cerr << "bench world wiring failed at vip " << vip.value()
+                      << "\n";
+            std::exit(1);
+          }
+        }
+        dns.addVip(ids[a], vip, 1.0);
+      }
+    }
+    SessionEngine::Options o;
+    o.sessionsPerSecondPerKrps = 2.0;
+    o.meanSessionSeconds = spec.meanSessionSeconds;
+    o.seed = spec.seed;
+    o.tick = 1.0;
+    o.maxActiveSessions = spec.maxActiveSessions;
+    o.workers = workers;
+    o.sharded = sharded;
+    engine = std::make_unique<SessionEngine>(sim, apps, *demand, dns,
+                                             resolvers, fleet, o);
+  }
+
+  void step() {
+    ++epoch;
+    sim.runUntil(static_cast<SimTime>(epoch));
+    engine->tick();
+  }
+};
+
+struct CellResult {
+  std::string mode;
+  unsigned requestedWorkers = 0;
+  unsigned workers = 0;
+  std::uint64_t activeSessions = 0;
+  double connsPerSec = 0.0;  // admitted session opens per wall-second
+  double ticksPerSec = 0.0;
+  double p50Ms = 0.0;
+  double p99Ms = 0.0;
+  std::uint64_t stateHash = 0;
+};
+
+/// Warm a fresh world to steady state, then time `epochs` ticks three
+/// times (best-of-3, same virtualized-core rationale as E15) and report
+/// wall-clock connections/sec of admitted opens.
+CellResult runCell(const WorldSpec& spec, bool sharded, unsigned workers,
+                   int warmup, int epochs) {
+  SessionWorld w{spec, sharded, workers};
+  for (int i = 0; i < warmup; ++i) w.step();
+
+  double bestP50 = -1.0;
+  double bestP99 = -1.0;
+  double bestConns = 0.0;
+  for (int window = 0; window < 3; ++window) {
+    std::vector<double> stepMs;
+    stepMs.reserve(static_cast<std::size_t>(epochs));
+    const std::uint64_t opens0 =
+        w.engine->totalArrivals() - w.engine->rejectedSessions();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int e = 0; e < epochs; ++e) {
+      const auto s0 = std::chrono::steady_clock::now();
+      w.step();
+      const auto s1 = std::chrono::steady_clock::now();
+      stepMs.push_back(1000.0 *
+                       std::chrono::duration<double>(s1 - s0).count());
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(t1 - t0).count();
+    const std::uint64_t opens =
+        w.engine->totalArrivals() - w.engine->rejectedSessions() - opens0;
+    const double p50 = percentile(stepMs, 50.0);
+    if (bestP50 < 0.0 || p50 < bestP50) {
+      bestP50 = p50;
+      bestP99 = percentile(stepMs, 99.0);
+      bestConns = wall > 0.0 ? static_cast<double>(opens) / wall : 0.0;
+    }
+  }
+
+  CellResult r;
+  r.mode = sharded ? "sharded" : "serialized";
+  r.requestedWorkers = sharded ? workers : 1;
+  r.workers = w.engine->workerCount();
+  r.activeSessions = w.engine->activeSessions();
+  r.connsPerSec = bestConns;
+  r.ticksPerSec = bestP50 > 0.0 ? 1000.0 / bestP50 : 0.0;
+  r.p50Ms = bestP50;
+  r.p99Ms = bestP99;
+  r.stateHash = w.engine->stateHash();
+  return r;
+}
+
+/// Serialized-vs-sharded bit-identity, re-proven on every bench run: two
+/// twin worlds, same seed, N epochs, equal counters and state hash.
+bool checkEquivalence(const WorldSpec& spec, int epochs,
+                      std::string& detail) {
+  SessionWorld ser{spec, /*sharded=*/false, 0};
+  SessionWorld shd{spec, /*sharded=*/true, 0};
+  for (int e = 0; e < epochs; ++e) {
+    ser.step();
+    shd.step();
+    if (ser.engine->stateHash() != shd.engine->stateHash() ||
+        ser.engine->totalArrivals() != shd.engine->totalArrivals() ||
+        ser.engine->activeSessions() != shd.engine->activeSessions() ||
+        ser.engine->completedSessions() != shd.engine->completedSessions() ||
+        ser.engine->rejectedSessions() != shd.engine->rejectedSessions()) {
+      std::ostringstream msg;
+      msg << "divergence at epoch " << (e + 1) << ": serialized hash "
+          << ser.engine->stateHash() << " vs sharded "
+          << shd.engine->stateHash();
+      detail = msg.str();
+      return false;
+    }
+  }
+  std::ostringstream msg;
+  msg << "identical over " << epochs << " epochs (hash "
+      << ser.engine->stateHash() << ", " << ser.engine->totalArrivals()
+      << " arrivals)";
+  detail = msg.str();
+  return true;
+}
+
+struct DrainResult {
+  double ttlSeconds = 0.0;
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t broken = 0;
+  double p50Seconds = 0.0;
+  double p99Seconds = 0.0;
+};
+
+/// Quiescent-drain latency cell: steady state, then drain one VIP per
+/// app (up to 6) toward rotated destinations and run sim time forward
+/// until every drain lands.  Latency is sim time — the paper's TTL
+/// argument — so wall-clock noise cannot touch it.
+DrainResult runDrainCell(double ttlSeconds, bool smoke) {
+  WorldSpec spec;
+  spec.numApps = smoke ? 4 : 8;
+  spec.numSwitches = 4;
+  spec.rpsPerApp = 10'000.0;  // 20 arrivals/s/app
+  spec.meanSessionSeconds = 15.0;
+  spec.ttlSeconds = ttlSeconds;
+  spec.maxActiveSessions = 100'000;
+  SessionWorld w{spec, /*sharded=*/true, 0};
+  for (int i = 0; i < 60; ++i) w.step();
+
+  DrainResult d;
+  d.ttlSeconds = ttlSeconds;
+  for (std::uint32_t a = 0; a < spec.numApps && d.started < 6; ++a) {
+    const VipId vip{a * 2};
+    const auto owner = w.fleet.ownerOf(vip);
+    if (!owner.has_value()) continue;
+    // Rotate destinations away from the owner.
+    std::uint32_t toIdx = (owner->value() + 1 + a) % spec.numSwitches;
+    if (toIdx == owner->value()) toIdx = (toIdx + 1) % spec.numSwitches;
+    if (w.engine->beginDrain(vip, SwitchId{toIdx}).ok()) ++d.started;
+  }
+
+  const double deadline =
+      static_cast<double>(w.epoch) + ttlSeconds * 40.0 + 600.0;
+  while (w.engine->drainsInProgress() > 0 &&
+         static_cast<double>(w.epoch) < deadline) {
+    w.step();
+  }
+  d.completed = w.engine->drainsCompleted();
+  d.aborted = w.engine->drainsAborted();
+  d.broken = w.engine->brokenSessions();
+  d.p50Seconds = w.engine->drainLatency().quantile(0.5);
+  d.p99Seconds = w.engine->drainLatency().quantile(0.99);
+  return d;
+}
+
+double extractNumber(const std::string& json, const std::string& key) {
+  const auto pos = json.find("\"" + key + "\":");
+  if (pos == std::string::npos) return -1.0;
+  return std::strtod(json.c_str() + pos + key.size() + 3, nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string outFile = "BENCH_E19.json";
+  std::string baselineFile;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      outFile = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baselineFile = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--smoke] [--out FILE] [--baseline FILE]\n";
+      return 2;
+    }
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  WorldSpec spec;
+  if (smoke) {
+    spec.numApps = 32;
+    spec.numSwitches = 4;
+    spec.rpsPerApp = 4000.0;  // 8 arrivals/s/app, ~5k steady sessions
+    spec.meanSessionSeconds = 20.0;
+    spec.maxActiveSessions = 100'000;
+  }
+  const int warmup = smoke ? 40 : 120;  // ~4 mean lifetimes to steady state
+  const int epochs = smoke ? 10 : 25;
+
+  // --- capacity sweep -------------------------------------------------------
+  constexpr std::array<unsigned, 4> kSweep{1u, 2u, 4u, 8u};
+  std::vector<CellResult> results;
+  Table table{"E19: session plane (mode x workers)",
+              {"mode", "req w", "eff w", "active", "conns/s", "ticks/s",
+               "p50 ms", "p99 ms"}};
+  const auto record = [&](const CellResult& r) {
+    results.push_back(r);
+    table.addRow({r.mode, static_cast<long long>(r.requestedWorkers),
+                  static_cast<long long>(r.workers),
+                  static_cast<long long>(r.activeSessions), r.connsPerSec,
+                  r.ticksPerSec, r.p50Ms, r.p99Ms});
+  };
+
+  if (!smoke) {
+    std::cout << "building " << spec.numApps << "-app world, ~"
+              << spec.numApps * spec.rpsPerApp / 1000.0 * 2.0
+              << " session arrivals/sec, target steady state ~"
+              << spec.numApps * spec.rpsPerApp / 1000.0 * 2.0 *
+                     spec.meanSessionSeconds
+              << " live sessions...\n";
+  }
+  record(runCell(spec, /*sharded=*/false, 0, warmup, epochs));
+  for (const unsigned workers : kSweep) {
+    record(runCell(spec, /*sharded=*/true, workers, warmup, epochs));
+  }
+
+  // Hash identity across the whole sweep: every cell ran the same virtual
+  // world, so every cell must end in the same state.
+  bool sweepHashOk = true;
+  for (const CellResult& r : results) {
+    if (r.stateHash != results[0].stateHash) sweepHashOk = false;
+  }
+
+  const double serializedConns = results[0].connsPerSec;
+  const double sharded1w = results[1].connsPerSec;
+  const std::uint64_t peakActive = results[1].activeSessions;
+  double minRatio = 1e18;
+  double scalingEff = -1.0;
+  bool ratioOk = true;
+  for (std::size_t i = 2; i < results.size(); ++i) {
+    const double ratio = results[i].connsPerSec / sharded1w;
+    minRatio = std::min(minRatio, ratio);
+    // When the pool clamps a cell down to the same effective core count
+    // as the 1-worker baseline (single-core box), both cells run the
+    // exact same work and the ratio only measures scheduler noise on a
+    // virtualized core — gate that at 0.75.  Cells with genuinely more
+    // effective cores must not run slower than 1 worker: floor 0.9.
+    const double floor = results[i].workers > results[1].workers ? 0.9 : 0.75;
+    if (ratio < floor) ratioOk = false;
+    if (i + 1 == results.size()) {
+      scalingEff = ratio / static_cast<double>(results[i].workers);
+    }
+  }
+
+  // --- equivalence ----------------------------------------------------------
+  WorldSpec eqSpec = spec;
+  eqSpec.numApps = smoke ? 16 : 48;
+  eqSpec.numSwitches = 4;
+  eqSpec.rpsPerApp = 8000.0;
+  eqSpec.maxActiveSessions = 20'000;  // tight: the Cap path equivalence too
+  std::string eqDetail;
+  const bool eqOk = checkEquivalence(eqSpec, smoke ? 30 : 80, eqDetail);
+  std::cout << "serialized-vs-sharded equivalence: "
+            << (eqOk ? "OK — " : "FAIL — ") << eqDetail << "\n";
+
+  // --- drain latency vs TTL -------------------------------------------------
+  std::vector<DrainResult> drains;
+  Table drainTable{"E19: quiescent drain latency vs DNS TTL (sim seconds)",
+                   {"ttl s", "started", "completed", "aborted", "broken",
+                    "p50 s", "p99 s"}};
+  const std::vector<double> ttls =
+      smoke ? std::vector<double>{1.0, 30.0}
+            : std::vector<double>{1.0, 30.0, 300.0};
+  for (const double ttl : ttls) {
+    drains.push_back(runDrainCell(ttl, smoke));
+    const DrainResult& d = drains.back();
+    drainTable.addRow({d.ttlSeconds, static_cast<long long>(d.started),
+                       static_cast<long long>(d.completed),
+                       static_cast<long long>(d.aborted),
+                       static_cast<long long>(d.broken), d.p50Seconds,
+                       d.p99Seconds});
+  }
+  bool drainsOk = true;
+  double drainP99Widest = 0.0;
+  for (const DrainResult& d : drains) {
+    if (d.started == 0 || d.completed + d.aborted < d.started ||
+        d.broken != 0) {
+      drainsOk = false;
+    }
+    drainP99Widest = d.p99Seconds;
+  }
+  // Longer TTLs must cost drain latency (the paper's argument, measured).
+  for (std::size_t i = 1; i < drains.size(); ++i) {
+    if (drains[i].p99Seconds <= drains[i - 1].p99Seconds) drainsOk = false;
+  }
+
+  table.print(std::cout);
+  drainTable.print(std::cout);
+  std::cout << "expected shape: the sharded tick holds ~steady-state"
+               " sessions = arrivals/s x mean lifetime with tick cost"
+               " O(arrivals + expiries); worker cells scale by *effective*"
+               " (post-clamp) cores; drain p99 grows with DNS TTL and no"
+               " quiescent drain ever breaks a session\n";
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"e19_session_plane\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    json << "    {\"mode\": \"" << r.mode
+         << "\", \"workers_requested\": " << r.requestedWorkers
+         << ", \"workers\": " << r.workers
+         << ", \"active_sessions\": " << r.activeSessions
+         << ", \"conns_per_sec\": " << r.connsPerSec
+         << ", \"ticks_per_sec\": " << r.ticksPerSec
+         << ", \"p50_ms\": " << r.p50Ms << ", \"p99_ms\": " << r.p99Ms
+         << ", \"state_hash\": " << r.stateHash << "}"
+         << (i + 1 == results.size() ? "\n" : ",\n");
+  }
+  json << "  ],\n  \"drains\": [\n";
+  for (std::size_t i = 0; i < drains.size(); ++i) {
+    const DrainResult& d = drains[i];
+    json << "    {\"ttl_seconds\": " << d.ttlSeconds
+         << ", \"started\": " << d.started
+         << ", \"completed\": " << d.completed
+         << ", \"aborted\": " << d.aborted << ", \"broken\": " << d.broken
+         << ", \"drain_p50_seconds\": " << d.p50Seconds
+         << ", \"drain_p99_seconds\": " << d.p99Seconds << "}"
+         << (i + 1 == drains.size() ? "\n" : ",\n");
+  }
+  const bool capacityOk = smoke || peakActive >= 2'000'000;
+  const bool scalingOk = scalingEff >= 0.7 && ratioOk;
+  const bool meets =
+      capacityOk && scalingOk && eqOk && sweepHashOk && drainsOk;
+  json << "  ],\n  \"checks\": {\n"
+       << "    \"peak_active_sessions\": " << peakActive << ",\n"
+       << "    \"target_active_sessions\": "
+       << (smoke ? 0 : 2'000'000) << ",\n"
+       << "    \"conns_per_sec_serialized\": " << serializedConns << ",\n"
+       << "    \"conns_per_sec_1w\": " << sharded1w << ",\n"
+       << "    \"scaling_efficiency\": " << scalingEff << ",\n"
+       << "    \"workers_min_ratio\": " << minRatio << ",\n"
+       << "    \"target_scaling_efficiency\": 0.7,\n"
+       << "    \"equivalence_ok\": " << (eqOk ? "true" : "false") << ",\n"
+       << "    \"sweep_hash_ok\": " << (sweepHashOk ? "true" : "false")
+       << ",\n"
+       << "    \"drains_ok\": " << (drainsOk ? "true" : "false") << ",\n"
+       << "    \"drain_p99_widest_ttl_seconds\": " << drainP99Widest << ",\n"
+       << "    \"meets_target\": " << (meets ? "true" : "false") << "\n"
+       << "  }\n}\n";
+
+  std::ofstream(outFile) << json.str();
+  std::cout << "\nwrote " << outFile << "\n";
+
+  if (!eqOk) {
+    std::cerr << "FAIL: sharded tick diverged from serialized reference — "
+              << eqDetail << "\n";
+    return 1;
+  }
+  if (!sweepHashOk) {
+    std::cerr << "FAIL: sweep cells disagree on final state hash — the"
+                 " worker count leaked into simulation state\n";
+    return 1;
+  }
+  if (!drainsOk) {
+    std::cerr << "FAIL: drain cells misbehaved (a drain wedged, broke a"
+                 " session, or p99 failed to grow with TTL)\n";
+    return 1;
+  }
+  if (!capacityOk) {
+    std::cerr << "FAIL: peak active sessions " << peakActive
+              << " < 2M target\n";
+    return 1;
+  }
+  if (!scalingOk) {
+    std::cerr << "FAIL: scaling efficiency " << scalingEff
+              << " (< 0.7 per effective core) or a worker cell ran below"
+                 " its floor (min ratio "
+              << minRatio << ", floor 0.9 scaled / 0.75 clamped)\n";
+    return 1;
+  }
+
+  if (!baselineFile.empty()) {
+    std::ifstream in(baselineFile);
+    if (!in) {
+      std::cerr << "FAIL: cannot read baseline " << baselineFile << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string base = buf.str();
+    // The sharded/serialized throughput ratio is scale-free, so it
+    // transfers between the smoke world and the full-scale committed
+    // baseline; absolute conns/sec does not (the smoke world amortizes
+    // per-tick overhead over far fewer arrivals), so that gate only
+    // applies when this run's mode matches the baseline's.
+    const double baseSerialized = extractNumber(base, "conns_per_sec_serialized");
+    const double baseConns = extractNumber(base, "conns_per_sec_1w");
+    const double baseRatio =
+        baseSerialized > 0.0 ? baseConns / baseSerialized : 0.0;
+    const double ratioNow =
+        serializedConns > 0.0 ? sharded1w / serializedConns : 0.0;
+    std::cout << "baseline compare: sharded/serialized ratio " << ratioNow
+              << " vs " << baseRatio << " (fail below 70% of baseline)\n";
+    if (baseRatio > 0.0 && ratioNow < 0.7 * baseRatio) {
+      std::cerr << "FAIL: sharded throughput regressed >30% vs the"
+                   " serialized reference, relative to baseline\n";
+      return 1;
+    }
+    const bool baseSmoke = base.find("\"smoke\": true") != std::string::npos;
+    if (baseSmoke == smoke) {
+      std::cout << "baseline compare: conns/sec " << sharded1w << " vs "
+                << baseConns << " (fail below 70% of baseline)\n";
+      if (baseConns > 0.0 && sharded1w < 0.7 * baseConns) {
+        std::cerr << "FAIL: connections/sec regressed >30% vs baseline\n";
+        return 1;
+      }
+    }
+  }
+  return 0;
+}

@@ -62,7 +62,7 @@ Outcome run(double lingerFraction, bool forceOnTimeout) {
   SessionEngine::Options so;
   so.sessionsPerSecondPerKrps = 0.3;
   so.meanSessionSeconds = 30.0;
-  SessionEngine sessions{dc.sim, dc.apps, *dc.demand, *dc.resolvers,
+  SessionEngine sessions{dc.sim, dc.apps, *dc.demand, dc.dns, *dc.resolvers,
                          dc.fleet, so};
   sessions.start();
 

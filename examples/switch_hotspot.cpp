@@ -51,7 +51,7 @@ int main() {
   SessionEngine::Options so;
   so.sessionsPerSecondPerKrps = 0.5;
   so.meanSessionSeconds = 30.0;
-  SessionEngine sessions{dc.sim, dc.apps, *dc.demand, *dc.resolvers,
+  SessionEngine sessions{dc.sim, dc.apps, *dc.demand, dc.dns, *dc.resolvers,
                          dc.fleet, so};
   sessions.start();
 

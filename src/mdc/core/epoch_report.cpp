@@ -87,6 +87,13 @@ void encodeEpochReport(const EpochReport& rep, state::ByteWriter& w) {
   w.u64(rep.stateTruncatedBytes);
   w.u64(rep.stateSnapshotsRejected);
   w.u64(rep.stateCompactedRecords);
+  w.u64(rep.sessionArrivals);
+  w.u64(rep.sessionActive);
+  w.u64(rep.sessionCompleted);
+  w.u64(rep.sessionBroken);
+  w.u64(rep.sessionRejected);
+  w.u64(rep.sessionDrainsCompleted);
+  w.f64(rep.sessionDrainP99Seconds);
 }
 
 EpochReport decodeEpochReport(state::ByteReader& r) {
@@ -136,6 +143,13 @@ EpochReport decodeEpochReport(state::ByteReader& r) {
   rep.stateTruncatedBytes = r.u64();
   rep.stateSnapshotsRejected = r.u64();
   rep.stateCompactedRecords = r.u64();
+  rep.sessionArrivals = r.u64();
+  rep.sessionActive = r.u64();
+  rep.sessionCompleted = r.u64();
+  rep.sessionBroken = r.u64();
+  rep.sessionRejected = r.u64();
+  rep.sessionDrainsCompleted = r.u64();
+  rep.sessionDrainP99Seconds = r.f64();
   return rep;
 }
 

@@ -102,6 +102,17 @@ struct EpochReport {
   std::uint64_t stateSnapshotsRejected = 0;
   std::uint64_t stateCompactedRecords = 0;
 
+  /// Session data plane snapshot (E19): live TCP sessions tracked by the
+  /// per-switch connection shards, plus the quiescent-drain gauges.  All
+  /// zero when no SessionEngine runs alongside the fluid engine.
+  std::uint64_t sessionArrivals = 0;
+  std::uint64_t sessionActive = 0;
+  std::uint64_t sessionCompleted = 0;
+  std::uint64_t sessionBroken = 0;
+  std::uint64_t sessionRejected = 0;
+  std::uint64_t sessionDrainsCompleted = 0;
+  double sessionDrainP99Seconds = 0.0;
+
   [[nodiscard]] double totalDemandRps() const {
     double d = 0.0;
     for (const auto& [app, rps] : appDemandRps) d += rps;

@@ -102,7 +102,43 @@ std::vector<std::string> WorldInvariants::checkEpoch() {
   checkStructural(out, /*strict=*/false);
   checkLeadership(out);
   checkAdmission(out);
+  checkSessions(out);
   return out;
+}
+
+void WorldInvariants::checkSessions(std::vector<std::string>& out) {
+  if (!sessionProbe_) return;
+  const std::optional<SessionPlaneSample> sample = sessionProbe_();
+  if (!sample.has_value()) return;
+  Report report(out);
+  // Conservation: every arrival is live, finished, severed, or turned
+  // away — nothing leaks, even mid-crash.
+  const std::uint64_t accounted =
+      sample->active + sample->completed + sample->broken + sample->rejected;
+  if (sample->arrivals != accounted) {
+    report.add("session conservation broken: arrivals=", sample->arrivals,
+               " != active+completed+broken+rejected=", accounted);
+  }
+  // Monotonicity of the cumulative counters between epochs.
+  if (lastSession_.has_value()) {
+    if (sample->arrivals < lastSession_->arrivals) {
+      report.add("session arrivals went backwards: ", sample->arrivals, " < ",
+                 lastSession_->arrivals);
+    }
+    if (sample->completed < lastSession_->completed) {
+      report.add("session completions went backwards: ", sample->completed,
+                 " < ", lastSession_->completed);
+    }
+    if (sample->broken < lastSession_->broken) {
+      report.add("session breaks went backwards: ", sample->broken, " < ",
+                 lastSession_->broken);
+    }
+    if (sample->rejected < lastSession_->rejected) {
+      report.add("session rejections went backwards: ", sample->rejected,
+                 " < ", lastSession_->rejected);
+    }
+  }
+  lastSession_ = sample;
 }
 
 std::vector<std::string> WorldInvariants::checkQuiesced() const {

@@ -28,6 +28,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -97,6 +99,17 @@ class ChaosStorm {
   std::vector<FaultInjector::RandomPlan> waves_;
 };
 
+/// One epoch's session-data-plane counters, as sampled by a probe the
+/// scenario layer attaches (the fault module cannot depend on scenario,
+/// so the invariant checker sees the SessionEngine only through this).
+struct SessionPlaneSample {
+  std::uint64_t arrivals = 0;
+  std::uint64_t active = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t broken = 0;
+  std::uint64_t rejected = 0;
+};
+
 class WorldInvariants {
  public:
   /// `health` may be null (no self-healing: the tolerant checks then have
@@ -105,6 +118,15 @@ class WorldInvariants {
                   const AuthoritativeDns& dns, const SwitchFleet& fleet,
                   const HostFleet& hosts, GlobalManager& manager,
                   const HealthMonitor* health = nullptr);
+
+  /// Attaches a session-plane probe.  When it returns a sample,
+  /// checkEpoch() enforces session conservation: every arrival is in
+  /// exactly one of {active, completed, broken, rejected}, and the
+  /// cumulative counters never move backwards.
+  void attachSessionProbe(
+      std::function<std::optional<SessionPlaneSample>()> probe) {
+    sessionProbe_ = std::move(probe);
+  }
 
   /// Invariants that must hold at every epoch, storm or not.  Also
   /// advances the leadership history (term monotonicity, leaderless-run
@@ -132,6 +154,8 @@ class WorldInvariants {
   void checkLeadership(std::vector<std::string>& out);
   /// Shedding-correctness (E18): the critical class is never shed.
   void checkAdmission(std::vector<std::string>& out) const;
+  /// Session conservation (E19), via the attached probe.
+  void checkSessions(std::vector<std::string>& out);
 
   const Topology& topo_;
   const AppRegistry& apps_;
@@ -140,6 +164,8 @@ class WorldInvariants {
   const HostFleet& hosts_;
   GlobalManager& manager_;
   const HealthMonitor* health_;
+  std::function<std::optional<SessionPlaneSample>()> sessionProbe_;
+  std::optional<SessionPlaneSample> lastSession_;
 
   std::uint64_t epochsChecked_ = 0;
   std::uint64_t lastTerm_ = 0;

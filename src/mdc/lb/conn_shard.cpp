@@ -1,0 +1,164 @@
+#include "mdc/lb/conn_shard.hpp"
+
+#include "mdc/util/expect.hpp"
+
+namespace mdc {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnvMix(std::uint64_t& h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+std::uint64_t roundUpPow2(std::uint64_t n) noexcept {
+  std::uint64_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ConnectionShard::ConnectionShard(std::uint32_t wheelSlots)
+    : wheel_(roundUpPow2(wheelSlots)), mask_(wheel_.size() - 1) {}
+
+void ConnectionShard::open(std::uint64_t sessionId, AppId app, VipId vip,
+                           RipId rip, std::uint64_t expiryTick) {
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(id_.size());
+    id_.push_back(sessionId);
+    app_.push_back(app.value());
+    vip_.push_back(vip.value());
+    rip_.push_back(rip.value());
+    expiry_.push_back(expiryTick);
+    gen_.push_back(0);
+    live_.push_back(1);
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+    id_[slot] = sessionId;
+    app_[slot] = app.value();
+    vip_[slot] = vip.value();
+    rip_[slot] = rip.value();
+    expiry_[slot] = expiryTick;
+    live_[slot] = 1;
+  }
+  wheel_[expiryTick & mask_].push_back((static_cast<std::uint64_t>(slot) << 32) |
+                                       gen_[slot]);
+  ++perVip_[vip];
+  ++size_;
+  ++opened_;
+}
+
+void ConnectionShard::closeSlot(std::uint32_t slot) {
+  const auto pv = perVip_.find(VipId{vip_[slot]});
+  MDC_ENSURE(pv != perVip_.end() && pv->second > 0,
+             "shard per-vip count corrupt");
+  if (--pv->second == 0) perVip_.erase(pv);
+  live_[slot] = 0;
+  ++gen_[slot];  // wheel entries pointing here are now stale
+  free_.push_back(slot);
+  --size_;
+}
+
+std::uint64_t ConnectionShard::expireDue(std::uint64_t tick) {
+  auto& bucket = wheel_[tick & mask_];
+  std::uint64_t done = 0;
+  std::size_t keep = 0;
+  for (const std::uint64_t entry : bucket) {
+    const auto slot = static_cast<std::uint32_t>(entry >> 32);
+    const auto gen = static_cast<std::uint32_t>(entry);
+    if (live_[slot] == 0 || gen_[slot] != gen) continue;  // stale: drop
+    if (expiry_[slot] <= tick) {
+      closeSlot(slot);
+      ++done;
+    } else {
+      bucket[keep++] = entry;  // a later lap of the wheel
+    }
+  }
+  bucket.resize(keep);
+  completed_ += done;
+  return done;
+}
+
+std::uint64_t ConnectionShard::severVip(VipId vip) {
+  if (countForVip(vip) == 0) return 0;
+  std::uint64_t severed = 0;
+  for (std::uint32_t slot = 0; slot < live_.size(); ++slot) {
+    if (live_[slot] != 0 && vip_[slot] == vip.value()) {
+      closeSlot(slot);
+      ++severed;
+    }
+  }
+  broken_ += severed;
+  return severed;
+}
+
+std::uint64_t ConnectionShard::severAll() {
+  const std::uint64_t severed = size_;
+  id_.clear();
+  app_.clear();
+  vip_.clear();
+  rip_.clear();
+  expiry_.clear();
+  gen_.clear();
+  live_.clear();
+  free_.clear();
+  for (auto& bucket : wheel_) bucket.clear();
+  perVip_.clear();
+  size_ = 0;
+  broken_ += severed;
+  return severed;
+}
+
+std::uint64_t ConnectionShard::countForVip(VipId vip) const {
+  const auto it = perVip_.find(vip);
+  return it == perVip_.end() ? 0 : it->second;
+}
+
+void ConnectionShard::forEachOfVip(
+    VipId vip,
+    const std::function<void(std::uint64_t, RipId)>& fn) const {
+  if (countForVip(vip) == 0) return;
+  for (std::uint32_t slot = 0; slot < live_.size(); ++slot) {
+    if (live_[slot] != 0 && vip_[slot] == vip.value()) {
+      fn(id_[slot], RipId{rip_[slot]});
+    }
+  }
+}
+
+void ConnectionShard::forEach(
+    const std::function<void(std::uint64_t, AppId, VipId, RipId,
+                             std::uint64_t)>& fn) const {
+  for (std::uint32_t slot = 0; slot < live_.size(); ++slot) {
+    if (live_[slot] != 0) {
+      fn(id_[slot], AppId{app_[slot]}, VipId{vip_[slot]}, RipId{rip_[slot]},
+         expiry_[slot]);
+    }
+  }
+}
+
+std::uint64_t ConnectionShard::stateHash() const noexcept {
+  std::uint64_t h = kFnvOffset;
+  fnvMix(h, size_);
+  fnvMix(h, opened_);
+  fnvMix(h, completed_);
+  fnvMix(h, broken_);
+  for (std::uint32_t slot = 0; slot < live_.size(); ++slot) {
+    if (live_[slot] == 0) continue;
+    fnvMix(h, id_[slot]);
+    fnvMix(h, app_[slot]);
+    fnvMix(h, vip_[slot]);
+    fnvMix(h, rip_[slot]);
+    fnvMix(h, expiry_[slot]);
+  }
+  return h;
+}
+
+}  // namespace mdc

@@ -136,7 +136,7 @@ Result<RipId> LbSwitch::openConnection(ConnId conn, VipId vip, Rng& rng) {
   if (e->rips.empty() || e->totalWeight() <= 0.0) {
     return Error{"no_rips", ""};
   }
-  if (conns_.size() >= limits_.maxConnections) {
+  if (activeConnections() >= limits_.maxConnections) {
     return Error{"conn_table_full", ""};
   }
   std::vector<double> w;
@@ -166,12 +166,20 @@ void LbSwitch::closeConnection(ConnId conn) {
 
 std::uint64_t LbSwitch::activeConnections(VipId vip) const {
   const auto it = connsPerVip_.find(vip);
-  return it == connsPerVip_.end() ? 0 : it->second;
+  const std::uint64_t legacy = it == connsPerVip_.end() ? 0 : it->second;
+  return legacy + (shard_ != nullptr ? shard_->countForVip(vip) : 0);
+}
+
+void LbSwitch::attachShard(ConnectionShard* shard) {
+  MDC_EXPECT(shard == nullptr || shard_ == nullptr,
+             "attachShard: a shard is already attached");
+  shard_ = shard;
 }
 
 std::uint64_t LbSwitch::crash() {
   MDC_EXPECT(up_, "crash: switch already down");
-  const std::uint64_t severed = conns_.size();
+  std::uint64_t severed = conns_.size();
+  if (shard_ != nullptr) severed += shard_->severAll();
   up_ = false;
   vips_.clear();
   vipIndex_.clear();
@@ -198,6 +206,7 @@ std::uint64_t LbSwitch::dropConnections(VipId vip) {
     }
   }
   connsPerVip_.erase(vip);
+  if (shard_ != nullptr) dropped += shard_->severVip(vip);
   return dropped;
 }
 

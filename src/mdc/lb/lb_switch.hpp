@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mdc/lb/conn_shard.hpp"
 #include "mdc/sim/rng.hpp"
 #include "mdc/util/ids.hpp"
 #include "mdc/util/result.hpp"
@@ -114,13 +115,29 @@ class LbSwitch {
   void closeConnection(ConnId conn);
 
   [[nodiscard]] std::uint64_t activeConnections() const noexcept {
-    return conns_.size();
+    return conns_.size() + (shard_ != nullptr ? shard_->size() : 0);
   }
   [[nodiscard]] std::uint64_t activeConnections(VipId vip) const;
 
   /// Drops every connection of `vip` (what a forced VIP transfer does to
   /// in-flight sessions).  Returns how many were dropped.
   std::uint64_t dropConnections(VipId vip);
+
+  // --- session data plane (SessionEngine's per-switch shard) -----------
+
+  /// Attaches (or, with nullptr, detaches) the SessionEngine's connection
+  /// shard for this switch.  While attached, shard sessions count toward
+  /// the connection-table limit, block VIP removal/transfer like legacy
+  /// tracked connections, and are severed by crash()/dropConnections().
+  /// The engine owns the shard's lifetime and detaches on destruction.
+  void attachShard(ConnectionShard* shard);
+  [[nodiscard]] ConnectionShard* shard() const noexcept { return shard_; }
+
+  /// Connections tracked through the legacy per-ConnId table only (the
+  /// engine budgets shard opens against maxConnections minus this).
+  [[nodiscard]] std::uint64_t legacyConnections() const noexcept {
+    return conns_.size();
+  }
 
   // --- failure semantics ------------------------------------------------
 
@@ -169,6 +186,7 @@ class LbSwitch {
   std::uint32_t ripCount_ = 0;
   std::unordered_map<ConnId, ConnRecord> conns_;
   std::unordered_map<VipId, std::uint64_t> connsPerVip_;
+  ConnectionShard* shard_ = nullptr;  // owned by the SessionEngine
   double offeredGbps_ = 0.0;
   std::uint64_t reconfigOps_ = 0;
   bool up_ = true;

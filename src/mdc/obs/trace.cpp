@@ -52,6 +52,12 @@ const char* toString(HopKind hop) noexcept {
       return "snapshot_rejected";
     case HopKind::StateRecovered:
       return "state_recovered";
+    case HopKind::SessionDrainStart:
+      return "session_drain_start";
+    case HopKind::SessionDrainDone:
+      return "session_drain_done";
+    case HopKind::SessionConnBroken:
+      return "session_conn_broken";
   }
   return "?";
 }

@@ -73,6 +73,11 @@ enum class HopKind : std::uint8_t {
   SnapshotTaken,     // whole-DC snapshot landed; a=index, b=compacted
   SnapshotRejected,  // invalid snapshot(s) skipped on recovery; a=count
   StateRecovered,    // snapshot+tail recovery done; a=replayed, b=cut bytes
+
+  // Session data plane hops (E19): VIP drains and connection migrations.
+  SessionDrainStart,  // quiescent drain began; a=vip, b=from-switch
+  SessionDrainDone,   // drain settled; code=outcome, a=vip, b=to-switch
+  SessionConnBroken,  // one connection severed mid-flight; a=session, b=rip
 };
 
 [[nodiscard]] const char* toString(HopKind hop) noexcept;

@@ -60,6 +60,16 @@ MegaDc::MegaDc(MegaDcConfig config)
                                          routes, fleet, hosts, *demand,
                                          manager->viprip(), config_.engine);
 
+  if (config_.enableSessionEngine) {
+    // Derived like the channel seed: replayable from the scenario seed,
+    // uncorrelated with the other component streams.
+    config_.session.seed = config_.seed * 0x9e3779b9u + 0xe19u;
+    sessions = std::make_unique<SessionEngine>(sim, apps, *demand, dns,
+                                               *resolvers, fleet,
+                                               config_.session);
+    sessions->attachTracer(tracer.get());
+  }
+
   std::vector<PodManager*> rawPods;
   rawPods.reserve(manager->pods().size());
   for (auto& p : manager->pods()) rawPods.push_back(p.get());
@@ -99,6 +109,16 @@ void MegaDc::decorateReports() {
     r.stateTruncatedBytes = machine.truncatedBytesTotal();
     r.stateSnapshotsRejected = machine.snapshotsRejectedTotal();
     r.stateCompactedRecords = machine.compactedRecordsTotal();
+    // Session data plane (E19) — zeros when the engine is disabled.
+    if (sessions) {
+      r.sessionArrivals = sessions->totalArrivals();
+      r.sessionActive = sessions->activeSessions();
+      r.sessionCompleted = sessions->completedSessions();
+      r.sessionBroken = sessions->brokenSessions();
+      r.sessionRejected = sessions->rejectedSessions();
+      r.sessionDrainsCompleted = sessions->drainsCompleted();
+      r.sessionDrainP99Seconds = sessions->drainP99Seconds();
+    }
   });
 }
 
@@ -369,6 +389,41 @@ void MegaDc::registerStandardMetrics() {
         labels);
   }
 
+  // Session data plane (E19) — null unless enabled; gauges read 0 then.
+  metrics.registerGauge("mdc.session.active", [this, u64] {
+    return sessions ? u64(sessions->activeSessions()) : 0.0;
+  });
+  metrics.registerGauge("mdc.session.arrivals", [this, u64] {
+    return sessions ? u64(sessions->totalArrivals()) : 0.0;
+  });
+  metrics.registerGauge("mdc.session.completed", [this, u64] {
+    return sessions ? u64(sessions->completedSessions()) : 0.0;
+  });
+  metrics.registerGauge("mdc.session.broken", [this, u64] {
+    return sessions ? u64(sessions->brokenSessions()) : 0.0;
+  });
+  for (std::size_t r = 0; r < kSessionRejectCount; ++r) {
+    const auto reason = static_cast<SessionReject>(r);
+    metrics.registerGauge(
+        "mdc.session.rejected",
+        [this, reason, u64] {
+          return sessions ? u64(sessions->rejectedFor(reason)) : 0.0;
+        },
+        {{"reason", toString(reason)}});
+  }
+  metrics.registerGauge("mdc.session.drains_in_progress", [this] {
+    return sessions ? static_cast<double>(sessions->drainsInProgress()) : 0.0;
+  });
+  metrics.registerGauge("mdc.session.drains_completed", [this, u64] {
+    return sessions ? u64(sessions->drainsCompleted()) : 0.0;
+  });
+  metrics.registerGauge("mdc.session.drains_aborted", [this, u64] {
+    return sessions ? u64(sessions->drainsAborted()) : 0.0;
+  });
+  metrics.registerGauge("mdc.session.drain_p99_seconds", [this] {
+    return sessions ? sessions->drainP99Seconds() : 0.0;
+  });
+
   // The tracer's own ring.
   metrics.registerGauge("mdc.trace.events_total", [this, u64] {
     return u64(tracer->ring().total());
@@ -386,6 +441,15 @@ void MegaDc::setDemandModel(std::unique_ptr<DemandModel> model) {
   engine = std::make_unique<FluidEngine>(sim, topo, apps, dns, *resolvers,
                                          routes, fleet, hosts, *demand,
                                          manager->viprip(), config_.engine);
+  if (sessions) {
+    // Destroy before rebuilding: the old engine must detach its shards
+    // from the switches before the new one attaches its own.
+    sessions.reset();
+    sessions = std::make_unique<SessionEngine>(sim, apps, *demand, dns,
+                                               *resolvers, fleet,
+                                               config_.session);
+    sessions->attachTracer(tracer.get());
+  }
   decorateReports();
   registerStandardMetrics();
 }
@@ -416,6 +480,7 @@ void MegaDc::start() {
   // the control loops.
   manager->viprip().ctrlChannel().setFaults(config_.ctrlFaults);
   manager->start();
+  if (sessions) sessions->start();
   engine->start([this](const EpochReport& r) {
     manager->observe(r);
     if (health) health->observe(r);

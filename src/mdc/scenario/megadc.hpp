@@ -16,6 +16,7 @@
 #include "mdc/obs/metrics_registry.hpp"
 #include "mdc/obs/trace.hpp"
 #include "mdc/scenario/fluid_engine.hpp"
+#include "mdc/scenario/session_engine.hpp"
 #include "mdc/workload/demand.hpp"
 
 namespace mdc {
@@ -58,6 +59,15 @@ struct MegaDcConfig {
   /// `tracing.enabled` (or `tracer->setEnabled(true)` at any time) to
   /// record every control-plane hop into the ring.
   Tracer::Options tracing;
+
+  /// Session data plane (E19): per-connection tracking on the switches'
+  /// shards, alongside the fluid engine.  Off by default — it adds a
+  /// per-tick cost proportional to session arrivals.  `session` carries
+  /// the engine knobs, including the (now configurable) global
+  /// maxActiveSessions budget; the seed is derived from the scenario
+  /// seed at construction.
+  bool enableSessionEngine = false;
+  SessionEngine::Options session;
 };
 
 /// The assembled world.  Construction wires everything; call
@@ -105,6 +115,7 @@ class MegaDc {
   std::unique_ptr<GlobalManager> manager;
   std::unique_ptr<ResolverPopulation> resolvers;
   std::unique_ptr<FluidEngine> engine;
+  std::unique_ptr<SessionEngine> sessions;  // null unless enabled
   std::unique_ptr<FaultInjector> faults;
   std::unique_ptr<HealthMonitor> health;  // null when disabled
 

@@ -1,99 +1,502 @@
 #include "mdc/scenario/session_engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "mdc/util/expect.hpp"
 
 namespace mdc {
 
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnvMix(std::uint64_t& h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+/// Per-(app, epoch) stream seed: every app draws from its own RNG every
+/// tick, so arrival randomness is independent of which worker runs the
+/// app — the root of the sharded tick's bit-identity.
+std::uint64_t streamSeed(std::uint64_t seed, std::uint64_t app,
+                         std::uint64_t epoch) noexcept {
+  std::uint64_t h = seed + 0x9e3779b97f4a7c15ull * (app + 1);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h += epoch;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+/// Poisson arrivals: inversion for small lambda, normal approximation
+/// above (same scheme the seed engine used, now per-app-stream).
+std::uint64_t poissonDraw(Rng& rng, double lambda) {
+  if (lambda < 30.0) {
+    std::uint64_t count = 0;
+    double p = std::exp(-lambda);
+    double cdf = p;
+    const double u = rng.uniform();
+    while (u > cdf && count < 1000) {
+      ++count;
+      p *= lambda / static_cast<double>(count);
+      cdf += p;
+    }
+    return count;
+  }
+  return static_cast<std::uint64_t>(
+      std::max(0.0, std::round(rng.normal(lambda, std::sqrt(lambda)))));
+}
+
+/// Weighted VIP pick over prefetched resolver shares.  Shared by both
+/// tick paths so the draw sequence is identical.
+VipId pickVip(const std::vector<VipWeight>& shares, double total, Rng& rng) {
+  const double r = rng.uniform() * total;
+  double acc = 0.0;
+  for (const VipWeight& w : shares) {
+    acc += w.weight;
+    if (r < acc) return w.vip;
+  }
+  return shares.back().vip;
+}
+
+/// Weighted RIP pick without the per-call vector the legacy
+/// LbSwitch::openConnection allocates.
+RipId pickRip(const VipEntry& e, double total, Rng& rng) {
+  const double r = rng.uniform() * total;
+  double acc = 0.0;
+  for (const RipEntry& rip : e.rips) {
+    acc += rip.weight;
+    if (r < acc) return rip.rip;
+  }
+  return e.rips.back().rip;
+}
+
+}  // namespace
+
+const char* toString(SessionReject reason) noexcept {
+  switch (reason) {
+    case SessionReject::NoVip:
+      return "no_vip";
+    case SessionReject::NoOwner:
+      return "no_owner";
+    case SessionReject::NoRips:
+      return "no_rips";
+    case SessionReject::Cap:
+      return "cap";
+    case SessionReject::SwitchFull:
+      return "switch_full";
+  }
+  return "?";
+}
+
 SessionEngine::SessionEngine(Simulation& sim, const AppRegistry& apps,
-                             const DemandModel& demand,
-                             ResolverPopulation& resolvers,
-                             SwitchFleet& fleet, Options options)
+                             const DemandModel& demand, AuthoritativeDns& dns,
+                             ResolverPopulation& resolvers, SwitchFleet& fleet,
+                             Options options)
     : sim_(sim),
       apps_(apps),
       demand_(demand),
+      dns_(dns),
       resolvers_(resolvers),
       fleet_(fleet),
-      options_(options),
-      rng_(options.seed) {
+      options_(options) {
   MDC_EXPECT(options.sessionsPerSecondPerKrps >= 0.0, "negative arrival rate");
   MDC_EXPECT(options.meanSessionSeconds > 0.0, "session duration <= 0");
   MDC_EXPECT(options.tick > 0.0, "tick <= 0");
+  MDC_EXPECT(options.wheelSlots > 0, "wheelSlots == 0");
+
+  shards_.reserve(fleet_.size());
+  for (std::uint32_t s = 0; s < fleet_.size(); ++s) {
+    shards_.push_back(std::make_unique<ConnectionShard>(options_.wheelSlots));
+    fleet_.at(SwitchId{s}).attachShard(shards_.back().get());
+  }
+  if (options_.sharded) {
+    pool_ = std::make_unique<ThreadPool>(
+        ThreadPool::resolveWorkers(options_.workers));
+  }
+  const unsigned slots = pool_ != nullptr ? pool_->workers() : 1;
+  buckets_.resize(static_cast<std::size_t>(slots) * shards_.size());
+  shardRejects_.resize(shards_.size());
+  room_.resize(shards_.size());
+}
+
+SessionEngine::~SessionEngine() {
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    fleet_.at(SwitchId{s}).attachShard(nullptr);
+  }
 }
 
 void SessionEngine::start() {
   sim_.every(options_.tick, [this] { tick(); });
 }
 
+void SessionEngine::prefetchShares() {
+  // Serial by design: ResolverPopulation lazily materialises pools behind
+  // const methods, so the parallel generation phase must only touch this
+  // prefetched snapshot.
+  const auto& all = apps_.all();
+  for (std::size_t a = 0; a < all.size(); ++a) {
+    const AppId app = all[a].id;
+    const std::uint64_t v = resolvers_.sharesVersion(app);
+    if (sharesFresh_[a] != 0 && sharesSeen_[a] == v) continue;
+    sharesCache_[a] = resolvers_.shares(app);
+    sharesSeen_[a] = v;
+    sharesFresh_[a] = 1;
+  }
+}
+
+void SessionEngine::generateApps(unsigned slot, std::size_t lo, std::size_t hi,
+                                 SimTime now) {
+  const auto& all = apps_.all();
+  const std::size_t numShards = shards_.size();
+  for (std::size_t a = lo; a < hi; ++a) {
+    const AppId app = all[a].id;
+    const double rps = demand_.rps(app, now);
+    const double lambda =
+        rps / 1000.0 * options_.sessionsPerSecondPerKrps * options_.tick;
+    if (lambda <= 0.0) continue;
+    Rng rng{streamSeed(options_.seed, app.value(), epoch_)};
+    const std::uint64_t count = poissonDraw(rng, lambda);
+    if (count == 0) continue;
+    candidates_[a] = static_cast<std::uint32_t>(count);
+
+    const std::vector<VipWeight>& shares = sharesCache_[a];
+    double shareTotal = 0.0;
+    for (const VipWeight& w : shares) shareTotal += w.weight;
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (shares.empty() || shareTotal <= 0.0) {
+        ++rejNoVip_[a];
+        continue;
+      }
+      const VipId vip = pickVip(shares, shareTotal, rng);
+      const auto owner = fleet_.ownerOf(vip);
+      if (!owner.has_value()) {
+        ++rejNoOwner_[a];
+        continue;
+      }
+      const VipEntry* e = fleet_.at(*owner).findVip(vip);
+      const double ripTotal = e != nullptr ? e->totalWeight() : 0.0;
+      if (e == nullptr || e->rips.empty() || ripTotal <= 0.0) {
+        ++rejNoRips_[a];
+        continue;
+      }
+      const RipId rip = pickRip(*e, ripTotal, rng);
+      const double duration = rng.exponential(options_.meanSessionSeconds);
+      const std::uint64_t lifeTicks = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::ceil(duration / options_.tick)));
+      PendingOpen rec;
+      rec.id = (static_cast<std::uint64_t>(app.value()) << 32) |
+               perAppSeq_[a]++;
+      rec.app = app.value();
+      rec.ordinal = viable_[a]++;
+      rec.vip = vip;
+      rec.rip = rip;
+      rec.expiry = epoch_ + lifeTicks;
+      buckets_[static_cast<std::size_t>(slot) * numShards + owner->index()]
+          .push_back(rec);
+    }
+  }
+}
+
+void SessionEngine::admitSerial() {
+  const std::size_t numApps = candidates_.size();
+  const std::uint64_t active = activeSessions();
+  std::uint64_t budget = options_.maxActiveSessions > active
+                             ? options_.maxActiveSessions - active
+                             : 0;
+  for (std::size_t a = 0; a < numApps; ++a) {
+    arrivals_ += candidates_[a];
+    const auto adm = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(viable_[a], budget));
+    admit_[a] = adm;
+    budget -= adm;
+    const std::uint64_t capped = viable_[a] - adm;
+    const std::uint64_t rej =
+        rejNoVip_[a] + rejNoOwner_[a] + rejNoRips_[a] + capped;
+    if (rej == 0) continue;
+    rejected_ += rej;
+    rejectedPerApp_[a] += rej;
+    rejectedByReason_[static_cast<std::size_t>(SessionReject::NoVip)] +=
+        rejNoVip_[a];
+    rejectedByReason_[static_cast<std::size_t>(SessionReject::NoOwner)] +=
+        rejNoOwner_[a];
+    rejectedByReason_[static_cast<std::size_t>(SessionReject::NoRips)] +=
+        rejNoRips_[a];
+    rejectedByReason_[static_cast<std::size_t>(SessionReject::Cap)] += capped;
+  }
+}
+
+void SessionEngine::insertShards(std::size_t lo, std::size_t hi) {
+  const std::size_t numShards = shards_.size();
+  const unsigned slots = pool_ != nullptr ? pool_->workers() : 1;
+  for (std::size_t s = lo; s < hi; ++s) {
+    ConnectionShard& shard = *shards_[s];
+    auto& rejects = shardRejects_[s];
+    std::uint64_t room = room_[s];
+    // Draining worker-slot buckets in slot order replays ascending app
+    // order — exactly the serialized insert sequence.
+    for (unsigned w = 0; w < slots; ++w) {
+      for (const PendingOpen& rec : buckets_[static_cast<std::size_t>(w) *
+                                                 numShards +
+                                             s]) {
+        if (rec.ordinal >= admit_[rec.app]) continue;  // over the global cap
+        if (room == 0) {
+          if (!rejects.empty() && rejects.back().first == rec.app) {
+            ++rejects.back().second;
+          } else {
+            rejects.emplace_back(rec.app, 1);
+          }
+          continue;
+        }
+        shard.open(rec.id, AppId{rec.app}, rec.vip, rec.rip, rec.expiry);
+        --room;
+      }
+    }
+    room_[s] = room;
+  }
+}
+
 void SessionEngine::tick() {
+  ++epoch_;
   const SimTime now = sim_.now();
   // Keep client DNS caches moving even when no fluid engine is running
   // alongside (advance is idempotent at equal timestamps).
   resolvers_.advance(now);
-  for (const Application& app : apps_.all()) {
-    const double rps = demand_.rps(app.id, now);
-    const double lambda =
-        rps / 1000.0 * options_.sessionsPerSecondPerKrps * options_.tick;
-    if (lambda <= 0.0) continue;
-    // Poisson arrivals via inversion for small lambda, normal
-    // approximation above.
-    std::uint64_t count = 0;
-    if (lambda < 30.0) {
-      double p = std::exp(-lambda);
-      double cdf = p;
-      const double u = rng_.uniform();
-      while (u > cdf && count < 1000) {
-        ++count;
-        p *= lambda / static_cast<double>(count);
-        cdf += p;
-      }
-    } else {
-      count = static_cast<std::uint64_t>(std::max(
-          0.0, std::round(rng_.normal(lambda, std::sqrt(lambda)))));
-    }
-    for (std::uint64_t i = 0; i < count; ++i) {
-      if (active_ >= options_.maxActiveSessions) return;
-      openSession(app.id);
-    }
-  }
-}
 
-void SessionEngine::openSession(AppId app) {
-  ++arrivals_;
-  const auto shares = resolvers_.shares(app);
-  if (shares.empty()) {
-    ++rejected_;
-    return;
+  const std::size_t numApps = apps_.all().size();
+  const std::size_t numShards = shards_.size();
+  if (perAppSeq_.size() < numApps) {
+    perAppSeq_.resize(numApps, 0);
+    sharesCache_.resize(numApps);
+    sharesSeen_.resize(numApps, 0);
+    sharesFresh_.resize(numApps, 0);
+    rejectedPerApp_.resize(numApps, 0);
   }
-  const VipId vip = resolvers_.pickVip(app, rng_);
-  const auto owner = fleet_.ownerOf(vip);
-  if (!owner.has_value()) {
-    ++rejected_;
-    return;
-  }
-  const ConnId conn = connIds_.next();
-  const auto rip = fleet_.at(*owner).openConnection(conn, vip, rng_);
-  if (!rip.ok()) {
-    ++rejected_;
-    return;
-  }
-  ++active_;
-  const SimTime duration = rng_.exponential(options_.meanSessionSeconds);
-  const SwitchId sw = *owner;
-  sim_.after(duration, [this, conn, sw] { closeSession(conn, sw); });
-}
+  candidates_.assign(numApps, 0);
+  viable_.assign(numApps, 0);
+  rejNoVip_.assign(numApps, 0);
+  rejNoOwner_.assign(numApps, 0);
+  rejNoRips_.assign(numApps, 0);
+  admit_.assign(numApps, 0);
+  for (auto& b : buckets_) b.clear();
 
-void SessionEngine::closeSession(ConnId conn, SwitchId sw) {
-  --active_;
-  // The connection may have been dropped by a forced VIP transfer; the
-  // switch no longer knows it, which is exactly an affinity violation.
-  if (fleet_.at(sw).connectionRip(conn).has_value()) {
-    fleet_.at(sw).closeConnection(conn);
-    ++completed_;
+  prefetchShares();
+
+  // Phase S: O(due-this-tick) expiry, one worker per shard range.
+  if (pool_ != nullptr) {
+    pool_->parallelRanges(numShards,
+                          [this](unsigned, std::size_t lo, std::size_t hi) {
+                            for (std::size_t s = lo; s < hi; ++s) {
+                              shards_[s]->expireDue(epoch_);
+                            }
+                          });
   } else {
-    ++broken_;
+    for (std::size_t s = 0; s < numShards; ++s) shards_[s]->expireDue(epoch_);
   }
+
+  // Phase G: arrival generation over contiguous ascending app ranges.
+  if (pool_ != nullptr) {
+    pool_->parallelRanges(numApps,
+                          [this, now](unsigned slot, std::size_t lo,
+                                      std::size_t hi) {
+                            generateApps(slot, lo, hi, now);
+                          });
+  } else {
+    generateApps(0, 0, numApps, now);
+  }
+
+  // Phase A: global-cap admission, serial, ascending app order.
+  admitSerial();
+
+  // Phase I: per-shard inserts.  Table headroom snapshots are taken
+  // serially so legacy connections and shard sessions share one budget.
+  for (std::size_t s = 0; s < numShards; ++s) {
+    const LbSwitch& sw = fleet_.at(SwitchId{static_cast<std::uint32_t>(s)});
+    const std::uint64_t act = sw.activeConnections();
+    room_[s] = sw.limits().maxConnections > act
+                   ? sw.limits().maxConnections - act
+                   : 0;
+    shardRejects_[s].clear();
+  }
+  if (pool_ != nullptr) {
+    pool_->parallelRanges(numShards,
+                          [this](unsigned, std::size_t lo, std::size_t hi) {
+                            insertShards(lo, hi);
+                          });
+  } else {
+    insertShards(0, numShards);
+  }
+  for (std::size_t s = 0; s < numShards; ++s) {
+    for (const auto& [app, count] : shardRejects_[s]) {
+      rejected_ += count;
+      rejectedPerApp_[app] += count;
+      rejectedByReason_[static_cast<std::size_t>(SessionReject::SwitchFull)] +=
+          count;
+    }
+  }
+
+  sweepDrains();
+}
+
+Status SessionEngine::beginDrain(VipId vip, SwitchId to) {
+  if (draining(vip)) return Status::fail("already_draining");
+  const auto owner = fleet_.ownerOf(vip);
+  if (!owner.has_value()) return Status::fail("vip_unowned");
+  if (*owner == to) return Status::fail("same_switch");
+  if (!fleet_.at(to).up()) return Status::fail("switch_down");
+  const VipEntry* e = fleet_.at(*owner).findVip(vip);
+  if (e == nullptr) return Status::fail("vip_unowned");
+  const AppId app = e->app;
+
+  double prevWeight = -1.0;
+  for (const VipWeight& w : dns_.vips(app)) {
+    if (w.vip == vip) {
+      prevWeight = w.weight;
+      break;
+    }
+  }
+  if (prevWeight < 0.0) return Status::fail("vip_not_in_dns");
+
+  DrainState d;
+  d.vip = vip;
+  d.app = app;
+  d.from = *owner;
+  d.to = to;
+  d.started = sim_.now();
+  d.prevWeight = prevWeight;
+  d.trace = tracer_ != nullptr ? tracer_->begin() : 0;
+  d.span = tracer_ != nullptr && d.trace != 0 ? tracer_->newSpan() : 0;
+  if (tracer_ != nullptr) {
+    tracer_->record(d.trace, d.span, 0, HopKind::SessionDrainStart, "drain",
+                    vip.value(), owner->value());
+  }
+  dns_.setWeight(app, vip, 0.0);
+  drains_.push_back(d);
+  return Status::okStatus();
+}
+
+std::vector<SessionEngine::DrainState>::iterator SessionEngine::finishDrain(
+    std::vector<DrainState>::iterator it, bool completed, const char* code) {
+  if (completed) {
+    // The VIP kept its DNS identity through the move; re-expose it.
+    for (const VipWeight& w : dns_.vips(it->app)) {
+      if (w.vip == it->vip) {
+        dns_.setWeight(it->app, it->vip, it->prevWeight);
+        break;
+      }
+    }
+    drainLatency_.record(std::max(options_.tick, sim_.now() - it->started));
+    ++drainsCompleted_;
+  } else {
+    // Aborted: the owner crashed or the VIP moved underneath us — the
+    // health plane owns the DNS record now, so leave the weight alone.
+    ++drainsAborted_;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->record(it->trace, it->span, 0, HopKind::SessionDrainDone, code,
+                    it->vip.value(), it->to.value());
+  }
+  return drains_.erase(it);
+}
+
+void SessionEngine::sweepDrains() {
+  for (auto it = drains_.begin(); it != drains_.end();) {
+    const auto owner = fleet_.ownerOf(it->vip);
+    if (!owner.has_value() || *owner != it->from || !fleet_.at(it->from).up()) {
+      it = finishDrain(it, false, "lost_owner");
+      continue;
+    }
+    if (fleet_.at(it->from).activeConnections(it->vip) > 0) {
+      ++it;
+      continue;
+    }
+    const Status s = fleet_.transferVip(it->vip, it->to);
+    if (s.ok()) {
+      it = finishDrain(it, true, "ok");
+    } else {
+      it = finishDrain(it, false, s.error().code.c_str());
+    }
+  }
+}
+
+Status SessionEngine::forceTransfer(VipId vip, SwitchId to) {
+  const auto owner = fleet_.ownerOf(vip);
+  if (!owner.has_value()) return Status::fail("vip_unowned");
+  // Capture the resident sessions before the transfer severs them.
+  std::vector<std::pair<std::uint64_t, RipId>> resident;
+  if (tracer_ != nullptr && tracer_->enabled() &&
+      owner->index() < shards_.size()) {
+    shards_[owner->index()]->forEachOfVip(
+        vip, [&resident](std::uint64_t id, RipId rip) {
+          resident.emplace_back(id, rip);
+        });
+  }
+  const Status s = fleet_.transferVip(vip, to, /*force=*/true);
+  if (!s.ok()) return s;
+  for (auto it = drains_.begin(); it != drains_.end(); ++it) {
+    if (it->vip == vip) {
+      finishDrain(it, false, "forced");
+      break;
+    }
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    const TraceId trace = tracer_->begin();
+    for (const auto& [id, rip] : resident) {
+      tracer_->record(trace, tracer_->newSpan(), 0, HopKind::SessionConnBroken,
+                      "forced", id, rip.value());
+    }
+  }
+  return s;
+}
+
+bool SessionEngine::draining(VipId vip) const {
+  for (const DrainState& d : drains_) {
+    if (d.vip == vip) return true;
+  }
+  return false;
+}
+
+double SessionEngine::drainP99Seconds() const {
+  return drainLatency_.count() == 0 ? 0.0 : drainLatency_.quantile(0.99);
+}
+
+std::uint64_t SessionEngine::activeSessions() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->size();
+  return n;
+}
+
+std::uint64_t SessionEngine::completedSessions() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->completed();
+  return n;
+}
+
+std::uint64_t SessionEngine::brokenSessions() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->broken();
+  return n;
+}
+
+std::uint64_t SessionEngine::stateHash() const noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& s : shards_) fnvMix(h, s->stateHash());
+  fnvMix(h, epoch_);
+  fnvMix(h, arrivals_);
+  fnvMix(h, rejected_);
+  for (const std::uint64_t r : rejectedByReason_) fnvMix(h, r);
+  fnvMix(h, drainsCompleted_);
+  fnvMix(h, drainsAborted_);
+  return h;
+}
+
+const ConnectionShard& SessionEngine::shardOf(SwitchId sw) const {
+  MDC_EXPECT(sw.index() < shards_.size(), "shardOf: unknown switch");
+  return *shards_[sw.index()];
 }
 
 }  // namespace mdc

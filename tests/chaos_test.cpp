@@ -582,5 +582,160 @@ TEST(Chaos, StormTraceSpansTerminateExactlyOnce) {
   EXPECT_GT(acked, 0u);
 }
 
+// --- acceptance: session storms (E19) ---------------------------------------
+
+// The session data plane rides through a chaos storm: switches crash while
+// millions-scale per-connection state lives on their shards, a quiescent
+// drain is interrupted by its source switch crashing (the VIP re-hosts
+// mid-drain), and WorldInvariants judges session conservation — every
+// arrival in exactly one of {active, completed, broken, rejected}, all
+// cumulative counters monotone — at every epoch.  Surviving sessions must
+// keep their RIP (connection affinity, §IV-B): a session's backend is
+// chosen once, at setup, and never silently rebound.
+TEST(Chaos, SessionStormConservesSessionsAndKeepsRipStickiness) {
+  const std::uint64_t seed = chaosSeed();
+  SCOPED_TRACE("MDC_CHAOS_SEED=" + std::to_string(seed));
+
+  MegaDcConfig cfg = testScaleConfig();
+  cfg.seed = seed;
+  cfg.fault.seed = seed * 0x9e3779b97f4a7c15ull + 0xe19u;
+  cfg.ctrlFaults.dropRate = 0.05;
+  cfg.ctrlFaults.delaySeconds = 0.02;
+  cfg.ctrlFaults.delayJitterSeconds = 0.05;
+  cfg.enableSessionEngine = true;
+  cfg.session.sessionsPerSecondPerKrps = 2.0;
+  cfg.session.meanSessionSeconds = 20.0;
+  MegaDc dc{cfg};
+  dc.bootstrap();
+  ASSERT_NE(dc.sessions, nullptr);
+
+  WorldInvariants inv{dc.topo, dc.apps,      dc.dns,         dc.fleet,
+                      dc.hosts, *dc.manager, dc.health.get()};
+  inv.attachSessionProbe([&dc]() -> std::optional<SessionPlaneSample> {
+    if (dc.sessions == nullptr) return std::nullopt;
+    SessionPlaneSample s;
+    s.arrivals = dc.sessions->totalArrivals();
+    s.active = dc.sessions->activeSessions();
+    s.completed = dc.sessions->completedSessions();
+    s.broken = dc.sessions->brokenSessions();
+    s.rejected = dc.sessions->rejectedSessions();
+    return s;
+  });
+
+  const SimTime epoch = cfg.engine.epoch;
+  const SimTime stormStart = dc.sim.now() + 10.0;
+  const SimTime stormEnd = stormStart + 240.0;
+  ChaosStorm::Options sopt;
+  sopt.seed = seed;
+  sopt.start = stormStart;
+  sopt.end = stormEnd;
+  sopt.waves = 6;
+  sopt.maxSwitchCrashes = 1;
+  sopt.maxServerCrashes = 2;
+  sopt.maxLinkCuts = 1;
+  sopt.maxPodOutages = 1;
+  sopt.maxChannelPartitions = 1;
+  sopt.maxPodManagerCrashes = 1;
+  sopt.maxGlobalManagerCrashes = 1;
+  sopt.minRepairSeconds = 5.0;
+  sopt.maxRepairSeconds = 20.0;
+  ChaosStorm storm{sopt};
+  storm.schedule(*dc.faults);
+
+  // Let the plane fill, then snapshot every live session's RIP binding.
+  dc.runUntil(stormStart);
+  ASSERT_GT(dc.sessions->activeSessions(), 0u);
+  std::map<std::uint64_t, std::uint32_t> pinned;
+  for (std::uint32_t s = 0; s < dc.fleet.size(); ++s) {
+    dc.sessions->shardOf(SwitchId{s}).forEach(
+        [&pinned](std::uint64_t id, AppId, VipId, RipId rip, std::uint64_t) {
+          pinned[id] = rip.value();
+        });
+  }
+  ASSERT_FALSE(pinned.empty());
+
+  // A deterministic mid-storm drain whose source switch then crashes: the
+  // VIP re-hosts underneath the drain, which must abort (not complete,
+  // not wedge) while the invariants keep holding.
+  VipId drainVip{};
+  SwitchId drainFrom{}, drainTo{};
+  bool picked = false;
+  for (const auto& app : dc.apps.all()) {
+    for (const VipWeight& vw : dc.dns.vips(app.id)) {
+      const auto owner = dc.fleet.ownerOf(vw.vip);
+      if (!owner.has_value() || !dc.fleet.isUp(*owner)) continue;
+      for (std::uint32_t s = 0; s < dc.fleet.size() && !picked; ++s) {
+        if (SwitchId{s} != *owner && dc.fleet.isUp(SwitchId{s})) {
+          drainVip = vw.vip;
+          drainFrom = *owner;
+          drainTo = SwitchId{s};
+          picked = true;
+        }
+      }
+      if (picked) break;
+    }
+    if (picked) break;
+  }
+  ASSERT_TRUE(picked);
+  ASSERT_TRUE(dc.sessions->beginDrain(drainVip, drainTo).ok());
+  dc.faults->crashSwitch(drainFrom, stormStart + 3.0 * epoch,
+                         /*repairAfter=*/15.0);
+
+  // Storm phase: epoch invariants (structural + leadership + session
+  // conservation) hold at every epoch; RIP stickiness holds for every
+  // pinned session still alive, wherever its VIP lives now.
+  while (dc.sim.now() < stormEnd) {
+    dc.runUntil(dc.sim.now() + epoch);
+    const auto violations = inv.checkEpoch();
+    ASSERT_TRUE(violations.empty())
+        << "epoch invariants broken at t=" << dc.sim.now()
+        << joined(violations);
+    for (std::uint32_t s = 0; s < dc.fleet.size(); ++s) {
+      dc.sessions->shardOf(SwitchId{s}).forEach(
+          [&pinned](std::uint64_t id, AppId, VipId, RipId rip,
+                    std::uint64_t) {
+            const auto it = pinned.find(id);
+            if (it != pinned.end()) {
+              ASSERT_EQ(it->second, rip.value())
+                  << "session " << id << " was rebound to another RIP";
+            }
+          });
+    }
+  }
+
+  // The storm actually hit the session plane.
+  EXPECT_GT(dc.sessions->totalArrivals(), 0u);
+  EXPECT_GT(dc.sessions->brokenSessions(), 0u);
+  EXPECT_GE(dc.sessions->drainsCompleted() + dc.sessions->drainsAborted(), 1u);
+  EXPECT_FALSE(dc.sessions->draining(drainVip));
+
+  // Quiesce: heal the channel, let repairs land; conservation and the
+  // strict world invariants both converge.
+  dc.manager->viprip().ctrlChannel().setFaults(ChannelFaults{});
+  bool quiesced = false;
+  std::vector<std::string> lastQuiesce;
+  for (int round = 0; round < 60 && !quiesced; ++round) {
+    for (int e = 0; e < 5; ++e) {
+      dc.runUntil(dc.sim.now() + epoch);
+      const auto violations = inv.checkEpoch();
+      ASSERT_TRUE(violations.empty())
+          << "epoch invariants broken during quiesce at t=" << dc.sim.now()
+          << joined(violations);
+    }
+    lastQuiesce = inv.checkQuiesced();
+    quiesced = lastQuiesce.empty();
+  }
+  EXPECT_TRUE(quiesced) << "world never quiesced:" << joined(lastQuiesce);
+  EXPECT_EQ(dc.sessions->totalArrivals(),
+            dc.sessions->activeSessions() + dc.sessions->completedSessions() +
+                dc.sessions->brokenSessions() +
+                dc.sessions->rejectedSessions());
+
+  // Reports carry the session plane for replay comparison.
+  const EpochReport& r = dc.engine->latest();
+  EXPECT_EQ(r.sessionArrivals, dc.sessions->totalArrivals());
+  EXPECT_EQ(r.sessionBroken, dc.sessions->brokenSessions());
+}
+
 }  // namespace
 }  // namespace mdc

@@ -1,29 +1,47 @@
-// Tests for the session-level engine and its interaction with VIP
-// transfer (connection affinity, §IV-B).
+// Tests for the sharded session data plane: arrival/expiry mechanics,
+// connection affinity under VIP transfer (§IV-B), the randomized
+// serialized-vs-sharded equivalence suite, drain-curve properties across
+// DNS TTLs, and the rejection taxonomy / global-cap plumbing.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
 
+#include "mdc/scenario/megadc.hpp"
 #include "mdc/scenario/session_engine.hpp"
+#include "mdc/state/codec.hpp"
 
 namespace mdc {
 namespace {
+
+double weightOf(const AuthoritativeDns& dns, AppId app, VipId vip) {
+  for (const VipWeight& w : dns.vips(app)) {
+    if (w.vip == vip) return w.weight;
+  }
+  return -1.0;
+}
 
 struct Fixture {
   Simulation sim;
   AppRegistry apps;
   AuthoritativeDns dns;
-  ResolverPopulation resolvers{dns, ResolverConfig{}};
+  ResolverPopulation resolvers;
   SwitchFleet fleet;
   StaticDemand demand{{10'000.0}};
   AppId app;
   VipId vip{100};
   SwitchId swA, swB;
 
-  Fixture() {
+  explicit Fixture(SwitchLimits limits = SwitchLimits{},
+                   ResolverConfig rc = ResolverConfig{})
+      : resolvers{dns, rc} {
     app = apps.create("web", AppSla{}, 10'000.0);
-    swA = fleet.addSwitch(SwitchLimits{});
-    swB = fleet.addSwitch(SwitchLimits{});
+    swA = fleet.addSwitch(limits);
+    swB = fleet.addSwitch(limits);
     EXPECT_TRUE(fleet.configureVip(swA, vip, app).ok());
     RipEntry rip;
     rip.rip = RipId{0};
@@ -41,24 +59,27 @@ struct Fixture {
     o.seed = 5;
     return o;
   }
+
+  SessionEngine make(SessionEngine::Options o) {
+    return SessionEngine{sim, apps, demand, dns, resolvers, fleet, o};
+  }
 };
 
 TEST(SessionEngine, SessionsArriveAndTrackOnSwitch) {
   Fixture f;
-  SessionEngine engine{f.sim, f.apps, f.demand, f.resolvers, f.fleet,
-                       f.options()};
+  SessionEngine engine = f.make(f.options());
   engine.start();
   f.sim.runUntil(30.0);
   EXPECT_GT(engine.totalArrivals(), 200u);
   EXPECT_GT(engine.activeSessions(), 0u);
   EXPECT_EQ(engine.rejectedSessions(), 0u);
   EXPECT_EQ(f.fleet.at(f.swA).activeConnections(), engine.activeSessions());
+  EXPECT_EQ(engine.shardOf(f.swA).size(), engine.activeSessions());
 }
 
 TEST(SessionEngine, SessionsCompleteOverTime) {
   Fixture f;
-  SessionEngine engine{f.sim, f.apps, f.demand, f.resolvers, f.fleet,
-                       f.options()};
+  SessionEngine engine = f.make(f.options());
   engine.start();
   f.sim.runUntil(200.0);
   EXPECT_GT(engine.completedSessions(), 0u);
@@ -67,10 +88,21 @@ TEST(SessionEngine, SessionsCompleteOverTime) {
   EXPECT_NEAR(static_cast<double>(engine.activeSessions()), 200.0, 80.0);
 }
 
+TEST(SessionEngine, ConservationHoldsEveryEpoch) {
+  Fixture f;
+  SessionEngine engine = f.make(f.options());
+  engine.start();
+  for (double t = 1.0; t <= 120.0; t += 1.0) {
+    f.sim.runUntil(t);
+    ASSERT_EQ(engine.totalArrivals(),
+              engine.activeSessions() + engine.completedSessions() +
+                  engine.brokenSessions() + engine.rejectedSessions());
+  }
+}
+
 TEST(SessionEngine, TransferRefusedWhileSessionsActive) {
   Fixture f;
-  SessionEngine engine{f.sim, f.apps, f.demand, f.resolvers, f.fleet,
-                       f.options()};
+  SessionEngine engine = f.make(f.options());
   engine.start();
   f.sim.runUntil(30.0);
   ASSERT_GT(f.fleet.at(f.swA).activeConnections(f.vip), 0u);
@@ -79,23 +111,25 @@ TEST(SessionEngine, TransferRefusedWhileSessionsActive) {
 
 TEST(SessionEngine, ForcedTransferBreaksSessions) {
   Fixture f;
-  SessionEngine engine{f.sim, f.apps, f.demand, f.resolvers, f.fleet,
-                       f.options()};
+  SessionEngine engine = f.make(f.options());
   engine.start();
   f.sim.runUntil(30.0);
   const auto inFlight = f.fleet.at(f.swA).activeConnections(f.vip);
   ASSERT_GT(inFlight, 0u);
-  ASSERT_TRUE(f.fleet.transferVip(f.vip, f.swB, /*force=*/true).ok());
+  ASSERT_TRUE(engine.forceTransfer(f.vip, f.swB).ok());
   EXPECT_EQ(f.fleet.droppedConnections(), inFlight);
-  // Let every broken session reach its scheduled close.
-  f.sim.runUntil(600.0);
-  EXPECT_GE(engine.brokenSessions(), inFlight);
+  EXPECT_EQ(engine.brokenSessions(), inFlight);
+  EXPECT_EQ(f.fleet.at(f.swA).activeConnections(f.vip), 0u);
 }
 
 TEST(SessionEngine, DrainViaDnsThenTransferCleanly) {
-  // The paper's drain recipe: stop exposing the VIP, wait for sessions to
-  // finish, then transfer with zero affinity violations.
-  Fixture f;
+  // The paper's drain recipe by hand: stop exposing the VIP, wait for
+  // sessions to finish, then transfer with zero affinity violations.
+  // A TTL-compliant population only — lingering clients (1800 s time
+  // constant) would keep a trickle on the old VIP for hours.
+  ResolverConfig compliant;
+  compliant.lingerFraction = 0.0;
+  Fixture f{SwitchLimits{}, compliant};
   // Add a second VIP so clients have somewhere else to go.
   const VipId vip2{101};
   ASSERT_TRUE(f.fleet.configureVip(f.swB, vip2, f.app).ok());
@@ -105,8 +139,7 @@ TEST(SessionEngine, DrainViaDnsThenTransferCleanly) {
   ASSERT_TRUE(f.fleet.addRip(vip2, rip).ok());
   f.dns.addVip(f.app, vip2, 1.0);
 
-  SessionEngine engine{f.sim, f.apps, f.demand, f.resolvers, f.fleet,
-                       f.options()};
+  SessionEngine engine = f.make(f.options());
   engine.start();
   f.sim.runUntil(30.0);
   ASSERT_GT(f.fleet.at(f.swA).activeConnections(f.vip), 0u);
@@ -133,20 +166,510 @@ TEST(SessionEngine, RejectsWhenNoVipExposed) {
 
   SessionEngine::Options o;
   o.sessionsPerSecondPerKrps = 5.0;
-  SessionEngine engine{sim, apps, demand, resolvers, fleet, o};
+  SessionEngine engine{sim, apps, demand, dns, resolvers, fleet, o};
   engine.start();
   sim.runUntil(10.0);
   EXPECT_GT(engine.totalArrivals(), 0u);
   EXPECT_EQ(engine.rejectedSessions(), engine.totalArrivals());
+  EXPECT_EQ(engine.rejectedFor(SessionReject::NoVip), engine.totalArrivals());
+  EXPECT_EQ(engine.rejectedForApp(app), engine.totalArrivals());
+}
+
+TEST(SessionEngine, CapRejectionsCountedPerReasonAndApp) {
+  Fixture f;
+  SessionEngine::Options o = f.options();
+  o.maxActiveSessions = 50;
+  SessionEngine engine = f.make(o);
+  engine.start();
+  f.sim.runUntil(100.0);
+  EXPECT_LE(engine.activeSessions(), 50u);
+  EXPECT_GT(engine.rejectedFor(SessionReject::Cap), 0u);
+  EXPECT_EQ(engine.rejectedFor(SessionReject::Cap), engine.rejectedSessions());
+  EXPECT_EQ(engine.rejectedForApp(f.app), engine.rejectedSessions());
+  EXPECT_EQ(engine.totalArrivals(),
+            engine.activeSessions() + engine.completedSessions() +
+                engine.brokenSessions() + engine.rejectedSessions());
+}
+
+TEST(SessionEngine, SwitchFullRejectionsCounted) {
+  SwitchLimits tiny;
+  tiny.maxConnections = 30;
+  Fixture f{tiny};
+  SessionEngine engine = f.make(f.options());
+  engine.start();
+  f.sim.runUntil(100.0);
+  EXPECT_LE(f.fleet.at(f.swA).activeConnections(), 30u);
+  EXPECT_GT(engine.rejectedFor(SessionReject::SwitchFull), 0u);
+  EXPECT_EQ(engine.totalArrivals(),
+            engine.activeSessions() + engine.completedSessions() +
+                engine.brokenSessions() + engine.rejectedSessions());
+}
+
+TEST(SessionEngine, NoRipsRejectionsCounted) {
+  Simulation sim;
+  AppRegistry apps;
+  AuthoritativeDns dns;
+  ResolverPopulation resolvers{dns, ResolverConfig{}};
+  SwitchFleet fleet;
+  StaticDemand demand{{5000.0}};
+  const AppId app = apps.create("a", AppSla{}, 5000.0);
+  const SwitchId sw = fleet.addSwitch(SwitchLimits{});
+  const VipId vip{7};
+  ASSERT_TRUE(fleet.configureVip(sw, vip, app).ok());  // VIP with no RIPs
+  dns.registerApp(app);
+  dns.addVip(app, vip, 1.0);
+
+  SessionEngine::Options o;
+  o.sessionsPerSecondPerKrps = 2.0;
+  SessionEngine engine{sim, apps, demand, dns, resolvers, fleet, o};
+  engine.start();
+  sim.runUntil(10.0);
+  EXPECT_GT(engine.rejectedFor(SessionReject::NoRips), 0u);
+  EXPECT_EQ(engine.rejectedFor(SessionReject::NoRips),
+            engine.rejectedSessions());
 }
 
 TEST(SessionEngine, OptionValidation) {
   Fixture f;
   SessionEngine::Options bad = f.options();
   bad.meanSessionSeconds = 0.0;
-  EXPECT_THROW(
-      (SessionEngine{f.sim, f.apps, f.demand, f.resolvers, f.fleet, bad}),
-      PreconditionError);
+  EXPECT_THROW(f.make(bad), PreconditionError);
+  bad = f.options();
+  bad.tick = 0.0;
+  EXPECT_THROW(f.make(bad), PreconditionError);
+  bad = f.options();
+  bad.wheelSlots = 0;
+  EXPECT_THROW(f.make(bad), PreconditionError);
+}
+
+TEST(SessionEngine, BeginDrainErrorTaxonomy) {
+  Fixture f;
+  SessionEngine engine = f.make(f.options());
+  engine.start();
+  f.sim.runUntil(10.0);
+  EXPECT_EQ(engine.beginDrain(VipId{999}, f.swB).error().code, "vip_unowned");
+  EXPECT_EQ(engine.beginDrain(f.vip, f.swA).error().code, "same_switch");
+  f.fleet.crashSwitch(f.swB, f.sim.now());
+  EXPECT_EQ(engine.beginDrain(f.vip, f.swB).error().code, "switch_down");
+  f.fleet.recoverSwitch(f.swB);
+  ASSERT_TRUE(engine.beginDrain(f.vip, f.swB).ok());
+  EXPECT_EQ(engine.beginDrain(f.vip, f.swB).error().code, "already_draining");
+  EXPECT_TRUE(engine.draining(f.vip));
+  EXPECT_EQ(engine.drainsInProgress(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized serialized-vs-sharded equivalence (the tentpole's proof).
+//
+// Five identical worlds run 200 epochs of the same arrival process and
+// the same scripted mutation storm (DNS weight changes, drains, forced
+// transfers, switch crashes and recoveries).  One world runs the
+// serialized reference tick (no thread pool at all); the others run the
+// sharded tick with 1, 2, 4, and 8 workers.  Every epoch, every counter
+// and the full state hash must be bit-identical across all five.
+// ---------------------------------------------------------------------------
+
+struct TwinWorld {
+  static constexpr std::size_t kApps = 6;
+  static constexpr std::size_t kSwitches = 4;
+
+  Simulation sim;
+  AppRegistry apps;
+  AuthoritativeDns dns;
+  ResolverPopulation resolvers{dns, ResolverConfig{30.0, 0.0, 1800.0}};
+  SwitchFleet fleet;
+  StaticDemand demand;
+  std::vector<AppId> ids;
+  std::unique_ptr<SessionEngine> engine;
+
+  TwinWorld(bool sharded, unsigned workers, std::uint64_t seed)
+      : demand{rates()} {
+    for (std::size_t a = 0; a < kApps; ++a) {
+      ids.push_back(
+          apps.create("app" + std::to_string(a), AppSla{}, rates()[a]));
+      dns.registerApp(ids.back());
+    }
+    for (std::size_t s = 0; s < kSwitches; ++s) fleet.addSwitch(SwitchLimits{});
+    std::uint32_t nextRip = 0;
+    for (std::size_t a = 0; a < kApps; ++a) {
+      for (std::size_t k = 0; k < 2; ++k) {
+        const VipId vip{static_cast<std::uint32_t>(100 + a * 2 + k)};
+        const SwitchId sw{static_cast<std::uint32_t>((a + k) % kSwitches)};
+        EXPECT_TRUE(fleet.configureVip(sw, vip, ids[a]).ok());
+        for (int j = 0; j < 2; ++j) {
+          RipEntry rip;
+          rip.rip = RipId{nextRip};
+          rip.vm = VmId{nextRip};
+          ++nextRip;
+          EXPECT_TRUE(fleet.addRip(vip, rip).ok());
+        }
+        dns.addVip(ids[a], vip, 1.0);
+      }
+    }
+    SessionEngine::Options o;
+    o.sessionsPerSecondPerKrps = 2.0;
+    o.meanSessionSeconds = 12.0;
+    o.seed = seed;
+    o.tick = 1.0;
+    o.maxActiveSessions = 1500;  // tight enough to exercise Cap admission
+    o.workers = workers;
+    o.sharded = sharded;
+    o.wheelSlots = 64;
+    engine = std::make_unique<SessionEngine>(sim, apps, demand, dns, resolvers,
+                                             fleet, o);
+  }
+
+  static std::vector<double> rates() {
+    std::vector<double> r;
+    for (std::size_t a = 0; a < kApps; ++a) {
+      r.push_back(4000.0 + 3000.0 * static_cast<double>(a));
+    }
+    return r;
+  }
+
+  void step(std::uint64_t epoch) {
+    sim.runUntil(static_cast<SimTime>(epoch));
+    engine->tick();
+  }
+};
+
+struct ScriptAction {
+  enum Kind { Weight, Drain, Force, Crash, Recover } kind;
+  std::uint64_t epoch;
+  std::uint32_t vip = 0;  // vip id (Weight/Drain/Force)
+  std::uint32_t sw = 0;   // destination / crash target
+  double weight = 0.0;
+};
+
+// One deterministic mutation script, drawn once and replayed against
+// every world.  Only switches 1 and 2 crash (and later recover), so the
+// worlds never lose every VIP owner.
+std::vector<ScriptAction> makeScript(std::uint64_t scriptSeed,
+                                     std::uint64_t epochs) {
+  std::mt19937 rng{static_cast<std::uint32_t>(scriptSeed)};
+  std::vector<ScriptAction> script;
+  const double weights[] = {0.0, 0.5, 1.0, 2.0};
+  for (std::uint64_t e = 5; e <= epochs; e += 5) {
+    ScriptAction a{};
+    a.epoch = e;
+    const auto roll = static_cast<std::uint32_t>(rng() % 10);
+    a.vip = static_cast<std::uint32_t>(100 + rng() % (TwinWorld::kApps * 2));
+    a.sw = static_cast<std::uint32_t>(rng() % TwinWorld::kSwitches);
+    if (roll < 5) {
+      a.kind = ScriptAction::Weight;
+      a.weight = weights[rng() % 4];
+    } else if (roll < 8) {
+      a.kind = ScriptAction::Drain;
+    } else {
+      a.kind = ScriptAction::Force;
+    }
+    script.push_back(a);
+  }
+  script.push_back({ScriptAction::Crash, 60, 0, 1, 0.0});
+  script.push_back({ScriptAction::Recover, 90, 0, 1, 0.0});
+  script.push_back({ScriptAction::Crash, 120, 0, 2, 0.0});
+  script.push_back({ScriptAction::Recover, 150, 0, 2, 0.0});
+  return script;
+}
+
+std::string apply(TwinWorld& w, const ScriptAction& a) {
+  switch (a.kind) {
+    case ScriptAction::Weight: {
+      // Weight changes only apply while the VIP is still in DNS under a
+      // live owner; mirror that check so the script stays applicable.
+      const auto owner = w.fleet.ownerOf(VipId{a.vip});
+      if (!owner.has_value()) return "skip_unowned";
+      const VipEntry* e = w.fleet.at(*owner).findVip(VipId{a.vip});
+      if (e == nullptr || weightOf(w.dns, e->app, VipId{a.vip}) < 0.0) {
+        return "skip_not_in_dns";
+      }
+      w.dns.setWeight(e->app, VipId{a.vip}, a.weight);
+      return "ok";
+    }
+    case ScriptAction::Drain: {
+      const Status s = w.engine->beginDrain(VipId{a.vip}, SwitchId{a.sw});
+      return s.ok() ? "ok" : s.error().code;
+    }
+    case ScriptAction::Force: {
+      const Status s = w.engine->forceTransfer(VipId{a.vip}, SwitchId{a.sw});
+      return s.ok() ? "ok" : s.error().code;
+    }
+    case ScriptAction::Crash:
+      if (!w.fleet.isUp(SwitchId{a.sw})) return "skip_down";
+      w.fleet.crashSwitch(SwitchId{a.sw}, w.sim.now());
+      return "ok";
+    case ScriptAction::Recover:
+      if (w.fleet.isUp(SwitchId{a.sw})) return "skip_up";
+      w.fleet.recoverSwitch(SwitchId{a.sw});
+      return "ok";
+  }
+  return "?";
+}
+
+TEST(SessionEngineEquivalence, RandomizedShardedMatchesSerializedBitExact) {
+  // The container may expose a single core; the sweep intentionally
+  // oversubscribes to prove determinism is scheduling-independent.
+  ::setenv("MDC_ALLOW_OVERSUBSCRIBE", "1", 1);
+  constexpr std::uint64_t kEpochs = 200;
+  const std::uint64_t seed = 20260809;
+
+  TwinWorld ref{/*sharded=*/false, 0, seed};
+  std::vector<std::unique_ptr<TwinWorld>> sharded;
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    sharded.push_back(std::make_unique<TwinWorld>(true, workers, seed));
+    EXPECT_EQ(sharded.back()->engine->workerCount(), workers);
+  }
+
+  const std::vector<ScriptAction> script = makeScript(seed ^ 0xabcd, kEpochs);
+  std::size_t next = 0;
+  for (std::uint64_t e = 1; e <= kEpochs; ++e) {
+    // Keep script order stable: actions were generated epoch-ascending.
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      if (script[i].epoch != e) continue;
+      const std::string refOutcome = apply(ref, script[i]);
+      for (auto& w : sharded) {
+        ASSERT_EQ(apply(*w, script[i]), refOutcome)
+            << "action " << i << " diverged at epoch " << e;
+      }
+    }
+    ref.step(e);
+    for (auto& w : sharded) {
+      w->step(e);
+      ASSERT_EQ(w->engine->totalArrivals(), ref.engine->totalArrivals())
+          << "epoch " << e << " workers " << w->engine->workerCount();
+      ASSERT_EQ(w->engine->activeSessions(), ref.engine->activeSessions())
+          << "epoch " << e << " workers " << w->engine->workerCount();
+      ASSERT_EQ(w->engine->completedSessions(), ref.engine->completedSessions())
+          << "epoch " << e << " workers " << w->engine->workerCount();
+      ASSERT_EQ(w->engine->brokenSessions(), ref.engine->brokenSessions())
+          << "epoch " << e << " workers " << w->engine->workerCount();
+      ASSERT_EQ(w->engine->rejectedSessions(), ref.engine->rejectedSessions())
+          << "epoch " << e << " workers " << w->engine->workerCount();
+      ASSERT_EQ(w->engine->stateHash(), ref.engine->stateHash())
+          << "epoch " << e << " workers " << w->engine->workerCount();
+    }
+    (void)next;
+  }
+  // The storm actually exercised the interesting paths.
+  EXPECT_GT(ref.engine->totalArrivals(), 10'000u);
+  EXPECT_GT(ref.engine->brokenSessions(), 0u);
+  EXPECT_GT(ref.engine->rejectedSessions(), 0u);
+  EXPECT_GT(ref.engine->drainsCompleted() + ref.engine->drainsAborted() +
+                ref.engine->drainsInProgress(),
+            0u);
+}
+
+// ---------------------------------------------------------------------------
+// Drain-curve properties across DNS TTLs (the paper's TTL argument).
+// ---------------------------------------------------------------------------
+
+struct DrainWorld {
+  Simulation sim;
+  AppRegistry apps;
+  AuthoritativeDns dns;
+  ResolverPopulation resolvers;
+  SwitchFleet fleet;
+  StaticDemand demand{{20'000.0}};
+  AppId app;
+  VipId vipA{1}, vipB{2};
+  SwitchId swA, swB, swC;
+  std::unique_ptr<SessionEngine> engine;
+
+  explicit DrainWorld(double ttlSeconds, std::uint64_t seed = 7)
+      : resolvers{dns, ResolverConfig{ttlSeconds, 0.0, 1800.0}} {
+    app = apps.create("web", AppSla{}, 20'000.0);
+    swA = fleet.addSwitch(SwitchLimits{});
+    swB = fleet.addSwitch(SwitchLimits{});
+    swC = fleet.addSwitch(SwitchLimits{});
+    EXPECT_TRUE(fleet.configureVip(swA, vipA, app).ok());
+    EXPECT_TRUE(fleet.configureVip(swB, vipB, app).ok());
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      RipEntry rip;
+      rip.rip = RipId{r};
+      rip.vm = VmId{r};
+      EXPECT_TRUE(fleet.addRip(r < 2 ? vipA : vipB, rip).ok());
+    }
+    dns.registerApp(app);
+    dns.addVip(app, vipA, 1.0);
+    dns.addVip(app, vipB, 1.0);
+    SessionEngine::Options o;
+    o.sessionsPerSecondPerKrps = 1.0;  // 20 sessions/s
+    o.meanSessionSeconds = 10.0;
+    o.tick = 1.0;
+    o.seed = seed;
+    engine = std::make_unique<SessionEngine>(sim, apps, demand, dns, resolvers,
+                                             fleet, o);
+    engine->start();
+  }
+};
+
+TEST(SessionEngineDrain, QuiescentDrainZeroBrokenMonotoneAfterShareDecay) {
+  for (const double ttl : {1.0, 30.0, 300.0}) {
+    SCOPED_TRACE("ttl=" + std::to_string(ttl));
+    DrainWorld w{ttl};
+    w.sim.runUntil(50.0);
+    ASSERT_GT(w.fleet.at(w.swA).activeConnections(w.vipA), 0u);
+    ASSERT_TRUE(w.engine->beginDrain(w.vipA, w.swC).ok());
+    EXPECT_EQ(weightOf(w.dns, w.app, w.vipA), 0.0);
+
+    // Once the resolver share of the draining VIP has fully decayed, no
+    // new session can pick it: the old switch's resident count must be
+    // monotone non-increasing from there until the transfer fires.
+    bool decayed = false;
+    std::uint64_t prev = 0;
+    const double deadline = 50.0 + ttl * 40.0 + 600.0;
+    for (double t = 51.0; t <= deadline; t += 1.0) {
+      w.sim.runUntil(t);
+      if (w.engine->drainsCompleted() > 0) break;
+      const std::uint64_t cnt = w.fleet.at(w.swA).activeConnections(w.vipA);
+      if (!decayed && w.resolvers.share(w.app, w.vipA) <= 1e-9) {
+        decayed = true;
+        prev = cnt;
+      }
+      if (decayed) {
+        ASSERT_LE(cnt, prev) << "old-switch count grew at t=" << t;
+        prev = cnt;
+      }
+    }
+    ASSERT_EQ(w.engine->drainsCompleted(), 1u);
+    EXPECT_EQ(w.engine->drainsInProgress(), 0u);
+    EXPECT_EQ(w.engine->brokenSessions(), 0u);
+    EXPECT_EQ(w.fleet.droppedConnections(), 0u);
+    ASSERT_TRUE(w.fleet.ownerOf(w.vipA).has_value());
+    EXPECT_EQ(*w.fleet.ownerOf(w.vipA), w.swC);
+    // Quiescent completion re-exposes the VIP at its prior weight.
+    EXPECT_EQ(weightOf(w.dns, w.app, w.vipA), 1.0);
+    EXPECT_EQ(w.engine->drainLatency().count(), 1u);
+    EXPECT_GT(w.engine->drainP99Seconds(), 0.0);
+  }
+}
+
+TEST(SessionEngineDrain, DrainLatencyGrowsWithTtl) {
+  std::vector<double> latency;
+  for (const double ttl : {1.0, 30.0, 300.0}) {
+    DrainWorld w{ttl};
+    w.sim.runUntil(50.0);
+    ASSERT_TRUE(w.engine->beginDrain(w.vipA, w.swC).ok());
+    w.sim.runUntil(50.0 + ttl * 40.0 + 600.0);
+    ASSERT_EQ(w.engine->drainsCompleted(), 1u);
+    latency.push_back(w.engine->drainP99Seconds());
+  }
+  // TTL is the dominant term of the drain curve: longer client caches
+  // hold sessions on the old switch longer.
+  EXPECT_LT(latency[0], latency[1]);
+  EXPECT_LT(latency[1], latency[2]);
+}
+
+TEST(SessionEngineDrain, ForcedTransferBreaksExactlyResidents) {
+  DrainWorld w{30.0};
+  w.sim.runUntil(50.0);
+  const std::uint64_t resident = w.fleet.at(w.swA).activeConnections(w.vipA);
+  ASSERT_GT(resident, 0u);
+
+  // Snapshot the *other* VIP's sessions: survivors must keep their RIP.
+  std::map<std::uint64_t, std::uint32_t> before;
+  w.engine->shardOf(w.swB).forEachOfVip(
+      w.vipB, [&](std::uint64_t id, RipId rip) { before[id] = rip.value(); });
+  ASSERT_FALSE(before.empty());
+
+  ASSERT_TRUE(w.engine->forceTransfer(w.vipA, w.swC).ok());
+  EXPECT_EQ(w.engine->brokenSessions(), resident);
+  EXPECT_EQ(w.fleet.at(w.swA).activeConnections(w.vipA), 0u);
+  ASSERT_TRUE(w.fleet.ownerOf(w.vipA).has_value());
+  EXPECT_EQ(*w.fleet.ownerOf(w.vipA), w.swC);
+
+  std::size_t matched = 0;
+  w.engine->shardOf(w.swB).forEachOfVip(
+      w.vipB, [&](std::uint64_t id, RipId rip) {
+        const auto it = before.find(id);
+        ASSERT_NE(it, before.end()) << "survivor session appeared from nowhere";
+        EXPECT_EQ(it->second, rip.value()) << "survivor lost RIP stickiness";
+        ++matched;
+      });
+  EXPECT_EQ(matched, before.size());
+}
+
+TEST(SessionEngineDrain, AbortedDrainWhenOwnerCrashes) {
+  DrainWorld w{30.0};
+  w.sim.runUntil(50.0);
+  ASSERT_TRUE(w.engine->beginDrain(w.vipA, w.swC).ok());
+  w.fleet.crashSwitch(w.swA, w.sim.now());
+  w.sim.runUntil(52.0);
+  EXPECT_EQ(w.engine->drainsAborted(), 1u);
+  EXPECT_EQ(w.engine->drainsCompleted(), 0u);
+  EXPECT_EQ(w.engine->drainsInProgress(), 0u);
+  // Aborts leave DNS to the health plane: weight stays steered away.
+  EXPECT_EQ(weightOf(w.dns, w.app, w.vipA), 0.0);
+  EXPECT_GT(w.engine->brokenSessions(), 0u);  // crash severed the shard
+}
+
+TEST(SessionEngineDrain, DrainAndBreakEmitTraceSpans) {
+  DrainWorld w{30.0};
+  Tracer tracer{w.sim, Tracer::Options{1u << 12, true}};
+  w.engine->attachTracer(&tracer);
+  w.sim.runUntil(50.0);
+
+  ASSERT_TRUE(w.engine->beginDrain(w.vipA, w.swC).ok());
+  const std::uint64_t resident = w.fleet.at(w.swA).activeConnections(w.vipA);
+  ASSERT_GT(resident, 0u);
+  ASSERT_TRUE(w.engine->forceTransfer(w.vipA, w.swC).ok());
+
+  std::size_t starts = 0, dones = 0, breaks = 0;
+  for (const TraceEvent& e : tracer.ring().snapshot()) {
+    if (e.hop == HopKind::SessionDrainStart) ++starts;
+    if (e.hop == HopKind::SessionDrainDone) ++dones;
+    if (e.hop == HopKind::SessionConnBroken) ++breaks;
+  }
+  EXPECT_EQ(starts, 1u);
+  EXPECT_EQ(dones, 1u);  // the force finished the in-flight drain
+  EXPECT_EQ(breaks, resident);
+}
+
+// ---------------------------------------------------------------------------
+// MegaDc plumbing: the configurable cap, per-app rejections, and the
+// labeled mdc.session.rejected metric (satellite 4).
+// ---------------------------------------------------------------------------
+
+TEST(SessionEngineMegaDc, CapFlowsThroughConfigMetricsAndReports) {
+  MegaDcConfig cfg = testScaleConfig();
+  cfg.enableSessionEngine = true;
+  cfg.session.maxActiveSessions = 25;
+  cfg.session.sessionsPerSecondPerKrps = 5.0;
+  cfg.session.meanSessionSeconds = 30.0;
+  MegaDc dc{cfg};
+  dc.bootstrap();
+  dc.runUntil(60.0);
+
+  ASSERT_NE(dc.sessions, nullptr);
+  EXPECT_LE(dc.sessions->activeSessions(), 25u);
+  EXPECT_GT(dc.sessions->rejectedFor(SessionReject::Cap), 0u);
+  EXPECT_EQ(dc.sessions->totalArrivals(),
+            dc.sessions->activeSessions() + dc.sessions->completedSessions() +
+                dc.sessions->brokenSessions() +
+                dc.sessions->rejectedSessions());
+
+  // Per-app rejections partition the total.
+  std::uint64_t perApp = 0;
+  for (const auto& a : dc.apps.all()) {
+    perApp += dc.sessions->rejectedForApp(a.id);
+  }
+  EXPECT_EQ(perApp, dc.sessions->rejectedSessions());
+
+  // The labeled rejection gauge surfaces the same counter.
+  EXPECT_EQ(dc.metrics.value("mdc.session.rejected", {{"reason", "cap"}}),
+            static_cast<double>(dc.sessions->rejectedFor(SessionReject::Cap)));
+  EXPECT_EQ(dc.metrics.value("mdc.session.active"),
+            static_cast<double>(dc.sessions->activeSessions()));
+
+  // Reports carry the session plane (and survive the canonical codec).
+  const EpochReport& rep = dc.engine->latest();
+  EXPECT_EQ(rep.sessionArrivals, dc.sessions->totalArrivals());
+  state::ByteWriter wtr;
+  encodeEpochReport(rep, wtr);
+  state::ByteReader rdr{wtr.bytes()};
+  const EpochReport back = decodeEpochReport(rdr);
+  EXPECT_EQ(back.sessionActive, rep.sessionActive);
+  EXPECT_EQ(hashEpochReport(back), hashEpochReport(rep));
 }
 
 }  // namespace
